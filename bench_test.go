@@ -1,0 +1,394 @@
+// Package taskgrain's root benchmark harness regenerates every table and
+// figure of the paper at a laptop-scale problem size (see EXPERIMENTS.md for
+// the mapping and recorded outputs; use `go run ./cmd/taskgrain run <id>
+// -scale paper` for the full-scale runs). Each benchmark reports the
+// figure's headline numbers via b.ReportMetric and fails if the paper's
+// qualitative shape — who wins, where the walls are — does not hold.
+package taskgrain
+
+import (
+	"testing"
+
+	"taskgrain/internal/adaptive"
+	"taskgrain/internal/core"
+	"taskgrain/internal/costmodel"
+	"taskgrain/internal/sim"
+	"taskgrain/internal/stencil"
+)
+
+// benchPoints keeps one benchmark iteration in the hundreds of milliseconds.
+const benchPoints = 1_000_000
+
+var benchSizes = []int{160, 1600, 12500, 125000, 1_000_000}
+
+// benchSweep runs the standard reduced sweep for one platform.
+func benchSweep(b *testing.B, prof *costmodel.Profile, sizes []int, cores []int) *core.SweepResult {
+	b.Helper()
+	res, err := core.RunSweep(core.NewSimEngine(prof), core.SweepConfig{
+		TotalPoints:    benchPoints,
+		TimeSteps:      5,
+		PartitionSizes: sizes,
+		Cores:          cores,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// assertUShape checks the paper's central result on a measurement series:
+// both extremes are slower than the interior optimum.
+func assertUShape(b *testing.B, ms []core.Measurement) core.Measurement {
+	b.Helper()
+	opt, ok := core.Optimal(ms)
+	if !ok {
+		b.Fatal("empty series")
+	}
+	fine, coarse := ms[0], ms[len(ms)-1]
+	if fine.ExecSeconds.Mean <= opt.ExecSeconds.Mean {
+		b.Fatalf("fine-grain wall missing: %v <= %v", fine.ExecSeconds.Mean, opt.ExecSeconds.Mean)
+	}
+	if coarse.ExecSeconds.Mean <= opt.ExecSeconds.Mean {
+		b.Fatalf("coarse-grain wall missing: %v <= %v", coarse.ExecSeconds.Mean, opt.ExecSeconds.Mean)
+	}
+	return opt
+}
+
+// BenchmarkTable1Profiles regenerates Table I (platform construction and
+// validation).
+func BenchmarkTable1Profiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range costmodel.All() {
+			if err := p.Validate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchFig3(b *testing.B, prof *costmodel.Profile, cores []int) {
+	for i := 0; i < b.N; i++ {
+		res := benchSweep(b, prof, benchSizes, cores)
+		maxCores := cores[len(cores)-1]
+		opt := assertUShape(b, res.Measurements(maxCores))
+		// Strong scaling: the optimum at max cores beats one core.
+		opt1, _ := core.Optimal(res.Measurements(1))
+		if opt.ExecSeconds.Mean >= opt1.ExecSeconds.Mean {
+			b.Fatalf("no speedup at %d cores: %v vs %v", maxCores,
+				opt.ExecSeconds.Mean, opt1.ExecSeconds.Mean)
+		}
+		b.ReportMetric(opt.ExecSeconds.Mean, "opt-exec-s")
+		b.ReportMetric(float64(opt.PartitionSize), "opt-partition")
+	}
+}
+
+// BenchmarkFig3SandyBridge regenerates Fig. 3a.
+func BenchmarkFig3SandyBridge(b *testing.B) {
+	benchFig3(b, costmodel.SandyBridge(), []int{1, 8, 16})
+}
+
+// BenchmarkFig3IvyBridge regenerates Fig. 3b.
+func BenchmarkFig3IvyBridge(b *testing.B) {
+	benchFig3(b, costmodel.IvyBridge(), []int{1, 8, 20})
+}
+
+// BenchmarkFig3Haswell regenerates Fig. 3c.
+func BenchmarkFig3Haswell(b *testing.B) {
+	benchFig3(b, costmodel.Haswell(), []int{1, 8, 28})
+}
+
+// BenchmarkFig3XeonPhi regenerates Fig. 3d.
+func BenchmarkFig3XeonPhi(b *testing.B) {
+	benchFig3(b, costmodel.XeonPhi(), []int{1, 16, 60})
+}
+
+func benchIdleRate(b *testing.B, prof *costmodel.Profile, cores, points int) {
+	sizes := []int{160, 1600, 12500, 125000, points}
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunSweep(core.NewSimEngine(prof), core.SweepConfig{
+			TotalPoints:    points,
+			TimeSteps:      5,
+			PartitionSizes: sizes,
+			Cores:          []int{cores},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms := res.Measurements(cores)
+		opt := assertUShape(b, ms)
+		// Fig. 4/5: idle-rate is high on both walls relative to the optimum.
+		var atOpt core.Measurement
+		for _, m := range ms {
+			if m.PartitionSize == opt.PartitionSize {
+				atOpt = m
+			}
+		}
+		if ms[0].IdleRate <= atOpt.IdleRate {
+			b.Fatalf("fine-grain idle %v not above optimum idle %v", ms[0].IdleRate, atOpt.IdleRate)
+		}
+		if ms[len(ms)-1].IdleRate <= atOpt.IdleRate {
+			b.Fatalf("coarse-grain idle %v not above optimum idle %v", ms[len(ms)-1].IdleRate, atOpt.IdleRate)
+		}
+		b.ReportMetric(ms[0].IdleRate*100, "fine-idle-pct")
+		b.ReportMetric(atOpt.IdleRate*100, "opt-idle-pct")
+	}
+}
+
+// BenchmarkFig4IdleRateHaswell regenerates Fig. 4 (28-core panel).
+func BenchmarkFig4IdleRateHaswell(b *testing.B) {
+	benchIdleRate(b, costmodel.Haswell(), 28, benchPoints)
+}
+
+// BenchmarkFig5IdleRateXeonPhi regenerates Fig. 5 (60-core panel). The Phi
+// needs the larger ring so its medium grains are not starved on 60 cores.
+func BenchmarkFig5IdleRateXeonPhi(b *testing.B) {
+	benchIdleRate(b, costmodel.XeonPhi(), 60, 10_000_000)
+}
+
+// BenchmarkFig6WaitTime regenerates Fig. 6: wait time per task grows with
+// both core count and partition size.
+func BenchmarkFig6WaitTime(b *testing.B) {
+	prof := costmodel.Haswell()
+	sizes := []int{1000, 3000, 5000, 9000} // scaled 10k–90k band
+	for i := 0; i < b.N; i++ {
+		res := benchSweep(b, prof, sizes, []int{4, 28})
+		ms4, ms28 := res.Measurements(4), res.Measurements(28)
+		for j := range ms4 {
+			if ms28[j].WaitPerTaskNs <= ms4[j].WaitPerTaskNs {
+				b.Fatalf("wait not growing with cores at %d points", ms4[j].PartitionSize)
+			}
+		}
+		if ms28[len(ms28)-1].WaitPerTaskNs <= ms28[0].WaitPerTaskNs {
+			b.Fatal("wait not growing with partition size")
+		}
+		b.ReportMetric(ms28[len(ms28)-1].WaitPerTaskNs/1000, "wait-28c-max-us")
+	}
+}
+
+func benchCombined(b *testing.B, prof *costmodel.Profile, cores int) {
+	// The negative-wait effect at the coarse extreme (Sec. IV-C) requires a
+	// partition exceeding the shared cache, so this figure runs at 10^7
+	// points where one partition is 80 MB.
+	const combinedPoints = 10_000_000
+	sizes := []int{400, 12500, 125000, combinedPoints}
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunSweep(core.NewSimEngine(prof), core.SweepConfig{
+			TotalPoints:    combinedPoints,
+			TimeSteps:      5,
+			PartitionSizes: sizes,
+			Cores:          []int{cores},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms := res.Measurements(cores)
+		// Fig. 7/8: at fine grain TM dominates WT; in the medium region WT
+		// dominates TM; at very coarse grain WT goes negative.
+		fine, mid, coarse := ms[0], ms[2], ms[len(ms)-1]
+		if fine.TMOverheadPerCoreNs <= fine.WaitPerCoreNs {
+			b.Fatalf("fine grain: TM %v must dominate WT %v", fine.TMOverheadPerCoreNs, fine.WaitPerCoreNs)
+		}
+		if mid.WaitPerCoreNs <= mid.TMOverheadPerCoreNs {
+			b.Fatalf("medium grain: WT %v must dominate TM %v", mid.WaitPerCoreNs, mid.TMOverheadPerCoreNs)
+		}
+		if coarse.WaitPerTaskNs >= 0 {
+			b.Fatalf("coarse grain wait %v must be negative (Sec. IV-C)", coarse.WaitPerTaskNs)
+		}
+		b.ReportMetric(mid.WaitPerCoreNs/1e9, "mid-WT-s")
+		b.ReportMetric(fine.TMOverheadPerCoreNs/1e9, "fine-TM-s")
+	}
+}
+
+// BenchmarkFig7CombinedHaswell regenerates Fig. 7 (28-core panel).
+func BenchmarkFig7CombinedHaswell(b *testing.B) { benchCombined(b, costmodel.Haswell(), 28) }
+
+// BenchmarkFig8CombinedXeonPhi regenerates Fig. 8 (60-core panel).
+func BenchmarkFig8CombinedXeonPhi(b *testing.B) { benchCombined(b, costmodel.XeonPhi(), 60) }
+
+func benchPending(b *testing.B, prof *costmodel.Profile, cores int) {
+	for i := 0; i < b.N; i++ {
+		res := benchSweep(b, prof, benchSizes, []int{cores})
+		ms := res.Measurements(cores)
+		// Fig. 9/10: pending-queue accesses have an interior minimum.
+		pick, ok := core.RecommendByPendingAccesses(ms)
+		if !ok {
+			b.Fatal("no pending-access pick")
+		}
+		if pick.PartitionSize == ms[0].PartitionSize || pick.PartitionSize == ms[len(ms)-1].PartitionSize {
+			b.Fatalf("pending-access minimum at the %d-point extreme, not interior", pick.PartitionSize)
+		}
+		// And the pick's execution time is near the optimum (Sec. IV-E).
+		opt, _ := core.Optimal(ms)
+		if pick.ExecSeconds.Mean > opt.ExecSeconds.Mean*1.5 {
+			b.Fatalf("pending pick %v too far from optimum %v", pick.ExecSeconds.Mean, opt.ExecSeconds.Mean)
+		}
+		b.ReportMetric(pick.PendingAccesses, "min-pq-accesses")
+	}
+}
+
+// BenchmarkFig9PendingHaswell regenerates Fig. 9 (28-core panel).
+func BenchmarkFig9PendingHaswell(b *testing.B) { benchPending(b, costmodel.Haswell(), 28) }
+
+// BenchmarkFig10PendingXeonPhi regenerates Fig. 10 (60-core panel).
+func BenchmarkFig10PendingXeonPhi(b *testing.B) { benchPending(b, costmodel.XeonPhi(), 60) }
+
+// BenchmarkThresholdPick regenerates the Sec. IV-A selection: the smallest
+// grain within a 30% idle-rate tolerance performs close to the optimum.
+func BenchmarkThresholdPick(b *testing.B) {
+	prof := costmodel.Haswell()
+	for i := 0; i < b.N; i++ {
+		res := benchSweep(b, prof, benchSizes, []int{28})
+		ms := res.Measurements(28)
+		pick, ok := core.RecommendByIdleRate(ms, 0.30)
+		if !ok {
+			b.Fatal("no grain within the 30% idle threshold")
+		}
+		opt, _ := core.Optimal(ms)
+		if pick.ExecSeconds.Mean > opt.ExecSeconds.Mean*1.5 {
+			b.Fatalf("threshold pick %v too far from optimum %v", pick.ExecSeconds.Mean, opt.ExecSeconds.Mean)
+		}
+		b.ReportMetric(float64(pick.PartitionSize), "picked-partition")
+	}
+}
+
+// BenchmarkAdaptiveTuner regenerates extension X2: tuner convergence from
+// the fine-grain wall.
+func BenchmarkAdaptiveTuner(b *testing.B) {
+	eng := core.NewSimEngine(costmodel.Haswell())
+	tuner, err := adaptive.New(adaptive.Config{MinPartition: 160, MaxPartition: benchPoints})
+	if err != nil {
+		b.Fatal(err)
+	}
+	measure := func(partition int) (adaptive.Observation, error) {
+		raw, err := eng.Run(stencil.Config{
+			TotalPoints: benchPoints, PointsPerPartition: partition, TimeSteps: 5,
+		}, 28)
+		if err != nil {
+			return adaptive.Observation{}, err
+		}
+		return adaptive.Observation{
+			PartitionSize: partition,
+			IdleRate:      raw.IdleRate(),
+			Tasks:         float64((benchPoints + partition - 1) / partition),
+			Cores:         28,
+		}, nil
+	}
+	for i := 0; i < b.N; i++ {
+		final, trace, err := tuner.Converge(160, 30, measure)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if final <= 160 {
+			b.Fatal("tuner did not escape the fine-grain wall")
+		}
+		b.ReportMetric(float64(final), "converged-partition")
+		b.ReportMetric(float64(len(trace)), "steps")
+	}
+}
+
+// BenchmarkPolicyAblation regenerates extension X3: under skewed placement
+// the stealing policies beat static round-robin.
+func BenchmarkPolicyAblation(b *testing.B) {
+	prof := costmodel.Haswell()
+	for i := 0; i < b.N; i++ {
+		exec := make(map[sim.Policy]float64)
+		for _, pol := range []sim.Policy{sim.PriorityLocalFIFO, sim.StaticRoundRobin, sim.WorkStealingLIFO} {
+			eng := core.NewSimEngine(prof)
+			eng.Policy = pol
+			raw, err := eng.Run(stencil.Config{
+				TotalPoints: benchPoints, PointsPerPartition: 12500, TimeSteps: 5,
+			}, 28)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exec[pol] = raw.ExecSeconds
+		}
+		b.ReportMetric(exec[sim.PriorityLocalFIFO], "priority-local-s")
+		b.ReportMetric(exec[sim.StaticRoundRobin], "static-rr-s")
+		b.ReportMetric(exec[sim.WorkStealingLIFO], "steal-lifo-s")
+	}
+}
+
+// BenchmarkNativeVsSim regenerates extension X4: both engines agree that the
+// interior grain beats the fine extreme at an equal worker count.
+func BenchmarkNativeVsSim(b *testing.B) {
+	native := core.NewNativeEngine()
+	simEng := core.NewSimEngine(costmodel.Haswell())
+	cfgFine := stencil.Config{TotalPoints: 200_000, PointsPerPartition: 200, TimeSteps: 5}
+	cfgMid := stencil.Config{TotalPoints: 200_000, PointsPerPartition: 10_000, TimeSteps: 5}
+	for i := 0; i < b.N; i++ {
+		nFine, err := native.Run(cfgFine, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nMid, err := native.Run(cfgMid, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sFine, err := simEng.Run(cfgFine, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sMid, err := simEng.Run(cfgMid, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if nFine.ExecSeconds <= nMid.ExecSeconds {
+			b.Fatalf("native: fine grain %v not slower than mid %v", nFine.ExecSeconds, nMid.ExecSeconds)
+		}
+		if sFine.ExecSeconds <= sMid.ExecSeconds {
+			b.Fatalf("sim: fine grain %v not slower than mid %v", sFine.ExecSeconds, sMid.ExecSeconds)
+		}
+		b.ReportMetric(nFine.ExecSeconds/nMid.ExecSeconds, "native-fine/mid")
+		b.ReportMetric(sFine.ExecSeconds/sMid.ExecSeconds, "sim-fine/mid")
+	}
+}
+
+// BenchmarkStagedBatchAblation measures the design choice DESIGN.md calls
+// out: the staged→pending conversion batch (HPX's add-new count). Too small
+// a batch forces a queue probe per task at fine grain; the bench reports
+// fine-grain execution time at batch sizes 1, 8 (default), and 64.
+func BenchmarkStagedBatchAblation(b *testing.B) {
+	prof := costmodel.Haswell()
+	for i := 0; i < b.N; i++ {
+		exec := map[int]float64{}
+		for _, batch := range []int{1, 8, 64} {
+			eng := core.NewSimEngine(prof)
+			eng.StagedBatch = batch
+			raw, err := eng.Run(stencil.Config{
+				TotalPoints: benchPoints, PointsPerPartition: 500, TimeSteps: 5,
+			}, 28)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exec[batch] = raw.ExecSeconds
+		}
+		b.ReportMetric(exec[1], "batch1-s")
+		b.ReportMetric(exec[8], "batch8-s")
+		b.ReportMetric(exec[64], "batch64-s")
+	}
+}
+
+// BenchmarkPlacementAblation reports the X9 extension's headline: RR vs
+// owner-computes placement at the optimal grain.
+func BenchmarkPlacementAblation(b *testing.B) {
+	prof := costmodel.Haswell()
+	for i := 0; i < b.N; i++ {
+		runOne := func(place stencil.Placement) float64 {
+			wl, err := stencil.NewSimWorkload(stencil.Config{
+				TotalPoints: benchPoints, PointsPerPartition: 12500, TimeSteps: 5,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl.Place = place
+			r, err := sim.Run(sim.Config{Profile: prof, Cores: 28}, wl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r.MakespanNs / 1e9
+		}
+		b.ReportMetric(runOne(stencil.RoundRobin), "round-robin-s")
+		b.ReportMetric(runOne(stencil.OwnerComputes), "owner-computes-s")
+	}
+}

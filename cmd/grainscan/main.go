@@ -1,0 +1,222 @@
+// Command grainscan runs the paper's methodology end to end for one
+// platform and core count: sweep the partition size, compute every metric,
+// and print the three grain-size recommendations (observed optimum,
+// idle-rate threshold pick, pending-queue-access minimum).
+//
+// Usage:
+//
+//	grainscan [flags]
+//
+//	-engine sim|native       engine (default sim)
+//	-platform <name>         simulated platform (default haswell)
+//	-cores <n>               core count (default: platform max / host GOMAXPROCS)
+//	-points <n>              total grid points (default 1000000)
+//	-steps <n>               time steps (default 10)
+//	-threshold <f>           idle-rate tolerance (default 0.30, Sec. IV-A)
+//	-sizes <a,b,c>           explicit partition sizes (default: decade sweep)
+//	-samples <n>             samples per configuration
+//	-config <file.json>      load the whole sweep definition from a file
+//	-saveconfig <file.json>  write the effective definition and exit
+//	-json <file.json>        also save the full sweep result for later
+//	                         comparison (taskgrain compare a.json b.json)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"taskgrain/internal/config"
+	"taskgrain/internal/core"
+	"taskgrain/internal/costmodel"
+	"taskgrain/internal/plot"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run executes the command against the given flag arguments and streams;
+// split from main for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("grainscan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	engineName := fs.String("engine", "sim", "sim or native")
+	platform := fs.String("platform", "haswell", "simulated platform")
+	cores := fs.Int("cores", 0, "core count (0 = engine max)")
+	points := fs.Int("points", 1_000_000, "total grid points")
+	steps := fs.Int("steps", 10, "time steps")
+	threshold := fs.Float64("threshold", 0.30, "idle-rate tolerance")
+	sizesFlag := fs.String("sizes", "", "comma-separated partition sizes")
+	samples := fs.Int("samples", 0, "samples per configuration")
+	configPath := fs.String("config", "", "load sweep definition from a JSON file")
+	saveConfig := fs.String("saveconfig", "", "write the effective definition to a JSON file and exit")
+	jsonOut := fs.String("json", "", "save the full sweep result to a JSON file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *configPath != "" {
+		exp, err := config.LoadFile(*configPath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		return runFromConfig(stdout, stderr, exp, *threshold, *jsonOut)
+	}
+
+	var eng core.Engine
+	switch *engineName {
+	case "sim":
+		prof, err := costmodel.ByName(*platform)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		eng = core.NewSimEngine(prof)
+	case "native":
+		eng = core.NewNativeEngine()
+	default:
+		return fail(stderr, fmt.Errorf("unknown engine %q", *engineName))
+	}
+	nc := *cores
+	if nc == 0 {
+		nc = eng.MaxCores()
+		if *engineName == "native" {
+			nc = runtime.GOMAXPROCS(0)
+		}
+	}
+
+	sizes, err := parseSizes(*sizesFlag, *points)
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	if *saveConfig != "" {
+		exp := &config.Experiment{
+			Name: "grainscan", Engine: *engineName, Platform: *platform,
+			TotalPoints: *points, TimeSteps: *steps,
+			PartitionSizes: sizes, Cores: []int{nc}, Samples: *samples,
+		}
+		if *engineName == "native" {
+			exp.Platform = ""
+		}
+		if err := exp.SaveFile(*saveConfig); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintln(stdout, "wrote", *saveConfig)
+		return 0
+	}
+
+	res, err := core.RunSweep(eng, core.SweepConfig{
+		TotalPoints:    *points,
+		TimeSteps:      *steps,
+		PartitionSizes: sizes,
+		Cores:          []int{nc},
+		Samples:        *samples,
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	ms := res.Measurements(nc)
+
+	fmt.Fprintf(stdout, "grain scan — %s, %d cores, %d points, %d steps\n\n", eng.Name(), nc, *points, *steps)
+	printSeries(stdout, ms, *threshold)
+	return saveSweep(stdout, stderr, res, *jsonOut)
+}
+
+// fail prints the error and returns a non-zero exit code.
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "grainscan:", err)
+	return 1
+}
+
+// saveSweep persists the sweep result when -json was given.
+func saveSweep(stdout, stderr io.Writer, res *core.SweepResult, path string) int {
+	if path == "" {
+		return 0
+	}
+	if err := res.SaveJSON(path); err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintln(stdout, "\nwrote", path)
+	return 0
+}
+
+// printSeries renders the measurement table and the three grain picks.
+func printSeries(w io.Writer, ms []core.Measurement, threshold float64) {
+	header := []string{"partition", "parts", "exec(s)", "cov%", "idle%", "td(µs)",
+		"to(µs)", "tw(µs)", "To(s)", "Tw(s)", "pq-acc"}
+	var rows [][]string
+	for _, m := range ms {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", m.PartitionSize),
+			fmt.Sprintf("%d", m.Partitions),
+			fmt.Sprintf("%.4f", m.ExecSeconds.Mean),
+			fmt.Sprintf("%.1f", m.ExecSeconds.COV*100),
+			fmt.Sprintf("%.1f", m.IdleRate*100),
+			fmt.Sprintf("%.1f", m.TaskDurationNs/1000),
+			fmt.Sprintf("%.2f", m.TaskOverheadNs/1000),
+			fmt.Sprintf("%.1f", m.WaitPerTaskNs/1000),
+			fmt.Sprintf("%.3f", m.TMOverheadPerCoreNs/1e9),
+			fmt.Sprintf("%.3f", m.WaitPerCoreNs/1e9),
+			fmt.Sprintf("%.0f", m.PendingAccesses),
+		})
+	}
+	fmt.Fprint(w, plot.Table(header, rows))
+	fmt.Fprintln(w)
+
+	if best, ok := core.Optimal(ms); ok {
+		fmt.Fprintf(w, "observed optimum:          partition %d (%.4fs)\n", best.PartitionSize, best.ExecSeconds.Mean)
+	}
+	if pick, ok := core.RecommendByIdleRate(ms, threshold); ok {
+		fmt.Fprintf(w, "idle-rate ≤ %.0f%% pick:      partition %d (%.4fs, idle %.1f%%)\n",
+			threshold*100, pick.PartitionSize, pick.ExecSeconds.Mean, pick.IdleRate*100)
+	} else {
+		fmt.Fprintf(w, "idle-rate ≤ %.0f%% pick:      none within threshold\n", threshold*100)
+	}
+	if pick, ok := core.RecommendByPendingAccesses(ms); ok {
+		fmt.Fprintf(w, "pending-access minimum:    partition %d (%.4fs, %.0f accesses)\n",
+			pick.PartitionSize, pick.ExecSeconds.Mean, pick.PendingAccesses)
+	}
+}
+
+// runFromConfig executes a file-defined sweep and prints the report for
+// each configured core count.
+func runFromConfig(stdout, stderr io.Writer, exp *config.Experiment, threshold float64, jsonOut string) int {
+	res, err := exp.Run()
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "grain scan — %s (%s), %d points, %d steps\n",
+		exp.Name, res.Engine, exp.TotalPoints, exp.TimeSteps)
+	for _, nc := range exp.Cores {
+		ms := res.Measurements(nc)
+		fmt.Fprintf(stdout, "\n%d cores:\n", nc)
+		printSeries(stdout, ms, threshold)
+	}
+	return saveSweep(stdout, stderr, res, jsonOut)
+}
+
+func parseSizes(flagVal string, totalPoints int) ([]int, error) {
+	if flagVal == "" {
+		base := []int{160, 500, 1600, 5000, 12500, 40000, 125000, 400000,
+			1_250_000, 4_000_000, 12_500_000, 40_000_000}
+		var out []int
+		for _, b := range base {
+			if b < totalPoints {
+				out = append(out, b)
+			}
+		}
+		return append(out, totalPoints), nil
+	}
+	var out []int
+	for _, part := range strings.Split(flagVal, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

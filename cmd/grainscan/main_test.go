@@ -1,0 +1,74 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSimScan(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-engine", "sim", "-cores", "8", "-points", "100000",
+		"-steps", "3", "-sizes", "1000,10000"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"grain scan — sim:haswell, 8 cores",
+		"observed optimum:", "idle-rate ≤ 30% pick", "pending-access minimum"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestConfigSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "exp.json")
+	jsonPath := filepath.Join(dir, "sweep.json")
+
+	var out, errOut strings.Builder
+	code := run([]string{"-engine", "sim", "-cores", "4", "-points", "50000",
+		"-steps", "2", "-sizes", "1000,5000", "-saveconfig", cfgPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("saveconfig exit %d: %s", code, errOut.String())
+	}
+
+	out.Reset()
+	code = run([]string{"-config", cfgPath, "-json", jsonPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("config run exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "4 cores:") {
+		t.Errorf("config run output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+jsonPath) {
+		t.Errorf("sweep json not written:\n%s", out.String())
+	}
+}
+
+func TestNativeScan(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-engine", "native", "-cores", "1", "-points", "20000",
+		"-steps", "2", "-sizes", "1000,5000", "-samples", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "grain scan — native, 1 cores") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestScanBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-engine", "dreams"},
+		{"-engine", "sim", "-platform", "riscv"},
+		{"-sizes", "12,banana"},
+		{"-engine", "sim", "-cores", "5000"},
+		{"-config", "/does/not/exist.json"},
+	} {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSimRunOutput(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-engine", "sim", "-platform", "haswell", "-cores", "8",
+		"-points", "100000", "-partition", "5000", "-steps", "3"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"engine           sim (haswell, 8 cores",
+		"partition size   5000 (20 partitions)", "idle-rate", "energy",
+		"task duration", "pending q"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestNativeVerifyAndCounters(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-engine", "native", "-cores", "1", "-points", "20000",
+		"-partition", "1000", "-steps", "3", "-verify", "-counters"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "verify           max |Δ| vs reference = 0") {
+		t.Errorf("verification line missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "/threads/idle-rate") {
+		t.Errorf("counter dump missing")
+	}
+}
+
+func TestTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	var out, errOut strings.Builder
+	code := run([]string{"-engine", "sim", "-cores", "4", "-points", "50000",
+		"-partition", "5000", "-steps", "2", "-trace", tracePath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !strings.Contains(out.String(), "utilization timeline") {
+		t.Errorf("timeline sparkline missing:\n%s", out.String())
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	cases := [][]string{
+		{"-engine", "quantum"},
+		{"-points", "0"},
+		{"-engine", "sim", "-platform", "knl"},
+		{"-engine", "sim", "-policy", "lottery"},
+		{"-engine", "native", "-policy", "lottery"},
+		{"-engine", "sim", "-cores", "999"},
+	}
+	for _, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-nosuchflag"}, &out, &errOut); code != 2 {
+		t.Errorf("flag error exit = %d", code)
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSim2D(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-engine", "sim", "-cores", "8", "-width", "200",
+		"-height", "200", "-block", "50", "-steps", "3"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"torus            200x200",
+		"block            50x50 (16 blocks, 2500 cells/task)", "energy"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestNative2DVerify(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-engine", "native", "-cores", "2", "-width", "30",
+		"-height", "20", "-block", "10", "-steps", "4", "-verify"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "verify           max |Δ| vs reference = 0") {
+		t.Errorf("verification missing:\n%s", out.String())
+	}
+}
+
+func TestBadArgs2D(t *testing.T) {
+	for _, args := range [][]string{
+		{"-engine", "warp"},
+		{"-block", "0"},
+		{"-engine", "sim", "-platform", "m1"},
+		{"-width", "-4"},
+	} {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

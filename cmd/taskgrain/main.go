@@ -1,0 +1,210 @@
+// Command taskgrain is the umbrella CLI of the reproduction: it lists and
+// runs the per-table/figure experiments of the paper and writes their
+// reports and CSV series.
+//
+// Usage:
+//
+//	taskgrain list
+//	taskgrain run <experiment-id> [flags]
+//	taskgrain all [flags]
+//	taskgrain report [flags] -o report.md
+//	taskgrain compare <before.json> <after.json>
+//
+// Flags for run/all:
+//
+//	-scale small|medium|paper   problem size (default small; paper = 10^8 points)
+//	-platform <name>            restrict fig3 to one platform
+//	-samples <n>                samples per configuration
+//	-csv <dir>                  also write the CSV series into <dir>
+//	-workers <n>                native worker cap for validate/micro
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"taskgrain/internal/core"
+	"taskgrain/internal/experiments"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "list":
+		for _, m := range experiments.List() {
+			fmt.Fprintf(stdout, "%-10s %s\n           %s\n", m.ID, m.Title, m.Description)
+		}
+		return 0
+	case "compare":
+		if len(args) != 3 {
+			fmt.Fprintln(stderr, "taskgrain compare: need exactly two sweep JSON files")
+			return 2
+		}
+		return compare(args[1], args[2], stdout, stderr)
+	case "run", "all", "report":
+		fs := flag.NewFlagSet(args[0], flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		scale := fs.String("scale", "small", "problem scale: small, medium, paper")
+		platform := fs.String("platform", "", "platform filter (fig3): haswell, xeonphi, ivybridge, sandybridge")
+		samples := fs.Int("samples", 0, "samples per configuration (0 = engine default)")
+		csvDir := fs.String("csv", "", "directory to write CSV series into")
+		workers := fs.Int("workers", 0, "native worker cap (validate/micro)")
+		outPath := fs.String("o", "", "markdown output file (report)")
+		rest := args[1:]
+		var id string
+		if args[0] == "run" {
+			if len(rest) == 0 || rest[0][0] == '-' {
+				fmt.Fprintln(stderr, "taskgrain run: missing experiment id")
+				return 2
+			}
+			id, rest = rest[0], rest[1:]
+		}
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		sc, err := experiments.ParseScale(*scale)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		opt := experiments.Options{Scale: sc, Platform: *platform, Samples: *samples, NativeWorkers: *workers}
+		var reports []*experiments.Report
+		if args[0] == "all" || args[0] == "report" {
+			reports, err = experiments.RunAll(opt)
+		} else {
+			var r *experiments.Report
+			r, err = experiments.Run(id, opt)
+			if r != nil {
+				reports = []*experiments.Report{r}
+			}
+		}
+		if args[0] == "report" {
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			md := renderMarkdown(reports, sc.String())
+			if *outPath == "" {
+				fmt.Fprint(stdout, md)
+			} else if werr := os.WriteFile(*outPath, []byte(md), 0o644); werr != nil {
+				fmt.Fprintln(stderr, werr)
+				return 1
+			} else {
+				fmt.Fprintf(stdout, "wrote %s (%d experiments)\n", *outPath, len(reports))
+			}
+			return 0
+		}
+		for _, r := range reports {
+			fmt.Fprintf(stdout, "== %s: %s ==\n\n%s\n", r.ID, r.Title, r.Text)
+			if *csvDir != "" {
+				if werr := writeCSVs(*csvDir, r); werr != nil {
+					fmt.Fprintln(stderr, werr)
+					return 1
+				}
+				for name := range r.CSV {
+					fmt.Fprintf(stdout, "wrote %s\n", filepath.Join(*csvDir, name))
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	default:
+		usage(stderr)
+		return 2
+	}
+}
+
+// compare prints per-configuration deltas between two saved sweeps.
+func compare(beforePath, afterPath string, stdout, stderr io.Writer) int {
+	before, err := core.LoadSweepJSON(beforePath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	after, err := core.LoadSweepJSON(afterPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	deltas, optMoves := core.Compare(before, after)
+	if len(deltas) == 0 {
+		fmt.Fprintln(stdout, "no overlapping configurations")
+		return 0
+	}
+	fmt.Fprintf(stdout, "%-6s %-10s %-12s %-12s %-8s %s\n",
+		"cores", "partition", "before(s)", "after(s)", "ratio", "idle before→after")
+	regressions := 0
+	for _, d := range deltas {
+		marker := ""
+		if d.Ratio > 1.05 {
+			marker = "  << regression"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-6d %-10d %-12.4f %-12.4f %-8.3f %.1f%% → %.1f%%%s\n",
+			d.Cores, d.PartitionSize, d.ExecBefore, d.ExecAfter, d.Ratio,
+			d.IdleBefore*100, d.IdleAfter*100, marker)
+	}
+	for cores, mv := range optMoves {
+		if mv[0] != mv[1] {
+			fmt.Fprintf(stdout, "optimal partition moved at %d cores: %d → %d\n", cores, mv[0], mv[1])
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "%d configuration(s) regressed by >5%%\n", regressions)
+		return 1
+	}
+	fmt.Fprintln(stdout, "no regressions > 5%")
+	return 0
+}
+
+// renderMarkdown frames every experiment report as a markdown document.
+func renderMarkdown(reports []*experiments.Report, scale string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# taskgrain experiment report\n\nScale: %s. Generated by `taskgrain report`;\nsee EXPERIMENTS.md for the paper-vs-measured analysis of each artifact.\n", scale)
+	for _, r := range reports {
+		fmt.Fprintf(&b, "\n## %s — %s\n\n```text\n%s```\n", r.ID, r.Title, r.Text)
+	}
+	return b.String()
+}
+
+func writeCSVs(dir string, r *experiments.Report) error {
+	if len(r.CSV) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, content := range r.CSV {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `taskgrain — reproduce "The Performance Implication of Task Size for
+Applications on the HPX Runtime System" (CLUSTER 2015)
+
+usage:
+  taskgrain list                 list available experiments
+  taskgrain run <id> [flags]     run one experiment (see 'taskgrain list')
+  taskgrain all [flags]          run every experiment
+  taskgrain report -o FILE       run everything, emit a markdown report
+  taskgrain compare A.json B.json  diff two saved grainscan sweeps
+
+flags: -scale small|medium|paper  -platform <name>  -samples <n>  -csv <dir>  -workers <n>
+`)
+}

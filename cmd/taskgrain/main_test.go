@@ -1,0 +1,168 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"taskgrain/internal/core"
+	"taskgrain/internal/costmodel"
+)
+
+func TestUsageOnNoArgs(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage:") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errOut.String())
+	}
+	for _, want := range []string{"table1", "fig3", "fig10", "adaptive", "micro"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunMissingID(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"run"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "missing experiment id") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"run", "nosuch"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
+func TestRunBadScale(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"run", "table1", "-scale", "galactic"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"run", "table1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "haswell") || !strings.Contains(out.String(), "Table I") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunFig3WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	code := run([]string{"run", "fig3", "-platform", "haswell", "-csv", dir}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errOut.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig3_haswell.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "engine,cores,partition_size") {
+		t.Errorf("csv header: %.60s", data)
+	}
+	if !strings.Contains(out.String(), "wrote ") {
+		t.Errorf("missing wrote line:\n%s", out.String())
+	}
+}
+
+func TestRunMicroWithWorkers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"run", "micro", "-workers", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "ns/op") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestReportCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is slow")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.md")
+	var stdout, stderr strings.Builder
+	if code := run([]string{"report", "-o", out, "-workers", "1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d (%s)", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# taskgrain experiment report", "## table1", "## fig10", "## placement"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestCompareCommand(t *testing.T) {
+	dir := t.TempDir()
+	// Build two sweeps directly and perturb one.
+	res, err := core.RunSweep(core.NewSimEngine(costmodel.Haswell()), core.SweepConfig{
+		TotalPoints: 100_000, TimeSteps: 3,
+		PartitionSizes: []int{1000, 10000}, Cores: []int{8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if err := res.SaveJSON(a); err != nil {
+		t.Fatal(err)
+	}
+	res.ByCores[8][0].ExecSeconds.Mean *= 3 // regression
+	if err := res.SaveJSON(b); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if code := run([]string{"compare", a, b}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d (regressions must exit 1):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "<< regression") {
+		t.Errorf("missing regression marker:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"compare", a, a}, &out, &errOut); code != 0 {
+		t.Fatalf("identical compare exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Errorf("missing clean verdict:\n%s", out.String())
+	}
+
+	if code := run([]string{"compare", a}, &out, &errOut); code != 2 {
+		t.Fatalf("arg-count exit = %d", code)
+	}
+	if code := run([]string{"compare", "/nope", a}, &out, &errOut); code != 1 {
+		t.Fatalf("missing-file exit = %d", code)
+	}
+}

@@ -1,0 +1,91 @@
+// Throttling: the APEX-style policy engine driving Porterfield-style worker
+// throttling from live counters (paper Sec. V–VI). The demo alternates
+// bursts of parallel work with idle gaps; the engine samples the interval
+// idle-rate and parks workers when they are mostly burning cycles looking
+// for work, then releases them when load returns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"taskgrain/internal/policyengine"
+	"taskgrain/internal/taskrt"
+)
+
+func main() {
+	workers := flag.Int("workers", max(2, runtime.GOMAXPROCS(0)), "worker threads")
+	rounds := flag.Int("rounds", 6, "busy/idle rounds")
+	flag.Parse()
+
+	rt := taskrt.New(taskrt.WithWorkers(*workers))
+	rt.Start()
+	defer rt.Shutdown()
+
+	engine, err := policyengine.New(rt.Counters(), *workers, policyengine.Actuators{
+		SetActiveWorkers: rt.SetActiveWorkers,
+		ActiveWorkers:    rt.ActiveWorkers,
+	})
+	if err != nil {
+		fmt.Println("throttling:", err)
+		return
+	}
+	engine.AddPolicy(&policyengine.ThrottlePolicy{
+		Config: policyengine.ThrottleConfig{HighIdle: 0.60, LowIdle: 0.25},
+	})
+
+	burst := func() {
+		var wg sync.WaitGroup
+		const tasks = 400
+		wg.Add(tasks)
+		for i := 0; i < tasks; i++ {
+			rt.Spawn(func(*taskrt.Context) {
+				s := 0.0
+				for k := 0; k < 20000; k++ {
+					s += float64(k)
+				}
+				_ = s
+				wg.Done()
+			})
+		}
+		wg.Wait()
+	}
+
+	fmt.Printf("%-8s %-8s %-8s %-8s %s\n", "round", "phase", "idle%", "workers", "actions")
+	for round := 1; round <= *rounds; round++ {
+		// Busy phase: spawn a burst, then sample.
+		burst()
+		s, acts := engine.Step()
+		fmt.Printf("%-8d %-8s %-8.1f %-8d %s\n", round, "busy", s.IdleRate*100, rt.ActiveWorkers(), notes(acts))
+
+		// Idle phase: let workers spin with nothing to do, then sample.
+		time.Sleep(20 * time.Millisecond)
+		s, acts = engine.Step()
+		fmt.Printf("%-8d %-8s %-8.1f %-8d %s\n", round, "idle", s.IdleRate*100, rt.ActiveWorkers(), notes(acts))
+	}
+	fmt.Println("\nhigh interval idle-rate parks workers; returning load releases them")
+}
+
+func notes(acts []policyengine.Action) string {
+	if len(acts) == 0 {
+		return "-"
+	}
+	out := ""
+	for i, a := range acts {
+		if i > 0 {
+			out += "; "
+		}
+		out += a.Note
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module taskgrain
+
+go 1.22

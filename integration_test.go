@@ -1,0 +1,216 @@
+// Cross-cutting integration tests: each exercises several subsystems
+// together the way a downstream user would, asserting the invariants that
+// only hold when the pieces compose correctly.
+package taskgrain
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"taskgrain/internal/adaptive"
+	"taskgrain/internal/core"
+	"taskgrain/internal/costmodel"
+	"taskgrain/internal/counters"
+	"taskgrain/internal/future"
+	"taskgrain/internal/parallel"
+	"taskgrain/internal/policyengine"
+	"taskgrain/internal/stencil"
+	"taskgrain/internal/taskrt"
+	"taskgrain/internal/trace"
+)
+
+// TestEndToEndMethodology runs the paper's full pipeline in miniature:
+// sweep → metrics → selectors → tuner, and checks they agree with each
+// other.
+func TestEndToEndMethodology(t *testing.T) {
+	eng := core.NewSimEngine(costmodel.Haswell())
+	sc := core.SweepConfig{
+		TotalPoints:    1_000_000,
+		TimeSteps:      5,
+		PartitionSizes: []int{160, 1600, 12500, 40000, 125000, 1_000_000},
+		Cores:          []int{28},
+	}
+	res, err := core.RunSweep(eng, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := res.Measurements(28)
+
+	opt, _ := core.Optimal(ms)
+	pqPick, okPQ := core.RecommendByPendingAccesses(ms)
+	if !okPQ {
+		t.Fatal("no pending pick")
+	}
+	// The two runtime selectors and the true optimum all land in the
+	// interior of the sweep (not on either wall).
+	for name, pick := range map[string]core.Measurement{"optimal": opt, "pending": pqPick} {
+		if pick.PartitionSize == 160 || pick.PartitionSize == 1_000_000 {
+			t.Errorf("%s selector landed on a wall: %d", name, pick.PartitionSize)
+		}
+	}
+
+	// The adaptive tuner, driven by the same engine, converges to a grain
+	// whose measured execution time is within 2x of the sweep optimum.
+	tuner, err := adaptive.New(adaptive.Config{MinPartition: 160, MaxPartition: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _, err := tuner.Converge(160, 30, func(partition int) (adaptive.Observation, error) {
+		raw, err := eng.Run(stencil.Config{
+			TotalPoints: 1_000_000, PointsPerPartition: partition, TimeSteps: 5,
+		}, 28)
+		if err != nil {
+			return adaptive.Observation{}, err
+		}
+		return adaptive.Observation{
+			PartitionSize: partition,
+			IdleRate:      raw.IdleRate(),
+			Tasks:         float64((1_000_000 + partition - 1) / partition),
+			Cores:         28,
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := eng.Run(stencil.Config{
+		TotalPoints: 1_000_000, PointsPerPartition: final, TimeSteps: 5,
+	}, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.ExecSeconds > opt.ExecSeconds.Mean*2 {
+		t.Errorf("tuner grain %d runs %.4fs, > 2x sweep optimum %.4fs",
+			final, raw.ExecSeconds, opt.ExecSeconds.Mean)
+	}
+}
+
+// TestKitchenSinkNativeRuntime drives one runtime with everything attached:
+// tracer, policy engine, task groups, futures, parallel loops, panics, a
+// stencil, and throttling — then cross-checks counters against the trace.
+func TestKitchenSinkNativeRuntime(t *testing.T) {
+	tracer := trace.New(0)
+	var recovered atomic.Int64
+	rt := taskrt.New(
+		taskrt.WithWorkers(2),
+		taskrt.WithNUMADomains(2),
+		taskrt.WithTracer(tracer),
+		taskrt.WithPanicHandler(func(*taskrt.Task, any) { recovered.Add(1) }),
+	)
+	rt.Start()
+	defer rt.Shutdown()
+
+	engine, err := policyengine.New(rt.Counters(), 2, policyengine.Actuators{
+		SetActiveWorkers: rt.SetActiveWorkers,
+		ActiveWorkers:    rt.ActiveWorkers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.AddPolicy(&policyengine.ThrottlePolicy{})
+
+	// 1. A stencil via futures/dataflow.
+	sol, err := stencil.Run(rt, stencil.Config{
+		TotalPoints: 50_000, PointsPerPartition: 2_500, TimeSteps: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := stencil.Reference(stencil.Config{
+		TotalPoints: 50_000, PointsPerPartition: 2_500, TimeSteps: 4,
+	})
+	got := sol.Flatten()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("stencil wrong at %d under kitchen-sink load", i)
+		}
+	}
+	engine.Step()
+
+	// 2. A parallel reduction.
+	in := make([]int64, 10_000)
+	for i := range in {
+		in[i] = 1
+	}
+	if s := parallel.Reduce(rt, in, 500, 0, func(a, b int64) int64 { return a + b }); s != 10_000 {
+		t.Fatalf("reduce = %d", s)
+	}
+
+	// 3. A group with suspensions and one panic.
+	g := rt.NewGroup()
+	p, fwait := future.NewPromise[int]()
+	g.Spawn(func(c *taskrt.Context) {
+		future.Await(c, fwait, func(*taskrt.Context, int) {})
+	})
+	g.Spawn(func(*taskrt.Context) { panic("intentional") })
+	p.Set(1)
+	if panicked := g.Wait(); panicked != 1 {
+		t.Fatalf("group panics = %d", panicked)
+	}
+	if recovered.Load() != 1 {
+		t.Fatalf("panic handler calls = %d", recovered.Load())
+	}
+	engine.Step()
+
+	rt.WaitIdle()
+
+	// Cross-check: trace phase counts match the phase counter, and the
+	// histogram saw every phase.
+	snap := rt.Counters().Snapshot()
+	phases := snap.Get(counters.CountCumulativePhases)
+	_, kinds := tracer.Summary()
+	if float64(kinds[trace.PhaseBegin]) != phases {
+		t.Errorf("trace phases %d != counter %v", kinds[trace.PhaseBegin], phases)
+	}
+	if float64(rt.PhaseDurations().Count()) != phases {
+		t.Errorf("histogram count %d != phases %v", rt.PhaseDurations().Count(), phases)
+	}
+	if snap.Get("/threads/count/exceptions") != 1 {
+		t.Errorf("exceptions counter = %v", snap.Get("/threads/count/exceptions"))
+	}
+	// Timeline renders without error and covers the run.
+	if tl := tracer.Timeline(0); len(tl) == 0 {
+		t.Error("empty timeline from a busy run")
+	}
+}
+
+// TestCounterNameParity: the metric names the native runtime registers are
+// exactly the names the CLI and experiments read — guard against drift.
+func TestCounterNameParity(t *testing.T) {
+	rt := taskrt.New(taskrt.WithWorkers(1))
+	rt.Start()
+	rt.Spawn(func(*taskrt.Context) {})
+	rt.WaitIdle()
+	rt.Shutdown()
+	names := rt.Counters().Names()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{
+		counters.CountCumulative, counters.CountCumulativePhases,
+		counters.TimeExecTotal, counters.TimeFuncTotal, counters.IdleRate,
+		counters.TimeAverage, counters.TimeAverageOverhead,
+		counters.TimeAveragePhase, counters.TimeAveragePhaseOvh,
+		counters.PendingAccesses, counters.PendingMisses,
+		counters.StagedAccesses, counters.StagedMisses, counters.CountStolen,
+		"/threads/count/suspended", "/threads/count/exceptions",
+		"/threads/time/phase-duration-histogram",
+	} {
+		if !have[want] {
+			t.Errorf("runtime registry missing %q", want)
+		}
+	}
+	// Per-worker instances exist for the queue counters.
+	inst := rt.Counters().NamesWithPrefix("/threads{worker-thread#0}/")
+	if len(inst) < 5 {
+		t.Errorf("worker-0 instances = %v", inst)
+	}
+	// All instance names parse back to the worker-0 prefix convention.
+	for _, n := range inst {
+		if !strings.HasPrefix(n, "/threads{worker-thread#0}/") {
+			t.Errorf("malformed instance name %q", n)
+		}
+	}
+}

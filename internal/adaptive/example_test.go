@@ -1,0 +1,35 @@
+package adaptive_test
+
+import (
+	"fmt"
+
+	"taskgrain/internal/adaptive"
+)
+
+// Example shows one tuning decision from each regime: the overhead wall
+// (grow), the starvation wall (shrink), and the tolerance band (keep).
+func Example() {
+	tuner, _ := adaptive.New(adaptive.Config{MinPartition: 100, MaxPartition: 1 << 20})
+
+	// Fine grain: 90% idle with abundant parallel slack → coarsen.
+	next, d := tuner.Next(adaptive.Observation{
+		PartitionSize: 1000, IdleRate: 0.90, Tasks: 5000, Cores: 28,
+	})
+	fmt.Println(d, next)
+
+	// Coarse grain: too few runnable tasks per generation → refine.
+	next, d = tuner.Next(adaptive.Observation{
+		PartitionSize: 500000, IdleRate: 0.95, Tasks: 2, Cores: 28,
+	})
+	fmt.Println(d, next)
+
+	// In band: low idle-rate and enough slack → keep.
+	_, d = tuner.Next(adaptive.Observation{
+		PartitionSize: 20000, IdleRate: 0.10, Tasks: 400, Cores: 28,
+	})
+	fmt.Println(d)
+	// Output:
+	// grow 2000
+	// shrink 250000
+	// keep
+}

@@ -1,0 +1,188 @@
+// Package config serializes experiment definitions to JSON so a sweep is
+// exactly reproducible from a checked-in file: engine, platform, policy,
+// problem size, partition sizes, core counts, sample count. cmd/grainscan
+// accepts these via -config.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"taskgrain/internal/core"
+	"taskgrain/internal/costmodel"
+	"taskgrain/internal/sim"
+	"taskgrain/internal/taskrt"
+)
+
+// Experiment is one serializable sweep definition.
+type Experiment struct {
+	// Name labels the experiment in reports.
+	Name string `json:"name"`
+	// Engine is "sim" or "native".
+	Engine string `json:"engine"`
+	// Platform is the simulated platform (sim engine only).
+	Platform string `json:"platform,omitempty"`
+	// Policy is the scheduling policy name (default priority-local-fifo).
+	Policy string `json:"policy,omitempty"`
+
+	TotalPoints    int   `json:"total_points"`
+	TimeSteps      int   `json:"time_steps"`
+	PartitionSizes []int `json:"partition_sizes"`
+	Cores          []int `json:"cores"`
+	Samples        int   `json:"samples,omitempty"`
+}
+
+// Default returns a ready-to-run simulated Haswell sweep.
+func Default() *Experiment {
+	return &Experiment{
+		Name:           "haswell-grain-sweep",
+		Engine:         "sim",
+		Platform:       "haswell",
+		Policy:         "priority-local-fifo",
+		TotalPoints:    1_000_000,
+		TimeSteps:      10,
+		PartitionSizes: []int{160, 1600, 12500, 125000, 1_000_000},
+		Cores:          []int{1, 8, 28},
+	}
+}
+
+// Validate reports the first structural problem, or nil.
+func (e *Experiment) Validate() error {
+	switch {
+	case e.Name == "":
+		return fmt.Errorf("config: experiment has no name")
+	case e.Engine != "sim" && e.Engine != "native":
+		return fmt.Errorf("config: engine %q (want sim or native)", e.Engine)
+	case e.TotalPoints < 1:
+		return fmt.Errorf("config: total_points = %d", e.TotalPoints)
+	case e.TimeSteps < 1:
+		return fmt.Errorf("config: time_steps = %d", e.TimeSteps)
+	case len(e.PartitionSizes) == 0:
+		return fmt.Errorf("config: no partition_sizes")
+	case len(e.Cores) == 0:
+		return fmt.Errorf("config: no cores")
+	}
+	if e.Engine == "sim" {
+		if _, err := costmodel.ByName(e.platform()); err != nil {
+			return fmt.Errorf("config: %w", err)
+		}
+	}
+	if _, err := taskrt.ParsePolicy(e.policy()); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return nil
+}
+
+func (e *Experiment) platform() string {
+	if e.Platform == "" {
+		return "haswell"
+	}
+	return e.Platform
+}
+
+func (e *Experiment) policy() string {
+	if e.Policy == "" {
+		return "priority-local-fifo"
+	}
+	return e.Policy
+}
+
+// BuildEngine constructs the core.Engine the experiment describes.
+func (e *Experiment) BuildEngine() (core.Engine, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	switch e.Engine {
+	case "sim":
+		prof, err := costmodel.ByName(e.platform())
+		if err != nil {
+			return nil, err
+		}
+		eng := core.NewSimEngine(prof)
+		switch e.policy() {
+		case "static-round-robin":
+			eng.Policy = sim.StaticRoundRobin
+		case "work-stealing-lifo":
+			eng.Policy = sim.WorkStealingLIFO
+		}
+		return eng, nil
+	default:
+		eng := core.NewNativeEngine()
+		pol, err := taskrt.ParsePolicy(e.policy())
+		if err != nil {
+			return nil, err
+		}
+		eng.Policy = pol
+		return eng, nil
+	}
+}
+
+// SweepConfig converts the experiment to the core sweep parameters.
+func (e *Experiment) SweepConfig() core.SweepConfig {
+	return core.SweepConfig{
+		TotalPoints:    e.TotalPoints,
+		TimeSteps:      e.TimeSteps,
+		PartitionSizes: e.PartitionSizes,
+		Cores:          e.Cores,
+		Samples:        e.Samples,
+	}
+}
+
+// Run executes the experiment end to end.
+func (e *Experiment) Run() (*core.SweepResult, error) {
+	eng, err := e.BuildEngine()
+	if err != nil {
+		return nil, err
+	}
+	return core.RunSweep(eng, e.SweepConfig())
+}
+
+// Load decodes an experiment from JSON, rejecting unknown fields so typos
+// in hand-written configs fail loudly.
+func Load(r io.Reader) (*Experiment, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var e Experiment
+	if err := dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// LoadFile loads an experiment definition from a JSON file.
+func LoadFile(path string) (*Experiment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Save encodes the experiment as indented JSON.
+func (e *Experiment) Save(w io.Writer) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// SaveFile writes the experiment definition to a JSON file.
+func (e *Experiment) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if err := e.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,116 @@
+package config
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []func(*Experiment){
+		func(e *Experiment) { e.Name = "" },
+		func(e *Experiment) { e.Engine = "magic" },
+		func(e *Experiment) { e.TotalPoints = 0 },
+		func(e *Experiment) { e.TimeSteps = 0 },
+		func(e *Experiment) { e.PartitionSizes = nil },
+		func(e *Experiment) { e.Cores = nil },
+		func(e *Experiment) { e.Platform = "knl" },
+		func(e *Experiment) { e.Policy = "round-and-round" },
+	}
+	for i, mutate := range bad {
+		e := Default()
+		mutate(e)
+		if err := e.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exp.json")
+	orig := Default()
+	orig.Samples = 3
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Samples != 3 || got.TotalPoints != orig.TotalPoints {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if len(got.PartitionSizes) != len(orig.PartitionSizes) {
+		t.Fatal("partition sizes lost")
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	_, err := Load(strings.NewReader(`{"name":"x","engine":"sim","total_points":100,
+		"time_steps":1,"partition_sizes":[10],"cores":[1],"grain":5}`))
+	if err == nil || !strings.Contains(err.Error(), "grain") {
+		t.Fatalf("unknown field accepted: %v", err)
+	}
+}
+
+func TestLoadRejectsInvalid(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"name":"x","engine":"sim"}`)); err == nil {
+		t.Fatal("invalid config loaded")
+	}
+	if _, err := Load(strings.NewReader(`{garbage`)); err == nil {
+		t.Fatal("garbage loaded")
+	}
+	if _, err := LoadFile("/nonexistent/path.json"); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestBuildEngineVariants(t *testing.T) {
+	simExp := Default()
+	eng, err := simExp.BuildEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Name() != "sim:haswell" {
+		t.Fatalf("engine = %s", eng.Name())
+	}
+	simExp.Policy = "work-stealing-lifo"
+	if _, err := simExp.BuildEngine(); err != nil {
+		t.Fatal(err)
+	}
+	nat := Default()
+	nat.Engine = "native"
+	nat.Platform = ""
+	eng, err = nat.BuildEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Name() != "native" {
+		t.Fatalf("engine = %s", eng.Name())
+	}
+}
+
+func TestRunTinyExperiment(t *testing.T) {
+	e := &Experiment{
+		Name: "tiny", Engine: "sim", Platform: "sandybridge",
+		TotalPoints: 50_000, TimeSteps: 3,
+		PartitionSizes: []int{1000, 10000},
+		Cores:          []int{1, 8},
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Measurements(8)) != 2 {
+		t.Fatalf("measurements = %d", len(res.Measurements(8)))
+	}
+	if res.Engine != "sim:sandybridge" {
+		t.Fatalf("engine = %s", res.Engine)
+	}
+}

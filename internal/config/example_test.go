@@ -1,0 +1,39 @@
+package config_test
+
+import (
+	"fmt"
+	"os"
+
+	"taskgrain/internal/config"
+)
+
+// Example shows a sweep definition serialized for reproducibility.
+func Example() {
+	exp := &config.Experiment{
+		Name:           "phi-sweep",
+		Engine:         "sim",
+		Platform:       "xeonphi",
+		TotalPoints:    1_000_000,
+		TimeSteps:      5,
+		PartitionSizes: []int{1600, 12500},
+		Cores:          []int{60},
+	}
+	if err := exp.Save(os.Stdout); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// {
+	//   "name": "phi-sweep",
+	//   "engine": "sim",
+	//   "platform": "xeonphi",
+	//   "total_points": 1000000,
+	//   "time_steps": 5,
+	//   "partition_sizes": [
+	//     1600,
+	//     12500
+	//   ],
+	//   "cores": [
+	//     60
+	//   ]
+	// }
+}

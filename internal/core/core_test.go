@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"taskgrain/internal/costmodel"
+	"taskgrain/internal/stats"
+	"taskgrain/internal/stencil"
+)
+
+func TestRawRunMetricsHandComputed(t *testing.T) {
+	r := RawRun{
+		ExecTotalNs: 8000, FuncTotalNs: 10000, Tasks: 4, Cores: 2,
+		PendingAccesses: 10, PendingMisses: 3,
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.IdleRate(); got != 0.2 {
+		t.Errorf("idle = %v, want 0.2", got) // Eq. 1
+	}
+	if got := r.TaskDurationNs(); got != 2000 {
+		t.Errorf("td = %v, want 2000", got) // Eq. 2
+	}
+	if got := r.TaskOverheadNs(); got != 500 {
+		t.Errorf("to = %v, want 500", got) // Eq. 3
+	}
+	if got := r.TMOverheadPerCoreNs(); got != 1000 {
+		t.Errorf("To = %v, want 1000", got) // Eq. 4
+	}
+	if got := r.WaitPerTaskNs(1500); got != 500 {
+		t.Errorf("tw = %v, want 500", got) // Eq. 5
+	}
+	if got := r.WaitPerCoreNs(1500); got != 1000 {
+		t.Errorf("Tw = %v, want 1000", got) // Eq. 6
+	}
+	// Negative wait is legitimate (Sec. IV-C).
+	if got := r.WaitPerTaskNs(2500); got != -500 {
+		t.Errorf("negative tw = %v, want -500", got)
+	}
+}
+
+func TestRawRunEdgeCases(t *testing.T) {
+	zero := RawRun{Cores: 1}
+	if zero.IdleRate() != 0 || zero.TaskDurationNs() != 0 || zero.TaskOverheadNs() != 0 {
+		t.Error("zero run must report zero metrics")
+	}
+	if (&RawRun{Cores: 0}).Validate() == nil {
+		t.Error("cores=0 must fail validation")
+	}
+	if (&RawRun{Cores: 1, PendingMisses: 5, PendingAccesses: 2}).Validate() == nil {
+		t.Error("misses > accesses must fail validation")
+	}
+	if (&RawRun{Cores: 1, ExecSeconds: -1}).Validate() == nil {
+		t.Error("negative time must fail validation")
+	}
+	if (&RawRun{Cores: 1, StagedMisses: 2, StagedAccesses: 1}).Validate() == nil {
+		t.Error("staged misses > accesses must fail validation")
+	}
+	// Idle clamped to [0,1] even with inconsistent inputs.
+	weird := RawRun{ExecTotalNs: 200, FuncTotalNs: 100, Tasks: 1, Cores: 1}
+	if weird.IdleRate() != 0 || weird.TaskOverheadNs() != 0 {
+		t.Error("over-exec run must clamp to 0")
+	}
+}
+
+// Property: the Eq. 4 identity T_o · n_c == t_o · n_t holds exactly.
+func TestQuickEq4Identity(t *testing.T) {
+	f := func(exec, over uint32, tasks, cores uint8) bool {
+		r := RawRun{
+			ExecTotalNs: float64(exec),
+			FuncTotalNs: float64(exec) + float64(over),
+			Tasks:       float64(tasks%100) + 1,
+			Cores:       int(cores%64) + 1,
+		}
+		lhs := r.TMOverheadPerCoreNs() * float64(r.Cores)
+		rhs := r.TaskOverheadNs() * r.Tasks
+		return math.Abs(lhs-rhs) <= 1e-9*math.Max(lhs, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrationTd1(t *testing.T) {
+	cal := Calibration{100: 10, 10000: 100}
+	if v, err := cal.Td1(100); err != nil || v != 10 {
+		t.Fatalf("exact lookup: %v %v", v, err)
+	}
+	// Log-linear interpolation: 1000 is halfway between 100 and 10000 in
+	// log space → (10+100)/2 = 55.
+	if v, err := cal.Td1(1000); err != nil || math.Abs(v-55) > 1e-9 {
+		t.Fatalf("interpolated = %v %v, want 55", v, err)
+	}
+	// Clamping outside the calibrated range.
+	if v, _ := cal.Td1(10); v != 10 {
+		t.Fatalf("below-range clamp = %v", v)
+	}
+	if v, _ := cal.Td1(1e6); v != 100 {
+		t.Fatalf("above-range clamp = %v", v)
+	}
+	if _, err := (Calibration{}).Td1(5); err == nil {
+		t.Fatal("empty calibration must error")
+	}
+}
+
+func TestSweepConfigValidate(t *testing.T) {
+	e := NewSimEngine(costmodel.Haswell())
+	good := SweepConfig{TotalPoints: 1000, TimeSteps: 2, PartitionSizes: []int{100}, Cores: []int{1, 8}}
+	if err := good.Validate(e); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SweepConfig{
+		{TimeSteps: 2, PartitionSizes: []int{100}, Cores: []int{1}},
+		{TotalPoints: 1000, PartitionSizes: []int{100}, Cores: []int{1}},
+		{TotalPoints: 1000, TimeSteps: 2, Cores: []int{1}},
+		{TotalPoints: 1000, TimeSteps: 2, PartitionSizes: []int{100}},
+		{TotalPoints: 1000, TimeSteps: 2, PartitionSizes: []int{0}, Cores: []int{1}},
+		{TotalPoints: 1000, TimeSteps: 2, PartitionSizes: []int{2000}, Cores: []int{1}},
+		{TotalPoints: 1000, TimeSteps: 2, PartitionSizes: []int{100}, Cores: []int{99}},
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(e); err == nil {
+			t.Errorf("bad sweep %d validated", i)
+		}
+	}
+}
+
+func TestRunSweepSimShapes(t *testing.T) {
+	// Scaled-down Haswell sweep: the three regimes of the paper must appear.
+	e := NewSimEngine(costmodel.Haswell())
+	sc := SweepConfig{
+		TotalPoints:    1_000_000,
+		TimeSteps:      10,
+		PartitionSizes: []int{200, 2000, 20000, 200000, 1_000_000},
+		Cores:          []int{1, 8, 28},
+	}
+	res, err := RunSweep(e, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cores := range sc.Cores {
+		ms := res.Measurements(cores)
+		if len(ms) != len(sc.PartitionSizes) {
+			t.Fatalf("cores=%d: %d measurements", cores, len(ms))
+		}
+		// Sorted by partition size.
+		for i := 1; i < len(ms); i++ {
+			if ms[i].PartitionSize <= ms[i-1].PartitionSize {
+				t.Fatalf("series not sorted")
+			}
+		}
+	}
+	ms28 := res.Measurements(28)
+	fine, mid, coarse := ms28[0], ms28[2], ms28[len(ms28)-1]
+	if fine.IdleRate <= mid.IdleRate {
+		t.Errorf("fine-grain idle %v must exceed mid %v (left wall)", fine.IdleRate, mid.IdleRate)
+	}
+	if coarse.IdleRate <= mid.IdleRate {
+		t.Errorf("coarse-grain idle %v must exceed mid %v (right wall, starvation)", coarse.IdleRate, mid.IdleRate)
+	}
+	if fine.ExecSeconds.Mean <= mid.ExecSeconds.Mean {
+		t.Errorf("fine exec %v must exceed mid %v", fine.ExecSeconds.Mean, mid.ExecSeconds.Mean)
+	}
+	if coarse.ExecSeconds.Mean <= mid.ExecSeconds.Mean {
+		t.Errorf("coarse exec %v must exceed mid %v", coarse.ExecSeconds.Mean, mid.ExecSeconds.Mean)
+	}
+	// Wait time grows with cores in the medium region (Fig. 6).
+	ms8 := res.Measurements(8)
+	if ms28[2].WaitPerTaskNs <= ms8[2].WaitPerTaskNs {
+		t.Errorf("wait/task must grow with cores: 8c=%v 28c=%v", ms8[2].WaitPerTaskNs, ms28[2].WaitPerTaskNs)
+	}
+	// Calibration: on one core wait time is ~0 (td == td1 by construction).
+	for _, m := range res.Measurements(1) {
+		if math.Abs(m.WaitPerTaskNs) > 0.05*m.Td1Ns+1 {
+			t.Errorf("1-core wait/task = %v (td1 %v) should be ~0", m.WaitPerTaskNs, m.Td1Ns)
+		}
+	}
+}
+
+func TestRecommenders(t *testing.T) {
+	ms := []Measurement{
+		{PartitionSize: 100, IdleRate: 0.9, PendingAccesses: 1e6, ExecSeconds: mustSum(5)},
+		{PartitionSize: 1000, IdleRate: 0.4, PendingAccesses: 1e5, ExecSeconds: mustSum(2)},
+		{PartitionSize: 10000, IdleRate: 0.1, PendingAccesses: 4e4, ExecSeconds: mustSum(1.5)},
+		{PartitionSize: 100000, IdleRate: 0.2, PendingAccesses: 9e4, ExecSeconds: mustSum(1.8)},
+	}
+	if m, ok := RecommendByIdleRate(ms, 0.3); !ok || m.PartitionSize != 10000 {
+		t.Errorf("idle-rate pick = %+v", m)
+	}
+	// Threshold 0.5 admits partition 1000 (smallest below threshold).
+	if m, ok := RecommendByIdleRate(ms, 0.5); !ok || m.PartitionSize != 1000 {
+		t.Errorf("idle-rate 0.5 pick = %+v", m)
+	}
+	if _, ok := RecommendByIdleRate(ms, 0.01); ok {
+		t.Error("impossible threshold must report not-found")
+	}
+	if m, ok := RecommendByPendingAccesses(ms); !ok || m.PartitionSize != 10000 {
+		t.Errorf("pending pick = %+v", m)
+	}
+	if m, ok := Optimal(ms); !ok || m.PartitionSize != 10000 {
+		t.Errorf("optimal = %+v", m)
+	}
+	if _, ok := Optimal(nil); ok {
+		t.Error("empty optimal must report not-found")
+	}
+	if _, ok := RecommendByPendingAccesses(nil); ok {
+		t.Error("empty pending pick must report not-found")
+	}
+}
+
+func TestThresholdPickNearOptimal(t *testing.T) {
+	// Sec. IV-A: on Haswell/28 cores with a 30% idle threshold the picked
+	// grain's execution time is close to the optimum. Verify on the scaled
+	// sweep: picked exec within 35% of optimal exec.
+	e := NewSimEngine(costmodel.Haswell())
+	sc := SweepConfig{
+		TotalPoints: 1_000_000, TimeSteps: 10,
+		PartitionSizes: []int{200, 1000, 5000, 25000, 125000, 500000},
+		Cores:          []int{28},
+	}
+	res, err := RunSweep(e, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := res.Measurements(28)
+	picked, ok := RecommendByIdleRate(ms, 0.30)
+	if !ok {
+		t.Fatal("no pick at 30% threshold")
+	}
+	opt, _ := Optimal(ms)
+	if picked.ExecSeconds.Mean > opt.ExecSeconds.Mean*1.35 {
+		t.Errorf("threshold pick %.4fs too far from optimal %.4fs (partition %d vs %d)",
+			picked.ExecSeconds.Mean, opt.ExecSeconds.Mean, picked.PartitionSize, opt.PartitionSize)
+	}
+}
+
+func TestNativeEngineSmoke(t *testing.T) {
+	e := NewNativeEngine()
+	e.MaxWorkers = 2
+	raw, err := e.Run(stencil.Config{TotalPoints: 20000, PointsPerPartition: 1000, TimeSteps: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := raw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 20 partitions × (4 steps + init) = 100 tasks.
+	if raw.Tasks != 100 {
+		t.Errorf("tasks = %v, want 100", raw.Tasks)
+	}
+	if raw.ExecSeconds <= 0 || raw.ExecTotalNs <= 0 || raw.FuncTotalNs < raw.ExecTotalNs {
+		t.Errorf("times inconsistent: %+v", raw)
+	}
+	if e.Deterministic() {
+		t.Error("native engine must not claim determinism")
+	}
+	if _, err := e.Run(stencil.Config{TotalPoints: 10, PointsPerPartition: 5, TimeSteps: 1}, 0); err == nil {
+		t.Error("0 cores must error")
+	}
+}
+
+func TestNativeSweepTiny(t *testing.T) {
+	e := NewNativeEngine()
+	sc := SweepConfig{
+		TotalPoints: 10000, TimeSteps: 3,
+		PartitionSizes: []int{500, 2500},
+		Cores:          []int{1},
+		Samples:        2,
+	}
+	res, err := RunSweep(e, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := res.Measurements(1)
+	if len(ms) != 2 {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+	for _, m := range ms {
+		if m.ExecSeconds.N != 2 {
+			t.Errorf("samples = %d, want 2", m.ExecSeconds.N)
+		}
+		if m.TaskDurationNs <= 0 {
+			t.Errorf("td = %v", m.TaskDurationNs)
+		}
+	}
+}
+
+func TestSimEngineErrors(t *testing.T) {
+	e := NewSimEngine(costmodel.Haswell())
+	if _, err := e.Run(stencil.Config{}, 1); err == nil {
+		t.Error("bad stencil config must error")
+	}
+	if _, err := e.Run(stencil.Config{TotalPoints: 100, PointsPerPartition: 10, TimeSteps: 1}, 999); err == nil {
+		t.Error("too many cores must error")
+	}
+	if e.Name() != "sim:haswell" {
+		t.Errorf("name = %q", e.Name())
+	}
+	if e.MaxCores() != 28 {
+		t.Errorf("max cores = %d", e.MaxCores())
+	}
+}
+
+func mustSum(v float64) stats.Summary { return stats.MustSummarize([]float64{v}) }

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCalibrationTd1: interpolated values stay within the calibrated
+// envelope for any query size.
+func FuzzCalibrationTd1(f *testing.F) {
+	f.Add(100, 10.0, 10000, 100.0, 1000)
+	f.Add(500, 5.0, 600, 7.0, 550)
+	f.Fuzz(func(t *testing.T, szA int, tdA float64, szB int, tdB float64, query int) {
+		if szA < 1 || szB < 1 || szA == szB || query < 1 {
+			t.Skip()
+		}
+		if tdA < 0 || tdB < 0 || math.IsNaN(tdA) || math.IsNaN(tdB) ||
+			math.IsInf(tdA, 0) || math.IsInf(tdB, 0) {
+			t.Skip()
+		}
+		cal := Calibration{szA: tdA, szB: tdB}
+		got, err := cal.Td1(query)
+		if err != nil {
+			t.Fatalf("lookup failed: %v", err)
+		}
+		lo, hi := math.Min(tdA, tdB), math.Max(tdA, tdB)
+		if got < lo-1e-9*hi-1e-12 || got > hi+1e-9*hi+1e-12 {
+			t.Fatalf("Td1(%d) = %v outside envelope [%v,%v]", query, got, lo, hi)
+		}
+	})
+}

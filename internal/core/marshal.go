@@ -1,0 +1,120 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSON serializes the sweep result (all measurements, calibration, and
+// configuration) so runs can be archived and compared across versions of
+// the runtime — the regression-tracking workflow a performance study needs.
+func (r *SweepResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// SaveJSON writes the sweep result to a file.
+func (r *SweepResult) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSweepJSON deserializes a sweep result written by WriteJSON.
+func ReadSweepJSON(r io.Reader) (*SweepResult, error) {
+	var out SweepResult
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if out.ByCores == nil {
+		return nil, fmt.Errorf("core: sweep JSON has no measurements")
+	}
+	return &out, nil
+}
+
+// LoadSweepJSON reads a sweep result from a file.
+func LoadSweepJSON(path string) (*SweepResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return ReadSweepJSON(f)
+}
+
+// Delta is the comparison of one (cores, partition) configuration between
+// two sweeps.
+type Delta struct {
+	Cores         int
+	PartitionSize int
+	ExecBefore    float64
+	ExecAfter     float64
+	// Ratio is after/before (1.0 = unchanged, <1 = faster).
+	Ratio float64
+	// IdleBefore/After are the idle-rates.
+	IdleBefore, IdleAfter float64
+}
+
+// Compare matches configurations present in both sweeps and returns their
+// execution-time deltas, sorted by cores then partition size, plus the
+// optimal-partition movement per core count.
+func Compare(before, after *SweepResult) (deltas []Delta, optMoves map[int][2]int) {
+	optMoves = map[int][2]int{}
+	for cores, beforeMs := range before.ByCores {
+		afterMs, ok := after.ByCores[cores]
+		if !ok {
+			continue
+		}
+		afterBySize := map[int]Measurement{}
+		for _, m := range afterMs {
+			afterBySize[m.PartitionSize] = m
+		}
+		for _, bm := range beforeMs {
+			am, ok := afterBySize[bm.PartitionSize]
+			if !ok {
+				continue
+			}
+			d := Delta{
+				Cores:         cores,
+				PartitionSize: bm.PartitionSize,
+				ExecBefore:    bm.ExecSeconds.Mean,
+				ExecAfter:     am.ExecSeconds.Mean,
+				IdleBefore:    bm.IdleRate,
+				IdleAfter:     am.IdleRate,
+			}
+			if bm.ExecSeconds.Mean > 0 {
+				d.Ratio = am.ExecSeconds.Mean / bm.ExecSeconds.Mean
+			}
+			deltas = append(deltas, d)
+		}
+		bOpt, okB := Optimal(beforeMs)
+		aOpt, okA := Optimal(afterMs)
+		if okB && okA {
+			optMoves[cores] = [2]int{bOpt.PartitionSize, aOpt.PartitionSize}
+		}
+	}
+	sortDeltas(deltas)
+	return deltas, optMoves
+}
+
+func sortDeltas(ds []Delta) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ds[j-1], ds[j]
+			if a.Cores < b.Cores || (a.Cores == b.Cores && a.PartitionSize <= b.PartitionSize) {
+				break
+			}
+			ds[j-1], ds[j] = b, a
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"taskgrain/internal/costmodel"
+)
+
+func smallSweep(t *testing.T) *SweepResult {
+	t.Helper()
+	res, err := RunSweep(NewSimEngine(costmodel.Haswell()), SweepConfig{
+		TotalPoints: 100_000, TimeSteps: 3,
+		PartitionSizes: []int{1000, 10000},
+		Cores:          []int{1, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSweepJSONRoundTrip(t *testing.T) {
+	res := smallSweep(t)
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := res.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSweepJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Engine != res.Engine {
+		t.Fatalf("engine %q vs %q", got.Engine, res.Engine)
+	}
+	if len(got.ByCores) != len(res.ByCores) {
+		t.Fatalf("core sets differ")
+	}
+	for cores, ms := range res.ByCores {
+		gms := got.ByCores[cores]
+		if len(gms) != len(ms) {
+			t.Fatalf("cores %d: %d vs %d measurements", cores, len(gms), len(ms))
+		}
+		for i := range ms {
+			if gms[i].PartitionSize != ms[i].PartitionSize ||
+				gms[i].ExecSeconds.Mean != ms[i].ExecSeconds.Mean ||
+				gms[i].IdleRate != ms[i].IdleRate {
+				t.Fatalf("cores %d[%d]: %+v vs %+v", cores, i, gms[i], ms[i])
+			}
+		}
+	}
+	// Calibration survived (int-keyed map round trip).
+	for sz, td1 := range res.Calibration {
+		if got.Calibration[sz] != td1 {
+			t.Fatalf("calibration[%d] = %v vs %v", sz, got.Calibration[sz], td1)
+		}
+	}
+}
+
+func TestReadSweepJSONErrors(t *testing.T) {
+	if _, err := ReadSweepJSON(strings.NewReader("{garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadSweepJSON(strings.NewReader(`{"Engine":"x"}`)); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	if _, err := LoadSweepJSON("/nonexistent.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	before := smallSweep(t)
+	// Synthesize an "after" run that is 2x slower at one configuration.
+	after := smallSweep(t)
+	ms := after.ByCores[8]
+	ms[0].ExecSeconds.Mean *= 2
+	ms[0].IdleRate = 0.5
+
+	deltas, optMoves := Compare(before, after)
+	if len(deltas) != 4 {
+		t.Fatalf("deltas = %d, want 4", len(deltas))
+	}
+	// Sorted by cores then size; the perturbed config is cores=8, size=1000.
+	var hit *Delta
+	for i := range deltas {
+		d := &deltas[i]
+		if d.Cores == 8 && d.PartitionSize == 1000 {
+			hit = d
+		} else if d.Ratio < 0.999 || d.Ratio > 1.001 {
+			t.Fatalf("unperturbed config changed: %+v", d)
+		}
+	}
+	if hit == nil {
+		t.Fatal("perturbed config missing")
+	}
+	if hit.Ratio < 1.99 || hit.Ratio > 2.01 {
+		t.Fatalf("ratio = %v, want ~2", hit.Ratio)
+	}
+	if hit.IdleAfter != 0.5 {
+		t.Fatalf("idle after = %v", hit.IdleAfter)
+	}
+	if _, ok := optMoves[8]; !ok {
+		t.Fatal("optimal movement missing for cores=8")
+	}
+	// Sorted order check.
+	for i := 1; i < len(deltas); i++ {
+		a, b := deltas[i-1], deltas[i]
+		if a.Cores > b.Cores || (a.Cores == b.Cores && a.PartitionSize > b.PartitionSize) {
+			t.Fatalf("deltas unsorted: %+v before %+v", a, b)
+		}
+	}
+}
+
+func TestCompareDisjointSweeps(t *testing.T) {
+	before := smallSweep(t)
+	after := &SweepResult{ByCores: map[int][]Measurement{99: nil}}
+	deltas, optMoves := Compare(before, after)
+	if len(deltas) != 0 || len(optMoves) != 0 {
+		t.Fatalf("disjoint compare produced %d deltas", len(deltas))
+	}
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"taskgrain/internal/stats"
+	"taskgrain/internal/stencil"
+)
+
+// SweepConfig describes a granularity sweep: the experimental methodology of
+// Sec. II — fixed total grid points and time steps, partition size varied
+// over orders of magnitude, core count varied for strong scaling, several
+// samples per configuration.
+type SweepConfig struct {
+	TotalPoints    int
+	TimeSteps      int
+	PartitionSizes []int
+	Cores          []int
+	// Samples per configuration; 0 = 1 for deterministic engines, 3
+	// otherwise (the paper uses 10).
+	Samples int
+}
+
+// Validate reports the first problem with the sweep configuration, or nil.
+func (sc *SweepConfig) Validate(e Engine) error {
+	if sc.TotalPoints < 1 {
+		return fmt.Errorf("core: TotalPoints = %d", sc.TotalPoints)
+	}
+	if sc.TimeSteps < 1 {
+		return fmt.Errorf("core: TimeSteps = %d", sc.TimeSteps)
+	}
+	if len(sc.PartitionSizes) == 0 {
+		return fmt.Errorf("core: no partition sizes")
+	}
+	if len(sc.Cores) == 0 {
+		return fmt.Errorf("core: no core counts")
+	}
+	for _, p := range sc.PartitionSizes {
+		if p < 1 || p > sc.TotalPoints {
+			return fmt.Errorf("core: partition size %d out of [1,%d]", p, sc.TotalPoints)
+		}
+	}
+	for _, c := range sc.Cores {
+		if c < 1 || c > e.MaxCores() {
+			return fmt.Errorf("core: %d cores out of [1,%d] for engine %s", c, e.MaxCores(), e.Name())
+		}
+	}
+	return nil
+}
+
+func (sc *SweepConfig) samples(e Engine) int {
+	if sc.Samples > 0 {
+		return sc.Samples
+	}
+	if e.Deterministic() {
+		return 1
+	}
+	return 3
+}
+
+// Measurement aggregates the samples of one (partition size, cores)
+// configuration into the paper's metrics.
+type Measurement struct {
+	Engine        string
+	TotalPoints   int
+	TimeSteps     int
+	PartitionSize int
+	Partitions    int
+	Cores         int
+	Tasks         float64
+
+	ExecSeconds stats.Summary // wall time across samples (COV per Sec. IV)
+
+	IdleRate            float64 // Eq. 1
+	TaskDurationNs      float64 // Eq. 2
+	TaskOverheadNs      float64 // Eq. 3
+	TMOverheadPerCoreNs float64 // Eq. 4
+	Td1Ns               float64 // calibrated one-core task duration
+	WaitPerTaskNs       float64 // Eq. 5
+	WaitPerCoreNs       float64 // Eq. 6
+
+	PendingAccesses float64
+	PendingMisses   float64
+	StagedAccesses  float64
+	StagedMisses    float64
+	Stolen          float64
+}
+
+// SweepResult is the full output of RunSweep.
+type SweepResult struct {
+	Engine      string
+	Config      SweepConfig
+	Calibration Calibration
+	// ByCores maps core count → measurements sorted by partition size.
+	ByCores map[int][]Measurement
+}
+
+// Measurements returns the series for one core count (nil if absent).
+func (r *SweepResult) Measurements(cores int) []Measurement { return r.ByCores[cores] }
+
+// RunSweep executes the full methodology: calibrate t_d1 on one core for
+// every partition size, then measure every (size, cores) configuration and
+// derive all metrics.
+func RunSweep(e Engine, sc SweepConfig) (*SweepResult, error) {
+	if err := sc.Validate(e); err != nil {
+		return nil, err
+	}
+	cal, err := Calibrate(e, sc)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Engine:      e.Name(),
+		Config:      sc,
+		Calibration: cal,
+		ByCores:     make(map[int][]Measurement, len(sc.Cores)),
+	}
+	for _, cores := range sc.Cores {
+		series := make([]Measurement, 0, len(sc.PartitionSizes))
+		for _, psize := range sortedSizes(sc.PartitionSizes) {
+			m, err := measure(e, sc, cal, psize, cores)
+			if err != nil {
+				return nil, err
+			}
+			series = append(series, m)
+		}
+		res.ByCores[cores] = series
+	}
+	return res, nil
+}
+
+// Calibrate runs every partition size on one core and records t_d1
+// (Sec. II-A: "requires measurements from running on one core that can be
+// taken at a one time cost prior to data runs").
+func Calibrate(e Engine, sc SweepConfig) (Calibration, error) {
+	cal := make(Calibration, len(sc.PartitionSizes))
+	for _, psize := range sc.PartitionSizes {
+		raw, err := e.Run(stencilConfig(sc, psize), 1)
+		if err != nil {
+			return nil, fmt.Errorf("core: calibration at %d points: %w", psize, err)
+		}
+		cal[psize] = raw.TaskDurationNs()
+	}
+	return cal, nil
+}
+
+func stencilConfig(sc SweepConfig, psize int) stencil.Config {
+	return stencil.Config{
+		TotalPoints:        sc.TotalPoints,
+		PointsPerPartition: psize,
+		TimeSteps:          sc.TimeSteps,
+	}
+}
+
+func sortedSizes(sizes []int) []int {
+	out := make([]int, len(sizes))
+	copy(out, sizes)
+	sort.Ints(out)
+	return out
+}
+
+// measure runs one configuration `samples` times and aggregates.
+func measure(e Engine, sc SweepConfig, cal Calibration, psize, cores int) (Measurement, error) {
+	cfg := stencilConfig(sc, psize)
+	n := sc.samples(e)
+	execs := make([]float64, 0, n)
+	var accum RawRun
+	for i := 0; i < n; i++ {
+		raw, err := e.Run(cfg, cores)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("core: %d points on %d cores: %w", psize, cores, err)
+		}
+		if err := raw.Validate(); err != nil {
+			return Measurement{}, err
+		}
+		execs = append(execs, raw.ExecSeconds)
+		accum.ExecTotalNs += raw.ExecTotalNs
+		accum.FuncTotalNs += raw.FuncTotalNs
+		accum.Tasks += raw.Tasks
+		accum.PendingAccesses += raw.PendingAccesses
+		accum.PendingMisses += raw.PendingMisses
+		accum.StagedAccesses += raw.StagedAccesses
+		accum.StagedMisses += raw.StagedMisses
+		accum.Stolen += raw.Stolen
+	}
+	fn := float64(n)
+	mean := RawRun{
+		ExecTotalNs:     accum.ExecTotalNs / fn,
+		FuncTotalNs:     accum.FuncTotalNs / fn,
+		Tasks:           accum.Tasks / fn,
+		Cores:           cores,
+		PendingAccesses: accum.PendingAccesses / fn,
+		PendingMisses:   accum.PendingMisses / fn,
+		StagedAccesses:  accum.StagedAccesses / fn,
+		StagedMisses:    accum.StagedMisses / fn,
+		Stolen:          accum.Stolen / fn,
+	}
+	td1, err := cal.Td1(psize)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		Engine:              e.Name(),
+		TotalPoints:         sc.TotalPoints,
+		TimeSteps:           sc.TimeSteps,
+		PartitionSize:       psize,
+		Partitions:          cfg.Partitions(),
+		Cores:               cores,
+		Tasks:               mean.Tasks,
+		ExecSeconds:         stats.MustSummarize(execs),
+		IdleRate:            mean.IdleRate(),
+		TaskDurationNs:      mean.TaskDurationNs(),
+		TaskOverheadNs:      mean.TaskOverheadNs(),
+		TMOverheadPerCoreNs: mean.TMOverheadPerCoreNs(),
+		Td1Ns:               td1,
+		WaitPerTaskNs:       mean.WaitPerTaskNs(td1),
+		WaitPerCoreNs:       mean.WaitPerCoreNs(td1),
+		PendingAccesses:     mean.PendingAccesses,
+		PendingMisses:       mean.PendingMisses,
+		StagedAccesses:      mean.StagedAccesses,
+		StagedMisses:        mean.StagedMisses,
+		Stolen:              mean.Stolen,
+	}, nil
+}
+
+// Optimal returns the measurement with the smallest mean execution time.
+func Optimal(ms []Measurement) (Measurement, bool) {
+	if len(ms) == 0 {
+		return Measurement{}, false
+	}
+	best := ms[0]
+	for _, m := range ms[1:] {
+		if m.ExecSeconds.Mean < best.ExecSeconds.Mean {
+			best = m
+		}
+	}
+	return best, true
+}
+
+// RecommendByIdleRate returns the smallest partition size whose idle-rate is
+// within the tolerance threshold — the selector of Sec. IV-A ("an acceptable
+// grain size can be determined by setting a threshold for the idle-rate",
+// the paper demonstrates 30% on Haswell/28 cores).
+func RecommendByIdleRate(ms []Measurement, maxIdle float64) (Measurement, bool) {
+	sorted := make([]Measurement, len(ms))
+	copy(sorted, ms)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].PartitionSize < sorted[j].PartitionSize })
+	for _, m := range sorted {
+		if m.IdleRate <= maxIdle {
+			return m, true
+		}
+	}
+	return Measurement{}, false
+}
+
+// RecommendByPendingAccesses returns the measurement minimizing total
+// pending-queue accesses — the timestamp-free selector of Sec. IV-E.
+func RecommendByPendingAccesses(ms []Measurement) (Measurement, bool) {
+	if len(ms) == 0 {
+		return Measurement{}, false
+	}
+	best := ms[0]
+	for _, m := range ms[1:] {
+		if m.PendingAccesses < best.PendingAccesses {
+			best = m
+		}
+	}
+	return best, true
+}

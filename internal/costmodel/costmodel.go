@@ -1,0 +1,298 @@
+// Package costmodel defines the platform profiles (paper Table I) and the
+// analytic cost model the discrete-event simulator charges virtual time
+// with. The model is calibrated against the paper's reported measurements:
+//
+//   - Haswell: computing a 12,500-point partition takes ≈21µs on one core;
+//     a 78,125-point partition ≈99µs; task durations 32µs–1.3ms over the
+//     20k–1M flat region (Sec. IV-A, IV-C).
+//   - Xeon Phi: a 12,500-point partition takes ≈1.1ms on one core; task
+//     durations 1.8–50ms over 20k–1M (Sec. IV-A, IV-C).
+//   - Idle-rate reaches ≈90% for very fine grain (160-point partitions) and
+//     rises again for very coarse grain due to starvation (Fig. 4, 5).
+//   - Wait time (work-time inflation) grows with both core count and
+//     partition size (Fig. 6) and is slightly negative for very coarse
+//     tasks, where one core re-streams data that a full machine keeps
+//     distributed across its caches (Sec. IV-C).
+//
+// # Task-duration model
+//
+// The virtual execution time of one stencil task over `points` grid points
+// when `active` tasks run concurrently on a machine with `cores` cores is
+//
+//	exec(points, active) = points · p(points) · (1 + W·(active−1))
+//	                     + C · capFrac(points) · points · PerPointNs / cores
+//
+// with
+//
+//	p(points)  = PerPointNs · (1 + SmallTaskPenalty·Pivot/(points+Pivot))
+//	capFrac(p) = max(0, 1 − SharedCacheBytes/(points·BytesPerPoint))
+//
+// p models per-point cost including the small-task inefficiency (loop setup,
+// vector warm-up) that makes tiny partitions cost more per point; the W term
+// is memory-contention-driven work-time inflation (the paper's wait time) —
+// it is per *byte*, so the per-task wait grows linearly with partition size
+// (Fig. 6) while the per-point cost is size-independent, which preserves the
+// fine-grain wall at every problem scale; the C term is the cold-capacity
+// penalty a single core pays to re-stream a partition exceeding the shared
+// cache — dividing by the core count is what makes the wait-time metric go
+// negative for very coarse tasks, exactly as observed in the paper.
+//
+// # Scheduling-cost model
+//
+// Queue and task-management operations cost their base time multiplied by a
+// contention factor (1 + QContention·(cores−1)), reflecting allocator and
+// queue contention when many workers schedule simultaneously.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile is one experimental platform: the hardware description from
+// Table I plus the calibrated cost-model constants.
+type Profile struct {
+	// Hardware description (Table I).
+	Name          string  // canonical lower-case id, e.g. "haswell"
+	Processor     string  // marketing name
+	ClockGHz      float64 // base clock
+	TurboGHz      float64 // max turbo (0 if none)
+	Microarch     string
+	HWThreads     int // hardware threads per core (paper deactivates >1 on Xeons)
+	Cores         int
+	NUMADomains   int
+	L1KB          int     // per-core L1 data
+	L2KB          int     // per-core L2
+	SharedCacheMB float64 // shared LLC (0 on Xeon Phi)
+	RAMGB         int
+
+	// Benchmark scale used by the paper on this platform.
+	TimeSteps int // 50 on the Xeons, 5 on the Xeon Phi
+
+	// Energy model: static per-core power while the runtime holds the core
+	// (parked or searching), and the additional dynamic power while a core
+	// executes task work. Used by the simulator's energy accounting and the
+	// throttling study (Porterfield et al. report adaptive scheduling "can
+	// improve performance and save energy", Sec. V).
+	IdleWattsPerCore   float64
+	ActiveWattsPerCore float64
+
+	// Compute cost model.
+	PerPointNs       float64 // asymptotic per-grid-point compute time
+	SmallTaskPenalty float64 // extra per-point cost factor for tiny tasks
+	PivotPoints      float64 // partition size where the small-task penalty halves
+	WaitFactor       float64 // per-point work-time inflation per additional active task
+	ColdFactor       float64 // single-core capacity-miss penalty factor
+	BytesPerPoint    float64 // resident bytes per grid point
+
+	// Scheduling cost model (virtual nanoseconds, before contention).
+	SpawnNs       float64 // create + enqueue one staged task
+	ConvertNs     float64 // staged → pending conversion
+	PopNs         float64 // successful pending-queue pop
+	MissNs        float64 // failed queue probe
+	StealLocalNs  float64 // extra cost of a same-NUMA steal
+	StealRemoteNs float64 // extra cost of a cross-NUMA steal
+	DispatchNs    float64 // context switch into a task phase
+	WakeNs        float64 // waking a parked worker
+	BackoffNs     float64 // initial idle re-probe interval
+	BackoffMaxNs  float64 // maximum idle re-probe interval
+	QContention   float64 // per-extra-core multiplier on scheduling ops
+}
+
+// PerPointEff returns p(points): the effective per-point compute cost
+// including the small-task penalty.
+func (p *Profile) PerPointEff(points int) float64 {
+	return p.PerPointNs * (1 + p.SmallTaskPenalty*p.PivotPoints/(float64(points)+p.PivotPoints))
+}
+
+// CapacityFrac returns the fraction of a partition's working set that
+// exceeds the shared cache.
+func (p *Profile) CapacityFrac(points int) float64 {
+	bytes := float64(points) * p.BytesPerPoint
+	cache := p.SharedCacheMB * 1024 * 1024
+	if cache <= 0 {
+		// No shared LLC (Xeon Phi): use the aggregate of per-core L2.
+		cache = float64(p.L2KB*p.Cores) * 1024
+	}
+	if bytes <= cache {
+		return 0
+	}
+	return 1 - cache/bytes
+}
+
+// TaskExecNs returns the virtual execution time of one stencil task over
+// `points` grid points with `active` concurrently-active tasks, on a run
+// that uses `cores` cores (the cold-penalty divisor). active and cores are
+// clamped to >= 1.
+func (p *Profile) TaskExecNs(points, active, cores int) float64 {
+	if active < 1 {
+		active = 1
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	base := float64(points) * p.PerPointEff(points)
+	infl := 1 + p.WaitFactor*float64(active-1)
+	cold := p.ColdFactor * p.CapacityFrac(points) * float64(points) * p.PerPointNs / float64(cores)
+	return base*infl + cold
+}
+
+// Contention returns the multiplier applied to scheduling operations when
+// `cores` workers share the scheduler.
+func (p *Profile) Contention(cores int) float64 {
+	if cores < 1 {
+		cores = 1
+	}
+	return 1 + p.QContention*float64(cores-1)
+}
+
+// OpNs returns a scheduling operation's virtual cost under contention.
+func (p *Profile) OpNs(baseNs float64, cores int) float64 {
+	return baseNs * p.Contention(cores)
+}
+
+// Validate reports the first structural problem with the profile, or nil.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("costmodel: profile has no name")
+	case p.Cores < 1:
+		return fmt.Errorf("costmodel: %s: Cores = %d", p.Name, p.Cores)
+	case p.NUMADomains < 1 || p.NUMADomains > p.Cores:
+		return fmt.Errorf("costmodel: %s: NUMADomains = %d", p.Name, p.NUMADomains)
+	case p.TimeSteps < 1:
+		return fmt.Errorf("costmodel: %s: TimeSteps = %d", p.Name, p.TimeSteps)
+	case p.PerPointNs <= 0:
+		return fmt.Errorf("costmodel: %s: PerPointNs = %v", p.Name, p.PerPointNs)
+	case p.BytesPerPoint <= 0:
+		return fmt.Errorf("costmodel: %s: BytesPerPoint = %v", p.Name, p.BytesPerPoint)
+	case p.SpawnNs < 0 || p.ConvertNs < 0 || p.PopNs < 0 || p.MissNs < 0:
+		return fmt.Errorf("costmodel: %s: negative scheduling cost", p.Name)
+	case p.BackoffNs <= 0 || p.BackoffMaxNs < p.BackoffNs:
+		return fmt.Errorf("costmodel: %s: backoff window [%v,%v]", p.Name, p.BackoffNs, p.BackoffMaxNs)
+	case math.IsNaN(p.WaitFactor) || p.WaitFactor < 0:
+		return fmt.Errorf("costmodel: %s: WaitFactor = %v", p.Name, p.WaitFactor)
+	case p.IdleWattsPerCore < 0 || p.ActiveWattsPerCore < p.IdleWattsPerCore:
+		return fmt.Errorf("costmodel: %s: watts idle=%v active=%v", p.Name,
+			p.IdleWattsPerCore, p.ActiveWattsPerCore)
+	}
+	return nil
+}
+
+// EnergyJoules estimates the energy of a run: every held core draws the
+// idle power for the whole makespan, plus the active-idle delta for the
+// time it spends executing task work.
+func (p *Profile) EnergyJoules(makespanNs, execTotalNs float64, cores int) float64 {
+	if cores < 1 {
+		cores = 1
+	}
+	static := p.IdleWattsPerCore * float64(cores) * makespanNs / 1e9
+	dynamic := (p.ActiveWattsPerCore - p.IdleWattsPerCore) * execTotalNs / 1e9
+	return static + dynamic
+}
+
+// sharedXeonScheduling fills the scheduling costs common to the three
+// out-of-order Xeon nodes, scaled by a relative speed factor.
+func sharedXeonScheduling(p *Profile, speed float64) {
+	p.SpawnNs = 450 / speed
+	p.ConvertNs = 180 / speed
+	p.PopNs = 90 / speed
+	p.MissNs = 45 / speed
+	p.StealLocalNs = 300 / speed
+	p.StealRemoteNs = 700 / speed
+	p.DispatchNs = 120 / speed
+	p.WakeNs = 1000 / speed
+	p.BackoffNs = 5e3
+	p.BackoffMaxNs = 100e3
+	p.QContention = 0.12
+}
+
+// SandyBridge returns the 16-core Sandy Bridge node (Intel Xeon E5-2690).
+func SandyBridge() *Profile {
+	p := &Profile{
+		Name: "sandybridge", Processor: "Intel Xeon E5 2690",
+		ClockGHz: 2.9, TurboGHz: 3.8, Microarch: "Sandy Bridge (SB)",
+		HWThreads: 2, Cores: 16, NUMADomains: 2,
+		L1KB: 32, L2KB: 256, SharedCacheMB: 20, RAMGB: 64,
+		TimeSteps:  50,
+		PerPointNs: 1.20, SmallTaskPenalty: 0.8, PivotPoints: 10e3,
+		WaitFactor: 0.22, ColdFactor: 0.6, BytesPerPoint: 8,
+		IdleWattsPerCore: 1.5, ActiveWattsPerCore: 8.4, // 135W TDP / 16 cores
+	}
+	sharedXeonScheduling(p, 1.05)
+	return p
+}
+
+// IvyBridge returns the 20-core Ivy Bridge node (Intel Xeon E5-2679 v2).
+func IvyBridge() *Profile {
+	p := &Profile{
+		Name: "ivybridge", Processor: "Intel Xeon E5-2679 v2",
+		ClockGHz: 2.3, TurboGHz: 3.3, Microarch: "Ivy Bridge (IB)",
+		HWThreads: 2, Cores: 20, NUMADomains: 2,
+		L1KB: 32, L2KB: 256, SharedCacheMB: 35, RAMGB: 128,
+		TimeSteps:  50,
+		PerPointNs: 1.30, SmallTaskPenalty: 0.78, PivotPoints: 10e3,
+		WaitFactor: 0.21, ColdFactor: 0.6, BytesPerPoint: 8,
+		IdleWattsPerCore: 1.2, ActiveWattsPerCore: 5.8, // 115W TDP / 20 cores
+	}
+	sharedXeonScheduling(p, 1.0)
+	return p
+}
+
+// Haswell returns the 28-core Haswell node (Intel Xeon E5-2695 v3).
+func Haswell() *Profile {
+	p := &Profile{
+		Name: "haswell", Processor: "Intel Xeon E5-2695 v3",
+		ClockGHz: 2.3, TurboGHz: 3.3, Microarch: "Haswell (HW)",
+		HWThreads: 2, Cores: 28, NUMADomains: 2,
+		L1KB: 32, L2KB: 256, SharedCacheMB: 35, RAMGB: 128,
+		TimeSteps:  50,
+		PerPointNs: 1.25, SmallTaskPenalty: 0.77, PivotPoints: 10e3,
+		WaitFactor: 0.20, ColdFactor: 0.6, BytesPerPoint: 8,
+		IdleWattsPerCore: 1.0, ActiveWattsPerCore: 4.3, // 120W TDP / 28 cores
+	}
+	sharedXeonScheduling(p, 1.0)
+	return p
+}
+
+// XeonPhi returns the 61-core Xeon Phi coprocessor (experiments use up to
+// 60 cores, one thread per core, as in the paper).
+func XeonPhi() *Profile {
+	return &Profile{
+		Name: "xeonphi", Processor: "Intel Xeon Phi",
+		ClockGHz: 1.2, TurboGHz: 0, Microarch: "Xeon Phi",
+		HWThreads: 4, Cores: 61, NUMADomains: 1,
+		L1KB: 32, L2KB: 512, SharedCacheMB: 0, RAMGB: 8,
+		TimeSteps:  5,
+		PerPointNs: 50, SmallTaskPenalty: 1.1, PivotPoints: 25e3,
+		WaitFactor: 0.10, ColdFactor: 0.5, BytesPerPoint: 8,
+		IdleWattsPerCore: 1.5, ActiveWattsPerCore: 4.9, // 300W TDP / 61 cores
+		// Scheduling on the in-order 1.2GHz K1OM is an order of magnitude
+		// costlier than on the Xeons; at fine grain task creation itself
+		// becomes the bottleneck (Fig. 3d's ~60s left edge).
+		SpawnNs: 20000, ConvertNs: 8000, PopNs: 4000, MissNs: 2000,
+		StealLocalNs: 12000, StealRemoteNs: 12000, DispatchNs: 6000, WakeNs: 30000,
+		BackoffNs: 50e3, BackoffMaxNs: 800e3, QContention: 0.06,
+	}
+}
+
+// All returns every platform profile in Table I order.
+func All() []*Profile {
+	return []*Profile{Haswell(), XeonPhi(), IvyBridge(), SandyBridge()}
+}
+
+// ByName resolves a profile by its canonical name.
+func ByName(name string) (*Profile, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("costmodel: unknown platform %q (have haswell, xeonphi, ivybridge, sandybridge)", name)
+}
+
+// String renders a one-line summary.
+func (p *Profile) String() string {
+	return fmt.Sprintf("%s: %s, %d cores @ %.1f GHz, %d NUMA domains",
+		p.Name, p.Processor, p.Cores, p.ClockGHz, p.NUMADomains)
+}

@@ -1,0 +1,296 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("profiles = %d, want 4 (Table I)", len(all))
+	}
+	for _, p := range all {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestTableISpecs(t *testing.T) {
+	// Hardware facts straight from Table I of the paper.
+	hw := Haswell()
+	if hw.Cores != 28 || hw.ClockGHz != 2.3 || hw.SharedCacheMB != 35 || hw.RAMGB != 128 {
+		t.Errorf("Haswell spec mismatch: %+v", hw)
+	}
+	phi := XeonPhi()
+	if phi.Cores != 61 || phi.ClockGHz != 1.2 || phi.HWThreads != 4 || phi.RAMGB != 8 {
+		t.Errorf("Xeon Phi spec mismatch: %+v", phi)
+	}
+	if phi.L2KB != 512 || phi.SharedCacheMB != 0 {
+		t.Errorf("Xeon Phi cache mismatch: %+v", phi)
+	}
+	sb := SandyBridge()
+	if sb.Cores != 16 || sb.ClockGHz != 2.9 || sb.SharedCacheMB != 20 || sb.RAMGB != 64 {
+		t.Errorf("Sandy Bridge spec mismatch: %+v", sb)
+	}
+	ib := IvyBridge()
+	if ib.Cores != 20 || ib.ClockGHz != 2.3 || ib.SharedCacheMB != 35 {
+		t.Errorf("Ivy Bridge spec mismatch: %+v", ib)
+	}
+	// Time steps: 50 on Xeons, 5 on the Phi (Sec. IV).
+	if hw.TimeSteps != 50 || sb.TimeSteps != 50 || ib.TimeSteps != 50 || phi.TimeSteps != 5 {
+		t.Error("time-step configuration mismatch")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"haswell", "xeonphi", "ivybridge", "sandybridge"} {
+		p, err := ByName(name)
+		if err != nil || p.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := ByName("knl"); err == nil {
+		t.Error("unknown platform must error")
+	}
+}
+
+// Calibration anchors from the paper's text.
+func TestCalibrationHaswell12500(t *testing.T) {
+	// "The average task duration for computing 12,500 grid points using one
+	// core is 21 microseconds on Haswell" (Sec. IV-A).
+	hw := Haswell()
+	got := hw.TaskExecNs(12500, 1, 1) / 1000 // µs
+	if got < 15 || got > 28 {
+		t.Errorf("Haswell td1(12500) = %.1fµs, want ≈21µs", got)
+	}
+}
+
+func TestCalibrationHaswell78125(t *testing.T) {
+	// "the smallest partition size is 78,125 with an average task duration
+	// of 99 microseconds" (Sec. IV-A).
+	hw := Haswell()
+	got := hw.TaskExecNs(78125, 1, 1) / 1000
+	if got < 75 || got > 130 {
+		t.Errorf("Haswell td1(78125) = %.1fµs, want ≈99µs", got)
+	}
+}
+
+func TestCalibrationXeonPhi12500(t *testing.T) {
+	// "…and 1.1 milliseconds on the Xeon Phi" (Sec. IV-A).
+	phi := XeonPhi()
+	got := phi.TaskExecNs(12500, 1, 1) / 1e6 // ms
+	if got < 0.7 || got > 1.6 {
+		t.Errorf("Phi td1(12500) = %.2fms, want ≈1.1ms", got)
+	}
+}
+
+func TestCalibrationFlatRegionDurations(t *testing.T) {
+	// Haswell flat region: td 32µs–1.3ms for 20k–1M points (Sec. IV-C).
+	hw := Haswell()
+	lo := hw.TaskExecNs(20000, 1, 1) / 1000
+	hi := hw.TaskExecNs(1000000, 1, 1) / 1e6
+	if lo < 20 || lo > 50 {
+		t.Errorf("Haswell td1(20k) = %.1fµs, want ≈32µs", lo)
+	}
+	if hi < 0.9 || hi > 1.8 {
+		t.Errorf("Haswell td1(1M) = %.2fms, want ≈1.3ms", hi)
+	}
+	// Xeon Phi flat region: 1.8–50ms for the same partition range.
+	phi := XeonPhi()
+	plo := phi.TaskExecNs(20000, 1, 1) / 1e6
+	phi50 := phi.TaskExecNs(1000000, 1, 1) / 1e6
+	if plo < 1.0 || plo > 3.0 {
+		t.Errorf("Phi td1(20k) = %.2fms, want ≈1.8ms", plo)
+	}
+	if phi50 < 35 || phi50 > 75 {
+		t.Errorf("Phi td1(1M) = %.1fms, want ≈50ms", phi50)
+	}
+}
+
+func TestWaitTimeGrowsWithCoresAndSize(t *testing.T) {
+	// Fig. 6: wait time per task increases with core count and with
+	// partition size in the 10k–90k range.
+	hw := Haswell()
+	wait := func(points, cores int) float64 {
+		return hw.TaskExecNs(points, cores, cores) - hw.TaskExecNs(points, 1, 1)
+	}
+	for _, points := range []int{10000, 30000, 50000, 90000} {
+		prev := 0.0
+		for _, cores := range []int{4, 8, 16, 28} {
+			w := wait(points, cores)
+			if w <= prev {
+				t.Errorf("wait(%d pts, %d cores) = %.0fns not > %.0fns", points, cores, w, prev)
+			}
+			prev = w
+		}
+	}
+	for _, cores := range []int{4, 8, 16, 28} {
+		prev := 0.0
+		for _, points := range []int{10000, 30000, 50000, 90000} {
+			w := wait(points, cores)
+			if w <= prev {
+				t.Errorf("wait(%d pts, %d cores) = %.0fns not growing with size", points, cores, w)
+			}
+			prev = w
+		}
+	}
+}
+
+func TestWaitTimeNegativeAtVeryCoarse(t *testing.T) {
+	// Sec. IV-C: "wait time is negative … for very coarse-grained tasks"
+	// (few huge partitions: one core re-streams what many cores can hold).
+	hw := Haswell()
+	points := 100_000_000 // one partition holding the whole ring
+	td1 := hw.TaskExecNs(points, 1, 1)
+	tdN := hw.TaskExecNs(points, 1, 28) // 1 active task on a 28-core run
+	if tdN >= td1 {
+		t.Errorf("coarse-grain wait not negative: td28=%.0f td1=%.0f", tdN, td1)
+	}
+}
+
+func TestSmallTaskPenaltyMonotone(t *testing.T) {
+	hw := Haswell()
+	if hw.PerPointEff(100) <= hw.PerPointEff(100000) {
+		t.Error("per-point cost must be higher for tiny partitions")
+	}
+	if got := hw.PerPointEff(1 << 30); math.Abs(got-hw.PerPointNs) > 0.01*hw.PerPointNs {
+		t.Errorf("per-point cost must converge to PerPointNs, got %v", got)
+	}
+}
+
+func TestCapacityFrac(t *testing.T) {
+	hw := Haswell()
+	if hw.CapacityFrac(1000) != 0 {
+		t.Error("small partitions must have zero capacity overflow")
+	}
+	big := hw.CapacityFrac(100_000_000)
+	if big <= 0.9 || big >= 1 {
+		t.Errorf("100M-point capacity frac = %v", big)
+	}
+	// Xeon Phi falls back to aggregate L2.
+	phi := XeonPhi()
+	if phi.CapacityFrac(1000) != 0 {
+		t.Error("phi small partition should fit aggregate L2")
+	}
+	if phi.CapacityFrac(100_000_000) <= 0.9 {
+		t.Error("phi huge partition must overflow")
+	}
+}
+
+func TestContention(t *testing.T) {
+	hw := Haswell()
+	if hw.Contention(1) != 1 {
+		t.Error("single-core contention must be 1")
+	}
+	if hw.Contention(0) != 1 {
+		t.Error("clamped cores")
+	}
+	if hw.Contention(28) <= hw.Contention(8) {
+		t.Error("contention must grow with cores")
+	}
+	if got := hw.OpNs(100, 1); got != 100 {
+		t.Errorf("OpNs base = %v", got)
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	bad := []*Profile{
+		{},
+		{Name: "x", Cores: 0},
+		{Name: "x", Cores: 4, NUMADomains: 8},
+		{Name: "x", Cores: 4, NUMADomains: 1, TimeSteps: 0},
+		{Name: "x", Cores: 4, NUMADomains: 1, TimeSteps: 5, PerPointNs: 0},
+		{Name: "x", Cores: 4, NUMADomains: 1, TimeSteps: 5, PerPointNs: 1, BytesPerPoint: 0},
+		{Name: "x", Cores: 4, NUMADomains: 1, TimeSteps: 5, PerPointNs: 1, BytesPerPoint: 8, SpawnNs: -1},
+		{Name: "x", Cores: 4, NUMADomains: 1, TimeSteps: 5, PerPointNs: 1, BytesPerPoint: 8, BackoffNs: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d validated", i)
+		}
+	}
+}
+
+// Property: task execution time is monotone in active task count and
+// always strictly positive.
+func TestQuickExecMonotoneInActive(t *testing.T) {
+	hw := Haswell()
+	f := func(points32 uint32, a, b uint8) bool {
+		points := int(points32%10_000_000) + 1
+		x, y := int(a%61)+1, int(b%61)+1
+		if x > y {
+			x, y = y, x
+		}
+		ex := hw.TaskExecNs(points, x, 28)
+		ey := hw.TaskExecNs(points, y, 28)
+		return ex > 0 && ey >= ex
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-point effective cost is decreasing in partition size.
+func TestQuickPerPointDecreasing(t *testing.T) {
+	for _, p := range All() {
+		f := func(a, b uint32) bool {
+			x, y := int(a%50_000_000)+1, int(b%50_000_000)+1
+			if x > y {
+				x, y = y, x
+			}
+			return p.PerPointEff(x) >= p.PerPointEff(y)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Haswell().String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	hw := Haswell()
+	// 1s makespan on 28 cores, half the core-seconds executing:
+	// static = 1.0W*28*1s = 28J; dynamic = (4.3-1.0)*14 = 46.2J.
+	got := hw.EnergyJoules(1e9, 14e9, 28)
+	want := 28.0 + 3.3*14
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+	if hw.EnergyJoules(0, 0, 0) != 0 {
+		t.Fatal("zero run energy")
+	}
+	for _, p := range All() {
+		if p.IdleWattsPerCore <= 0 || p.ActiveWattsPerCore <= p.IdleWattsPerCore {
+			t.Errorf("%s: power model %v/%v", p.Name, p.IdleWattsPerCore, p.ActiveWattsPerCore)
+		}
+	}
+}
+
+func TestEnergyMonotoneInWork(t *testing.T) {
+	hw := Haswell()
+	e1 := hw.EnergyJoules(1e9, 5e9, 28)
+	e2 := hw.EnergyJoules(1e9, 10e9, 28)
+	if e2 <= e1 {
+		t.Fatal("more exec time must cost more energy")
+	}
+	e3 := hw.EnergyJoules(2e9, 5e9, 28)
+	if e3 <= e1 {
+		t.Fatal("longer makespan must cost more energy")
+	}
+}
+
+func TestValidateCatchesBadPower(t *testing.T) {
+	p := Haswell()
+	p.ActiveWattsPerCore = p.IdleWattsPerCore - 1
+	if err := p.Validate(); err == nil {
+		t.Fatal("inverted power model validated")
+	}
+}

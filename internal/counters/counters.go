@@ -1,0 +1,327 @@
+// Package counters implements the performance-monitoring substrate of the
+// runtime, mirroring the HPX performance counter framework the paper's
+// methodology depends on (Sec. I-B, "HPX Performance Monitoring System"):
+// first-class counters, each addressable by a unique symbolic name, readable
+// at runtime by the application or by the runtime itself, and cheap enough
+// to be updated on every task event.
+//
+// Counters used by the study (names kept HPX-compatible):
+//
+//	/threads/count/cumulative              tasks executed (n_t)
+//	/threads/count/cumulative-phases       thread phases executed
+//	/threads/time/exec-total               Σ t_exec (ns)
+//	/threads/time/func-total               Σ t_func (ns)
+//	/threads/idle-rate                     (Σt_func−Σt_exec)/Σt_func
+//	/threads/time/average                  t_d = Σt_exec/n_t (ns)
+//	/threads/time/average-overhead         t_o = (Σt_func−Σt_exec)/n_t (ns)
+//	/threads/time/average-phase            Σt_exec/phases (ns)
+//	/threads/time/average-phase-overhead   (Σt_func−Σt_exec)/phases (ns)
+//	/threads/count/pending-accesses        pending-queue look-ups
+//	/threads/count/pending-misses          pending-queue look-ups that failed
+//	/threads/count/staged-accesses         staged-queue look-ups
+//	/threads/count/staged-misses           staged-queue look-ups that failed
+//	/threads/count/stolen                  tasks obtained from another worker
+package counters
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Standard counter paths (HPX-compatible symbolic names).
+const (
+	CountCumulative       = "/threads/count/cumulative"
+	CountCumulativePhases = "/threads/count/cumulative-phases"
+	TimeExecTotal         = "/threads/time/exec-total"
+	TimeFuncTotal         = "/threads/time/func-total"
+	IdleRate              = "/threads/idle-rate"
+	TimeAverage           = "/threads/time/average"
+	TimeAverageOverhead   = "/threads/time/average-overhead"
+	TimeAveragePhase      = "/threads/time/average-phase"
+	TimeAveragePhaseOvh   = "/threads/time/average-phase-overhead"
+	PendingAccesses       = "/threads/count/pending-accesses"
+	PendingMisses         = "/threads/count/pending-misses"
+	StagedAccesses        = "/threads/count/staged-accesses"
+	StagedMisses          = "/threads/count/staged-misses"
+	CountStolen           = "/threads/count/stolen"
+)
+
+// Counter is a named, introspectable performance counter.
+type Counter interface {
+	// Name returns the counter's unique symbolic path.
+	Name() string
+	// Value returns the current reading. Cumulative counters return their
+	// running total; derived counters compute their formula on demand.
+	Value() float64
+	// Reset zeroes the underlying state (derived counters reset nothing).
+	Reset()
+}
+
+// Cumulative is a monotonically increasing atomic counter.
+type Cumulative struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewCumulative creates a cumulative counter with the given symbolic name.
+func NewCumulative(name string) *Cumulative { return &Cumulative{name: name} }
+
+// Name implements Counter.
+func (c *Cumulative) Name() string { return c.name }
+
+// Value implements Counter.
+func (c *Cumulative) Value() float64 { return float64(c.v.Load()) }
+
+// Raw returns the integral reading.
+func (c *Cumulative) Raw() int64 { return c.v.Load() }
+
+// Add increments the counter by d.
+func (c *Cumulative) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Cumulative) Inc() { c.v.Add(1) }
+
+// Reset implements Counter.
+func (c *Cumulative) Reset() { c.v.Store(0) }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewGauge creates a gauge counter.
+func NewGauge(name string) *Gauge { return &Gauge{name: name} }
+
+// Name implements Counter.
+func (g *Gauge) Name() string { return g.name }
+
+// Value implements Counter.
+func (g *Gauge) Value() float64 { return float64(g.v.Load()) }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Reset implements Counter.
+func (g *Gauge) Reset() { g.v.Store(0) }
+
+// Derived computes its value from other counters on demand, like HPX's
+// idle-rate and average-time counters.
+type Derived struct {
+	name string
+	fn   func() float64
+}
+
+// NewDerived creates a derived counter evaluating fn at read time.
+func NewDerived(name string, fn func() float64) *Derived {
+	return &Derived{name: name, fn: fn}
+}
+
+// Name implements Counter.
+func (d *Derived) Name() string { return d.name }
+
+// Value implements Counter.
+func (d *Derived) Value() float64 { return d.fn() }
+
+// Reset implements Counter; derived counters own no state.
+func (d *Derived) Reset() {}
+
+// pad prevents false sharing between adjacent per-worker slots. 64 bytes
+// covers the common x86 cache-line size; the slot itself is 8 bytes.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// PerWorker is a counter sharded across workers: each worker updates its own
+// cache-line-padded slot without contention; Value aggregates. Individual
+// worker readings remain available, matching HPX's per-queue counter
+// instances ("individual counts are available for each pending queue").
+type PerWorker struct {
+	name  string
+	slots []paddedInt64
+}
+
+// NewPerWorker creates a sharded counter for n workers.
+func NewPerWorker(name string, n int) *PerWorker {
+	return &PerWorker{name: name, slots: make([]paddedInt64, n)}
+}
+
+// Name implements Counter.
+func (p *PerWorker) Name() string { return p.name }
+
+// Value implements Counter: the sum over all workers.
+func (p *PerWorker) Value() float64 { return float64(p.Total()) }
+
+// Total returns the sum over all workers.
+func (p *PerWorker) Total() int64 {
+	var t int64
+	for i := range p.slots {
+		t += p.slots[i].v.Load()
+	}
+	return t
+}
+
+// Worker returns worker w's reading.
+func (p *PerWorker) Worker(w int) int64 { return p.slots[w].v.Load() }
+
+// Add increments worker w's slot by d.
+func (p *PerWorker) Add(w int, d int64) { p.slots[w].v.Add(d) }
+
+// Inc increments worker w's slot by one.
+func (p *PerWorker) Inc(w int) { p.slots[w].v.Add(1) }
+
+// Workers returns the number of shards.
+func (p *PerWorker) Workers() int { return len(p.slots) }
+
+// Reset implements Counter.
+func (p *PerWorker) Reset() {
+	for i := range p.slots {
+		p.slots[i].v.Store(0)
+	}
+}
+
+// Registry maps symbolic names to counters, providing the runtime-query
+// interface the methodology relies on ("HPX counters are easily accessible
+// through an API at runtime").
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]Counter)}
+}
+
+// Register adds c under its name; registering a duplicate name is an error.
+func (r *Registry) Register(c Counter) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.counters[c.Name()]; dup {
+		return fmt.Errorf("counters: duplicate registration of %q", c.Name())
+	}
+	r.counters[c.Name()] = c
+	return nil
+}
+
+// MustRegister registers c and panics on duplicate names; used during
+// runtime construction where duplicates are programming errors.
+func (r *Registry) MustRegister(c Counter) {
+	if err := r.Register(c); err != nil {
+		panic(err)
+	}
+}
+
+// Get looks up a counter by exact name.
+func (r *Registry) Get(name string) (Counter, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.counters[name]
+	return c, ok
+}
+
+// Value reads a counter by name, returning ok=false if unregistered.
+func (r *Registry) Value(name string) (float64, bool) {
+	c, ok := r.Get(name)
+	if !ok {
+		return 0, false
+	}
+	return c.Value(), true
+}
+
+// Names returns all registered counter names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot reads every counter at (approximately) one instant.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := make(Snapshot, len(r.counters))
+	for n, c := range r.counters {
+		s[n] = c.Value()
+	}
+	return s
+}
+
+// ResetAll resets every registered counter.
+func (r *Registry) ResetAll() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.Reset()
+	}
+}
+
+// Snapshot is a point-in-time reading of all counters.
+type Snapshot map[string]float64
+
+// Sub returns the per-counter difference s - prev, the interval reading used
+// for dynamic measurements "calculated over any interval of interest"
+// (Sec. II-A). Counters absent from prev are treated as zero there; derived
+// ratio counters should be recomputed from differenced raw counters instead
+// of differenced directly.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := make(Snapshot, len(s))
+	for n, v := range s {
+		out[n] = v - prev[n]
+	}
+	return out
+}
+
+// Get returns the reading for name (0 if absent).
+func (s Snapshot) Get(name string) float64 { return s[name] }
+
+// NamesWithPrefix returns the sorted registered names beginning with prefix.
+func (r *Registry) NamesWithPrefix(prefix string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var names []string
+	for n := range r.counters {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// InstanceName derives the per-worker instance path of a /threads counter,
+// following the HPX convention: "/threads/count/cumulative" for worker 3
+// becomes "/threads{worker-thread#3}/count/cumulative". Names outside the
+// /threads namespace gain a "{worker-thread#N}" suffix instead.
+func InstanceName(base string, worker int) string {
+	const ns = "/threads/"
+	if strings.HasPrefix(base, ns) {
+		return fmt.Sprintf("/threads{worker-thread#%d}/%s", worker, base[len(ns):])
+	}
+	return fmt.Sprintf("%s{worker-thread#%d}", base, worker)
+}
+
+// RegisterInstances registers one derived read-only counter per worker
+// shard of pw, named per InstanceName — making individual queue/worker
+// readings addressable exactly like HPX counter instances ("individual
+// counts are available for each pending queue", Sec. II-A).
+func (r *Registry) RegisterInstances(pw *PerWorker) error {
+	for w := 0; w < pw.Workers(); w++ {
+		w := w
+		if err := r.Register(NewDerived(InstanceName(pw.Name(), w), func() float64 {
+			return float64(pw.Worker(w))
+		})); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package counters
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCumulativeBasics(t *testing.T) {
+	c := NewCumulative("/test/count")
+	if c.Name() != "/test/count" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Raw() != 5 || c.Value() != 5 {
+		t.Fatalf("value = %v", c.Value())
+	}
+	c.Reset()
+	if c.Raw() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCumulativeConcurrent(t *testing.T) {
+	c := NewCumulative("/test/conc")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Raw() != 80000 {
+		t.Fatalf("raw = %d, want 80000", c.Raw())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewGauge("/test/gauge")
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("value = %v", g.Value())
+	}
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Fatalf("value = %v", g.Value())
+	}
+	g.Reset()
+	if g.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestDerived(t *testing.T) {
+	exec := NewCumulative(TimeExecTotal)
+	fn := NewCumulative(TimeFuncTotal)
+	idle := NewDerived(IdleRate, func() float64 {
+		f := fn.Value()
+		if f == 0 {
+			return 0
+		}
+		return (f - exec.Value()) / f
+	})
+	if idle.Value() != 0 {
+		t.Fatal("idle-rate of empty run must be 0")
+	}
+	exec.Add(80)
+	fn.Add(100)
+	if got := idle.Value(); got != 0.2 {
+		t.Fatalf("idle = %v, want 0.2", got)
+	}
+	idle.Reset() // no-op
+	if idle.Value() != 0.2 {
+		t.Fatal("derived reset must not clear sources")
+	}
+}
+
+func TestPerWorker(t *testing.T) {
+	p := NewPerWorker(PendingAccesses, 4)
+	if p.Workers() != 4 {
+		t.Fatalf("workers = %d", p.Workers())
+	}
+	p.Inc(0)
+	p.Add(2, 10)
+	p.Inc(3)
+	if p.Total() != 12 || p.Value() != 12 {
+		t.Fatalf("total = %d", p.Total())
+	}
+	if p.Worker(2) != 10 || p.Worker(1) != 0 {
+		t.Fatal("per-worker readings wrong")
+	}
+	p.Reset()
+	if p.Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestPerWorkerConcurrentShards(t *testing.T) {
+	p := NewPerWorker("/test/shards", 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				p.Inc(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p.Total() != 40000 {
+		t.Fatalf("total = %d", p.Total())
+	}
+	for w := 0; w < 8; w++ {
+		if p.Worker(w) != 5000 {
+			t.Fatalf("worker %d = %d", w, p.Worker(w))
+		}
+	}
+}
+
+func TestRegistryRegisterGet(t *testing.T) {
+	r := NewRegistry()
+	c := NewCumulative(CountCumulative)
+	if err := r.Register(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(NewCumulative(CountCumulative)); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+	got, ok := r.Get(CountCumulative)
+	if !ok || got != Counter(c) {
+		t.Fatal("get failed")
+	}
+	if _, ok := r.Get("/missing"); ok {
+		t.Fatal("missing counter found")
+	}
+	c.Add(3)
+	v, ok := r.Value(CountCumulative)
+	if !ok || v != 3 {
+		t.Fatalf("value = %v ok=%v", v, ok)
+	}
+	if _, ok := r.Value("/missing"); ok {
+		t.Fatal("value of missing counter")
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(NewGauge("/g"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate MustRegister")
+		}
+	}()
+	r.MustRegister(NewGauge("/g"))
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(NewCumulative("/b"))
+	r.MustRegister(NewCumulative("/a"))
+	r.MustRegister(NewCumulative("/c"))
+	names := r.Names()
+	want := []string{"/a", "/b", "/c"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names = %v", names)
+		}
+	}
+}
+
+func TestSnapshotAndSub(t *testing.T) {
+	r := NewRegistry()
+	a := NewCumulative("/a")
+	b := NewCumulative("/b")
+	r.MustRegister(a)
+	r.MustRegister(b)
+	a.Add(10)
+	s1 := r.Snapshot()
+	a.Add(5)
+	b.Add(2)
+	s2 := r.Snapshot()
+	d := s2.Sub(s1)
+	if d.Get("/a") != 5 || d.Get("/b") != 2 {
+		t.Fatalf("diff = %v", d)
+	}
+	if s1.Get("/missing") != 0 {
+		t.Fatal("missing snapshot entry must read 0")
+	}
+}
+
+func TestResetAll(t *testing.T) {
+	r := NewRegistry()
+	a := NewCumulative("/a")
+	p := NewPerWorker("/p", 2)
+	r.MustRegister(a)
+	r.MustRegister(p)
+	a.Add(4)
+	p.Inc(1)
+	r.ResetAll()
+	if a.Raw() != 0 || p.Total() != 0 {
+		t.Fatal("ResetAll incomplete")
+	}
+}
+
+// Property: PerWorker total always equals the sum of shard readings.
+func TestQuickPerWorkerTotal(t *testing.T) {
+	f := func(incs []uint8, n8 uint8) bool {
+		n := int(n8%8) + 1
+		p := NewPerWorker("/q", n)
+		var want int64
+		for _, raw := range incs {
+			w := int(raw) % n
+			p.Add(w, int64(raw))
+			want += int64(raw)
+		}
+		var sum int64
+		for w := 0; w < n; w++ {
+			sum += p.Worker(w)
+		}
+		return p.Total() == want && sum == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: snapshot diff of monotone counters is non-negative.
+func TestQuickSnapshotMonotone(t *testing.T) {
+	f := func(pre, post []uint8) bool {
+		r := NewRegistry()
+		c := NewCumulative("/m")
+		r.MustRegister(c)
+		for _, v := range pre {
+			c.Add(int64(v))
+		}
+		s1 := r.Snapshot()
+		for _, v := range post {
+			c.Add(int64(v))
+		}
+		s2 := r.Snapshot()
+		return s2.Sub(s1).Get("/m") >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCumulativeInc(b *testing.B) {
+	c := NewCumulative("/bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkPerWorkerIncParallel(b *testing.B) {
+	p := NewPerWorker("/bench", 16)
+	var next int64
+	b.RunParallel(func(pb *testing.PB) {
+		w := int(next) % 16
+		next++
+		for pb.Next() {
+			p.Inc(w)
+		}
+	})
+}
+
+func TestNamesWithPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(NewCumulative("/threads/count/cumulative"))
+	r.MustRegister(NewCumulative("/threads/count/pending-accesses"))
+	r.MustRegister(NewCumulative("/other/x"))
+	got := r.NamesWithPrefix("/threads/count/")
+	if len(got) != 2 || got[0] != "/threads/count/cumulative" {
+		t.Fatalf("prefix query = %v", got)
+	}
+	if len(r.NamesWithPrefix("/nope")) != 0 {
+		t.Fatal("bogus prefix matched")
+	}
+}
+
+func TestInstanceName(t *testing.T) {
+	if got := InstanceName("/threads/count/cumulative", 3); got != "/threads{worker-thread#3}/count/cumulative" {
+		t.Fatalf("instance name = %q", got)
+	}
+	if got := InstanceName("/custom/metric", 1); got != "/custom/metric{worker-thread#1}" {
+		t.Fatalf("non-threads instance name = %q", got)
+	}
+}
+
+func TestRegisterInstances(t *testing.T) {
+	r := NewRegistry()
+	pw := NewPerWorker("/threads/count/pending-accesses", 3)
+	if err := r.RegisterInstances(pw); err != nil {
+		t.Fatal(err)
+	}
+	pw.Add(1, 7)
+	v, ok := r.Value("/threads{worker-thread#1}/count/pending-accesses")
+	if !ok || v != 7 {
+		t.Fatalf("instance value = %v ok=%v", v, ok)
+	}
+	v, _ = r.Value("/threads{worker-thread#0}/count/pending-accesses")
+	if v != 0 {
+		t.Fatalf("other instance = %v", v)
+	}
+	// Duplicate registration fails cleanly.
+	if err := r.RegisterInstances(pw); err == nil {
+		t.Fatal("duplicate instance registration accepted")
+	}
+}

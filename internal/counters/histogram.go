@@ -1,0 +1,164 @@
+package counters
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket i holds
+// observations in [2^(i-1), 2^i) ns, bucket 0 holds 0 ns.
+const histBuckets = 64
+
+// Histogram is a lock-free power-of-two latency histogram. The averages the
+// paper works with (t_d, t_o) hide the distribution; the histogram exposes
+// it — e.g. the bimodality that appears when some partitions hit memory
+// contention and others do not. Implements Counter (Value = mean).
+type Histogram struct {
+	name    string
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// NewHistogram creates a histogram counter with the given symbolic name.
+func NewHistogram(name string) *Histogram { return &Histogram{name: name} }
+
+// Name implements Counter.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one duration in nanoseconds (negative values clamp to 0).
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations in nanoseconds.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the average observation in nanoseconds.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Value implements Counter: the mean observation.
+func (h *Histogram) Value() float64 { return h.Mean() }
+
+// Reset implements Counter.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// Quantile returns an estimate of the q-th quantile (0..1) using the
+// geometric midpoint of the containing bucket. Returns 0 for an empty
+// histogram; q is clamped into [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			lo := math.Exp2(float64(i - 1))
+			hi := math.Exp2(float64(i))
+			return math.Sqrt(lo * hi) // geometric midpoint
+		}
+	}
+	return math.Exp2(histBuckets - 1)
+}
+
+// Bucket is one non-empty histogram bin.
+type Bucket struct {
+	LoNs  float64 // inclusive lower bound (ns)
+	HiNs  float64 // exclusive upper bound (ns)
+	Count int64
+}
+
+// Buckets returns the non-empty bins in ascending order.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = math.Exp2(float64(i - 1))
+		}
+		out = append(out, Bucket{LoNs: lo, HiNs: math.Exp2(float64(i)), Count: c})
+	}
+	return out
+}
+
+// Render draws the distribution as horizontal ASCII bars.
+func (h *Histogram) Render() string {
+	bks := h.Buckets()
+	if len(bks) == 0 {
+		return fmt.Sprintf("%s: (empty)\n", h.name)
+	}
+	max := int64(0)
+	for _, b := range bks {
+		if b.Count > max {
+			max = b.Count
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: n=%d mean=%s p50=%s p99=%s\n",
+		h.name, h.Count(), fmtNs(h.Mean()), fmtNs(h.Quantile(0.5)), fmtNs(h.Quantile(0.99)))
+	for _, b := range bks {
+		width := int(float64(b.Count) / float64(max) * 40)
+		if width < 1 {
+			width = 1
+		}
+		fmt.Fprintf(&sb, "  [%8s, %8s) %-40s %d\n",
+			fmtNs(b.LoNs), fmtNs(b.HiNs), strings.Repeat("#", width), b.Count)
+	}
+	return sb.String()
+}
+
+// fmtNs renders nanoseconds with an adaptive unit.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

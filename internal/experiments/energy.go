@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"taskgrain/internal/costmodel"
+	"taskgrain/internal/plot"
+	"taskgrain/internal/sim"
+	"taskgrain/internal/stencil"
+)
+
+// registerEnergy adds the X7 extension: the energy dimension the paper's
+// introduction motivates ("best possible performance, energy efficiency, or
+// resource utilization") and the Porterfield throttling work targets.
+func registerEnergy() {
+	register("energy", "X7: Energy vs. grain and core count",
+		"Modelled energy of the stencil across grains (28 cores) and across core counts at the optimal grain.",
+		runEnergy)
+}
+
+func runEnergy(opt Options) (*Report, error) {
+	prof := costmodel.Haswell()
+	n := opt.Scale.TotalPoints()
+	steps := opt.Scale.TimeSteps(prof)
+
+	runOne := func(partition, cores int) (*sim.Result, error) {
+		wl, err := stencil.NewSimWorkload(stencil.Config{
+			TotalPoints: n, PointsPerPartition: partition, TimeSteps: steps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(sim.Config{Profile: prof, Cores: cores}, wl)
+	}
+
+	var text strings.Builder
+	fmt.Fprintf(&text, "Energy model on simulated Haswell (%.1fW idle / %.1fW active per core) [%s scale]\n\n",
+		prof.IdleWattsPerCore, prof.ActiveWattsPerCore, opt.Scale)
+
+	// Panel 1: energy vs grain at full core count.
+	header := []string{"partition", "exec(s)", "idle%", "energy(J)", "avg power(W)"}
+	var rows [][]string
+	var csvRows [][]any
+	bestGrain, bestEnergy := 0, 0.0
+	var bestExec float64
+	for _, partition := range opt.Scale.PartitionSizes() {
+		r, err := runOne(partition, 28)
+		if err != nil {
+			return nil, err
+		}
+		secs := r.MakespanNs / 1e9
+		power := 0.0
+		if secs > 0 {
+			power = r.EnergyJ / secs
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", partition),
+			fmt.Sprintf("%.4f", secs),
+			fmt.Sprintf("%.1f", r.IdleRate()*100),
+			fmt.Sprintf("%.3f", r.EnergyJ),
+			fmt.Sprintf("%.1f", power),
+		})
+		csvRows = append(csvRows, []any{"grain-sweep", partition, 28, secs, r.IdleRate(), r.EnergyJ})
+		if bestGrain == 0 || r.EnergyJ < bestEnergy {
+			bestGrain, bestEnergy, bestExec = partition, r.EnergyJ, secs
+		}
+	}
+	text.WriteString("energy vs grain, 28 cores:\n")
+	text.WriteString(plot.Table(header, rows))
+	fmt.Fprintf(&text, "\nenergy-optimal grain: %d (%.3f J, %.4fs)\n\n", bestGrain, bestEnergy, bestExec)
+
+	// Panel 2: energy vs cores at that grain (energy-performance tradeoff).
+	header2 := []string{"cores", "exec(s)", "idle%", "energy(J)", "energy×delay"}
+	var rows2 [][]string
+	for _, cores := range []int{1, 2, 4, 8, 16, 28} {
+		r, err := runOne(bestGrain, cores)
+		if err != nil {
+			return nil, err
+		}
+		secs := r.MakespanNs / 1e9
+		rows2 = append(rows2, []string{
+			fmt.Sprintf("%d", cores),
+			fmt.Sprintf("%.4f", secs),
+			fmt.Sprintf("%.1f", r.IdleRate()*100),
+			fmt.Sprintf("%.3f", r.EnergyJ),
+			fmt.Sprintf("%.5f", r.EnergyJ*secs),
+		})
+		csvRows = append(csvRows, []any{"core-sweep", bestGrain, cores, secs, r.IdleRate(), r.EnergyJ})
+	}
+	fmt.Fprintf(&text, "energy vs cores at partition %d:\n", bestGrain)
+	text.WriteString(plot.Table(header2, rows2))
+	text.WriteString("\nwait-time-impaired scaling makes the last cores cost energy for little\ntime — the regime where Porterfield-style throttling pays (Sec. V).\n")
+
+	var csvB strings.Builder
+	if err := plot.WriteCSV(&csvB, []string{"sweep", "partition", "cores", "exec_s", "idle_rate", "energy_j"}, csvRows); err != nil {
+		return nil, err
+	}
+	return &Report{ID: "energy", Title: "Energy vs. grain and core count", Text: text.String(),
+		CSV: map[string]string{"energy_haswell.csv": csvB.String()}}, nil
+}

@@ -1,0 +1,236 @@
+// Package experiments defines one runnable reproduction per table and
+// figure of the paper's evaluation, plus the extension experiments listed in
+// DESIGN.md. Each experiment produces a Report: human-readable tables and
+// ASCII charts, and CSV series for external plotting.
+//
+// Experiments default to a scaled-down problem (10^6 grid points) so the
+// whole suite regenerates in minutes on a laptop; --scale=paper selects the
+// paper's full 10^8-point, 50-step configuration (hours of simulated-event
+// processing for the finest grains).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"taskgrain/internal/core"
+	"taskgrain/internal/costmodel"
+)
+
+// Scale selects the problem size.
+type Scale int
+
+// Problem scales.
+const (
+	// Small is 10^6 grid points, ≤10 time steps: seconds per figure.
+	Small Scale = iota
+	// Medium is 10^7 grid points, ≤10 time steps: minutes per figure.
+	Medium
+	// Paper is the full 10^8 grid points with the paper's step counts.
+	Paper
+)
+
+// ParseScale maps a flag value to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "", "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "paper", "full":
+		return Paper, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown scale %q (small, medium, paper)", s)
+}
+
+// String returns the scale name.
+func (s Scale) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Paper:
+		return "paper"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// TotalPoints returns the grid size at this scale.
+func (s Scale) TotalPoints() int {
+	switch s {
+	case Medium:
+		return 10_000_000
+	case Paper:
+		return 100_000_000
+	default:
+		return 1_000_000
+	}
+}
+
+// TimeSteps returns the step count for a platform at this scale: the
+// paper's native counts at Paper scale (50 Xeon / 5 Phi), capped at 10
+// otherwise.
+func (s Scale) TimeSteps(p *costmodel.Profile) int {
+	if s == Paper {
+		return p.TimeSteps
+	}
+	if p.TimeSteps < 10 {
+		return p.TimeSteps
+	}
+	return 10
+}
+
+// PartitionSizes returns the grain sweep at this scale: decade-spaced with
+// refinements, 160 points up to the whole ring — mirroring the paper's
+// "160 points to 100 million points" sweep.
+func (s Scale) PartitionSizes() []int {
+	n := s.TotalPoints()
+	base := []int{160, 500, 1600, 5000, 12500, 40000, 125000, 400000,
+		1_250_000, 4_000_000, 12_500_000, 40_000_000, 100_000_000}
+	out := make([]int, 0, len(base))
+	for _, b := range base {
+		if b < n {
+			out = append(out, b)
+		}
+	}
+	return append(out, n) // always include the single-partition extreme
+}
+
+// WaitSweepSizes returns the Fig. 6 partition range — 10,000…90,000 at
+// paper scale — scaled so the partition count stays comparable.
+func (s Scale) WaitSweepSizes() []int {
+	unit := s.TotalPoints() / 10_000 // 10k at paper scale
+	if unit < 1 {
+		unit = 1
+	}
+	out := make([]int, 0, 9)
+	for k := 1; k <= 9; k++ {
+		out = append(out, unit*k)
+	}
+	return out
+}
+
+// Options configures one experiment run.
+type Options struct {
+	Scale Scale
+	// Platform filters multi-platform experiments (e.g. fig3) to one
+	// profile name; empty = all.
+	Platform string
+	// Samples overrides the per-configuration sample count (0 = engine
+	// default).
+	Samples int
+	// NativeWorkers caps the native engine in the validation experiment
+	// (0 = host GOMAXPROCS).
+	NativeWorkers int
+}
+
+// Report is an experiment's output.
+type Report struct {
+	ID    string
+	Title string
+	// Text is the human-readable rendering (tables + ASCII charts).
+	Text string
+	// CSV maps file names to CSV contents for external plotting.
+	CSV map[string]string
+}
+
+// Meta describes a registered experiment.
+type Meta struct {
+	ID          string
+	Title       string
+	Description string
+}
+
+type experiment struct {
+	Meta
+	run func(Options) (*Report, error)
+}
+
+var registry []experiment
+
+func register(id, title, desc string, run func(Options) (*Report, error)) {
+	registry = append(registry, experiment{
+		Meta: Meta{ID: id, Title: title, Description: desc},
+		run:  run,
+	})
+}
+
+// List returns the registered experiments in registration (paper) order.
+func List() []Meta {
+	out := make([]Meta, len(registry))
+	for i, e := range registry {
+		out[i] = e.Meta
+	}
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, opt Options) (*Report, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.run(opt)
+		}
+	}
+	known := make([]string, len(registry))
+	for i, e := range registry {
+		known[i] = e.ID
+	}
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have: %s)", id, strings.Join(known, ", "))
+}
+
+// RunAll executes every registered experiment.
+func RunAll(opt Options) ([]*Report, error) {
+	out := make([]*Report, 0, len(registry))
+	for _, e := range registry {
+		r, err := e.run(opt)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// figureCores returns the per-figure core sets used by the paper.
+func figureCores(platform string, figure string) []int {
+	switch figure {
+	case "fig3":
+		switch platform {
+		case "sandybridge":
+			return []int{1, 2, 4, 8, 12, 16}
+		case "ivybridge":
+			return []int{1, 2, 4, 8, 16, 20}
+		case "haswell":
+			return []int{1, 2, 4, 8, 16, 28}
+		case "xeonphi":
+			return []int{1, 2, 4, 8, 16, 32, 60}
+		}
+	case "haswell3":
+		return []int{8, 16, 28}
+	case "xeonphi3":
+		return []int{16, 32, 60}
+	case "fig6":
+		return []int{4, 8, 16, 28}
+	}
+	return []int{1}
+}
+
+// sweep runs the standard granularity sweep on a platform's simulator.
+func sweep(profile *costmodel.Profile, opt Options, sizes []int, cores []int) (*core.SweepResult, error) {
+	eng := core.NewSimEngine(profile)
+	// Strong-scaling series always need the 1-core calibration; ensure 1 is
+	// part of the sweep for wait-time derivation but do not emit it unless
+	// requested.
+	sc := core.SweepConfig{
+		TotalPoints:    opt.Scale.TotalPoints(),
+		TimeSteps:      opt.Scale.TimeSteps(profile),
+		PartitionSizes: sizes,
+		Cores:          cores,
+		Samples:        opt.Samples,
+	}
+	return core.RunSweep(eng, sc)
+}

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{"": Small, "small": Small, "medium": Medium, "paper": Paper, "full": Paper} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if Small.String() != "small" || Paper.String() != "paper" || Medium.String() != "medium" {
+		t.Error("scale names")
+	}
+}
+
+func TestScaleParameters(t *testing.T) {
+	if Small.TotalPoints() != 1_000_000 || Medium.TotalPoints() != 10_000_000 || Paper.TotalPoints() != 100_000_000 {
+		t.Error("total points")
+	}
+	sizes := Small.PartitionSizes()
+	if sizes[0] != 160 {
+		t.Errorf("sweep must start at 160 points, got %d", sizes[0])
+	}
+	if sizes[len(sizes)-1] != Small.TotalPoints() {
+		t.Errorf("sweep must end at the single-partition extreme")
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Errorf("sizes not increasing: %v", sizes)
+		}
+	}
+	ws := Paper.WaitSweepSizes()
+	if len(ws) != 9 || ws[0] != 10000 || ws[8] != 90000 {
+		t.Errorf("paper wait sweep = %v, want 10k..90k", ws)
+	}
+}
+
+func TestListAndUnknown(t *testing.T) {
+	metas := List()
+	want := []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "threshold", "adaptive", "policies", "validate", "micro",
+		"classes", "energy", "stencil2d", "placement"}
+	if len(metas) != len(want) {
+		t.Fatalf("experiments = %d, want %d", len(metas), len(want))
+	}
+	for i, id := range want {
+		if metas[i].ID != id {
+			t.Errorf("experiment %d = %q, want %q", i, metas[i].ID, id)
+		}
+		if metas[i].Title == "" || metas[i].Description == "" {
+			t.Errorf("%s: missing title/description", id)
+		}
+	}
+	if _, err := Run("nosuch", Options{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, err := Run("table1", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"haswell", "xeonphi", "ivybridge", "sandybridge",
+		"Intel Xeon E5-2695 v3", "2.3 GHz (3.3 turbo)", "61", "28", "35 MB", "512 KB"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("Table I missing %q:\n%s", want, r.Text)
+		}
+	}
+}
+
+func TestFig3SinglePlatform(t *testing.T) {
+	r, err := Run("fig3", Options{Platform: "sandybridge"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "sandybridge") || !strings.Contains(r.Text, "16 cores") {
+		t.Errorf("fig3 text incomplete")
+	}
+	csv, ok := r.CSV["fig3_sandybridge.csv"]
+	if !ok {
+		t.Fatalf("missing CSV, have %v", keys(r.CSV))
+	}
+	if !strings.HasPrefix(csv, "engine,cores,partition_size") {
+		t.Errorf("csv header: %q", csv[:60])
+	}
+	lines := strings.Count(csv, "\n")
+	// 6 core counts × len(sizes) rows + header
+	wantRows := 6 * len(Small.PartitionSizes())
+	if lines != wantRows+1 {
+		t.Errorf("csv rows = %d, want %d", lines-1, wantRows)
+	}
+	if _, err := Run("fig3", Options{Platform: "nosuch"}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestFig4ShapeAssertions(t *testing.T) {
+	r, err := Run("fig4", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "idle-rate %") || !strings.Contains(r.Text, "28 cores") {
+		t.Errorf("fig4 text incomplete:\n%.400s", r.Text)
+	}
+	if len(r.CSV) != 1 {
+		t.Errorf("fig4 CSV files = %d", len(r.CSV))
+	}
+}
+
+func TestFig6WaitShapes(t *testing.T) {
+	r, err := Run("fig6", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "wait time per task") {
+		t.Errorf("fig6 text incomplete")
+	}
+	csv := r.CSV["fig6_haswell.csv"]
+	if !strings.Contains(csv, "wait_per_task_ns") {
+		t.Error("fig6 csv missing wait column")
+	}
+}
+
+func TestThresholdExperiment(t *testing.T) {
+	r, err := Run("threshold", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"observed optimum", "idle-rate ≤ 30% pick", "pending-access minimum"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("threshold report missing %q:\n%s", want, r.Text)
+		}
+	}
+}
+
+func TestAdaptiveExperiment(t *testing.T) {
+	r, err := Run("adaptive", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "converged at partition") {
+		t.Errorf("adaptive report:\n%s", r.Text)
+	}
+	if !strings.Contains(r.Text, "grow") || !strings.Contains(r.Text, "shrink") {
+		t.Errorf("adaptive trace must contain both wall escapes:\n%s", r.Text)
+	}
+}
+
+func TestPoliciesExperiment(t *testing.T) {
+	r, err := Run("policies", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"priority-local-fifo", "static-round-robin", "work-stealing-lifo"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("policies report missing %q", want)
+		}
+	}
+}
+
+func TestValidateExperiment(t *testing.T) {
+	r, err := Run("validate", Options{NativeWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "native optimum at partition") {
+		t.Errorf("validate report:\n%s", r.Text)
+	}
+}
+
+func TestMicroExperiment(t *testing.T) {
+	r, err := Run("micro", Options{NativeWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "ns/op") {
+		t.Errorf("micro report:\n%s", r.Text)
+	}
+}
+
+func TestClassesExperiment(t *testing.T) {
+	r, err := Run("classes", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fan-out", "chain", "fork-join", "wavefront", "irregular-dag"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("classes report missing %q", want)
+		}
+	}
+	if _, ok := r.CSV["classes_haswell28.csv"]; !ok {
+		t.Error("classes CSV missing")
+	}
+}
+
+func TestEnergyExperiment(t *testing.T) {
+	r, err := Run("energy", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"energy vs grain", "energy vs cores", "energy-optimal grain"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("energy report missing %q", want)
+		}
+	}
+	if _, ok := r.CSV["energy_haswell.csv"]; !ok {
+		t.Error("energy CSV missing")
+	}
+}
+
+func TestStencil2DExperiment(t *testing.T) {
+	r, err := Run("stencil2d", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "U-curve") || !strings.Contains(r.Text, "28") {
+		t.Errorf("stencil2d report incomplete")
+	}
+	if _, ok := r.CSV["stencil2d_haswell.csv"]; !ok {
+		t.Error("stencil2d CSV missing")
+	}
+}
+
+func TestPlacementExperiment(t *testing.T) {
+	r, err := Run("placement", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "round-robin") || !strings.Contains(r.Text, "owner-computes") {
+		t.Errorf("placement report incomplete")
+	}
+}
+
+func keys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestFig7RenderPath(t *testing.T) {
+	r, err := Run("fig7", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"HPX-TM", "WT", "TM+WT", "exec time"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("fig7 report missing %q", want)
+		}
+	}
+	if _, ok := r.CSV["fig7_haswell.csv"]; !ok {
+		t.Error("fig7 CSV missing")
+	}
+}
+
+func TestFig9RenderPath(t *testing.T) {
+	r, err := Run("fig9", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "pending q accesses") {
+		t.Errorf("fig9 report missing series label")
+	}
+	if _, ok := r.CSV["fig9_haswell.csv"]; !ok {
+		t.Error("fig9 CSV missing")
+	}
+}
+
+func TestFig10XeonPhiRenderPath(t *testing.T) {
+	r, err := Run("fig10", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "xeonphi") || !strings.Contains(r.Text, "60 cores") {
+		t.Errorf("fig10 report incomplete")
+	}
+}

@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"taskgrain/internal/core"
+	"taskgrain/internal/costmodel"
+	"taskgrain/internal/plot"
+)
+
+func init() {
+	registerFigures()
+	registerExtras()
+	registerWorkloadClasses()
+	registerEnergy()
+	registerStencil2D()
+	registerPlacement()
+}
+
+// registerFigures adds the per-table/figure reproductions in paper order.
+func registerFigures() {
+	register("table1", "Table I: Platform Specifications",
+		"Hardware description of the four simulated platforms.", runTable1)
+	register("fig3", "Fig. 3: Execution Time vs. Task Granularity",
+		"Strong-scaling grain sweep on all four platforms (filter with -platform).", runFig3)
+	register("fig4", "Fig. 4: Idle-rate, Intel Haswell",
+		"Idle-rate and execution time vs partition size, 8/16/28 cores.",
+		func(o Options) (*Report, error) { return runIdleRateFig("fig4", costmodel.Haswell(), "haswell3", o) })
+	register("fig5", "Fig. 5: Idle-rate, Intel Xeon Phi",
+		"Idle-rate and execution time vs partition size, 16/32/60 cores.",
+		func(o Options) (*Report, error) { return runIdleRateFig("fig5", costmodel.XeonPhi(), "xeonphi3", o) })
+	register("fig6", "Fig. 6: Wait Time per HPX-Thread (Haswell)",
+		"Average wait time per task vs partition size, 4/8/16/28 cores.", runFig6)
+	register("fig7", "Fig. 7: Thread Management and Wait Time, Haswell",
+		"Execution time decomposed into TM overhead and wait time, 8/16/28 cores.",
+		func(o Options) (*Report, error) { return runCombinedFig("fig7", costmodel.Haswell(), "haswell3", o) })
+	register("fig8", "Fig. 8: Thread Management and Wait Time, Xeon Phi",
+		"Execution time decomposed into TM overhead and wait time, 16/32/60 cores.",
+		func(o Options) (*Report, error) { return runCombinedFig("fig8", costmodel.XeonPhi(), "xeonphi3", o) })
+	register("fig9", "Fig. 9: Pending Queue Accesses, Haswell",
+		"Pending-queue accesses and execution time vs partition size, 8/16/28 cores.",
+		func(o Options) (*Report, error) { return runPendingFig("fig9", costmodel.Haswell(), "haswell3", o) })
+	register("fig10", "Fig. 10: Pending Queue Accesses, Xeon Phi",
+		"Pending-queue accesses and execution time vs partition size, 16/32/60 cores.",
+		func(o Options) (*Report, error) { return runPendingFig("fig10", costmodel.XeonPhi(), "xeonphi3", o) })
+}
+
+// runTable1 reproduces Table I from the platform profiles.
+func runTable1(Options) (*Report, error) {
+	header := []string{"Node", "Processors", "Clock", "Microarchitecture",
+		"HW Threading", "Cores", "L1/core", "L2/core", "Shared Cache", "RAM"}
+	var rows [][]string
+	for _, p := range costmodel.All() {
+		clock := fmt.Sprintf("%.1f GHz", p.ClockGHz)
+		if p.TurboGHz > 0 {
+			clock = fmt.Sprintf("%.1f GHz (%.1f turbo)", p.ClockGHz, p.TurboGHz)
+		}
+		shared := "—"
+		if p.SharedCacheMB > 0 {
+			shared = fmt.Sprintf("%.0f MB", p.SharedCacheMB)
+		}
+		rows = append(rows, []string{
+			p.Name, p.Processor, clock, p.Microarch,
+			fmt.Sprintf("%d-way", p.HWThreads), fmt.Sprintf("%d", p.Cores),
+			fmt.Sprintf("%d KB", p.L1KB), fmt.Sprintf("%d KB", p.L2KB),
+			shared, fmt.Sprintf("%d GB", p.RAMGB),
+		})
+	}
+	return &Report{
+		ID:    "table1",
+		Title: "Table I: Platform Specifications",
+		Text:  plot.Table(header, rows),
+	}, nil
+}
+
+// runFig3 reproduces the four execution-time-vs-granularity panels.
+func runFig3(opt Options) (*Report, error) {
+	var profiles []*costmodel.Profile
+	if opt.Platform != "" {
+		p, err := costmodel.ByName(opt.Platform)
+		if err != nil {
+			return nil, err
+		}
+		profiles = []*costmodel.Profile{p}
+	} else {
+		profiles = []*costmodel.Profile{
+			costmodel.SandyBridge(), costmodel.IvyBridge(),
+			costmodel.Haswell(), costmodel.XeonPhi(),
+		}
+	}
+	var text strings.Builder
+	csv := make(map[string]string)
+	for _, p := range profiles {
+		cores := figureCores(p.Name, "fig3")
+		res, err := sweep(p, opt, opt.Scale.PartitionSizes(), cores)
+		if err != nil {
+			return nil, err
+		}
+		chart := plot.Chart{
+			Title:  fmt.Sprintf("Fig. 3 (%s): Execution Time vs Partition Size [%s scale]", p.Name, opt.Scale),
+			XLabel: "partition size (grid points)",
+			YLabel: "execution time (s)",
+			LogX:   true,
+		}
+		for _, c := range cores {
+			ms := res.Measurements(c)
+			s := plot.Series{Label: fmt.Sprintf("%d cores", c)}
+			for _, m := range ms {
+				s.X = append(s.X, float64(m.PartitionSize))
+				s.Y = append(s.Y, m.ExecSeconds.Mean)
+			}
+			chart.Series = append(chart.Series, s)
+		}
+		text.WriteString(chart.Render())
+		text.WriteString("\n")
+		text.WriteString(sweepTable(res, cores))
+		text.WriteString("\n")
+		csv["fig3_"+p.Name+".csv"] = sweepCSV(res, cores)
+	}
+	return &Report{ID: "fig3", Title: "Fig. 3: Execution Time vs. Task Granularity",
+		Text: text.String(), CSV: csv}, nil
+}
+
+// runIdleRateFig reproduces Fig. 4/5: idle-rate overlaid on execution time.
+func runIdleRateFig(id string, p *costmodel.Profile, coreSet string, opt Options) (*Report, error) {
+	cores := figureCores(p.Name, coreSet)
+	res, err := sweep(p, opt, opt.Scale.PartitionSizes(), cores)
+	if err != nil {
+		return nil, err
+	}
+	var text strings.Builder
+	for _, c := range cores {
+		ms := res.Measurements(c)
+		maxExec := 0.0
+		for _, m := range ms {
+			if m.ExecSeconds.Mean > maxExec {
+				maxExec = m.ExecSeconds.Mean
+			}
+		}
+		chart := plot.Chart{
+			Title: fmt.Sprintf("%s (%s, %d cores): idle-rate %% and normalized execution time [%s scale]",
+				strings.ToUpper(id[:1])+id[1:], p.Name, c, opt.Scale),
+			XLabel: "partition size (grid points)",
+			YLabel: "percent",
+			LogX:   true,
+		}
+		idle := plot.Series{Label: "idle-rate %"}
+		exec := plot.Series{Label: "exec time (% of max)"}
+		for _, m := range ms {
+			idle.X = append(idle.X, float64(m.PartitionSize))
+			idle.Y = append(idle.Y, m.IdleRate*100)
+			exec.X = append(exec.X, float64(m.PartitionSize))
+			exec.Y = append(exec.Y, m.ExecSeconds.Mean/maxExec*100)
+		}
+		chart.Series = []plot.Series{exec, idle}
+		text.WriteString(chart.Render())
+		text.WriteString("\n")
+	}
+	text.WriteString(sweepTable(res, cores))
+	return &Report{ID: id, Title: fmt.Sprintf("Idle-rate (%s)", p.Name), Text: text.String(),
+		CSV: map[string]string{id + "_" + p.Name + ".csv": sweepCSV(res, cores)}}, nil
+}
+
+// runFig6 reproduces the wait-time-per-task sweep on Haswell.
+func runFig6(opt Options) (*Report, error) {
+	p := costmodel.Haswell()
+	cores := figureCores("", "fig6")
+	res, err := sweep(p, opt, opt.Scale.WaitSweepSizes(), cores)
+	if err != nil {
+		return nil, err
+	}
+	chart := plot.Chart{
+		Title:  fmt.Sprintf("Fig. 6: Wait Time per Task (haswell) [%s scale]", opt.Scale),
+		XLabel: "partition size (grid points)",
+		YLabel: "wait time per task (µs)",
+	}
+	for _, c := range cores {
+		s := plot.Series{Label: fmt.Sprintf("%d cores", c)}
+		for _, m := range res.Measurements(c) {
+			s.X = append(s.X, float64(m.PartitionSize))
+			s.Y = append(s.Y, m.WaitPerTaskNs/1000)
+		}
+		chart.Series = append(chart.Series, s)
+	}
+	text := chart.Render() + "\n" + sweepTable(res, cores)
+	return &Report{ID: "fig6", Title: "Fig. 6: Wait Time per HPX-Thread (Haswell)", Text: text,
+		CSV: map[string]string{"fig6_haswell.csv": sweepCSV(res, cores)}}, nil
+}
+
+// runCombinedFig reproduces Fig. 7/8: execution time, thread-management
+// overhead per core (T_o), wait time per core (T_w), and their sum.
+func runCombinedFig(id string, p *costmodel.Profile, coreSet string, opt Options) (*Report, error) {
+	cores := figureCores(p.Name, coreSet)
+	res, err := sweep(p, opt, opt.Scale.PartitionSizes(), cores)
+	if err != nil {
+		return nil, err
+	}
+	var text strings.Builder
+	for _, c := range cores {
+		chart := plot.Chart{
+			Title: fmt.Sprintf("%s (%s, %d cores): Exec, HPX-TM, WT [%s scale]",
+				strings.ToUpper(id[:1])+id[1:], p.Name, c, opt.Scale),
+			XLabel: "partition size (grid points)",
+			YLabel: "seconds",
+			LogX:   true,
+		}
+		exec := plot.Series{Label: "exec time"}
+		tm := plot.Series{Label: "HPX-TM"}
+		wt := plot.Series{Label: "WT"}
+		both := plot.Series{Label: "TM+WT"}
+		for _, m := range res.Measurements(c) {
+			x := float64(m.PartitionSize)
+			exec.X, exec.Y = append(exec.X, x), append(exec.Y, m.ExecSeconds.Mean)
+			tm.X, tm.Y = append(tm.X, x), append(tm.Y, m.TMOverheadPerCoreNs/1e9)
+			wt.X, wt.Y = append(wt.X, x), append(wt.Y, m.WaitPerCoreNs/1e9)
+			both.X, both.Y = append(both.X, x), append(both.Y, (m.TMOverheadPerCoreNs+m.WaitPerCoreNs)/1e9)
+		}
+		chart.Series = []plot.Series{exec, both, wt, tm}
+		text.WriteString(chart.Render())
+		text.WriteString("\n")
+	}
+	text.WriteString(sweepTable(res, cores))
+	return &Report{ID: id, Title: fmt.Sprintf("TM & WT (%s)", p.Name), Text: text.String(),
+		CSV: map[string]string{id + "_" + p.Name + ".csv": sweepCSV(res, cores)}}, nil
+}
+
+// runPendingFig reproduces Fig. 9/10: pending-queue accesses vs grain.
+func runPendingFig(id string, p *costmodel.Profile, coreSet string, opt Options) (*Report, error) {
+	cores := figureCores(p.Name, coreSet)
+	res, err := sweep(p, opt, opt.Scale.PartitionSizes(), cores)
+	if err != nil {
+		return nil, err
+	}
+	var text strings.Builder
+	for _, c := range cores {
+		chart := plot.Chart{
+			Title: fmt.Sprintf("%s (%s, %d cores): Pending Queue Accesses [%s scale]",
+				strings.ToUpper(id[:1])+id[1:], p.Name, c, opt.Scale),
+			XLabel: "partition size (grid points)",
+			YLabel: "accesses (millions)",
+			LogX:   true,
+		}
+		acc := plot.Series{Label: "pending q accesses"}
+		for _, m := range res.Measurements(c) {
+			acc.X = append(acc.X, float64(m.PartitionSize))
+			acc.Y = append(acc.Y, m.PendingAccesses/1e6)
+		}
+		chart.Series = []plot.Series{acc}
+		text.WriteString(chart.Render())
+		text.WriteString("\n")
+	}
+	text.WriteString(sweepTable(res, cores))
+	return &Report{ID: id, Title: fmt.Sprintf("Pending Queue Accesses (%s)", p.Name), Text: text.String(),
+		CSV: map[string]string{id + "_" + p.Name + ".csv": sweepCSV(res, cores)}}, nil
+}
+
+// sweepTable renders the full measurement table for the given core counts.
+func sweepTable(res *core.SweepResult, cores []int) string {
+	header := []string{"cores", "partition", "parts", "exec(s)", "cov%", "idle%",
+		"td(µs)", "to(µs)", "To(s)", "Tw(s)", "pq-acc", "pq-miss", "stolen"}
+	var rows [][]string
+	for _, c := range cores {
+		for _, m := range res.Measurements(c) {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", m.Cores),
+				fmt.Sprintf("%d", m.PartitionSize),
+				fmt.Sprintf("%d", m.Partitions),
+				fmt.Sprintf("%.4f", m.ExecSeconds.Mean),
+				fmt.Sprintf("%.1f", m.ExecSeconds.COV*100),
+				fmt.Sprintf("%.1f", m.IdleRate*100),
+				fmt.Sprintf("%.1f", m.TaskDurationNs/1000),
+				fmt.Sprintf("%.2f", m.TaskOverheadNs/1000),
+				fmt.Sprintf("%.3f", m.TMOverheadPerCoreNs/1e9),
+				fmt.Sprintf("%.3f", m.WaitPerCoreNs/1e9),
+				fmt.Sprintf("%.0f", m.PendingAccesses),
+				fmt.Sprintf("%.0f", m.PendingMisses),
+				fmt.Sprintf("%.0f", m.Stolen),
+			})
+		}
+	}
+	return plot.Table(header, rows)
+}
+
+// sweepCSV emits the full measurement set as CSV.
+func sweepCSV(res *core.SweepResult, cores []int) string {
+	header := []string{"engine", "cores", "partition_size", "partitions", "tasks",
+		"exec_mean_s", "exec_std_s", "exec_cov", "idle_rate",
+		"task_duration_ns", "task_overhead_ns", "td1_ns",
+		"tm_overhead_per_core_ns", "wait_per_task_ns", "wait_per_core_ns",
+		"pending_accesses", "pending_misses", "staged_accesses", "staged_misses", "stolen"}
+	var rows [][]any
+	for _, c := range cores {
+		for _, m := range res.Measurements(c) {
+			rows = append(rows, []any{
+				m.Engine, m.Cores, m.PartitionSize, m.Partitions, m.Tasks,
+				m.ExecSeconds.Mean, m.ExecSeconds.Std, m.ExecSeconds.COV, m.IdleRate,
+				m.TaskDurationNs, m.TaskOverheadNs, m.Td1Ns,
+				m.TMOverheadPerCoreNs, m.WaitPerTaskNs, m.WaitPerCoreNs,
+				m.PendingAccesses, m.PendingMisses, m.StagedAccesses, m.StagedMisses, m.Stolen,
+			})
+		}
+	}
+	var b strings.Builder
+	if err := plot.WriteCSV(&b, header, rows); err != nil {
+		// WriteCSV to a Builder cannot fail on I/O; a mismatch is a bug.
+		panic(err)
+	}
+	return b.String()
+}

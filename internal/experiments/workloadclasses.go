@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"taskgrain/internal/costmodel"
+	"taskgrain/internal/plot"
+	"taskgrain/internal/sim"
+	"taskgrain/internal/workloads"
+)
+
+// registerWorkloadClasses adds the X6 extension: scheduling behaviour across
+// the application classes the paper's introduction motivates, including the
+// irregular fine-grained graph workloads it names as the hard case.
+func registerWorkloadClasses() {
+	register("classes", "X6: Workload-class comparison",
+		"Fan-out, chain, fork/join, wavefront, and irregular DAG under all three policies, Haswell 28 cores.",
+		runWorkloadClasses)
+}
+
+// classCase builds one workload instance per run (sim workloads are
+// single-use: they carry dependency bookkeeping).
+type classCase struct {
+	name string
+	mk   func() sim.Workload
+}
+
+func runWorkloadClasses(opt Options) (*Report, error) {
+	scale := 1
+	if opt.Scale == Medium {
+		scale = 4
+	}
+	if opt.Scale == Paper {
+		scale = 16
+	}
+	cases := []classCase{
+		{"fan-out", func() sim.Workload { return &workloads.FanOut{N: 2000 * scale, Points: 5000} }},
+		{"chain", func() sim.Workload { return &workloads.Chain{N: 200 * scale, Points: 5000} }},
+		{"fork-join", func() sim.Workload { return &workloads.ForkJoin{Depth: 9, Branch: 2, Points: 5000} }},
+		{"wavefront", func() sim.Workload { return &workloads.Wavefront{Width: 40 * scale, Height: 40, Points: 5000} }},
+		{"irregular-dag", func() sim.Workload {
+			return &workloads.RandomDAG{Tasks: 3000 * scale, MaxDeg: 3, MinPoints: 200, MaxPoints: 100000, Seed: 2015}
+		}},
+	}
+	policies := []struct {
+		name string
+		pol  sim.Policy
+	}{
+		{"priority-local-fifo", sim.PriorityLocalFIFO},
+		{"static-round-robin", sim.StaticRoundRobin},
+		{"work-stealing-lifo", sim.WorkStealingLIFO},
+	}
+	prof := costmodel.Haswell()
+	header := []string{"workload", "policy", "tasks", "makespan(s)", "idle%", "stolen", "td-p50(µs)", "td-p99(µs)"}
+	var rows [][]string
+	var csvRows [][]any
+	for _, c := range cases {
+		for _, pc := range policies {
+			r, err := sim.Run(sim.Config{Profile: prof, Cores: 28, Policy: pc.pol}, c.mk())
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", c.name, pc.name, err)
+			}
+			p50 := r.DurationHist.Quantile(0.5) / 1000
+			p99 := r.DurationHist.Quantile(0.99) / 1000
+			rows = append(rows, []string{
+				c.name, pc.name,
+				fmt.Sprintf("%d", r.Tasks),
+				fmt.Sprintf("%.4f", r.MakespanNs/1e9),
+				fmt.Sprintf("%.1f", r.IdleRate()*100),
+				fmt.Sprintf("%d", r.Stolen),
+				fmt.Sprintf("%.1f", p50),
+				fmt.Sprintf("%.1f", p99),
+			})
+			csvRows = append(csvRows, []any{c.name, pc.name, r.Tasks,
+				r.MakespanNs / 1e9, r.IdleRate(), r.Stolen, p50, p99})
+		}
+	}
+	var csvB strings.Builder
+	if err := plot.WriteCSV(&csvB, []string{"workload", "policy", "tasks",
+		"makespan_s", "idle_rate", "stolen", "td_p50_us", "td_p99_us"}, csvRows); err != nil {
+		return nil, err
+	}
+	text := fmt.Sprintf("Workload classes on simulated Haswell, 28 cores [%s scale]\n\n", opt.Scale) +
+		plot.Table(header, rows) +
+		"\nThe chain exposes pure starvation (idle ~constant near 1-1/28); the\n" +
+		"irregular DAG's heavy-tailed task sizes show in the p50/p99 spread —\n" +
+		"the class the paper says needs runtime granularity adaptation.\n"
+	return &Report{ID: "classes", Title: "Workload-class comparison", Text: text,
+		CSV: map[string]string{"classes_haswell28.csv": csvB.String()}}, nil
+}

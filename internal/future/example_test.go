@@ -1,0 +1,49 @@
+package future_test
+
+import (
+	"fmt"
+
+	"taskgrain/internal/future"
+	"taskgrain/internal/taskrt"
+)
+
+// Example shows the core composition idioms: async launch, sequential
+// composition, and a dataflow task deferred until all inputs are ready —
+// the constructs HPX-Stencil is written with.
+func Example() {
+	rt := taskrt.New(taskrt.WithWorkers(2))
+	rt.Start()
+	defer rt.Shutdown()
+
+	// hpx::async
+	a := future.Async(rt, func() int { return 20 })
+	b := future.Async(rt, func() int { return 22 })
+
+	// future::then
+	doubled := future.Then(rt, a, func(v int) int { return v * 2 })
+
+	// hpx::dataflow — runs once every dependency is ready.
+	sum := future.Dataflow(rt, func(vs []int) int {
+		return vs[0] + vs[1]
+	}, []*future.Future[int]{doubled, b})
+
+	fmt.Println(sum.Wait())
+	// Output: 62
+}
+
+// ExampleAwait shows the worker-non-blocking wait: the task suspends into a
+// continuation instead of blocking its worker.
+func ExampleAwait() {
+	rt := taskrt.New(taskrt.WithWorkers(1))
+	rt.Start()
+	defer rt.Shutdown()
+
+	p, f := future.NewPromise[string]()
+	done := make(chan string, 1)
+	rt.Spawn(func(c *taskrt.Context) {
+		future.Await(c, f, func(_ *taskrt.Context, v string) { done <- v })
+	})
+	p.Set("resumed")
+	fmt.Println(<-done)
+	// Output: resumed
+}

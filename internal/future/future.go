@@ -1,0 +1,306 @@
+// Package future provides the asynchronous value-composition layer of the
+// runtime, mirroring the hpx::future / hpx::async facilities the paper's
+// benchmark is written against (Sec. I-C): each task is launched with Async
+// returning a Future; Futures compose sequentially (Then), in parallel
+// (WhenAll/WhenAny), and into dataflow tasks whose execution is deferred
+// until all inputs are ready (Dataflow) — "these compositional facilities
+// allow creating task dependencies that mirror the data dependencies
+// described by the original algorithm".
+//
+// Futures here carry plain values; computations that can fail should carry a
+// result-like payload (a struct embedding an error) as their value type.
+package future
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"taskgrain/internal/taskrt"
+)
+
+// shared is the state cell behind a Future/Promise pair.
+type shared[T any] struct {
+	mu        sync.Mutex
+	done      bool
+	value     T
+	callbacks []func(T)
+	ch        chan struct{} // lazily created for blocking waiters
+}
+
+// Future is a read handle on an eventually-available value.
+type Future[T any] struct {
+	st *shared[T]
+}
+
+// Promise is the write handle paired with a Future.
+type Promise[T any] struct {
+	st  *shared[T]
+	set atomic.Bool
+}
+
+// NewPromise creates a connected promise/future pair.
+func NewPromise[T any]() (*Promise[T], *Future[T]) {
+	st := &shared[T]{}
+	return &Promise[T]{st: st}, &Future[T]{st: st}
+}
+
+// Ready returns an already-completed future holding v.
+func Ready[T any](v T) *Future[T] {
+	st := &shared[T]{done: true, value: v}
+	return &Future[T]{st: st}
+}
+
+// Set completes the future with v, running registered callbacks
+// synchronously on the calling goroutine (typically the worker that finished
+// producing the value, as in HPX). Setting a promise twice panics.
+func (p *Promise[T]) Set(v T) {
+	if !p.set.CompareAndSwap(false, true) {
+		panic("future: promise set twice")
+	}
+	st := p.st
+	st.mu.Lock()
+	st.value = v
+	st.done = true
+	cbs := st.callbacks
+	st.callbacks = nil
+	ch := st.ch
+	st.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+	for _, cb := range cbs {
+		cb(v)
+	}
+}
+
+// Future returns the promise's read handle (convenience for code that holds
+// only the promise).
+func (p *Promise[T]) Future() *Future[T] { return &Future[T]{st: p.st} }
+
+// TryGet returns the value if the future is ready.
+func (f *Future[T]) TryGet() (T, bool) {
+	st := f.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.done {
+		var zero T
+		return zero, false
+	}
+	return st.value, true
+}
+
+// Ready reports whether the value is available.
+func (f *Future[T]) Ready() bool {
+	_, ok := f.TryGet()
+	return ok
+}
+
+// Wait blocks the calling goroutine until the value is available and
+// returns it. Use from application (non-task) goroutines; inside a task
+// phase use Await, which suspends the task instead of blocking a worker.
+func (f *Future[T]) Wait() T {
+	st := f.st
+	st.mu.Lock()
+	if st.done {
+		v := st.value
+		st.mu.Unlock()
+		return v
+	}
+	if st.ch == nil {
+		st.ch = make(chan struct{})
+	}
+	ch := st.ch
+	st.mu.Unlock()
+	<-ch
+	v, _ := f.TryGet()
+	return v
+}
+
+// OnReady registers fn to run when the value becomes available. If the
+// future is already complete, fn runs immediately on the caller.
+func (f *Future[T]) OnReady(fn func(T)) {
+	st := f.st
+	st.mu.Lock()
+	if st.done {
+		v := st.value
+		st.mu.Unlock()
+		fn(v)
+		return
+	}
+	st.callbacks = append(st.callbacks, fn)
+	st.mu.Unlock()
+}
+
+// Async spawns fn as a task on rt and returns the future of its result
+// (hpx::async). The task passes through the full staged→pending→active
+// lifecycle, so its scheduling cost is visible to every counter.
+func Async[T any](rt *taskrt.Runtime, fn func() T, opts ...taskrt.SpawnOption) *Future[T] {
+	p, f := NewPromise[T]()
+	rt.Spawn(func(*taskrt.Context) { p.Set(fn()) }, opts...)
+	return f
+}
+
+// AsyncCtx is Async for task bodies that need their scheduling Context.
+func AsyncCtx[T any](rt *taskrt.Runtime, fn func(*taskrt.Context) T, opts ...taskrt.SpawnOption) *Future[T] {
+	p, f := NewPromise[T]()
+	rt.Spawn(func(c *taskrt.Context) { p.Set(fn(c)) }, opts...)
+	return f
+}
+
+// Then schedules fn as a new task when f completes and returns the future
+// of its result (future::then — sequential composition).
+func Then[T, U any](rt *taskrt.Runtime, f *Future[T], fn func(T) U, opts ...taskrt.SpawnOption) *Future[U] {
+	p, out := NewPromise[U]()
+	f.OnReady(func(v T) {
+		rt.Spawn(func(*taskrt.Context) { p.Set(fn(v)) }, opts...)
+	})
+	return out
+}
+
+// WhenAll returns a future completing with all input values, in input
+// order, once every input is ready (parallel composition).
+func WhenAll[T any](fs []*Future[T]) *Future[[]T] {
+	p, out := NewPromise[[]T]()
+	n := len(fs)
+	if n == 0 {
+		p.Set(nil)
+		return out
+	}
+	values := make([]T, n)
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	for i, f := range fs {
+		i, f := i, f
+		f.OnReady(func(v T) {
+			values[i] = v
+			if remaining.Add(-1) == 0 {
+				p.Set(values)
+			}
+		})
+	}
+	return out
+}
+
+// AnyResult carries the first-completed input of WhenAny.
+type AnyResult[T any] struct {
+	Index int // position of the winning future in the input slice
+	Value T
+}
+
+// WhenAny returns a future completing with the first input to complete.
+func WhenAny[T any](fs []*Future[T]) *Future[AnyResult[T]] {
+	p, out := NewPromise[AnyResult[T]]()
+	if len(fs) == 0 {
+		panic("future: WhenAny of no futures")
+	}
+	var won atomic.Bool
+	for i, f := range fs {
+		i := i
+		f.OnReady(func(v T) {
+			if won.CompareAndSwap(false, true) {
+				p.Set(AnyResult[T]{Index: i, Value: v})
+			}
+		})
+	}
+	return out
+}
+
+// When2 completes when two futures of different types are both ready.
+func When2[A, B any](fa *Future[A], fb *Future[B]) *Future[struct {
+	A A
+	B B
+}] {
+	type pair = struct {
+		A A
+		B B
+	}
+	p, out := NewPromise[pair]()
+	var remaining atomic.Int64
+	remaining.Store(2)
+	var res pair
+	fa.OnReady(func(v A) {
+		res.A = v
+		if remaining.Add(-1) == 0 {
+			p.Set(res)
+		}
+	})
+	fb.OnReady(func(v B) {
+		res.B = v
+		if remaining.Add(-1) == 0 {
+			p.Set(res)
+		}
+	})
+	return out
+}
+
+// Dataflow spawns fn as a task once every dependency is ready, passing the
+// dependency values (hpx::dataflow). The task is created lazily — exactly
+// the construct HPX-Stencil uses to express each partition-timestep as one
+// lightweight thread whose inputs are the three neighbouring partitions of
+// the previous step.
+func Dataflow[T, U any](rt *taskrt.Runtime, fn func([]T) U, deps []*Future[T], opts ...taskrt.SpawnOption) *Future[U] {
+	p, out := NewPromise[U]()
+	all := WhenAll(deps)
+	all.OnReady(func(vs []T) {
+		rt.Spawn(func(*taskrt.Context) { p.Set(fn(vs)) }, opts...)
+	})
+	return out
+}
+
+// Await suspends the calling task phase until f is ready, then runs cont as
+// a new phase of the same task with the value. If f is already ready, cont
+// runs inline in the current phase (no suspension, matching HPX's fast
+// path). This is the task-side blocking-wait replacement: the worker is
+// never blocked, and the suspension shows up in the phase counters.
+func Await[T any](c *taskrt.Context, f *Future[T], cont func(*taskrt.Context, T)) {
+	if v, ok := f.TryGet(); ok {
+		cont(c, v)
+		return
+	}
+	r := c.SuspendInto(func(c2 *taskrt.Context) {
+		v, _ := f.TryGet() // guaranteed ready: Resume fires on completion
+		cont(c2, v)
+	})
+	f.OnReady(func(T) { r.Resume() })
+}
+
+// Result pairs a value with an error for computations that can fail;
+// futures themselves are value-only (HPX futures carry exceptions — in Go
+// the idiomatic equivalent is an explicit error in the payload).
+type Result[T any] struct {
+	Value T
+	Err   error
+}
+
+// AsyncErr spawns a fallible computation and returns the future of its
+// Result.
+func AsyncErr[T any](rt *taskrt.Runtime, fn func() (T, error), opts ...taskrt.SpawnOption) *Future[Result[T]] {
+	return Async(rt, func() Result[T] {
+		v, err := fn()
+		return Result[T]{Value: v, Err: err}
+	}, opts...)
+}
+
+// ThenErr schedules fn on f's successful value; an upstream error
+// short-circuits (fn is not run and the error propagates), mirroring
+// promise-chain error semantics.
+func ThenErr[T, U any](rt *taskrt.Runtime, f *Future[Result[T]], fn func(T) (U, error), opts ...taskrt.SpawnOption) *Future[Result[U]] {
+	p, out := NewPromise[Result[U]]()
+	f.OnReady(func(r Result[T]) {
+		if r.Err != nil {
+			p.Set(Result[U]{Err: r.Err})
+			return
+		}
+		rt.Spawn(func(*taskrt.Context) {
+			v, err := fn(r.Value)
+			p.Set(Result[U]{Value: v, Err: err})
+		}, opts...)
+	})
+	return out
+}
+
+// WaitErr blocks for a Result future and unpacks it.
+func WaitErr[T any](f *Future[Result[T]]) (T, error) {
+	r := f.Wait()
+	return r.Value, r.Err
+}

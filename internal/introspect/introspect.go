@@ -1,0 +1,164 @@
+// Package introspect exposes a runtime's performance counters over HTTP —
+// the live-query surface HPX provides through its counter API and
+// command-line interface ("HPX counters are easily accessible through an
+// API at runtime", Sec. I-B), in the shape a Go operator expects:
+//
+//	GET /healthz                        liveness
+//	GET /counters                       all counters as a JSON object
+//	GET /counters?prefix=/threads/count filtered by name prefix
+//	GET /counter/<name>                 one counter (name is the symbolic
+//	                                    path, e.g. /counter/threads/idle-rate)
+//	GET /counter?name=<escaped>         one counter by query parameter — use
+//	                                    this for instance names containing
+//	                                    '#' (a URL fragment delimiter)
+//	GET /histogram/<name>               bucketed distribution of a histogram
+//	GET /metrics                        Prometheus text exposition format
+//
+// The handler only reads; it holds no locks across requests beyond the
+// registry's own snapshotting.
+package introspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"taskgrain/internal/counters"
+)
+
+// NewHandler builds the introspection handler over a counter registry.
+func NewHandler(reg *counters.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/counters", func(w http.ResponseWriter, r *http.Request) {
+		prefix := r.URL.Query().Get("prefix")
+		snap := reg.Snapshot()
+		out := make(map[string]float64, len(snap))
+		for name, v := range snap {
+			if prefix == "" || strings.HasPrefix(name, prefix) {
+				out[name] = v
+			}
+		}
+		writeJSON(w, out)
+	})
+	counterHandler := func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			name = strings.TrimPrefix(r.URL.Path, "/counter")
+		}
+		v, ok := reg.Value(name)
+		if !ok {
+			http.Error(w, "unknown counter "+name, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{"name": name, "value": v})
+	}
+	mux.HandleFunc("/counter", counterHandler)
+	mux.HandleFunc("/counter/", counterHandler)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writePrometheus(w, reg)
+	})
+	mux.HandleFunc("/histogram/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/histogram")
+		c, ok := reg.Get(name)
+		if !ok {
+			http.Error(w, "unknown counter "+name, http.StatusNotFound)
+			return
+		}
+		h, ok := c.(*counters.Histogram)
+		if !ok {
+			http.Error(w, name+" is not a histogram", http.StatusBadRequest)
+			return
+		}
+		type bucket struct {
+			LoNs  float64 `json:"lo_ns"`
+			HiNs  float64 `json:"hi_ns"`
+			Count int64   `json:"count"`
+		}
+		buckets := make([]bucket, 0)
+		for _, b := range h.Buckets() {
+			buckets = append(buckets, bucket{LoNs: b.LoNs, HiNs: b.HiNs, Count: b.Count})
+		}
+		writeJSON(w, map[string]any{
+			"name":    name,
+			"count":   h.Count(),
+			"mean_ns": h.Mean(),
+			"p50_ns":  h.Quantile(0.5),
+			"p99_ns":  h.Quantile(0.99),
+			"buckets": buckets,
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // network write errors are the client's problem
+}
+
+// Serve starts an HTTP server for reg on addr, returning the server for
+// shutdown. Errors from the listener are reported on the returned channel
+// (closed on clean shutdown).
+func Serve(addr string, reg *counters.Registry) (*http.Server, <-chan error) {
+	srv := &http.Server{Addr: addr, Handler: NewHandler(reg)}
+	errc := make(chan error, 1)
+	go func() {
+		defer close(errc)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	return srv, errc
+}
+
+// writePrometheus renders the registry in the Prometheus text exposition
+// format, mapping counter paths to metric names (slashes and hyphens to
+// underscores, instance decorations to labels).
+func writePrometheus(w http.ResponseWriter, reg *counters.Registry) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		metric, labels := promName(name)
+		fmt.Fprintf(w, "%s%s %g\n", metric, labels, snap[name])
+	}
+}
+
+// promName converts "/threads{worker-thread#3}/count/pending-accesses" to
+// ("taskgrain_threads_count_pending_accesses", `{worker="3"}`).
+func promName(path string) (metric, labels string) {
+	name := path
+	if i := strings.Index(name, "{worker-thread#"); i >= 0 {
+		j := strings.Index(name[i:], "}")
+		if j > 0 {
+			worker := name[i+len("{worker-thread#") : i+j]
+			labels = fmt.Sprintf(`{worker=%q}`, worker)
+			name = name[:i] + name[i+j+1:]
+		}
+	}
+	mapper := func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}
+	metric = "taskgrain" + strings.Map(mapper, name)
+	metric = strings.Trim(metric, "_")
+	for strings.Contains(metric, "__") {
+		metric = strings.ReplaceAll(metric, "__", "_")
+	}
+	return metric, labels
+}

@@ -1,0 +1,174 @@
+// Package microbench measures the native runtime's task-management
+// primitives directly — the per-operation costs the granularity study
+// attributes the fine-grain wall to. The paper notes its stencil results
+// were corroborated by micro benchmarks (Sec. I-C); this package provides
+// those: task spawn/dispatch latency, future/dataflow composition overhead,
+// suspension round-trips, queue throughput, and steal latency.
+package microbench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"taskgrain/internal/future"
+	"taskgrain/internal/queue"
+	"taskgrain/internal/taskrt"
+)
+
+// Result is one micro-measurement.
+type Result struct {
+	Name    string
+	Iters   int
+	NsPerOp float64
+}
+
+// String renders "name: N ns/op (iters)".
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %.1f ns/op (%d iters)", r.Name, r.NsPerOp, r.Iters)
+}
+
+// Suite aggregates all micro-benchmarks.
+type Suite struct {
+	Workers int
+	Iters   int
+}
+
+// New builds a suite; workers and iters are clamped to sane minimums.
+func New(workers, iters int) *Suite {
+	if workers < 1 {
+		workers = 1
+	}
+	if iters < 100 {
+		iters = 100
+	}
+	return &Suite{Workers: workers, Iters: iters}
+}
+
+// timeOp runs setup-free op iters times and returns ns/op.
+func timeOp(iters int, op func()) float64 {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		op()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// SpawnLatency measures spawn → execute → terminate of an empty task,
+// amortized over a batch (the per-task management cost t_o measures).
+func (s *Suite) SpawnLatency() Result {
+	rt := taskrt.New(taskrt.WithWorkers(s.Workers))
+	rt.Start()
+	defer rt.Shutdown()
+	var sink atomic.Int64
+	start := time.Now()
+	for i := 0; i < s.Iters; i++ {
+		rt.Spawn(func(*taskrt.Context) { sink.Add(1) })
+	}
+	rt.WaitIdle()
+	ns := float64(time.Since(start).Nanoseconds()) / float64(s.Iters)
+	return Result{Name: "spawn+run empty task", Iters: s.Iters, NsPerOp: ns}
+}
+
+// AsyncFutureLatency measures Async + Wait round trips.
+func (s *Suite) AsyncFutureLatency() Result {
+	rt := taskrt.New(taskrt.WithWorkers(s.Workers))
+	rt.Start()
+	defer rt.Shutdown()
+	iters := s.Iters / 10
+	if iters < 100 {
+		iters = 100
+	}
+	ns := timeOp(iters, func() {
+		future.Async(rt, func() int { return 1 }).Wait()
+	})
+	return Result{Name: "async+wait", Iters: iters, NsPerOp: ns}
+}
+
+// DataflowLatency measures a 3-input dataflow with ready inputs, the
+// stencil's inner construct.
+func (s *Suite) DataflowLatency() Result {
+	rt := taskrt.New(taskrt.WithWorkers(s.Workers))
+	rt.Start()
+	defer rt.Shutdown()
+	iters := s.Iters / 10
+	if iters < 100 {
+		iters = 100
+	}
+	deps := []*future.Future[int]{future.Ready(1), future.Ready(2), future.Ready(3)}
+	ns := timeOp(iters, func() {
+		future.Dataflow(rt, func(vs []int) int { return vs[0] + vs[1] + vs[2] }, deps).Wait()
+	})
+	return Result{Name: "dataflow(3 ready inputs)", Iters: iters, NsPerOp: ns}
+}
+
+// SuspendResumeLatency measures a full suspension round trip: a task phase
+// suspends on an unready future, a second task completes it, the
+// continuation phase runs.
+func (s *Suite) SuspendResumeLatency() Result {
+	workers := s.Workers
+	if workers < 2 {
+		workers = 2
+	}
+	rt := taskrt.New(taskrt.WithWorkers(workers))
+	rt.Start()
+	defer rt.Shutdown()
+	iters := s.Iters / 10
+	if iters < 100 {
+		iters = 100
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		p, f := future.NewPromise[int]()
+		done := make(chan struct{})
+		rt.Spawn(func(c *taskrt.Context) {
+			future.Await(c, f, func(*taskrt.Context, int) { close(done) })
+		})
+		rt.Spawn(func(*taskrt.Context) { p.Set(1) })
+		<-done
+	}
+	ns := float64(time.Since(start).Nanoseconds()) / float64(iters)
+	return Result{Name: "suspend+resume round trip", Iters: iters, NsPerOp: ns}
+}
+
+// QueueThroughput measures uncontended lock-free queue push+pop pairs.
+func (s *Suite) QueueThroughput() Result {
+	q := queue.NewMS[int]()
+	ns := timeOp(s.Iters, func() {
+		q.Push(1)
+		q.Pop()
+	})
+	return Result{Name: "lock-free queue push+pop", Iters: s.Iters, NsPerOp: ns}
+}
+
+// StealLatency measures completion of work hinted entirely to one worker on
+// a multi-worker runtime, forcing cross-queue stealing.
+func (s *Suite) StealLatency() Result {
+	workers := s.Workers
+	if workers < 2 {
+		workers = 2
+	}
+	rt := taskrt.New(taskrt.WithWorkers(workers))
+	rt.Start()
+	defer rt.Shutdown()
+	var sink atomic.Int64
+	start := time.Now()
+	for i := 0; i < s.Iters; i++ {
+		rt.Spawn(func(*taskrt.Context) { sink.Add(1) }, taskrt.WithHint(0))
+	}
+	rt.WaitIdle()
+	ns := float64(time.Since(start).Nanoseconds()) / float64(s.Iters)
+	return Result{Name: "spawn+run hinted to one worker", Iters: s.Iters, NsPerOp: ns}
+}
+
+// RunAll executes the whole suite.
+func (s *Suite) RunAll() []Result {
+	return []Result{
+		s.QueueThroughput(),
+		s.SpawnLatency(),
+		s.StealLatency(),
+		s.AsyncFutureLatency(),
+		s.DataflowLatency(),
+		s.SuspendResumeLatency(),
+	}
+}

@@ -1,0 +1,51 @@
+package microbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewClamps(t *testing.T) {
+	s := New(0, 10)
+	if s.Workers != 1 || s.Iters != 100 {
+		t.Fatalf("clamped suite = %+v", s)
+	}
+}
+
+func TestRunAllSane(t *testing.T) {
+	s := New(2, 500)
+	results := s.RunAll()
+	if len(results) != 6 {
+		t.Fatalf("results = %d", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %v", r.Name, r.NsPerOp)
+		}
+		if r.NsPerOp > 1e8 {
+			t.Errorf("%s: implausibly slow: %v ns/op", r.Name, r.NsPerOp)
+		}
+		if r.Iters < 100 {
+			t.Errorf("%s: iters = %d", r.Name, r.Iters)
+		}
+		if seen[r.Name] {
+			t.Errorf("duplicate result name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if !strings.Contains(r.String(), "ns/op") {
+			t.Errorf("String() = %q", r.String())
+		}
+	}
+}
+
+func TestQueueCheaperThanSpawn(t *testing.T) {
+	// A raw queue operation must be cheaper than a full task round trip —
+	// the layering the overhead model assumes.
+	s := New(1, 2000)
+	q := s.QueueThroughput()
+	sp := s.SpawnLatency()
+	if q.NsPerOp >= sp.NsPerOp {
+		t.Skipf("queue %v ns/op >= spawn %v ns/op (noisy host)", q.NsPerOp, sp.NsPerOp)
+	}
+}

@@ -1,0 +1,30 @@
+package parallel_test
+
+import (
+	"fmt"
+
+	"taskgrain/internal/parallel"
+	"taskgrain/internal/taskrt"
+)
+
+// Example shows a grain-controlled parallel reduction: the chunk size is
+// the task-granularity knob of the study.
+func Example() {
+	rt := taskrt.New(taskrt.WithWorkers(2))
+	rt.Start()
+	defer rt.Shutdown()
+
+	in := make([]int64, 1000)
+	for i := range in {
+		in[i] = int64(i)
+	}
+	// 100 elements per task: 10 tasks.
+	sum := parallel.Reduce(rt, in, 100, 0, func(a, b int64) int64 { return a + b })
+	fmt.Println(sum)
+
+	squares := parallel.Map(rt, []int{1, 2, 3, 4}, 2, func(x int) int { return x * x })
+	fmt.Println(squares)
+	// Output:
+	// 499500
+	// [1 4 9 16]
+}

@@ -1,0 +1,169 @@
+// Package parallel provides grain-controlled parallel algorithms on top of
+// the task runtime — the "regular parallel loops" setting the paper opens
+// its methodology with ("In parallel applications, with regular parallel
+// loops, we can easily modify grain size statically to improve
+// performance", Sec. II). Every algorithm takes an explicit grain: the
+// number of consecutive iterations per task. TunedLoop closes the paper's
+// loop by adjusting that grain between invocations from live counters.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+
+	"taskgrain/internal/adaptive"
+	"taskgrain/internal/taskrt"
+)
+
+// AutoGrain returns a reasonable static grain for n iterations on rt: it
+// targets tasksPerWorker tasks per worker (8 when <= 0), the conventional
+// slack that keeps stealing effective without drowning the scheduler.
+func AutoGrain(rt *taskrt.Runtime, n, tasksPerWorker int) int {
+	if n <= 0 {
+		return 1
+	}
+	if tasksPerWorker <= 0 {
+		tasksPerWorker = 8
+	}
+	grain := n / (rt.Workers() * tasksPerWorker)
+	if grain < 1 {
+		grain = 1
+	}
+	return grain
+}
+
+// chunks invokes emit(lo, hi) for each [lo,hi) grain-sized block of [0,n).
+func chunks(n, grain int, emit func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		emit(lo, hi)
+	}
+}
+
+// For runs body(i) for every i in [0,n) as tasks of `grain` consecutive
+// iterations and blocks until all complete. body must be safe for
+// concurrent invocation on distinct indices. grain <= 0 selects AutoGrain.
+func For(rt *taskrt.Runtime, n, grain int, body func(i int)) {
+	ForRange(rt, n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRange is For with the chunk boundaries exposed — the body receives
+// each [lo,hi) block whole, allowing per-chunk setup to amortize (this is
+// where grain size becomes a real performance knob).
+func ForRange(rt *taskrt.Runtime, n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = AutoGrain(rt, n, 0)
+	}
+	var wg sync.WaitGroup
+	chunks(n, grain, func(lo, hi int) {
+		wg.Add(1)
+		rt.Spawn(func(*taskrt.Context) {
+			defer wg.Done()
+			body(lo, hi)
+		})
+	})
+	wg.Wait()
+}
+
+// Map applies f to every element of in, with `grain` elements per task.
+func Map[T, U any](rt *taskrt.Runtime, in []T, grain int, f func(T) U) []U {
+	out := make([]U, len(in))
+	ForRange(rt, len(in), grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(in[i])
+		}
+	})
+	return out
+}
+
+// Reduce combines the elements of in with an associative combine and its
+// identity, computing per-chunk partials in parallel and folding them in
+// chunk order (so non-commutative but associative combines are safe).
+func Reduce[T any](rt *taskrt.Runtime, in []T, grain int, identity T, combine func(T, T) T) T {
+	n := len(in)
+	if n == 0 {
+		return identity
+	}
+	if grain <= 0 {
+		grain = AutoGrain(rt, n, 0)
+	}
+	nChunks := (n + grain - 1) / grain
+	partials := make([]T, nChunks)
+	var wg sync.WaitGroup
+	idx := 0
+	chunks(n, grain, func(lo, hi int) {
+		wg.Add(1)
+		slot := idx
+		idx++
+		rt.Spawn(func(*taskrt.Context) {
+			defer wg.Done()
+			acc := identity
+			for i := lo; i < hi; i++ {
+				acc = combine(acc, in[i])
+			}
+			partials[slot] = acc
+		})
+	})
+	wg.Wait()
+	acc := identity
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+// TunedLoop is a parallel-for whose grain adapts between invocations using
+// the paper's metrics: each call snapshots the counters, runs at the
+// current grain, and feeds the interval idle-rate plus the exact parallel
+// slack (the chunk count) to the adaptive tuner.
+type TunedLoop struct {
+	rt    *taskrt.Runtime
+	tuner *adaptive.Tuner
+	grain int
+}
+
+// NewTunedLoop builds a tuned loop starting at startGrain. cfg bounds the
+// grain; zero-valued fields take the adaptive package defaults.
+func NewTunedLoop(rt *taskrt.Runtime, cfg adaptive.Config, startGrain int) (*TunedLoop, error) {
+	if startGrain < 1 {
+		return nil, fmt.Errorf("parallel: startGrain = %d", startGrain)
+	}
+	tuner, err := adaptive.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TunedLoop{rt: rt, tuner: tuner, grain: startGrain}, nil
+}
+
+// Grain returns the grain the next For call will use.
+func (l *TunedLoop) Grain() int { return l.grain }
+
+// For runs one tuned iteration space and returns the tuning decision taken
+// afterwards.
+func (l *TunedLoop) For(n int, body func(i int)) adaptive.Decision {
+	if n <= 0 {
+		return adaptive.Keep
+	}
+	before := l.rt.Counters().Snapshot()
+	For(l.rt, n, l.grain, body)
+	after := l.rt.Counters().Snapshot()
+	nChunks := (n + l.grain - 1) / l.grain
+	obs := adaptive.ObservationFromSnapshots(before, after, l.grain, l.rt.Workers(), 1)
+	obs.Tasks = float64(nChunks) // exact parallel slack, better than inference
+	next, decision := l.tuner.Next(obs)
+	l.grain = next
+	return decision
+}

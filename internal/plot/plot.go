@@ -1,0 +1,280 @@
+// Package plot renders the experiment series as ASCII line charts and CSV,
+// so every figure of the paper can be regenerated in a terminal and piped
+// into external plotting tools. Charts support a logarithmic X axis, which
+// every figure in the paper uses (partition size spans 160 … 10^8).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labelled line.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Chart describes one ASCII figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults 72×20).
+	Width, Height int
+	Series        []Series
+}
+
+// markers distinguish series in the plot area.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart. Series with mismatched X/Y lengths or no points
+// are skipped. Non-finite values are ignored.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	type pt struct {
+		x, y float64
+		m    byte
+	}
+	var pts []pt
+	var legend []string
+	for si, s := range c.Series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			continue
+		}
+		m := markers[si%len(markers)]
+		legend = append(legend, fmt.Sprintf("%c %s", m, s.Label))
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if c.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			pts = append(pts, pt{x, y, m})
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if len(pts) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for _, p := range pts {
+		col := int(math.Round((p.x - xmin) / (xmax - xmin) * float64(w-1)))
+		row := int(math.Round((p.y - ymin) / (ymax - ymin) * float64(h-1)))
+		r := h - 1 - row // invert: row 0 is the top
+		if grid[r][col] == ' ' || grid[r][col] == p.m {
+			grid[r][col] = p.m
+		} else {
+			grid[r][col] = '?' // collision of different series
+		}
+	}
+
+	yTop := formatTick(ymax)
+	yBot := formatTick(ymin)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = pad(yTop, margin)
+		case h - 1:
+			label = pad(yBot, margin)
+		case h / 2:
+			label = pad(formatTick((ymin+ymax)/2), margin)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", w))
+	lo, hi := xmin, xmax
+	xlo, xhi := formatTick(lo), formatTick(hi)
+	if c.LogX {
+		xlo = "1e" + formatTick(lo)
+		xhi = "1e" + formatTick(hi)
+	}
+	gap := w - len(xlo) - len(xhi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", margin), xlo, strings.Repeat(" ", gap), xhi)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", margin), c.XLabel, c.YLabel)
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%s  legend: %s\n", strings.Repeat(" ", margin), strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return strings.Repeat(" ", n-len(s)) + s
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 10000 || av < 0.01:
+		return fmt.Sprintf("%.2g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// WriteCSV writes a header row and data rows. Cells are rendered with %v;
+// cells containing commas or quotes are quoted.
+func WriteCSV(w io.Writer, header []string, rows [][]any) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("plot: row has %d cells, header has %d", len(row), len(header))
+		}
+		cells := make([]string, len(row))
+		for i, v := range row {
+			switch x := v.(type) {
+			case float64:
+				cells[i] = fmt.Sprintf("%.6g", x)
+			default:
+				cells[i] = fmt.Sprintf("%v", v)
+			}
+		}
+		if err := writeRow(cells); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders rows as an aligned text table.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// sparkChars are the eighth-block glyphs used by Sparkline.
+var sparkChars = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line block-character chart, scaled to
+// the [min, max] of the data (a flat series renders mid-height). Useful for
+// compact utilization timelines in terminal reports.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(values))
+	for i, v := range values {
+		idx := len(sparkChars) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkChars)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkChars) {
+			idx = len(sparkChars) - 1
+		}
+		out[i] = sparkChars[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,159 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	c := Chart{
+		Title:  "Execution Time vs Grain",
+		XLabel: "partition size",
+		YLabel: "seconds",
+		LogX:   true,
+		Series: []Series{
+			{Label: "8 cores", X: []float64{100, 1000, 10000}, Y: []float64{5, 2, 3}},
+			{Label: "16 cores", X: []float64{100, 1000, 10000}, Y: []float64{4, 1, 2.5}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"Execution Time vs Grain", "* 8 cores", "o 16 cores", "partition size", "seconds", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	if out := c.Render(); !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart: %q", out)
+	}
+	// Series with mismatched lengths are skipped, not crashed on.
+	c2 := Chart{Series: []Series{{Label: "bad", X: []float64{1, 2}, Y: []float64{1}}}}
+	if out := c2.Render(); !strings.Contains(out, "(no data)") {
+		t.Fatalf("mismatched series not skipped: %q", out)
+	}
+}
+
+func TestRenderNonFiniteAndNonPositiveLogX(t *testing.T) {
+	c := Chart{
+		LogX: true,
+		Series: []Series{{
+			Label: "s",
+			X:     []float64{-5, 0, 10, 100},
+			Y:     []float64{1, 2, math.NaN(), 4},
+		}},
+	}
+	out := c.Render()
+	// Only x=100/y=4 survives (x=10 has NaN y; x<=0 dropped under log).
+	if strings.Contains(out, "(no data)") {
+		t.Fatalf("expected surviving point:\n%s", out)
+	}
+}
+
+func TestRenderConstantAxes(t *testing.T) {
+	c := Chart{Series: []Series{{Label: "flat", X: []float64{5, 5}, Y: []float64{3, 3}}}}
+	out := c.Render()
+	if out == "" || strings.Contains(out, "(no data)") {
+		t.Fatal("flat series must still render")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []string{"size", "time", "note"}, [][]any{
+		{100, 1.5, "plain"},
+		{1000, 0.25, `with "quote", comma`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "size,time,note" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "100,1.5,plain" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], `"with ""quote"", comma"`) {
+		t.Errorf("row 2 quoting = %q", lines[2])
+	}
+}
+
+func TestWriteCSVRowMismatch(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, []string{"a", "b"}, [][]any{{1}}); err == nil {
+		t.Fatal("mismatched row accepted")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "cores"}, [][]string{
+		{"haswell", "28"},
+		{"xeonphi", "61"},
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "cores") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	// Alignment: all rows same width for first column.
+	if !strings.HasPrefix(lines[2], "haswell") || !strings.HasPrefix(lines[3], "xeonphi") {
+		t.Errorf("rows: %q %q", lines[2], lines[3])
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		123456:  "1.2e+05",
+		0.001:   "0.001",
+		150:     "150",
+		3.14159: "3.14",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline")
+	}
+	got := Sparkline([]float64{0, 0.5, 1})
+	runes := []rune(got)
+	if len(runes) != 3 {
+		t.Fatalf("length = %d (%q)", len(runes), got)
+	}
+	if runes[0] != '▁' || runes[2] != '█' {
+		t.Fatalf("extremes = %q", got)
+	}
+	// Flat series renders mid-height, not panicking on zero range.
+	flat := []rune(Sparkline([]float64{5, 5, 5}))
+	if len(flat) != 3 || flat[0] != flat[2] {
+		t.Fatalf("flat = %q", string(flat))
+	}
+	// Monotone data renders nondecreasing glyphs.
+	mono := []rune(Sparkline([]float64{1, 2, 3, 4, 5, 6, 7, 8}))
+	for i := 1; i < len(mono); i++ {
+		if mono[i] < mono[i-1] {
+			t.Fatalf("not monotone: %q", string(mono))
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package policyengine
+
+import (
+	"fmt"
+
+	"taskgrain/internal/adaptive"
+)
+
+// GrainPolicy drives the adaptive grain tuner from engine samples — the
+// paper's metrics steering its proposed auto-tuning loop. Generations is
+// how many dependency waves one sampling interval spans (used to convert
+// the interval task count into parallel slack); for a parallel-for style
+// application this is 1.
+type GrainPolicy struct {
+	Tuner *adaptive.Tuner
+	// Generations per sampling interval (default 1).
+	Generations int
+}
+
+// Name implements Policy.
+func (g *GrainPolicy) Name() string { return "grain" }
+
+// Evaluate implements Policy.
+func (g *GrainPolicy) Evaluate(s Sample) []Action {
+	if g.Tuner == nil || s.Grain <= 0 || s.Tasks <= 0 {
+		return nil
+	}
+	gen := g.Generations
+	if gen < 1 {
+		gen = 1
+	}
+	next, dec := g.Tuner.Next(adaptive.Observation{
+		PartitionSize: s.Grain,
+		IdleRate:      s.IdleRate,
+		Tasks:         s.Tasks / float64(gen),
+		Cores:         s.ActiveWorkers,
+	})
+	if dec == adaptive.Keep || next == s.Grain {
+		return nil
+	}
+	return []Action{{
+		SetGrain: next,
+		Note:     fmt.Sprintf("grain: %s %d -> %d (idle %.0f%%)", dec, s.Grain, next, s.IdleRate*100),
+	}}
+}
+
+// ThrottleConfig parameterizes ThrottlePolicy.
+type ThrottleConfig struct {
+	// HighIdle triggers throttling down when exceeded (default 0.60).
+	HighIdle float64
+	// LowIdle triggers unthrottling when undercut (default 0.20).
+	LowIdle float64
+	// MinWorkers floors the throttle (default 1).
+	MinWorkers int
+	// Step is how many workers each adjustment adds or removes (default 1).
+	Step int
+}
+
+func (c ThrottleConfig) withDefaults() ThrottleConfig {
+	if c.HighIdle == 0 {
+		c.HighIdle = 0.60
+	}
+	if c.LowIdle == 0 {
+		c.LowIdle = 0.20
+	}
+	if c.MinWorkers < 1 {
+		c.MinWorkers = 1
+	}
+	if c.Step < 1 {
+		c.Step = 1
+	}
+	return c
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c ThrottleConfig) Validate() error {
+	d := c.withDefaults()
+	if d.LowIdle >= d.HighIdle {
+		return fmt.Errorf("policyengine: LowIdle %v >= HighIdle %v", d.LowIdle, d.HighIdle)
+	}
+	if d.HighIdle >= 1 {
+		return fmt.Errorf("policyengine: HighIdle %v >= 1", d.HighIdle)
+	}
+	return nil
+}
+
+// ThrottlePolicy is Porterfield-style introspective worker throttling: when
+// the interval idle-rate shows workers mostly burning cycles looking for
+// work (starvation or contention), it parks workers; when the runtime is
+// busy again, it releases them. The paper reports this scheduler was
+// integrated with HPX and proposes driving it with these metrics (Sec. V,
+// VI).
+type ThrottlePolicy struct {
+	Config ThrottleConfig
+}
+
+// Name implements Policy.
+func (t *ThrottlePolicy) Name() string { return "throttle" }
+
+// Evaluate implements Policy.
+func (t *ThrottlePolicy) Evaluate(s Sample) []Action {
+	c := t.Config.withDefaults()
+	switch {
+	case s.IdleRate > c.HighIdle && s.ActiveWorkers > c.MinWorkers:
+		next := s.ActiveWorkers - c.Step
+		if next < c.MinWorkers {
+			next = c.MinWorkers
+		}
+		return []Action{{
+			SetActiveWorkers: next,
+			Note: fmt.Sprintf("throttle: %d -> %d workers (idle %.0f%% > %.0f%%)",
+				s.ActiveWorkers, next, s.IdleRate*100, c.HighIdle*100),
+		}}
+	case s.IdleRate < c.LowIdle && s.ActiveWorkers < s.MaxWorkers:
+		next := s.ActiveWorkers + c.Step
+		if next > s.MaxWorkers {
+			next = s.MaxWorkers
+		}
+		return []Action{{
+			SetActiveWorkers: next,
+			Note: fmt.Sprintf("throttle: %d -> %d workers (idle %.0f%% < %.0f%%)",
+				s.ActiveWorkers, next, s.IdleRate*100, c.LowIdle*100),
+		}}
+	}
+	return nil
+}

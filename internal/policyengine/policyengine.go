@@ -1,0 +1,225 @@
+// Package policyengine implements the runtime-adaptivity loop the paper's
+// conclusion points at (Sec. VI): an APEX-prototype-style engine that
+// periodically samples the performance counters, evaluates registered
+// policies against the interval metrics, and drives actuators — adapting
+// task grain size (this study's contribution) and throttling worker threads
+// (Porterfield et al. [19], integrated with HPX per Sec. V).
+//
+// The engine is deliberately synchronous and deterministic at its core:
+// Step() performs exactly one sample→decide→actuate cycle, so policies are
+// unit-testable; Run() wraps Step in a ticker for live use.
+package policyengine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"taskgrain/internal/counters"
+)
+
+// Sample is one interval's worth of derived metrics handed to policies.
+type Sample struct {
+	// IdleRate is Eq. 1 recomputed over the interval.
+	IdleRate float64
+	// Tasks is the number of task first-phases executed in the interval.
+	Tasks float64
+	// Phases is the number of phases executed in the interval.
+	Phases float64
+	// PendingMissRate is interval pending misses / accesses (0 if none).
+	PendingMissRate float64
+	// ActiveWorkers is the current throttle level.
+	ActiveWorkers int
+	// MaxWorkers is the machine ceiling.
+	MaxWorkers int
+	// Grain is the current grain the grain actuator reports (0 if none).
+	Grain int
+	// Elapsed is the interval length.
+	Elapsed time.Duration
+}
+
+// Action is one adjustment a policy requests.
+type Action struct {
+	// SetGrain, when > 0, asks the grain actuator for a new grain.
+	SetGrain int
+	// SetActiveWorkers, when > 0, asks the throttle actuator for a level.
+	SetActiveWorkers int
+	// Note explains the decision in reports.
+	Note string
+}
+
+// Policy inspects a sample and returns zero or more actions.
+type Policy interface {
+	// Name identifies the policy in logs.
+	Name() string
+	// Evaluate returns the actions for this interval.
+	Evaluate(s Sample) []Action
+}
+
+// PolicyFunc adapts a function to Policy.
+type PolicyFunc struct {
+	PolicyName string
+	Fn         func(Sample) []Action
+}
+
+// Name implements Policy.
+func (p PolicyFunc) Name() string { return p.PolicyName }
+
+// Evaluate implements Policy.
+func (p PolicyFunc) Evaluate(s Sample) []Action { return p.Fn(s) }
+
+// Actuators connect the engine to the runtime knobs. Nil members disable
+// the corresponding action kind.
+type Actuators struct {
+	// SetGrain applies a new grain size (the application-level knob).
+	SetGrain func(int)
+	// Grain reports the current grain (for Sample.Grain).
+	Grain func() int
+	// SetActiveWorkers throttles the runtime (taskrt.Runtime.SetActiveWorkers).
+	SetActiveWorkers func(int)
+	// ActiveWorkers reports the current throttle level.
+	ActiveWorkers func() int
+}
+
+// Engine samples a counter registry and runs policies.
+type Engine struct {
+	mu         sync.Mutex
+	reg        *counters.Registry
+	maxWorkers int
+	act        Actuators
+	policies   []Policy
+
+	prev     counters.Snapshot
+	prevTime time.Time
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds an engine over the registry of a running runtime.
+func New(reg *counters.Registry, maxWorkers int, act Actuators) (*Engine, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("policyengine: nil registry")
+	}
+	if maxWorkers < 1 {
+		return nil, fmt.Errorf("policyengine: maxWorkers = %d", maxWorkers)
+	}
+	return &Engine{
+		reg:        reg,
+		maxWorkers: maxWorkers,
+		act:        act,
+		prev:       reg.Snapshot(),
+		prevTime:   time.Now(),
+	}, nil
+}
+
+// AddPolicy registers a policy; policies run in registration order and
+// later actions win on conflicting knobs.
+func (e *Engine) AddPolicy(p Policy) {
+	e.mu.Lock()
+	e.policies = append(e.policies, p)
+	e.mu.Unlock()
+}
+
+// sample derives the interval metrics since the previous Step.
+func (e *Engine) sample() Sample {
+	cur := e.reg.Snapshot()
+	now := time.Now()
+	d := cur.Sub(e.prev)
+	elapsed := now.Sub(e.prevTime)
+	e.prev, e.prevTime = cur, now
+
+	s := Sample{
+		Tasks:      d.Get(counters.CountCumulative),
+		Phases:     d.Get(counters.CountCumulativePhases),
+		MaxWorkers: e.maxWorkers,
+		Elapsed:    elapsed,
+	}
+	if f := d.Get(counters.TimeFuncTotal); f > 0 {
+		ir := (f - d.Get(counters.TimeExecTotal)) / f
+		if ir < 0 {
+			ir = 0
+		}
+		if ir > 1 {
+			ir = 1
+		}
+		s.IdleRate = ir
+	}
+	if acc := d.Get(counters.PendingAccesses); acc > 0 {
+		s.PendingMissRate = d.Get(counters.PendingMisses) / acc
+	}
+	if e.act.ActiveWorkers != nil {
+		s.ActiveWorkers = e.act.ActiveWorkers()
+	} else {
+		s.ActiveWorkers = e.maxWorkers
+	}
+	if e.act.Grain != nil {
+		s.Grain = e.act.Grain()
+	}
+	return s
+}
+
+// Step performs one sample→decide→actuate cycle and returns the sample and
+// the actions applied.
+func (e *Engine) Step() (Sample, []Action) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.sample()
+	var applied []Action
+	for _, p := range e.policies {
+		for _, a := range p.Evaluate(s) {
+			if a.SetGrain > 0 && e.act.SetGrain != nil {
+				e.act.SetGrain(a.SetGrain)
+			}
+			if a.SetActiveWorkers > 0 && e.act.SetActiveWorkers != nil {
+				e.act.SetActiveWorkers(a.SetActiveWorkers)
+			}
+			applied = append(applied, a)
+		}
+	}
+	return s, applied
+}
+
+// Run steps the engine every interval until Stop. It returns immediately;
+// call Stop to terminate the background loop.
+func (e *Engine) Run(interval time.Duration) {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	e.mu.Lock()
+	if e.stop != nil {
+		e.mu.Unlock()
+		return // already running
+	}
+	e.stop = make(chan struct{})
+	e.done = make(chan struct{})
+	stop, done := e.stop, e.done
+	e.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				e.Step()
+			}
+		}
+	}()
+}
+
+// Stop terminates a Run loop and waits for it to exit. Safe to call when
+// not running.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	stop, done := e.stop, e.done
+	e.stop, e.done = nil, nil
+	e.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,205 @@
+// Package queue provides the task-queue substrate of the runtime: a
+// lock-free multi-producer/multi-consumer FIFO (the paper's scheduler is the
+// composition of the Priority Local policy with "the lock free FIFO queuing
+// policy"), an instrumented wrapper that counts accesses and misses exactly
+// like the HPX /threads/count/pending-accesses and -misses counters, and a
+// mutex-based double-ended queue used by the LIFO work-stealing policy
+// ablation.
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Queue is the minimal FIFO interface the scheduler consumes.
+type Queue[T any] interface {
+	// Push appends v to the tail.
+	Push(v T)
+	// Pop removes and returns the head, reporting whether one was present.
+	Pop() (T, bool)
+	// Len returns the current number of elements (may be approximate under
+	// concurrency, but exact when quiescent).
+	Len() int
+}
+
+// node is a Michael–Scott queue link.
+type node[T any] struct {
+	value T
+	next  atomic.Pointer[node[T]]
+}
+
+// MSQueue is an unbounded lock-free FIFO (Michael & Scott, 1996). Go's
+// garbage collector eliminates the ABA problem, so no tagged pointers are
+// needed. The zero value is not usable; construct with NewMS.
+type MSQueue[T any] struct {
+	head   atomic.Pointer[node[T]] // points at a dummy node
+	tail   atomic.Pointer[node[T]]
+	length atomic.Int64
+}
+
+// NewMS returns an empty lock-free FIFO.
+func NewMS[T any]() *MSQueue[T] {
+	q := &MSQueue[T]{}
+	dummy := &node[T]{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Push appends v to the tail. Safe for any number of concurrent producers.
+func (q *MSQueue[T]) Push(v T) {
+	n := &node[T]{value: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue // tail moved underneath us; retry
+		}
+		if next != nil {
+			// Tail is lagging; help advance it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			q.length.Add(1)
+			return
+		}
+	}
+}
+
+// Pop removes the head element. Safe for any number of concurrent consumers.
+func (q *MSQueue[T]) Pop() (T, bool) {
+	var zero T
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			return zero, false // empty
+		}
+		if head == tail {
+			// Tail lagging behind a concurrent push; help it along.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		v := next.value
+		if q.head.CompareAndSwap(head, next) {
+			q.length.Add(-1)
+			// Clear the value slot so the GC can reclaim large payloads
+			// while `next` serves as the new dummy node.
+			next.value = zero
+			return v, true
+		}
+	}
+}
+
+// Len returns the approximate number of queued elements.
+func (q *MSQueue[T]) Len() int { return int(q.length.Load()) }
+
+// Empty reports whether the queue appears empty.
+func (q *MSQueue[T]) Empty() bool { return q.Len() == 0 }
+
+// Instrumented wraps a Queue and maintains the access/miss counts the paper
+// reports per pending queue: every Pop is an access; a Pop that finds no
+// work is a miss (Sec. II-A, "Thread Pending Queue Metrics").
+type Instrumented[T any] struct {
+	inner    Queue[T]
+	accesses atomic.Uint64
+	misses   atomic.Uint64
+}
+
+// NewInstrumented wraps inner with access/miss counting.
+func NewInstrumented[T any](inner Queue[T]) *Instrumented[T] {
+	return &Instrumented[T]{inner: inner}
+}
+
+// Push forwards to the wrapped queue (pushes are not counted; the paper's
+// counters track scheduler *look-ups* for work).
+func (q *Instrumented[T]) Push(v T) { q.inner.Push(v) }
+
+// Pop counts one access, and one miss if no element was available.
+func (q *Instrumented[T]) Pop() (T, bool) {
+	q.accesses.Add(1)
+	v, ok := q.inner.Pop()
+	if !ok {
+		q.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Len forwards to the wrapped queue.
+func (q *Instrumented[T]) Len() int { return q.inner.Len() }
+
+// Accesses returns the cumulative number of Pop attempts.
+func (q *Instrumented[T]) Accesses() uint64 { return q.accesses.Load() }
+
+// Misses returns the cumulative number of empty Pop attempts.
+func (q *Instrumented[T]) Misses() uint64 { return q.misses.Load() }
+
+// Deque is a mutex-protected double-ended queue used by the work-stealing
+// LIFO policy ablation: the owner pushes/pops at the back (LIFO), thieves
+// steal from the front (FIFO). It intentionally trades peak throughput for
+// simplicity; the ablation compares scheduling *policies*, not queue
+// implementations.
+type Deque[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// NewDeque returns an empty deque.
+func NewDeque[T any]() *Deque[T] { return &Deque[T]{} }
+
+// Push appends v at the back.
+func (d *Deque[T]) Push(v T) {
+	d.mu.Lock()
+	d.items = append(d.items, v)
+	d.mu.Unlock()
+}
+
+// Pop removes from the back (owner side, LIFO).
+func (d *Deque[T]) Pop() (T, bool) {
+	var zero T
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return zero, false
+	}
+	v := d.items[n-1]
+	d.items[n-1] = zero
+	d.items = d.items[:n-1]
+	return v, true
+}
+
+// Steal removes from the front (thief side, FIFO).
+func (d *Deque[T]) Steal() (T, bool) {
+	var zero T
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return zero, false
+	}
+	v := d.items[0]
+	d.items[0] = zero
+	d.items = d.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued elements.
+func (d *Deque[T]) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}
+
+// compile-time interface checks
+var (
+	_ Queue[int] = (*MSQueue[int])(nil)
+	_ Queue[int] = (*Instrumented[int])(nil)
+	_ Queue[int] = (*Deque[int])(nil)
+)

@@ -1,0 +1,329 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMSQueueSequentialFIFO(t *testing.T) {
+	q := NewMS[int]()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop of empty queue succeeded")
+	}
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d ok=%v", i, v, ok)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestMSQueueInterleaved(t *testing.T) {
+	q := NewMS[string]()
+	q.Push("a")
+	q.Push("b")
+	if v, _ := q.Pop(); v != "a" {
+		t.Fatalf("got %q", v)
+	}
+	q.Push("c")
+	if v, _ := q.Pop(); v != "b" {
+		t.Fatalf("got %q", v)
+	}
+	if v, _ := q.Pop(); v != "c" {
+		t.Fatalf("got %q", v)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("expected empty")
+	}
+}
+
+// MPMC stress: no element lost or duplicated, per-producer order preserved.
+func TestMSQueueConcurrentNoLossNoDup(t *testing.T) {
+	const producers, consumers, perProducer = 8, 8, 2000
+	q := NewMS[[2]int]() // (producer, seq)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push([2]int{p, i})
+			}
+		}(p)
+	}
+	results := make(chan [2]int, producers*perProducer)
+	var cg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				if v, ok := q.Pop(); ok {
+					results <- v
+				} else {
+					select {
+					case <-done:
+						// drain anything that raced in
+						for {
+							v, ok := q.Pop()
+							if !ok {
+								return
+							}
+							results <- v
+						}
+					default:
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cg.Wait()
+	close(results)
+	seen := make(map[[2]int]int)
+	count := 0
+	for v := range results {
+		seen[v]++
+		count++
+	}
+	if count != producers*perProducer {
+		t.Fatalf("got %d elements, want %d", count, producers*perProducer)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("element %v seen %d times", k, n)
+		}
+	}
+}
+
+// Per-producer FIFO order with a single consumer.
+func TestMSQueuePerProducerOrder(t *testing.T) {
+	const producers, perProducer = 4, 5000
+	q := NewMS[[2]int]()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push([2]int{p, i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if v[1] <= last[v[0]] {
+			t.Fatalf("producer %d out of order: %d after %d", v[0], v[1], last[v[0]])
+		}
+		last[v[0]] = v[1]
+	}
+	for p, l := range last {
+		if l != perProducer-1 {
+			t.Fatalf("producer %d: last seq %d", p, l)
+		}
+	}
+}
+
+func TestInstrumentedCounts(t *testing.T) {
+	q := NewInstrumented[int](NewMS[int]())
+	if _, ok := q.Pop(); ok {
+		t.Fatal("unexpected element")
+	}
+	q.Push(1)
+	q.Push(2)
+	q.Pop()
+	q.Pop()
+	q.Pop() // miss
+	if q.Accesses() != 4 {
+		t.Fatalf("accesses = %d, want 4", q.Accesses())
+	}
+	if q.Misses() != 2 {
+		t.Fatalf("misses = %d, want 2", q.Misses())
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestDequeLIFOOwnerFIFOThief(t *testing.T) {
+	d := NewDeque[int]()
+	if _, ok := d.Pop(); ok {
+		t.Fatal("pop of empty deque")
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("steal of empty deque")
+	}
+	for i := 1; i <= 3; i++ {
+		d.Push(i)
+	}
+	if v, _ := d.Pop(); v != 3 {
+		t.Fatalf("owner pop = %d, want 3 (LIFO)", v)
+	}
+	if v, _ := d.Steal(); v != 1 {
+		t.Fatalf("steal = %d, want 1 (FIFO)", v)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	if v, _ := d.Pop(); v != 2 {
+		t.Fatalf("pop = %d, want 2", v)
+	}
+}
+
+func TestDequeConcurrentStealers(t *testing.T) {
+	d := NewDeque[int]()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		d.Push(i)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	got := make(map[int]bool, n)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := d.Steal()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if got[v] {
+					t.Errorf("duplicate steal of %d", v)
+				}
+				got[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("stole %d unique, want %d", len(got), n)
+	}
+}
+
+// Property: any sequence of pushes followed by pops returns the pushed
+// values in order.
+func TestQuickMSQueueFIFO(t *testing.T) {
+	f := func(xs []int32) bool {
+		q := NewMS[int32]()
+		for _, x := range xs {
+			q.Push(x)
+		}
+		for _, want := range xs {
+			v, ok := q.Pop()
+			if !ok || v != want {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: instrumented misses never exceed accesses, and accesses equal
+// the number of Pop calls.
+func TestQuickInstrumentedInvariant(t *testing.T) {
+	f := func(ops []bool) bool {
+		q := NewInstrumented[int](NewMS[int]())
+		pops := uint64(0)
+		for i, push := range ops {
+			if push {
+				q.Push(i)
+			} else {
+				q.Pop()
+				pops++
+			}
+		}
+		return q.Accesses() == pops && q.Misses() <= q.Accesses()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: deque Pop/Steal drain exactly the multiset pushed.
+func TestQuickDequeConservation(t *testing.T) {
+	f := func(xs []int16, fromFront []bool) bool {
+		d := NewDeque[int16]()
+		for _, x := range xs {
+			d.Push(x)
+		}
+		want := make(map[int16]int)
+		for _, x := range xs {
+			want[x]++
+		}
+		i := 0
+		for d.Len() > 0 {
+			var v int16
+			var ok bool
+			if i < len(fromFront) && fromFront[i] {
+				v, ok = d.Steal()
+			} else {
+				v, ok = d.Pop()
+			}
+			if !ok {
+				return false
+			}
+			want[v]--
+			i++
+		}
+		for _, n := range want {
+			if n != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMSQueuePushPop(b *testing.B) {
+	q := NewMS[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		q.Pop()
+	}
+}
+
+func BenchmarkMSQueueContended(b *testing.B) {
+	q := NewMS[int]()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%2 == 0 {
+				q.Push(i)
+			} else {
+				q.Pop()
+			}
+			i++
+		}
+	})
+}

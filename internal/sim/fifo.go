@@ -1,0 +1,88 @@
+package sim
+
+// entry is a queued task plus the virtual time at which it becomes visible.
+// Carrying the availability time on the element keeps the simulation causal
+// without one event per enqueue: a worker probing before readyAt simply
+// misses, exactly as if the push had not happened yet.
+type entry struct {
+	task Task
+	at   float64 // virtual ns at which the task is visible
+}
+
+// fifo is a growable ring buffer of entries.
+type fifo struct {
+	buf  []entry
+	head int
+	n    int
+}
+
+// push appends e at the tail.
+func (f *fifo) push(e entry) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = e
+	f.n++
+}
+
+func (f *fifo) grow() {
+	newCap := len(f.buf) * 2
+	if newCap == 0 {
+		newCap = 16
+	}
+	nb := make([]entry, newCap)
+	for i := 0; i < f.n; i++ {
+		nb[i] = f.buf[(f.head+i)%len(f.buf)]
+	}
+	f.buf = nb
+	f.head = 0
+}
+
+// popFront removes the head entry if it is visible at `now` (FIFO side).
+func (f *fifo) popFront(now float64) (Task, bool) {
+	if f.n == 0 || f.buf[f.head].at > now {
+		return Task{}, false
+	}
+	t := f.buf[f.head].task
+	f.buf[f.head] = entry{}
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	return t, true
+}
+
+// popBack removes the tail entry if it is visible at `now` (LIFO side, used
+// by the work-stealing-LIFO policy variant).
+func (f *fifo) popBack(now float64) (Task, bool) {
+	if f.n == 0 {
+		return Task{}, false
+	}
+	i := (f.head + f.n - 1) % len(f.buf)
+	if f.buf[i].at > now {
+		return Task{}, false
+	}
+	t := f.buf[i].task
+	f.buf[i] = entry{}
+	f.n--
+	return t, true
+}
+
+// len returns the number of queued entries (visible or not).
+func (f *fifo) len() int { return f.n }
+
+// earliest returns the smallest visibility time among queued entries, or
+// +inf when empty. Used to let an otherwise-idle simulation advance to the
+// moment queued-but-not-yet-visible work materializes.
+func (f *fifo) earliest() float64 {
+	if f.n == 0 {
+		return inf
+	}
+	// Entries are pushed in nondecreasing readyAt order per producer, but
+	// producers interleave, so scan (queues are short whenever this is hit).
+	min := inf
+	for i := 0; i < f.n; i++ {
+		if at := f.buf[(f.head+i)%len(f.buf)].at; at < min {
+			min = at
+		}
+	}
+	return min
+}

@@ -1,0 +1,205 @@
+// Package stats provides the summary statistics used throughout the
+// granularity study: mean, standard deviation, coefficient of variation
+// (COV), and percentiles over repeated experiment samples.
+//
+// The paper (Sec. II) reports the mean of ten samples per configuration and
+// uses the COV (ratio of the standard deviation to the mean) as the
+// stability criterion: execution-time COVs below 10% (mostly below 3%) are
+// considered stable. This package implements exactly those aggregates, plus
+// an online (Welford) accumulator so the runtime can maintain interval
+// statistics without storing raw samples.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoSamples is returned by operations that require at least one sample.
+var ErrNoSamples = errors.New("stats: no samples")
+
+// Summary holds the descriptive statistics of a sample set.
+type Summary struct {
+	N      int     // number of samples
+	Mean   float64 // arithmetic mean
+	Std    float64 // sample standard deviation (n-1 denominator)
+	COV    float64 // coefficient of variation: Std/Mean (0 if Mean == 0)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary over xs. It returns ErrNoSamples for an
+// empty slice. A single sample yields Std = 0.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrNoSamples
+	}
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	s := acc.Summary()
+	s.Median = Percentile(xs, 50)
+	return s, nil
+}
+
+// MustSummarize is Summarize for callers that have already validated the
+// sample count; it panics on an empty slice.
+func MustSummarize(xs []float64) Summary {
+	s, err := Summarize(xs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (n-1 denominator) of xs.
+// Slices with fewer than two samples yield 0.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// COV returns the coefficient of variation of xs (Std/Mean). It returns 0
+// when the mean is zero to avoid a meaningless division.
+func COV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return Std(xs) / m
+}
+
+// Percentile returns the p-th percentile (0–100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice and
+// clamps p into [0,100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Accumulator is an online (Welford) mean/variance accumulator. The zero
+// value is ready to use. It is not safe for concurrent use; wrap it in a
+// mutex or keep one per worker and merge.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one sample.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// Merge combines another accumulator into a (parallel Welford merge), so
+// per-worker accumulators can be reduced into a global one.
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	mean := a.mean + delta*float64(b.n)/float64(n)
+	m2 := a.m2 + b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	a.n, a.mean, a.m2 = n, mean, m2
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}
+
+// N returns the number of samples added.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (0 if no samples).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the running sample variance (n-1 denominator).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the running sample standard deviation.
+func (a *Accumulator) Std() float64 { return math.Sqrt(a.Variance()) }
+
+// Summary materializes the accumulator state (Median is not tracked online
+// and is left zero).
+func (a *Accumulator) Summary() Summary {
+	s := Summary{N: a.n, Mean: a.mean, Std: a.Std(), Min: a.min, Max: a.max}
+	if s.Mean != 0 {
+		s.COV = s.Std / s.Mean
+	}
+	return s
+}
+
+// String renders the summary in the "mean ± std (cov%)" form used by the
+// experiment reports.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.6g ± %.2g (COV %.1f%%, n=%d)", s.Mean, s.Std, s.COV*100, s.N)
+}

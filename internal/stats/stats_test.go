@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrNoSamples {
+		t.Fatalf("want ErrNoSamples, got %v", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 1 || s.Mean != 42 || s.Std != 0 || s.Min != 42 || s.Max != 42 || s.Median != 42 {
+		t.Fatalf("bad single-sample summary: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	// 2,4,4,4,5,5,7,9: mean 5, population std 2, sample std ~2.138
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := MustSummarize(xs)
+	if s.Mean != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	if !almostEqual(s.Std, 2.1380899353, 1e-9) {
+		t.Errorf("std = %v", s.Std)
+	}
+	if !almostEqual(s.COV, s.Std/5, 1e-12) {
+		t.Errorf("cov = %v", s.COV)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if !almostEqual(s.Median, 4.5, 1e-12) {
+		t.Errorf("median = %v", s.Median)
+	}
+}
+
+func TestMeanStdCOVHelpers(t *testing.T) {
+	if Mean(nil) != 0 || Std(nil) != 0 || COV(nil) != 0 {
+		t.Fatal("empty-slice helpers must return 0")
+	}
+	if Std([]float64{3}) != 0 {
+		t.Fatal("single-sample std must be 0")
+	}
+	if COV([]float64{0, 0}) != 0 {
+		t.Fatal("zero-mean COV must be 0")
+	}
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 15}, {100, 50}, {-5, 15}, {105, 50},
+		{50, 35}, {25, 20}, {75, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+	// interpolation case
+	if got := Percentile([]float64{1, 2, 3, 4}, 50); !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("interpolated median = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var acc Accumulator
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		acc.Add(xs[i])
+	}
+	if acc.N() != 1000 {
+		t.Fatalf("n = %d", acc.N())
+	}
+	if !almostEqual(acc.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("mean: acc %v batch %v", acc.Mean(), Mean(xs))
+	}
+	if !almostEqual(acc.Std(), Std(xs), 1e-9) {
+		t.Errorf("std: acc %v batch %v", acc.Std(), Std(xs))
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var all, a, b Accumulator
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 100
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged n = %d, want %d", a.N(), all.N())
+	}
+	if !almostEqual(a.Mean(), all.Mean(), 1e-9) || !almostEqual(a.Std(), all.Std(), 1e-9) {
+		t.Errorf("merge mismatch: mean %v vs %v, std %v vs %v", a.Mean(), all.Mean(), a.Std(), all.Std())
+	}
+	sum := a.Summary()
+	if sum.Min != all.min || sum.Max != all.max {
+		t.Errorf("min/max mismatch after merge")
+	}
+}
+
+func TestAccumulatorMergeEmptyCases(t *testing.T) {
+	var a, b Accumulator
+	a.Merge(b) // both empty: no-op
+	if a.N() != 0 {
+		t.Fatal("merge of empties must stay empty")
+	}
+	b.Add(5)
+	a.Merge(b) // empty absorbs non-empty
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Fatalf("absorb failed: %+v", a)
+	}
+	var c Accumulator
+	a.Merge(c) // non-empty ignores empty
+	if a.N() != 1 {
+		t.Fatal("merging empty into non-empty changed n")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := MustSummarize([]float64{1, 2, 3})
+	if got := s.String(); got == "" {
+		t.Fatal("empty string render")
+	}
+}
+
+// Property: Welford accumulator mean/std always matches the batch formulas.
+func TestQuickAccumulatorEquivalence(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var acc Accumulator
+		for i, v := range raw {
+			xs[i] = float64(v)
+			acc.Add(xs[i])
+		}
+		return almostEqual(acc.Mean(), Mean(xs), 1e-6) &&
+			almostEqual(acc.Std(), Std(xs), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []int8, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		a := float64(p1%101) / 1.0
+		b := float64(p2%101) / 1.0
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(xs, a), Percentile(xs, b)
+		lo, hi := Percentile(xs, 0), Percentile(xs, 100)
+		return pa <= pb+1e-9 && pa >= lo-1e-9 && pb <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merge order does not matter.
+func TestQuickMergeCommutes(t *testing.T) {
+	f := func(xs, ys []int8) bool {
+		var a1, b1, a2, b2 Accumulator
+		for _, x := range xs {
+			a1.Add(float64(x))
+			a2.Add(float64(x))
+		}
+		for _, y := range ys {
+			b1.Add(float64(y))
+			b2.Add(float64(y))
+		}
+		a1.Merge(b1) // a then b
+		b2.Merge(a2) // b then a
+		if a1.N() != b2.N() {
+			return false
+		}
+		if a1.N() == 0 {
+			return true
+		}
+		return almostEqual(a1.Mean(), b2.Mean(), 1e-6) && almostEqual(a1.Std(), b2.Std(), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzReferenceConservation: on any valid ring configuration, the symmetric
+// heat kernel conserves total heat and contracts the value range.
+func FuzzReferenceConservation(f *testing.F) {
+	f.Add(10, 3, 2, 0.25)
+	f.Add(64, 64, 5, 0.1)
+	f.Add(3, 1, 1, 0.5)
+	f.Fuzz(func(t *testing.T, n, pp, steps int, alpha float64) {
+		if n < 1 || n > 2000 || pp < 1 || pp > n || steps < 0 || steps > 20 {
+			t.Skip()
+		}
+		if alpha <= 0 || alpha > 0.5 || math.IsNaN(alpha) {
+			t.Skip()
+		}
+		cfg := Config{TotalPoints: n, PointsPerPartition: pp, TimeSteps: steps, Alpha: alpha}
+		out, err := Reference(cfg)
+		if err != nil {
+			t.Skip()
+		}
+		var sum, want float64
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		for i := range out {
+			sum += out[i]
+			want += InitialValue(i)
+			minV = math.Min(minV, out[i])
+			maxV = math.Max(maxV, out[i])
+		}
+		if math.Abs(sum-want) > 1e-6*math.Max(1, math.Abs(want)) {
+			t.Fatalf("heat not conserved: %v vs %v (cfg %+v)", sum, want, cfg)
+		}
+		// Maximum principle: values stay within the initial range.
+		if minV < -1e-9 || maxV > float64(n-1)+1e-9 {
+			t.Fatalf("range violated: [%v,%v] (cfg %+v)", minV, maxV, cfg)
+		}
+	})
+}

@@ -1,0 +1,358 @@
+// Package stencil2d extends the benchmark family with a two-dimensional
+// five-point heat stencil on a torus, blocked into rectangular partitions.
+// It exists to show the granularity methodology generalizes beyond the
+// paper's 1D case: the grain knob is the block size, each block-timestep is
+// one dataflow task depending on five blocks of the previous step (self and
+// the four von-Neumann neighbours), and the same U-shaped execution-time
+// curve emerges.
+//
+// Like the 1D package it provides three executions: Run (futurized native),
+// Reference (sequential oracle), and NewSimWorkload (dependency DAG for the
+// discrete-event simulator).
+package stencil2d
+
+import (
+	"fmt"
+
+	"taskgrain/internal/future"
+	"taskgrain/internal/sim"
+	"taskgrain/internal/taskrt"
+)
+
+// Block is one rectangular partition of the grid.
+type Block struct {
+	W, H int
+	Data []float64 // row-major, len = W*H
+}
+
+// NewBlock allocates a zeroed block.
+func NewBlock(w, h int) Block { return Block{W: w, H: h, Data: make([]float64, w*h)} }
+
+// At returns the cell value at (x, y).
+func (b Block) At(x, y int) float64 { return b.Data[y*b.W+x] }
+
+// Set stores v at (x, y).
+func (b Block) Set(x, y int, v float64) { b.Data[y*b.W+x] = v }
+
+// Config describes one 2D stencil experiment.
+type Config struct {
+	// Width and Height are the torus dimensions in grid points.
+	Width, Height int
+	// BlockWidth and BlockHeight set the partition (grain) size.
+	BlockWidth, BlockHeight int
+	// TimeSteps is the number of diffusion steps.
+	TimeSteps int
+	// Alpha is the diffusion coefficient (2D stability needs ≤ 0.25);
+	// defaults to 0.125 when zero.
+	Alpha float64
+}
+
+func (c *Config) alpha() float64 {
+	if c.Alpha == 0 {
+		return 0.125
+	}
+	return c.Alpha
+}
+
+// BlocksX returns the number of block columns.
+func (c *Config) BlocksX() int { return (c.Width + c.BlockWidth - 1) / c.BlockWidth }
+
+// BlocksY returns the number of block rows.
+func (c *Config) BlocksY() int { return (c.Height + c.BlockHeight - 1) / c.BlockHeight }
+
+// Blocks returns the total partition count.
+func (c *Config) Blocks() int { return c.BlocksX() * c.BlocksY() }
+
+// blockDims returns the dimensions of block (bi, bj); edge blocks absorb
+// the remainder.
+func (c *Config) blockDims(bi, bj int) (w, h int) {
+	w = c.BlockWidth
+	if bi == c.BlocksX()-1 {
+		w = c.Width - bi*c.BlockWidth
+	}
+	h = c.BlockHeight
+	if bj == c.BlocksY()-1 {
+		h = c.Height - bj*c.BlockHeight
+	}
+	return w, h
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.Width < 1 || c.Height < 1:
+		return fmt.Errorf("stencil2d: grid %dx%d", c.Width, c.Height)
+	case c.BlockWidth < 1 || c.BlockWidth > c.Width:
+		return fmt.Errorf("stencil2d: BlockWidth = %d out of [1,%d]", c.BlockWidth, c.Width)
+	case c.BlockHeight < 1 || c.BlockHeight > c.Height:
+		return fmt.Errorf("stencil2d: BlockHeight = %d out of [1,%d]", c.BlockHeight, c.Height)
+	case c.TimeSteps < 0:
+		return fmt.Errorf("stencil2d: TimeSteps = %d", c.TimeSteps)
+	case c.alpha() <= 0 || c.alpha() > 0.25:
+		return fmt.Errorf("stencil2d: Alpha = %v not in (0,0.25]", c.alpha())
+	}
+	return nil
+}
+
+// InitialValue is u₀(x, y): a deterministic initial temperature field.
+func InitialValue(x, y int) float64 { return float64(x + 3*y) }
+
+// initBlock materializes the initial data of block (bi, bj).
+func initBlock(c Config, bi, bj int) Block {
+	w, h := c.blockDims(bi, bj)
+	b := NewBlock(w, h)
+	x0, y0 := bi*c.BlockWidth, bj*c.BlockHeight
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.Set(x, y, InitialValue(x0+x, y0+y))
+		}
+	}
+	return b
+}
+
+// neighborhood is the five input blocks of one block-timestep.
+type neighborhood struct {
+	self, up, down, left, right Block
+}
+
+// heatBlock computes a block's next time step from its neighbourhood.
+// left/right neighbours share the block's height; up/down share its width,
+// so halo indexing is always in range.
+func heatBlock(nb neighborhood, alpha float64) Block {
+	w, h := nb.self.W, nb.self.H
+	next := NewBlock(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var n, s, e, wst float64
+			if y > 0 {
+				n = nb.self.At(x, y-1)
+			} else {
+				n = nb.up.At(x, nb.up.H-1)
+			}
+			if y < h-1 {
+				s = nb.self.At(x, y+1)
+			} else {
+				s = nb.down.At(x, 0)
+			}
+			if x > 0 {
+				wst = nb.self.At(x-1, y)
+			} else {
+				wst = nb.left.At(nb.left.W-1, y)
+			}
+			if x < w-1 {
+				e = nb.self.At(x+1, y)
+			} else {
+				e = nb.right.At(0, y)
+			}
+			u := nb.self.At(x, y)
+			next.Set(x, y, u+alpha*(n+s+e+wst-4*u))
+		}
+	}
+	return next
+}
+
+// Solution is the final state of a 2D run.
+type Solution struct {
+	Config Config
+	// Final holds the blocks in row-major block order.
+	Final []Block
+}
+
+// Sum returns the total heat (conserved on the torus).
+func (s *Solution) Sum() float64 {
+	t := 0.0
+	for _, b := range s.Final {
+		for _, v := range b.Data {
+			t += v
+		}
+	}
+	return t
+}
+
+// Flatten reassembles the full row-major grid.
+func (s *Solution) Flatten() []float64 {
+	c := s.Config
+	out := make([]float64, c.Width*c.Height)
+	bx := c.BlocksX()
+	for idx, b := range s.Final {
+		bi, bj := idx%bx, idx/bx
+		x0, y0 := bi*c.BlockWidth, bj*c.BlockHeight
+		for y := 0; y < b.H; y++ {
+			for x := 0; x < b.W; x++ {
+				out[(y0+y)*c.Width+(x0+x)] = b.At(x, y)
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the futurized 2D benchmark on rt.
+func Run(rt *taskrt.Runtime, cfg Config) (*Solution, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bx, by := cfg.BlocksX(), cfg.BlocksY()
+	alpha := cfg.alpha()
+	id := func(bi, bj int) int { return bj*bx + bi }
+
+	cur := make([]*future.Future[Block], bx*by)
+	for bj := 0; bj < by; bj++ {
+		for bi := 0; bi < bx; bi++ {
+			bi, bj := bi, bj
+			cur[id(bi, bj)] = future.Async(rt, func() Block { return initBlock(cfg, bi, bj) })
+		}
+	}
+	for s := 0; s < cfg.TimeSteps; s++ {
+		next := make([]*future.Future[Block], bx*by)
+		for bj := 0; bj < by; bj++ {
+			for bi := 0; bi < bx; bi++ {
+				deps := []*future.Future[Block]{
+					cur[id(bi, bj)],
+					cur[id(bi, (bj-1+by)%by)], // up
+					cur[id(bi, (bj+1)%by)],    // down
+					cur[id((bi-1+bx)%bx, bj)], // left
+					cur[id((bi+1)%bx, bj)],    // right
+				}
+				next[id(bi, bj)] = future.Dataflow(rt, func(vs []Block) Block {
+					return heatBlock(neighborhood{
+						self: vs[0], up: vs[1], down: vs[2], left: vs[3], right: vs[4],
+					}, alpha)
+				}, deps)
+			}
+		}
+		cur = next
+	}
+	finals := future.WhenAll(cur).Wait()
+	return &Solution{Config: cfg, Final: finals}, nil
+}
+
+// Reference solves the same problem sequentially on the flat torus.
+func Reference(cfg Config) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w, h := cfg.Width, cfg.Height
+	alpha := cfg.alpha()
+	cur := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			cur[y*w+x] = InitialValue(x, y)
+		}
+	}
+	next := make([]float64, w*h)
+	for s := 0; s < cfg.TimeSteps; s++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				u := cur[y*w+x]
+				n := cur[((y-1+h)%h)*w+x]
+				sth := cur[((y+1)%h)*w+x]
+				wst := cur[y*w+(x-1+w)%w]
+				e := cur[y*w+(x+1)%w]
+				next[y*w+x] = u + alpha*(n+sth+e+wst-4*u)
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur, nil
+}
+
+// SimWorkload is the 2D dependency DAG for the simulator.
+type SimWorkload struct {
+	cfg     Config
+	bx, by  int
+	waiting map[int][]int8
+	emitted map[int]int
+}
+
+// NewSimWorkload builds the DAG generator.
+func NewSimWorkload(cfg Config) (*SimWorkload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SimWorkload{
+		cfg: cfg, bx: cfg.BlocksX(), by: cfg.BlocksY(),
+		waiting: make(map[int][]int8),
+		emitted: make(map[int]int),
+	}, nil
+}
+
+// TotalTasks returns blocks · (steps + 1).
+func (w *SimWorkload) TotalTasks() int64 {
+	return int64(w.bx) * int64(w.by) * int64(w.cfg.TimeSteps+1)
+}
+
+func (w *SimWorkload) taskID(step, block int) int64 {
+	return int64(step)*int64(w.bx*w.by) + int64(block)
+}
+
+func (w *SimWorkload) unpack(id int64) (step, block int) {
+	n := int64(w.bx * w.by)
+	return int(id / n), int(id % n)
+}
+
+// pointsOf returns the cost units (cells) of a block.
+func (w *SimWorkload) pointsOf(block int) int {
+	bw, bh := w.cfg.blockDims(block%w.bx, block/w.bx)
+	return bw * bh
+}
+
+// neighbors returns the distinct blocks whose next-step tasks consume this
+// block (self + the four von-Neumann neighbours on the block torus).
+func (w *SimWorkload) neighbors(block int) []int {
+	bi, bj := block%w.bx, block/w.bx
+	cand := [][2]int{
+		{bi, bj},
+		{bi, (bj - 1 + w.by) % w.by},
+		{bi, (bj + 1) % w.by},
+		{(bi - 1 + w.bx) % w.bx, bj},
+		{(bi + 1) % w.bx, bj},
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range cand {
+		id := c[1]*w.bx + c[0]
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Roots implements sim.Workload: the block initializations.
+func (w *SimWorkload) Roots(emit func(sim.Task)) {
+	n := w.bx * w.by
+	for b := 0; b < n; b++ {
+		emit(sim.Task{ID: w.taskID(0, b), Points: w.pointsOf(b), Hint: -1})
+	}
+	w.emitted[0] = n
+}
+
+// OnComplete implements sim.Workload.
+func (w *SimWorkload) OnComplete(t sim.Task, emit func(sim.Task)) {
+	s, b := w.unpack(t.ID)
+	if s >= w.cfg.TimeSteps {
+		return
+	}
+	nextStep := s + 1
+	n := w.bx * w.by
+	row, ok := w.waiting[nextStep]
+	if !ok {
+		row = make([]int8, n)
+		for i := range row {
+			row[i] = int8(len(w.neighbors(i)))
+		}
+		w.waiting[nextStep] = row
+	}
+	for _, q := range w.neighbors(b) {
+		row[q]--
+		if row[q] == 0 {
+			emit(sim.Task{ID: w.taskID(nextStep, q), Points: w.pointsOf(q), Hint: -1})
+			w.emitted[nextStep]++
+		}
+	}
+	if w.emitted[nextStep] == n {
+		delete(w.waiting, nextStep)
+		delete(w.emitted, s)
+	}
+}

@@ -1,0 +1,246 @@
+package stencil2d
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"taskgrain/internal/costmodel"
+	"taskgrain/internal/sim"
+	"taskgrain/internal/taskrt"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Width: 32, Height: 16, BlockWidth: 8, BlockHeight: 8, TimeSteps: 3}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Width: 0, Height: 4, BlockWidth: 1, BlockHeight: 1, TimeSteps: 1},
+		{Width: 4, Height: 0, BlockWidth: 1, BlockHeight: 1, TimeSteps: 1},
+		{Width: 4, Height: 4, BlockWidth: 0, BlockHeight: 1, TimeSteps: 1},
+		{Width: 4, Height: 4, BlockWidth: 5, BlockHeight: 1, TimeSteps: 1},
+		{Width: 4, Height: 4, BlockWidth: 1, BlockHeight: 9, TimeSteps: 1},
+		{Width: 4, Height: 4, BlockWidth: 1, BlockHeight: 1, TimeSteps: -1},
+		{Width: 4, Height: 4, BlockWidth: 2, BlockHeight: 2, TimeSteps: 1, Alpha: 0.3},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestBlockGeometry(t *testing.T) {
+	c := Config{Width: 10, Height: 7, BlockWidth: 4, BlockHeight: 3, TimeSteps: 1}
+	if c.BlocksX() != 3 || c.BlocksY() != 3 || c.Blocks() != 9 {
+		t.Fatalf("blocks = %dx%d", c.BlocksX(), c.BlocksY())
+	}
+	// Remainders: last column blocks are 2 wide, last row blocks 1 tall.
+	if w, h := c.blockDims(2, 0); w != 2 || h != 3 {
+		t.Errorf("block (2,0) = %dx%d", w, h)
+	}
+	if w, h := c.blockDims(0, 2); w != 4 || h != 1 {
+		t.Errorf("block (0,2) = %dx%d", w, h)
+	}
+	if w, h := c.blockDims(2, 2); w != 2 || h != 1 {
+		t.Errorf("block (2,2) = %dx%d", w, h)
+	}
+	// Total cells across blocks equals the grid.
+	total := 0
+	for bj := 0; bj < c.BlocksY(); bj++ {
+		for bi := 0; bi < c.BlocksX(); bi++ {
+			w, h := c.blockDims(bi, bj)
+			total += w * h
+		}
+	}
+	if total != 70 {
+		t.Fatalf("cells = %d", total)
+	}
+}
+
+func TestReferenceHandComputed(t *testing.T) {
+	// 2x2 torus, alpha 0.125, u0 = [[0,1],[3,4]]:
+	// each cell's 4 neighbours on a 2-torus are the other row cell twice
+	// and the other column cell twice.
+	// u'(0,0) = 0 + 0.125*(2*1 + 2*3 - 0) = 1.0
+	// u'(1,0) = 1 + 0.125*(2*0 + 2*4 - 4) = 1.5
+	// u'(0,1) = 3 + 0.125*(2*4 + 2*0 - 12) = 2.5
+	// u'(1,1) = 4 + 0.125*(2*3 + 2*1 - 16) = 3.0
+	got, err := Reference(Config{Width: 2, Height: 2, BlockWidth: 2, BlockHeight: 2, TimeSteps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.0, 1.5, 2.5, 3.0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("u'[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNativeMatchesReference(t *testing.T) {
+	cases := []Config{
+		{Width: 16, Height: 16, BlockWidth: 4, BlockHeight: 4, TimeSteps: 5},
+		{Width: 10, Height: 7, BlockWidth: 4, BlockHeight: 3, TimeSteps: 4},    // remainders
+		{Width: 12, Height: 12, BlockWidth: 12, BlockHeight: 12, TimeSteps: 6}, // one block
+		{Width: 9, Height: 5, BlockWidth: 1, BlockHeight: 1, TimeSteps: 2},     // cell blocks
+		{Width: 8, Height: 3, BlockWidth: 8, BlockHeight: 1, TimeSteps: 3},     // row blocks
+	}
+	for _, cfg := range cases {
+		rt := taskrt.New(taskrt.WithWorkers(3))
+		rt.Start()
+		sol, err := Run(rt, cfg)
+		rt.Shutdown()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Reference(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sol.Flatten()
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("cfg %+v: cell %d: %v vs %v", cfg, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestHeatConservationOnTorus(t *testing.T) {
+	cfg := Config{Width: 24, Height: 18, BlockWidth: 6, BlockHeight: 6, TimeSteps: 10}
+	rt := taskrt.New(taskrt.WithWorkers(2))
+	rt.Start()
+	defer rt.Shutdown()
+	sol, err := Run(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := 0.0
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			initial += InitialValue(x, y)
+		}
+	}
+	if got := sol.Sum(); math.Abs(got-initial) > 1e-6*math.Abs(initial) {
+		t.Fatalf("heat not conserved: %v vs %v", got, initial)
+	}
+}
+
+func TestSimWorkloadTaskCount(t *testing.T) {
+	cases := []Config{
+		{Width: 40, Height: 40, BlockWidth: 10, BlockHeight: 10, TimeSteps: 4},
+		{Width: 40, Height: 40, BlockWidth: 40, BlockHeight: 40, TimeSteps: 4}, // one block
+		{Width: 40, Height: 1, BlockWidth: 5, BlockHeight: 1, TimeSteps: 3},    // 1D degenerate
+		{Width: 7, Height: 7, BlockWidth: 3, BlockHeight: 3, TimeSteps: 3},     // remainders
+	}
+	for _, cfg := range cases {
+		wl, err := NewSimWorkload(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sim.Run(sim.Config{Profile: costmodel.Haswell(), Cores: 8}, wl)
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		if r.Tasks != wl.TotalTasks() {
+			t.Fatalf("cfg %+v: ran %d, want %d", cfg, r.Tasks, wl.TotalTasks())
+		}
+		if len(wl.waiting) != 0 {
+			t.Fatalf("cfg %+v: waiting rows leaked", cfg)
+		}
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	wl, err := NewSimWorkload(Config{Width: 12, Height: 9, BlockWidth: 4, BlockHeight: 3, TimeSteps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := wl.bx * wl.by
+	for a := 0; a < n; a++ {
+		for _, b := range wl.neighbors(a) {
+			found := false
+			for _, back := range wl.neighbors(b) {
+				if back == a {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("neighbor relation asymmetric: %d -> %d", a, b)
+			}
+		}
+	}
+}
+
+func TestGrainSweepUShape2D(t *testing.T) {
+	// The methodology's central shape must hold for the 2D benchmark too.
+	exec := func(block int) float64 {
+		wl, err := NewSimWorkload(Config{
+			Width: 1000, Height: 1000, BlockWidth: block, BlockHeight: block, TimeSteps: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sim.Run(sim.Config{Profile: costmodel.Haswell(), Cores: 28}, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.MakespanNs
+	}
+	fine := exec(10)     // 10000 blocks of 100 cells
+	mid := exec(100)     // 100 blocks of 10000 cells
+	coarse := exec(1000) // 1 block
+	if fine <= mid {
+		t.Errorf("2D fine-grain wall missing: %v <= %v", fine, mid)
+	}
+	if coarse <= mid {
+		t.Errorf("2D coarse-grain wall missing: %v <= %v", coarse, mid)
+	}
+}
+
+// Property: native equals reference on random small tori.
+func TestQuickNativeEqualsReference(t *testing.T) {
+	rt := taskrt.New(taskrt.WithWorkers(2))
+	rt.Start()
+	defer rt.Shutdown()
+	f := func(w8, h8, bw8, bh8, s8 uint8) bool {
+		w := int(w8%12) + 2
+		h := int(h8%12) + 2
+		bw := int(bw8)%w + 1
+		bh := int(bh8)%h + 1
+		steps := int(s8 % 4)
+		cfg := Config{Width: w, Height: h, BlockWidth: bw, BlockHeight: bh, TimeSteps: steps}
+		sol, err := Run(rt, cfg)
+		if err != nil {
+			return false
+		}
+		want, err := Reference(cfg)
+		if err != nil {
+			return false
+		}
+		got := sol.Flatten()
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkNative2D(b *testing.B) {
+	cfg := Config{Width: 200, Height: 200, BlockWidth: 25, BlockHeight: 25, TimeSteps: 5}
+	for i := 0; i < b.N; i++ {
+		rt := taskrt.New(taskrt.WithWorkers(2))
+		rt.Start()
+		if _, err := Run(rt, cfg); err != nil {
+			b.Fatal(err)
+		}
+		rt.Shutdown()
+	}
+}

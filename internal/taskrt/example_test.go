@@ -1,0 +1,30 @@
+package taskrt_test
+
+import (
+	"fmt"
+
+	"taskgrain/internal/taskrt"
+)
+
+// Example shows the runtime's task-group idiom: spawn a bounded set of
+// tasks and wait for exactly that set.
+func Example() {
+	rt := taskrt.New(taskrt.WithWorkers(2))
+	rt.Start()
+	defer rt.Shutdown()
+
+	g := rt.NewGroup()
+	results := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		g.Spawn(func(*taskrt.Context) { results[i] = i * i })
+	}
+	g.Wait()
+	fmt.Println(results)
+
+	nt, _ := rt.Counters().Value("/threads/count/cumulative")
+	fmt.Println("tasks executed:", nt)
+	// Output:
+	// [0 1 4 9]
+	// tasks executed: 4
+}

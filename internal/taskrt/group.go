@@ -1,0 +1,85 @@
+package taskrt
+
+import (
+	"sync"
+)
+
+// Group tracks a set of spawned tasks so an application goroutine can wait
+// for exactly that set (rather than whole-runtime quiescence via WaitIdle).
+// A group task counts as finished when it terminates for any reason —
+// normal completion after its final phase, a contained panic, or lazy
+// cancellation.
+//
+// Semantics follow sync.WaitGroup: do not let the count reach zero while
+// concurrently spawning more tasks that a pending Wait should cover.
+// Group.Wait blocks the calling goroutine; do not call it from inside a
+// task phase (suspend on futures instead — workers must never block).
+type Group struct {
+	rt *Runtime
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int
+	panics  []any
+}
+
+// NewGroup creates an empty task group on rt.
+func (rt *Runtime) NewGroup() *Group {
+	g := &Group{rt: rt}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Spawn adds one task to the group. The returned task is the same handle
+// rt.Spawn would return.
+func (g *Group) Spawn(fn func(*Context), opts ...SpawnOption) *Task {
+	g.mu.Lock()
+	g.pending++
+	g.mu.Unlock()
+	// Completion rides the runtime's termination callback (covers normal
+	// exit, panics, and cancellation); the wrapper only captures panic
+	// values for Panics().
+	return g.rt.spawnInternal(func(c *Context) {
+		defer func() {
+			if r := recover(); r != nil {
+				g.mu.Lock()
+				g.panics = append(g.panics, r)
+				g.mu.Unlock()
+				panic(r) // re-panic so the runtime's containment counts it
+			}
+		}()
+		fn(c)
+	}, g.taskDone, opts...)
+}
+
+// taskDone is the runtime's termination callback for group tasks.
+func (g *Group) taskDone(*Task) {
+	g.mu.Lock()
+	g.pending--
+	if g.pending == 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// Wait blocks until every task spawned through the group has terminated
+// and returns the number that panicked (recovered values via Panics).
+// Waiting on an empty group returns immediately.
+func (g *Group) Wait() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.pending > 0 {
+		g.cond.Wait()
+	}
+	return len(g.panics)
+}
+
+// Panics returns the recovered values of group tasks that panicked, in
+// completion order.
+func (g *Group) Panics() []any {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]any, len(g.panics))
+	copy(out, g.panics)
+	return out
+}

@@ -1,0 +1,138 @@
+package taskrt
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupWaitsForItsTasksOnly(t *testing.T) {
+	rt := New(WithWorkers(2))
+	rt.Start()
+	defer rt.Shutdown()
+
+	// Background noise outside the group: a task the group must NOT wait
+	// for (it blocks until we release it after Wait returns).
+	release := make(chan struct{})
+	rt.Spawn(func(*Context) { <-release })
+
+	g := rt.NewGroup()
+	var ran atomic.Int64
+	for i := 0; i < 200; i++ {
+		g.Spawn(func(*Context) { ran.Add(1) })
+	}
+	if panicked := g.Wait(); panicked != 0 {
+		t.Fatalf("panicked = %d", panicked)
+	}
+	if ran.Load() != 200 {
+		t.Fatalf("ran = %d", ran.Load())
+	}
+	close(release) // group Wait returned while this task was still blocked
+	rt.WaitIdle()
+}
+
+func TestGroupEmptyWait(t *testing.T) {
+	rt := New(WithWorkers(1))
+	rt.Start()
+	defer rt.Shutdown()
+	g := rt.NewGroup()
+	if g.Wait() != 0 {
+		t.Fatal("empty group panics")
+	}
+}
+
+func TestGroupCountsPanics(t *testing.T) {
+	rt := New(WithWorkers(2))
+	rt.Start()
+	defer rt.Shutdown()
+	g := rt.NewGroup()
+	for i := 0; i < 10; i++ {
+		i := i
+		g.Spawn(func(*Context) {
+			if i%2 == 0 {
+				panic(i)
+			}
+		})
+	}
+	if panicked := g.Wait(); panicked != 5 {
+		t.Fatalf("panicked = %d", panicked)
+	}
+	vals := g.Panics()
+	if len(vals) != 5 {
+		t.Fatalf("panics = %v", vals)
+	}
+	for _, v := range vals {
+		if v.(int)%2 != 0 {
+			t.Fatalf("unexpected panic value %v", v)
+		}
+	}
+	// The runtime counted them too.
+	exc, _ := rt.Counters().Value("/threads/count/exceptions")
+	if exc != 5 {
+		t.Fatalf("exceptions counter = %v", exc)
+	}
+}
+
+func TestGroupTracksSuspendedTasks(t *testing.T) {
+	rt := New(WithWorkers(2))
+	rt.Start()
+	defer rt.Shutdown()
+	g := rt.NewGroup()
+	var phase2 atomic.Bool
+	g.Spawn(func(c *Context) {
+		r := c.SuspendInto(func(*Context) { phase2.Store(true) })
+		r.Resume()
+	})
+	if g.Wait() != 0 {
+		t.Fatal("unexpected panics")
+	}
+	if !phase2.Load() {
+		t.Fatal("Wait returned before the suspended task's final phase")
+	}
+}
+
+func TestGroupMultiSuspend(t *testing.T) {
+	rt := New(WithWorkers(1))
+	rt.Start()
+	defer rt.Shutdown()
+	g := rt.NewGroup()
+	var depth atomic.Int64
+	var spawn func(c *Context, remaining int)
+	spawn = func(c *Context, remaining int) {
+		depth.Add(1)
+		if remaining == 0 {
+			return
+		}
+		c.Yield(func(c2 *Context) { spawn(c2, remaining-1) })
+	}
+	task := g.Spawn(func(c *Context) { spawn(c, 4) })
+	if g.Wait() != 0 {
+		t.Fatal("unexpected panics")
+	}
+	if depth.Load() != 5 {
+		t.Fatalf("phases observed = %d, want 5", depth.Load())
+	}
+	if task.Phases() != 5 {
+		t.Fatalf("task phases = %d, want 5", task.Phases())
+	}
+}
+
+func TestGroupNestedSpawnsIntoGroup(t *testing.T) {
+	rt := New(WithWorkers(2))
+	rt.Start()
+	defer rt.Shutdown()
+	g := rt.NewGroup()
+	var leaves atomic.Int64
+	for i := 0; i < 4; i++ {
+		g.Spawn(func(*Context) {
+			// Children registered with the group from inside a group task,
+			// before the parent finishes (so the count never hits zero).
+			for j := 0; j < 4; j++ {
+				g.Spawn(func(*Context) { leaves.Add(1) })
+			}
+		})
+	}
+	g.Wait()
+	if leaves.Load() != 16 {
+		t.Fatalf("leaves = %d", leaves.Load())
+	}
+}

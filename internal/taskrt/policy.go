@@ -1,0 +1,387 @@
+package taskrt
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"taskgrain/internal/counters"
+	"taskgrain/internal/queue"
+	"taskgrain/internal/topology"
+)
+
+// PolicyKind selects the scheduling policy a runtime is built with.
+type PolicyKind int
+
+// Scheduling policies.
+const (
+	// PriorityLocalFIFO is the paper's scheduler: per-worker staged+pending
+	// dual queues, high-priority dual queues, one low-priority queue, and
+	// the six-step NUMA-aware discovery order of Fig. 1.
+	PriorityLocalFIFO PolicyKind = iota
+	// StaticRoundRobin distributes tasks round-robin over per-worker queues
+	// with no work stealing (ablation baseline: shows load imbalance).
+	StaticRoundRobin
+	// WorkStealingLIFO gives each worker a deque: owner pops LIFO, thieves
+	// steal FIFO (Cilk-style ablation baseline).
+	WorkStealingLIFO
+)
+
+// String returns the policy's canonical name.
+func (k PolicyKind) String() string {
+	switch k {
+	case PriorityLocalFIFO:
+		return "priority-local-fifo"
+	case StaticRoundRobin:
+		return "static-round-robin"
+	case WorkStealingLIFO:
+		return "work-stealing-lifo"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// ParsePolicy maps a canonical policy name back to its PolicyKind.
+func ParsePolicy(s string) (PolicyKind, error) {
+	switch s {
+	case "priority-local-fifo":
+		return PriorityLocalFIFO, nil
+	case "static-round-robin":
+		return StaticRoundRobin, nil
+	case "work-stealing-lifo":
+		return WorkStealingLIFO, nil
+	}
+	return 0, fmt.Errorf("taskrt: unknown policy %q", s)
+}
+
+// policyCounters are the queue-activity counters every policy maintains,
+// sharded by the worker owning the probed queue.
+type policyCounters struct {
+	pendingAcc  *counters.PerWorker
+	pendingMiss *counters.PerWorker
+	stagedAcc   *counters.PerWorker
+	stagedMiss  *counters.PerWorker
+	stolen      *counters.PerWorker
+}
+
+func newPolicyCounters(workers int) *policyCounters {
+	return &policyCounters{
+		pendingAcc:  counters.NewPerWorker(counters.PendingAccesses, workers),
+		pendingMiss: counters.NewPerWorker(counters.PendingMisses, workers),
+		stagedAcc:   counters.NewPerWorker(counters.StagedAccesses, workers),
+		stagedMiss:  counters.NewPerWorker(counters.StagedMisses, workers),
+		stolen:      counters.NewPerWorker(counters.CountStolen, workers),
+	}
+}
+
+// schedPolicy is the queue structure + discovery order of a scheduler.
+// Implementations must be safe for concurrent use by all workers.
+type schedPolicy interface {
+	// pushStaged enqueues a newly created (staged) task.
+	pushStaged(t *Task)
+	// pushPending enqueues a runnable task (resumed from suspension, or one
+	// whose staged phase is skipped).
+	pushPending(t *Task)
+	// next finds the next runnable task for worker w, converting staged
+	// tasks as needed. The returned task is in state Pending.
+	next(w int) *Task
+}
+
+// placement returns the home worker for a task: its hint if set, otherwise
+// round-robin.
+type placer struct {
+	workers int
+	rr      atomic.Uint64
+}
+
+func (p *placer) place(t *Task) int {
+	if t.hint != AnyWorker {
+		return t.hint % p.workers
+	}
+	return int(p.rr.Add(1)-1) % p.workers
+}
+
+// priorityLocal implements the Priority Local-FIFO policy.
+type priorityLocal struct {
+	topo        *topology.Topology
+	pc          *policyCounters
+	stagedBatch int
+
+	pending []*queue.MSQueue[*Task] // per worker
+	staged  []*queue.MSQueue[*Task] // per worker
+
+	hpPending []*queue.MSQueue[*Task] // high-priority dual queues (K of them)
+	hpStaged  []*queue.MSQueue[*Task]
+	hpRR      atomic.Uint64
+
+	low *queue.MSQueue[*Task] // single low-priority queue
+
+	place placer
+
+	// victim orders cached per worker, split by NUMA locality
+	localVictims  [][]int
+	remoteVictims [][]int
+}
+
+func newPriorityLocal(topo *topology.Topology, pc *policyCounters, highQueues, stagedBatch int) *priorityLocal {
+	n := topo.Workers()
+	if highQueues < 1 {
+		highQueues = 1
+	}
+	if highQueues > n {
+		highQueues = n
+	}
+	if stagedBatch < 1 {
+		stagedBatch = 1
+	}
+	p := &priorityLocal{
+		topo:        topo,
+		pc:          pc,
+		stagedBatch: stagedBatch,
+		pending:     make([]*queue.MSQueue[*Task], n),
+		staged:      make([]*queue.MSQueue[*Task], n),
+		hpPending:   make([]*queue.MSQueue[*Task], highQueues),
+		hpStaged:    make([]*queue.MSQueue[*Task], highQueues),
+		low:         queue.NewMS[*Task](),
+		place:       placer{workers: n},
+	}
+	for i := 0; i < n; i++ {
+		p.pending[i] = queue.NewMS[*Task]()
+		p.staged[i] = queue.NewMS[*Task]()
+	}
+	for i := 0; i < highQueues; i++ {
+		p.hpPending[i] = queue.NewMS[*Task]()
+		p.hpStaged[i] = queue.NewMS[*Task]()
+	}
+	p.localVictims = make([][]int, n)
+	p.remoteVictims = make([][]int, n)
+	for w := 0; w < n; w++ {
+		for _, v := range topo.VictimOrder(w) {
+			if topo.SameDomain(w, v) {
+				p.localVictims[w] = append(p.localVictims[w], v)
+			} else {
+				p.remoteVictims[w] = append(p.remoteVictims[w], v)
+			}
+		}
+	}
+	return p
+}
+
+func (p *priorityLocal) pushStaged(t *Task) {
+	switch t.priority {
+	case PriorityHigh:
+		q := int(p.hpRR.Add(1)-1) % len(p.hpStaged)
+		p.hpStaged[q].Push(t)
+	case PriorityLow:
+		// Low-priority tasks have no staged stage worth modeling: they are
+		// runnable whenever everything else is drained.
+		t.transition(Staged, Pending)
+		p.low.Push(t)
+	default:
+		p.staged[p.place.place(t)].Push(t)
+	}
+}
+
+func (p *priorityLocal) pushPending(t *Task) {
+	switch t.priority {
+	case PriorityHigh:
+		q := int(p.hpRR.Add(1)-1) % len(p.hpPending)
+		p.hpPending[q].Push(t)
+	case PriorityLow:
+		p.low.Push(t)
+	default:
+		p.pending[p.place.place(t)].Push(t)
+	}
+}
+
+// popPending pops worker owner's pending queue, counting access and miss.
+func (p *priorityLocal) popPending(owner int) *Task {
+	p.pc.pendingAcc.Inc(owner)
+	t, ok := p.pending[owner].Pop()
+	if !ok {
+		p.pc.pendingMiss.Inc(owner)
+		return nil
+	}
+	return t
+}
+
+// popStaged pops worker owner's staged queue, counting access and miss.
+func (p *priorityLocal) popStaged(owner int) *Task {
+	p.pc.stagedAcc.Inc(owner)
+	t, ok := p.staged[owner].Pop()
+	if !ok {
+		p.pc.stagedMiss.Inc(owner)
+		return nil
+	}
+	return t
+}
+
+// convertLocalStaged moves up to stagedBatch staged tasks of worker w into
+// w's pending queue (HPX's wait_or_add_new), reporting whether any moved.
+func (p *priorityLocal) convertLocalStaged(w int) bool {
+	moved := false
+	for i := 0; i < p.stagedBatch; i++ {
+		t := p.popStaged(w)
+		if t == nil {
+			break
+		}
+		t.transition(Staged, Pending)
+		p.pending[w].Push(t)
+		moved = true
+	}
+	return moved
+}
+
+func (p *priorityLocal) next(w int) *Task {
+	// High-priority dual queue assigned to this worker (served first).
+	hq := w % len(p.hpPending)
+	if t, ok := p.hpPending[hq].Pop(); ok {
+		return t
+	}
+	if t, ok := p.hpStaged[hq].Pop(); ok {
+		t.transition(Staged, Pending)
+		return t
+	}
+
+	// 1. Local pending.
+	if t := p.popPending(w); t != nil {
+		return t
+	}
+	// 2. Local staged (convert a batch, then take from pending).
+	if p.convertLocalStaged(w) {
+		if t := p.popPending(w); t != nil {
+			return t
+		}
+	}
+	// 3. Local-NUMA staged, 4. local-NUMA pending.
+	if t := p.stealFrom(w, p.localVictims[w]); t != nil {
+		return t
+	}
+	// 5. Remote-NUMA staged, 6. remote-NUMA pending.
+	if t := p.stealFrom(w, p.remoteVictims[w]); t != nil {
+		return t
+	}
+	// Low priority: only when all other work is exhausted.
+	if t, ok := p.low.Pop(); ok {
+		return t
+	}
+	return nil
+}
+
+// stealFrom probes victims' staged queues first, then pending queues,
+// following the paper's discovery order within one NUMA tier.
+func (p *priorityLocal) stealFrom(w int, victims []int) *Task {
+	for _, v := range victims {
+		if t := p.popStaged(v); t != nil {
+			t.transition(Staged, Pending)
+			p.pc.stolen.Inc(w)
+			return t
+		}
+	}
+	for _, v := range victims {
+		if t := p.popPending(v); t != nil {
+			p.pc.stolen.Inc(w)
+			return t
+		}
+	}
+	return nil
+}
+
+// staticRR implements the no-stealing baseline.
+type staticRR struct {
+	pc      *policyCounters
+	pending []*queue.MSQueue[*Task]
+	staged  []*queue.MSQueue[*Task]
+	place   placer
+}
+
+func newStaticRR(workers int, pc *policyCounters) *staticRR {
+	s := &staticRR{
+		pc:      pc,
+		pending: make([]*queue.MSQueue[*Task], workers),
+		staged:  make([]*queue.MSQueue[*Task], workers),
+		place:   placer{workers: workers},
+	}
+	for i := range s.pending {
+		s.pending[i] = queue.NewMS[*Task]()
+		s.staged[i] = queue.NewMS[*Task]()
+	}
+	return s
+}
+
+func (s *staticRR) pushStaged(t *Task)  { s.staged[s.place.place(t)].Push(t) }
+func (s *staticRR) pushPending(t *Task) { s.pending[s.place.place(t)].Push(t) }
+
+func (s *staticRR) next(w int) *Task {
+	s.pc.pendingAcc.Inc(w)
+	if t, ok := s.pending[w].Pop(); ok {
+		return t
+	}
+	s.pc.pendingMiss.Inc(w)
+	s.pc.stagedAcc.Inc(w)
+	if t, ok := s.staged[w].Pop(); ok {
+		t.transition(Staged, Pending)
+		return t
+	}
+	s.pc.stagedMiss.Inc(w)
+	return nil
+}
+
+// stealLIFO implements the Cilk-style ablation baseline.
+type stealLIFO struct {
+	pc     *policyCounters
+	deques []*queue.Deque[*Task]
+	place  placer
+	order  [][]int // victim order per worker
+	rng    []*rand.Rand
+}
+
+func newStealLIFO(topo *topology.Topology, pc *policyCounters) *stealLIFO {
+	n := topo.Workers()
+	s := &stealLIFO{
+		pc:     pc,
+		deques: make([]*queue.Deque[*Task], n),
+		place:  placer{workers: n},
+		order:  make([][]int, n),
+		rng:    make([]*rand.Rand, n),
+	}
+	for i := 0; i < n; i++ {
+		s.deques[i] = queue.NewDeque[*Task]()
+		s.order[i] = topo.VictimOrder(i)
+		s.rng[i] = rand.New(rand.NewSource(int64(i)*2654435761 + 1))
+	}
+	return s
+}
+
+// pushStaged under LIFO stealing: the staged stage is collapsed — the task
+// is made runnable immediately on the owner's deque.
+func (s *stealLIFO) pushStaged(t *Task) {
+	t.transition(Staged, Pending)
+	s.pushPending(t)
+}
+
+func (s *stealLIFO) pushPending(t *Task) { s.deques[s.place.place(t)].Push(t) }
+
+func (s *stealLIFO) next(w int) *Task {
+	s.pc.pendingAcc.Inc(w)
+	if t, ok := s.deques[w].Pop(); ok {
+		return t
+	}
+	s.pc.pendingMiss.Inc(w)
+	// Random starting victim avoids convoying; then sweep the NUMA order.
+	order := s.order[w]
+	if len(order) == 0 {
+		return nil
+	}
+	start := s.rng[w].Intn(len(order))
+	for i := 0; i < len(order); i++ {
+		v := order[(start+i)%len(order)]
+		s.pc.pendingAcc.Inc(v)
+		if t, ok := s.deques[v].Steal(); ok {
+			s.pc.stolen.Inc(w)
+			return t
+		}
+		s.pc.pendingMiss.Inc(v)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package taskrt
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"taskgrain/internal/counters"
+)
+
+// TestSoakMixedOperations hammers one runtime with a randomized mix of
+// everything at once — spawns at all priorities and hints, suspensions,
+// yields, panics, cancellations, groups, and throttle changes — and then
+// checks global accounting invariants. Skipped with -short.
+func TestSoakMixedOperations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rt := New(WithWorkers(4), WithNUMADomains(2), WithPanicHandler(func(*Task, any) {}))
+	rt.Start()
+	defer rt.Shutdown()
+
+	rng := rand.New(rand.NewSource(20150908)) // the paper's workshop date
+	var executed, panicked, resumedPhases atomic.Int64
+	var expectedMin int64
+	deadline := time.Now().Add(2 * time.Second)
+
+	for time.Now().Before(deadline) {
+		g := rt.NewGroup()
+		burst := rng.Intn(200) + 50
+		cancels := 0
+		for i := 0; i < burst; i++ {
+			op := rng.Intn(10)
+			var opts []SpawnOption
+			if rng.Intn(3) == 0 {
+				opts = append(opts, WithHint(rng.Intn(4)))
+			}
+			switch rng.Intn(5) {
+			case 0:
+				opts = append(opts, WithPriority(PriorityHigh))
+			case 1:
+				opts = append(opts, WithPriority(PriorityLow))
+			}
+			switch {
+			case op < 5: // plain compute
+				g.Spawn(func(*Context) {
+					s := 0
+					for k := 0; k < 500; k++ {
+						s += k
+					}
+					_ = s
+					executed.Add(1)
+				}, opts...)
+			case op < 7: // suspend + immediate resume (yield)
+				g.Spawn(func(c *Context) {
+					c.Yield(func(*Context) {
+						resumedPhases.Add(1)
+						executed.Add(1)
+					})
+				}, opts...)
+			case op == 7: // panic
+				g.Spawn(func(*Context) { panic("soak") }, opts...)
+				panicked.Add(1)
+			case op == 8: // cancelled before it can matter (may still run)
+				task := g.Spawn(func(*Context) { executed.Add(1) }, opts...)
+				task.Cancel()
+				cancels++
+			default: // nested spawn outside the group
+				g.Spawn(func(c *Context) {
+					executed.Add(1)
+					c.Spawn(func(*Context) { executed.Add(1) })
+				}, opts...)
+			}
+		}
+		expectedMin += int64(burst - cancels)
+		if rng.Intn(4) == 0 {
+			rt.SetActiveWorkers(rng.Intn(4) + 1)
+		}
+		g.Wait()
+	}
+	rt.SetActiveWorkers(4)
+	rt.WaitIdle()
+
+	snap := rt.Counters().Snapshot()
+	nt := snap.Get(counters.CountCumulative)
+	phases := snap.Get(counters.CountCumulativePhases)
+	susp := snap.Get("/threads/count/suspended")
+	exc := snap.Get("/threads/count/exceptions")
+	cancelled := snap.Get("/threads/count/cancelled")
+
+	if exc != float64(panicked.Load()) {
+		t.Errorf("exceptions %v != panics %d", exc, panicked.Load())
+	}
+	if phases != nt+susp {
+		t.Errorf("phases %v != tasks %v + suspensions %v", phases, nt, susp)
+	}
+	if susp != float64(resumedPhases.Load()) {
+		t.Errorf("suspensions %v != yields %d", susp, resumedPhases.Load())
+	}
+	if nt+cancelled < float64(expectedMin) {
+		t.Errorf("tasks %v + cancelled %v < spawned floor %d", nt, cancelled, expectedMin)
+	}
+	exec := snap.Get(counters.TimeExecTotal)
+	fn := snap.Get(counters.TimeFuncTotal)
+	if exec <= 0 || fn < exec {
+		t.Errorf("time totals inconsistent: exec %v func %v", exec, fn)
+	}
+	if rt.PhaseDurations().Count() != int64(phases) {
+		t.Errorf("histogram %d != phases %v", rt.PhaseDurations().Count(), phases)
+	}
+}

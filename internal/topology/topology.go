@@ -1,0 +1,119 @@
+// Package topology describes the machine layout a runtime instance is
+// parameterized with: the number of worker threads (one per core in the
+// paper's configuration), how those workers are grouped into NUMA domains,
+// and the visit order a worker uses when it runs out of local work.
+//
+// The HPX thread manager "captures the machine topology at creation time and
+// is parameterized with the number of resources it can use" (Sec. I-B). The
+// Priority Local scheduling policy searches for work in the order: local
+// queues first, then other workers in the same NUMA domain, then workers in
+// remote NUMA domains (Fig. 1). This package provides exactly that
+// information to both the native runtime and the discrete-event simulator.
+package topology
+
+import (
+	"fmt"
+)
+
+// Topology is an immutable description of workers and NUMA domains.
+type Topology struct {
+	workers int
+	domains int
+	// domainOf[w] is the NUMA domain of worker w.
+	domainOf []int
+	// members[d] lists the workers of domain d in index order.
+	members [][]int
+}
+
+// New builds a topology of `workers` workers spread round-robin-block over
+// `domains` NUMA domains (contiguous blocks, like cores on a socket). It
+// panics if workers < 1 or domains < 1; callers configure these from
+// validated options. If domains > workers, the domain count is clamped so
+// every domain is non-empty.
+func New(workers, domains int) *Topology {
+	if workers < 1 {
+		panic(fmt.Sprintf("topology: workers must be >= 1, got %d", workers))
+	}
+	if domains < 1 {
+		panic(fmt.Sprintf("topology: domains must be >= 1, got %d", domains))
+	}
+	if domains > workers {
+		domains = workers
+	}
+	t := &Topology{
+		workers:  workers,
+		domains:  domains,
+		domainOf: make([]int, workers),
+		members:  make([][]int, domains),
+	}
+	// Contiguous block partition: first (workers mod domains) domains get one
+	// extra worker, mirroring how cores divide across sockets.
+	base := workers / domains
+	extra := workers % domains
+	w := 0
+	for d := 0; d < domains; d++ {
+		n := base
+		if d < extra {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			t.domainOf[w] = d
+			t.members[d] = append(t.members[d], w)
+			w++
+		}
+	}
+	return t
+}
+
+// SingleDomain builds a topology with all workers in one NUMA domain.
+func SingleDomain(workers int) *Topology { return New(workers, 1) }
+
+// Workers returns the number of workers.
+func (t *Topology) Workers() int { return t.workers }
+
+// Domains returns the number of NUMA domains.
+func (t *Topology) Domains() int { return t.domains }
+
+// DomainOf returns the NUMA domain of worker w.
+func (t *Topology) DomainOf(w int) int { return t.domainOf[w] }
+
+// DomainMembers returns the workers in domain d. The returned slice must not
+// be modified.
+func (t *Topology) DomainMembers(d int) []int { return t.members[d] }
+
+// SameDomain reports whether workers a and b share a NUMA domain.
+func (t *Topology) SameDomain(a, b int) bool { return t.domainOf[a] == t.domainOf[b] }
+
+// VictimOrder returns, for worker w, the other workers in the order the
+// Priority Local policy visits them when stealing: same-NUMA-domain workers
+// first (ascending from w, wrapping), then remote-domain workers grouped by
+// domain distance. The slice is freshly allocated per call; runtimes cache
+// it per worker.
+func (t *Topology) VictimOrder(w int) []int {
+	order := make([]int, 0, t.workers-1)
+	home := t.domainOf[w]
+	// Local domain, starting after w and wrapping, so neighbours differ
+	// between workers and stealing pressure spreads.
+	local := t.members[home]
+	start := 0
+	for i, m := range local {
+		if m == w {
+			start = i
+			break
+		}
+	}
+	for i := 1; i < len(local); i++ {
+		order = append(order, local[(start+i)%len(local)])
+	}
+	// Remote domains by increasing ring distance from home.
+	for dist := 1; dist < t.domains; dist++ {
+		d := (home + dist) % t.domains
+		order = append(order, t.members[d]...)
+	}
+	return order
+}
+
+// String renders the topology compactly, e.g. "4 workers / 2 NUMA domains".
+func (t *Topology) String() string {
+	return fmt.Sprintf("%d workers / %d NUMA domains", t.workers, t.domains)
+}

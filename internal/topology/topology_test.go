@@ -1,0 +1,179 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	for _, c := range []struct{ w, d int }{{0, 1}, {-1, 1}, {1, 0}, {4, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.w, c.d)
+				}
+			}()
+			New(c.w, c.d)
+		}()
+	}
+}
+
+func TestClampDomains(t *testing.T) {
+	tp := New(3, 8)
+	if tp.Domains() != 3 {
+		t.Fatalf("domains = %d, want clamp to 3", tp.Domains())
+	}
+	for d := 0; d < tp.Domains(); d++ {
+		if len(tp.DomainMembers(d)) == 0 {
+			t.Fatalf("domain %d empty after clamp", d)
+		}
+	}
+}
+
+func TestBlockPartition(t *testing.T) {
+	tp := New(10, 3) // blocks of 4,3,3
+	wantSizes := []int{4, 3, 3}
+	for d, want := range wantSizes {
+		if got := len(tp.DomainMembers(d)); got != want {
+			t.Errorf("domain %d size = %d, want %d", d, got, want)
+		}
+	}
+	// Contiguity: members of each domain are consecutive worker indices.
+	for d := 0; d < tp.Domains(); d++ {
+		m := tp.DomainMembers(d)
+		for i := 1; i < len(m); i++ {
+			if m[i] != m[i-1]+1 {
+				t.Errorf("domain %d not contiguous: %v", d, m)
+			}
+		}
+	}
+}
+
+func TestDomainOfConsistency(t *testing.T) {
+	tp := New(28, 2) // Haswell-like: 2 sockets x 14
+	for w := 0; w < tp.Workers(); w++ {
+		d := tp.DomainOf(w)
+		found := false
+		for _, m := range tp.DomainMembers(d) {
+			if m == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("worker %d not in members of its domain %d", w, d)
+		}
+	}
+	if !tp.SameDomain(0, 13) || tp.SameDomain(0, 14) {
+		t.Error("SameDomain boundary wrong for 28/2 split")
+	}
+}
+
+func TestVictimOrderLocalFirst(t *testing.T) {
+	tp := New(8, 2) // domains {0..3}, {4..7}
+	order := tp.VictimOrder(1)
+	if len(order) != 7 {
+		t.Fatalf("order len = %d, want 7", len(order))
+	}
+	// First 3 victims are the other local workers, starting after w=1.
+	want := []int{2, 3, 0}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order[%d] = %d, want %d (full %v)", i, order[i], v, order)
+		}
+	}
+	// Remaining are remote domain members.
+	for _, v := range order[3:] {
+		if tp.SameDomain(1, v) {
+			t.Fatalf("remote segment contains local worker %d", v)
+		}
+	}
+}
+
+func TestVictimOrderSingleWorker(t *testing.T) {
+	tp := SingleDomain(1)
+	if got := tp.VictimOrder(0); len(got) != 0 {
+		t.Fatalf("single worker must have empty victim order, got %v", got)
+	}
+}
+
+func TestVictimOrderRemoteDomainDistance(t *testing.T) {
+	tp := New(9, 3) // domains of 3
+	order := tp.VictimOrder(0)
+	// after 2 locals: domain 1 members then domain 2 members
+	rest := order[2:]
+	for i, v := range rest[:3] {
+		if tp.DomainOf(v) != 1 {
+			t.Fatalf("rest[%d]=%d domain %d, want 1", i, v, tp.DomainOf(v))
+		}
+	}
+	for i, v := range rest[3:] {
+		if tp.DomainOf(v) != 2 {
+			t.Fatalf("rest[%d]=%d domain %d, want 2", i+3, v, tp.DomainOf(v))
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(4, 2).String(); got != "4 workers / 2 NUMA domains" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// Property: every victim order is a permutation of all other workers, with
+// all same-domain workers before any remote worker.
+func TestQuickVictimOrderIsPermutation(t *testing.T) {
+	f := func(w8, d8 uint8) bool {
+		workers := int(w8%32) + 1
+		domains := int(d8%8) + 1
+		tp := New(workers, domains)
+		for w := 0; w < workers; w++ {
+			order := tp.VictimOrder(w)
+			if len(order) != workers-1 {
+				return false
+			}
+			seen := map[int]bool{w: true}
+			localDone := false
+			for _, v := range order {
+				if v < 0 || v >= workers || seen[v] {
+					return false
+				}
+				seen[v] = true
+				if tp.SameDomain(w, v) {
+					if localDone {
+						return false // local worker after a remote one
+					}
+				} else {
+					localDone = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: domain sizes differ by at most one and sum to worker count.
+func TestQuickBalancedPartition(t *testing.T) {
+	f := func(w8, d8 uint8) bool {
+		workers := int(w8%64) + 1
+		domains := int(d8%9) + 1
+		tp := New(workers, domains)
+		total, minSz, maxSz := 0, workers+1, 0
+		for d := 0; d < tp.Domains(); d++ {
+			n := len(tp.DomainMembers(d))
+			total += n
+			if n < minSz {
+				minSz = n
+			}
+			if n > maxSz {
+				maxSz = n
+			}
+		}
+		return total == workers && maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

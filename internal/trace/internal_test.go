@@ -1,0 +1,12 @@
+package trace
+
+import "testing"
+
+func TestDefaultCap(t *testing.T) {
+	if New(0).limit != 1_000_000 {
+		t.Fatalf("default cap = %d", New(0).limit)
+	}
+	if New(-5).limit != 1_000_000 {
+		t.Fatal("negative cap not defaulted")
+	}
+}

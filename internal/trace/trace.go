@@ -1,0 +1,315 @@
+// Package trace records per-task scheduling events — phase begin/end,
+// spawn, suspend, resume — and exports them as Chrome trace-event JSON
+// (chrome://tracing, Perfetto) or an ASCII utilization summary. Tracing is
+// how the granularity study's aggregate metrics (idle-rate, wait time) are
+// visually cross-checked: the gaps between phase bars on a worker lane are
+// exactly the thread-management overhead and starvation the paper
+// quantifies.
+//
+// A Tracer works with both engines: the native runtime stamps wall-clock
+// times, the discrete-event simulator stamps virtual times.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	// PhaseBegin/PhaseEnd bracket one task phase on a worker.
+	PhaseBegin Kind = iota
+	PhaseEnd
+	// Spawn marks task creation (staged).
+	Spawn
+	// Suspend marks a phase ending in the suspended state.
+	Suspend
+	// Resume marks a suspended task re-entering a pending queue.
+	Resume
+	// Steal marks a task claimed from another worker's queue.
+	Steal
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case PhaseBegin:
+		return "phase-begin"
+	case PhaseEnd:
+		return "phase-end"
+	case Spawn:
+		return "spawn"
+	case Suspend:
+		return "suspend"
+	case Resume:
+		return "resume"
+	case Steal:
+		return "steal"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded scheduling event.
+type Event struct {
+	Kind   Kind
+	TaskID uint64
+	Worker int   // executing/claiming worker; -1 when not worker-bound
+	TsNs   int64 // time stamp in ns (wall or virtual, engine-defined)
+}
+
+// Tracer accumulates events. The zero value is unusable; create with New.
+// All methods are safe for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+	limit  int
+}
+
+// New creates a tracer retaining at most limit events (<=0 means one
+// million); recording stops silently at the cap so tracing can never OOM an
+// experiment.
+func New(limit int) *Tracer {
+	if limit <= 0 {
+		limit = 1_000_000
+	}
+	return &Tracer{limit: limit}
+}
+
+// Record appends one event (dropped silently once the cap is reached).
+func (t *Tracer) Record(e Event) {
+	t.mu.Lock()
+	if len(t.events) < t.limit {
+		t.events = append(t.events, e)
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the retained events in recording order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// chromeEvent is the Chrome trace-event JSON shape.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeJSON emits the trace in Chrome trace-event format: one
+// complete ("X") slice per phase on its worker lane, instant events for
+// spawn/suspend/resume/steal.
+func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	events := t.Events()
+	var out []chromeEvent
+	// Pair begins with ends per (worker, task). One phase at a time runs on
+	// a worker, so a per-worker stack of open phases suffices.
+	open := map[int][]Event{}
+	for _, e := range events {
+		switch e.Kind {
+		case PhaseBegin:
+			open[e.Worker] = append(open[e.Worker], e)
+		case PhaseEnd:
+			stack := open[e.Worker]
+			if len(stack) == 0 {
+				continue // unmatched end: drop
+			}
+			b := stack[len(stack)-1]
+			open[e.Worker] = stack[:len(stack)-1]
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("task %d", e.TaskID),
+				Ph:   "X",
+				Ts:   float64(b.TsNs) / 1000,
+				Dur:  float64(e.TsNs-b.TsNs) / 1000,
+				Pid:  0,
+				Tid:  e.Worker,
+				Args: map[string]any{"task": e.TaskID},
+			})
+		default:
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(),
+				Ph:   "i",
+				Ts:   float64(e.TsNs) / 1000,
+				Pid:  0,
+				Tid:  e.Worker,
+				Args: map[string]any{"task": e.TaskID},
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}
+
+// WorkerStats summarizes one worker's lane.
+type WorkerStats struct {
+	Worker  int
+	Phases  int
+	BusyNs  int64
+	FirstNs int64
+	LastNs  int64
+}
+
+// Utilization returns BusyNs over the worker's active span (0 when empty).
+func (s WorkerStats) Utilization() float64 {
+	span := s.LastNs - s.FirstNs
+	if span <= 0 {
+		return 0
+	}
+	u := float64(s.BusyNs) / float64(span)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Summary computes per-worker phase counts and busy time from the trace,
+// plus global event-kind counts.
+func (t *Tracer) Summary() ([]WorkerStats, map[Kind]int) {
+	events := t.Events()
+	perWorker := map[int]*WorkerStats{}
+	begins := map[int]int64{} // worker → open begin ts
+	kinds := map[Kind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.Worker < 0 {
+			continue
+		}
+		ws, ok := perWorker[e.Worker]
+		if !ok {
+			ws = &WorkerStats{Worker: e.Worker, FirstNs: e.TsNs}
+			perWorker[e.Worker] = ws
+		}
+		if e.TsNs < ws.FirstNs {
+			ws.FirstNs = e.TsNs
+		}
+		if e.TsNs > ws.LastNs {
+			ws.LastNs = e.TsNs
+		}
+		switch e.Kind {
+		case PhaseBegin:
+			begins[e.Worker] = e.TsNs
+		case PhaseEnd:
+			if b, ok := begins[e.Worker]; ok {
+				ws.BusyNs += e.TsNs - b
+				ws.Phases++
+				delete(begins, e.Worker)
+			}
+		}
+	}
+	out := make([]WorkerStats, 0, len(perWorker))
+	for _, ws := range perWorker {
+		out = append(out, *ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out, kinds
+}
+
+// RenderSummary formats Summary as text.
+func (t *Tracer) RenderSummary() string {
+	stats, kinds := t.Summary()
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events retained\n", t.Len())
+	kindNames := []Kind{Spawn, PhaseBegin, PhaseEnd, Suspend, Resume, Steal}
+	for _, k := range kindNames {
+		if kinds[k] > 0 {
+			fmt.Fprintf(&b, "  %-12s %d\n", k, kinds[k])
+		}
+	}
+	for _, ws := range stats {
+		fmt.Fprintf(&b, "  worker %-3d phases %-8d busy %.3fms  utilization %.1f%%\n",
+			ws.Worker, ws.Phases, float64(ws.BusyNs)/1e6, ws.Utilization()*100)
+	}
+	return b.String()
+}
+
+// TimelineBucket is one slice of a bucketed utilization timeline.
+type TimelineBucket struct {
+	StartNs int64
+	// Busy is the fraction of worker-time in this bucket spent inside task
+	// phases, aggregated over all workers seen in the trace.
+	Busy float64
+}
+
+// Timeline buckets the trace into fixed windows and returns per-window
+// aggregate utilization — the dynamic, interval-resolved view of the
+// idle-rate the paper computes over whole runs ("can be calculated over any
+// interval of interest", Sec. II-A). bucketNs <= 0 defaults to 1ms.
+func (t *Tracer) Timeline(bucketNs int64) []TimelineBucket {
+	if bucketNs <= 0 {
+		bucketNs = 1_000_000
+	}
+	events := t.Events()
+	workers := map[int]bool{}
+	var maxTs int64
+	type span struct{ b, e int64 }
+	var spans []span
+	open := map[int]int64{}
+	for _, ev := range events {
+		if ev.TsNs > maxTs {
+			maxTs = ev.TsNs
+		}
+		if ev.Worker >= 0 {
+			workers[ev.Worker] = true
+		}
+		switch ev.Kind {
+		case PhaseBegin:
+			open[ev.Worker] = ev.TsNs
+		case PhaseEnd:
+			if b, ok := open[ev.Worker]; ok {
+				spans = append(spans, span{b, ev.TsNs})
+				delete(open, ev.Worker)
+			}
+		}
+	}
+	if maxTs == 0 || len(workers) == 0 {
+		return nil
+	}
+	nBuckets := int(maxTs/bucketNs) + 1
+	busy := make([]int64, nBuckets)
+	for _, s := range spans {
+		for cur := s.b; cur < s.e; {
+			idx := cur / bucketNs
+			end := (idx + 1) * bucketNs
+			if end > s.e {
+				end = s.e
+			}
+			if int(idx) < nBuckets {
+				busy[idx] += end - cur
+			}
+			cur = end
+		}
+	}
+	denom := float64(bucketNs) * float64(len(workers))
+	out := make([]TimelineBucket, nBuckets)
+	for i := range out {
+		out[i] = TimelineBucket{
+			StartNs: int64(i) * bucketNs,
+			Busy:    float64(busy[i]) / denom,
+		}
+	}
+	return out
+}

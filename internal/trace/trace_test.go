@@ -1,0 +1,246 @@
+package trace_test
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"taskgrain/internal/costmodel"
+	"taskgrain/internal/sim"
+	"taskgrain/internal/stencil"
+	"taskgrain/internal/taskrt"
+	. "taskgrain/internal/trace"
+)
+
+func TestRecordAndCap(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Kind: Spawn, TaskID: uint64(i)})
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want cap 3", tr.Len())
+	}
+	ev := tr.Events()
+	if len(ev) != 3 || ev[0].TaskID != 0 || ev[2].TaskID != 2 {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		PhaseBegin: "phase-begin", PhaseEnd: "phase-end", Spawn: "spawn",
+		Suspend: "suspend", Resume: "resume", Steal: "steal",
+	} {
+		if k.String() != want {
+			t.Errorf("%d = %q", k, k.String())
+		}
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := New(100000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Record(Event{Kind: PhaseBegin, Worker: g, TsNs: int64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 8000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestChromeJSONPairsPhases(t *testing.T) {
+	tr := New(0)
+	tr.Record(Event{Kind: Spawn, TaskID: 1, Worker: -1, TsNs: 0})
+	tr.Record(Event{Kind: PhaseBegin, TaskID: 1, Worker: 0, TsNs: 1000})
+	tr.Record(Event{Kind: PhaseEnd, TaskID: 1, Worker: 0, TsNs: 5000})
+	tr.Record(Event{Kind: PhaseEnd, TaskID: 9, Worker: 3, TsNs: 6000}) // unmatched: dropped
+	var b strings.Builder
+	if err := tr.WriteChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %+v", doc.TraceEvents)
+	}
+	var sawSlice bool
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			sawSlice = true
+			if e.Name != "task 1" || e.Ts != 1 || e.Dur != 4 || e.Tid != 0 {
+				t.Fatalf("slice = %+v", e)
+			}
+		}
+	}
+	if !sawSlice {
+		t.Fatal("no complete slice emitted")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := New(0)
+	tr.Record(Event{Kind: PhaseBegin, TaskID: 1, Worker: 0, TsNs: 0})
+	tr.Record(Event{Kind: PhaseEnd, TaskID: 1, Worker: 0, TsNs: 100})
+	tr.Record(Event{Kind: PhaseBegin, TaskID: 2, Worker: 0, TsNs: 150})
+	tr.Record(Event{Kind: PhaseEnd, TaskID: 2, Worker: 0, TsNs: 200})
+	stats, kinds := tr.Summary()
+	if len(stats) != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	ws := stats[0]
+	if ws.Phases != 2 || ws.BusyNs != 150 || ws.FirstNs != 0 || ws.LastNs != 200 {
+		t.Fatalf("worker stats = %+v", ws)
+	}
+	if got := ws.Utilization(); got != 0.75 {
+		t.Fatalf("utilization = %v", got)
+	}
+	if kinds[PhaseBegin] != 2 || kinds[PhaseEnd] != 2 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if out := tr.RenderSummary(); !strings.Contains(out, "worker 0") {
+		t.Fatalf("summary = %q", out)
+	}
+}
+
+func TestUtilizationEdges(t *testing.T) {
+	empty := WorkerStats{}
+	if empty.Utilization() != 0 {
+		t.Fatal("empty utilization")
+	}
+	over := WorkerStats{BusyNs: 200, FirstNs: 0, LastNs: 100}
+	if over.Utilization() != 1 {
+		t.Fatal("utilization must clamp at 1")
+	}
+}
+
+func TestNativeRuntimeIntegration(t *testing.T) {
+	tr := New(0)
+	rt := taskrt.New(taskrt.WithWorkers(2), taskrt.WithTracer(tr))
+	rt.Start()
+	done := make(chan struct{})
+	rt.Spawn(func(c *taskrt.Context) {
+		r := c.SuspendInto(func(*taskrt.Context) { close(done) })
+		r.Resume()
+	})
+	<-done
+	rt.WaitIdle()
+	rt.Shutdown()
+	_, kinds := tr.Summary()
+	if kinds[Spawn] != 1 {
+		t.Errorf("spawn events = %d", kinds[Spawn])
+	}
+	if kinds[PhaseBegin] != 2 || kinds[PhaseEnd] != 2 {
+		t.Errorf("phase events = %d/%d, want 2/2 (two phases)", kinds[PhaseBegin], kinds[PhaseEnd])
+	}
+	if kinds[Suspend] != 1 || kinds[Resume] != 1 {
+		t.Errorf("suspend/resume = %d/%d", kinds[Suspend], kinds[Resume])
+	}
+}
+
+func TestSimIntegration(t *testing.T) {
+	tr := New(0)
+	wl, err := stencil.NewSimWorkload(stencil.Config{
+		TotalPoints: 10000, PointsPerPartition: 1000, TimeSteps: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.Run(sim.Config{Profile: costmodel.Haswell(), Cores: 4, Tracer: tr}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, kinds := tr.Summary()
+	if int64(kinds[PhaseBegin]) != r.Tasks || int64(kinds[PhaseEnd]) != r.Tasks {
+		t.Fatalf("phase events %d/%d, want %d", kinds[PhaseBegin], kinds[PhaseEnd], r.Tasks)
+	}
+	if int64(kinds[Spawn]) != r.Tasks {
+		t.Fatalf("spawn events = %d, want %d", kinds[Spawn], r.Tasks)
+	}
+	var phases int
+	var busy int64
+	for _, ws := range stats {
+		phases += ws.Phases
+		busy += ws.BusyNs
+	}
+	if int64(phases) != r.Tasks {
+		t.Fatalf("summary phases = %d", phases)
+	}
+	if d := float64(busy) - r.ExecTotalNs; d > 1e3 || d < -1e3 {
+		t.Fatalf("trace busy %v != sim exec total %v", busy, r.ExecTotalNs)
+	}
+	var b strings.Builder
+	if err := tr.WriteChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"ph":"X"`) {
+		t.Fatal("no slices in chrome json")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tr := New(0)
+	// Worker 0 busy [0,500) and [1000,1500); worker 1 busy [0,2000).
+	add := func(k Kind, w int, ts int64) { tr.Record(Event{Kind: k, Worker: w, TsNs: ts}) }
+	add(PhaseBegin, 0, 0)
+	add(PhaseEnd, 0, 500)
+	add(PhaseBegin, 0, 1000)
+	add(PhaseEnd, 0, 1500)
+	add(PhaseBegin, 1, 0)
+	add(PhaseEnd, 1, 2000)
+	tl := tr.Timeline(1000)
+	if len(tl) != 3 {
+		t.Fatalf("buckets = %d (%v)", len(tl), tl)
+	}
+	// Bucket 0: w0 500 + w1 1000 over 2*1000 = 0.75.
+	if tl[0].Busy != 0.75 {
+		t.Fatalf("bucket0 = %v", tl[0].Busy)
+	}
+	// Bucket 1: w0 500 + w1 1000 → 0.75.
+	if tl[1].Busy != 0.75 {
+		t.Fatalf("bucket1 = %v", tl[1].Busy)
+	}
+	// Bucket 2: only the zero-length tail at ts 2000 → 0.
+	if tl[2].Busy != 0 {
+		t.Fatalf("bucket2 = %v", tl[2].Busy)
+	}
+	if tl[0].StartNs != 0 || tl[2].StartNs != 2000 {
+		t.Fatalf("starts = %v", tl)
+	}
+}
+
+func TestTimelineEmptyAndDefaults(t *testing.T) {
+	tr := New(0)
+	if tl := tr.Timeline(100); tl != nil {
+		t.Fatalf("empty timeline = %v", tl)
+	}
+	tr.Record(Event{Kind: PhaseBegin, Worker: 0, TsNs: 0})
+	tr.Record(Event{Kind: PhaseEnd, Worker: 0, TsNs: 2_500_000})
+	tl := tr.Timeline(0) // default 1ms buckets
+	if len(tl) != 3 {
+		t.Fatalf("default buckets = %d", len(tl))
+	}
+	if tl[0].Busy != 1 || tl[1].Busy != 1 || tl[2].Busy != 0.5 {
+		t.Fatalf("timeline = %v", tl)
+	}
+}

@@ -1,0 +1,33 @@
+package workloads_test
+
+import (
+	"fmt"
+
+	"taskgrain/internal/costmodel"
+	"taskgrain/internal/sim"
+	"taskgrain/internal/workloads"
+)
+
+// Example runs the same irregular DAG on 1 and 8 simulated cores and shows
+// the available parallelism: the DAG scales, the chain cannot.
+func Example() {
+	run := func(wl sim.Workload, cores int) float64 {
+		r, err := sim.Run(sim.Config{Profile: costmodel.Haswell(), Cores: cores}, wl)
+		if err != nil {
+			panic(err)
+		}
+		return r.MakespanNs
+	}
+	mkDag := func() sim.Workload {
+		return &workloads.RandomDAG{Tasks: 400, MaxDeg: 2, MinPoints: 5000, MaxPoints: 5000, Seed: 1}
+	}
+	mkChain := func() sim.Workload { return &workloads.Chain{N: 50, Points: 5000} }
+
+	dagSpeedup := run(mkDag(), 1) / run(mkDag(), 8)
+	chainSpeedup := run(mkChain(), 1) / run(mkChain(), 8)
+	fmt.Printf("irregular DAG speeds up on 8 cores: %v\n", dagSpeedup > 2)
+	fmt.Printf("chain speeds up on 8 cores: %v\n", chainSpeedup > 1.5)
+	// Output:
+	// irregular DAG speeds up on 8 cores: true
+	// chain speeds up on 8 cores: false
+}

@@ -1,0 +1,314 @@
+// Package workloads provides task-DAG generators beyond the stencil, for
+// studying granularity on the application classes the paper motivates:
+// embarrassingly parallel loops, sequential chains, fork/join trees,
+// wavefronts, and the irregular graph workloads it singles out as
+// "inherently employing fine-grained tasks" (Sec. I-A). Every generator
+// implements sim.Workload deterministically (seeded), so policy and grain
+// comparisons are exactly reproducible.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"taskgrain/internal/sim"
+)
+
+// FanOut is n independent tasks of equal size — the zero-dependency
+// baseline where granularity effects are purely scheduler overhead.
+type FanOut struct {
+	N      int // number of tasks
+	Points int // grid points (cost units) per task
+}
+
+// Roots implements sim.Workload.
+func (f *FanOut) Roots(emit func(sim.Task)) {
+	for i := 0; i < f.N; i++ {
+		emit(sim.Task{ID: int64(i), Points: f.Points, Hint: -1})
+	}
+}
+
+// OnComplete implements sim.Workload.
+func (f *FanOut) OnComplete(sim.Task, func(sim.Task)) {}
+
+// TotalTasks returns the DAG size.
+func (f *FanOut) TotalTasks() int64 { return int64(f.N) }
+
+// Chain is n strictly sequential tasks — the zero-parallelism extreme where
+// every added core is pure starvation.
+type Chain struct {
+	N      int
+	Points int
+}
+
+// Roots implements sim.Workload.
+func (c *Chain) Roots(emit func(sim.Task)) {
+	if c.N > 0 {
+		emit(sim.Task{ID: 0, Points: c.Points, Hint: -1})
+	}
+}
+
+// OnComplete implements sim.Workload.
+func (c *Chain) OnComplete(t sim.Task, emit func(sim.Task)) {
+	if t.ID+1 < int64(c.N) {
+		emit(sim.Task{ID: t.ID + 1, Points: c.Points, Hint: -1})
+	}
+}
+
+// TotalTasks returns the DAG size.
+func (c *Chain) TotalTasks() int64 { return int64(c.N) }
+
+// ForkJoin is a complete tree of Depth levels with Branch children per
+// node: fork tasks on the way down, then join tasks on the way up (one join
+// per internal node, enabled by its children's joins).
+type ForkJoin struct {
+	Depth  int // tree depth; depth 0 = a single task
+	Branch int // children per node (>= 1)
+	Points int // cost per task
+
+	// internal: number of fork nodes (assigned at Roots)
+	forks int64
+	// joinWaiting[j] counts outstanding children of join j.
+	joinWaiting map[int64]int
+}
+
+// nodes returns the number of nodes in a complete tree.
+func (f *ForkJoin) nodes() int64 {
+	n := int64(0)
+	level := int64(1)
+	for d := 0; d <= f.Depth; d++ {
+		n += level
+		level *= int64(f.Branch)
+	}
+	return n
+}
+
+// TotalTasks returns fork nodes + join tasks (one per internal node).
+func (f *ForkJoin) TotalTasks() int64 {
+	internal := int64(0)
+	level := int64(1)
+	for d := 0; d < f.Depth; d++ {
+		internal += level
+		level *= int64(f.Branch)
+	}
+	return f.nodes() + internal
+}
+
+// Roots implements sim.Workload: the tree root fork.
+func (f *ForkJoin) Roots(emit func(sim.Task)) {
+	if f.Branch < 1 {
+		f.Branch = 1
+	}
+	f.forks = f.nodes()
+	f.joinWaiting = make(map[int64]int)
+	emit(sim.Task{ID: 0, Points: f.Points, Hint: -1})
+}
+
+// child returns the id of node i's k-th child in the implicit tree.
+func (f *ForkJoin) child(i int64, k int) int64 { return i*int64(f.Branch) + int64(k) + 1 }
+
+// depthOf computes the level of node i.
+func (f *ForkJoin) depthOf(i int64) int {
+	d := 0
+	for i > 0 {
+		i = (i - 1) / int64(f.Branch)
+		d++
+	}
+	return d
+}
+
+// OnComplete implements sim.Workload. Fork nodes (< forks) emit children,
+// or — at the leaves — credit their parent's join. Join tasks (>= forks,
+// join j belongs to internal node j-forks) credit the grandparent join.
+func (f *ForkJoin) OnComplete(t sim.Task, emit func(sim.Task)) {
+	if t.ID < f.forks {
+		if f.depthOf(t.ID) < f.Depth {
+			for k := 0; k < f.Branch; k++ {
+				emit(sim.Task{ID: f.child(t.ID, k), Points: f.Points, Hint: -1})
+			}
+			return
+		}
+		// Leaf fork: credit the parent's join.
+		if t.ID != 0 {
+			f.credit((t.ID-1)/int64(f.Branch), emit)
+		}
+		return
+	}
+	// Join task of internal node j: credit j's parent join.
+	j := t.ID - f.forks
+	if j != 0 {
+		f.credit((j-1)/int64(f.Branch), emit)
+	}
+}
+
+// credit records one finished child of internal node `node`, emitting the
+// node's join task when all children completed.
+func (f *ForkJoin) credit(node int64, emit func(sim.Task)) {
+	w, ok := f.joinWaiting[node]
+	if !ok {
+		w = f.Branch
+	}
+	w--
+	if w == 0 {
+		delete(f.joinWaiting, node)
+		emit(sim.Task{ID: f.forks + node, Points: f.Points, Hint: -1})
+		return
+	}
+	f.joinWaiting[node] = w
+}
+
+// Wavefront is a Width×Height grid where cell (x,y) depends on (x-1,y) and
+// (x,y-1) — the classic dynamic-programming dependency pattern whose
+// available parallelism grows and shrinks along the anti-diagonal.
+type Wavefront struct {
+	Width, Height int
+	Points        int
+
+	waiting []int8
+}
+
+// TotalTasks returns the DAG size.
+func (w *Wavefront) TotalTasks() int64 { return int64(w.Width) * int64(w.Height) }
+
+// id packs the cell coordinates.
+func (w *Wavefront) id(x, y int) int64 { return int64(y)*int64(w.Width) + int64(x) }
+
+// Roots implements sim.Workload: only the origin cell is initially ready.
+func (w *Wavefront) Roots(emit func(sim.Task)) {
+	w.waiting = make([]int8, w.Width*w.Height)
+	for y := 0; y < w.Height; y++ {
+		for x := 0; x < w.Width; x++ {
+			d := int8(0)
+			if x > 0 {
+				d++
+			}
+			if y > 0 {
+				d++
+			}
+			w.waiting[w.id(x, y)] = d
+		}
+	}
+	emit(sim.Task{ID: 0, Points: w.Points, Hint: -1})
+}
+
+// OnComplete implements sim.Workload.
+func (w *Wavefront) OnComplete(t sim.Task, emit func(sim.Task)) {
+	x := int(t.ID % int64(w.Width))
+	y := int(t.ID / int64(w.Width))
+	w.release(x+1, y, emit)
+	w.release(x, y+1, emit)
+}
+
+func (w *Wavefront) release(x, y int, emit func(sim.Task)) {
+	if x >= w.Width || y >= w.Height {
+		return
+	}
+	id := w.id(x, y)
+	w.waiting[id]--
+	if w.waiting[id] == 0 {
+		emit(sim.Task{ID: id, Points: w.Points, Hint: -1})
+	}
+}
+
+// RandomDAG is a seeded irregular task graph: task i (in topological order)
+// depends on up to MaxDeg uniformly chosen earlier tasks, with task sizes
+// drawn log-uniformly from [MinPoints, MaxPoints] — a stand-in for the
+// graph-analytics workloads the paper calls scaling-impaired.
+type RandomDAG struct {
+	Tasks     int
+	MaxDeg    int
+	MinPoints int
+	MaxPoints int
+	Seed      int64
+
+	dependents [][]int32
+	waiting    []int32
+	points     []int32
+}
+
+// Build materializes the graph; it is called implicitly by Roots but may be
+// invoked earlier to inspect the structure.
+func (g *RandomDAG) Build() error {
+	if g.dependents != nil {
+		return nil
+	}
+	if g.Tasks < 1 {
+		return fmt.Errorf("workloads: RandomDAG.Tasks = %d", g.Tasks)
+	}
+	if g.MaxDeg < 0 {
+		return fmt.Errorf("workloads: RandomDAG.MaxDeg = %d", g.MaxDeg)
+	}
+	if g.MinPoints < 1 || g.MaxPoints < g.MinPoints {
+		return fmt.Errorf("workloads: RandomDAG points range [%d,%d]", g.MinPoints, g.MaxPoints)
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	g.dependents = make([][]int32, g.Tasks)
+	g.waiting = make([]int32, g.Tasks)
+	g.points = make([]int32, g.Tasks)
+	logMin := float64(0)
+	logSpan := 0.0
+	if g.MaxPoints > g.MinPoints {
+		logMin = math.Log(float64(g.MinPoints))
+		logSpan = math.Log(float64(g.MaxPoints)) - logMin
+	}
+	for i := 0; i < g.Tasks; i++ {
+		if g.MaxPoints == g.MinPoints {
+			g.points[i] = int32(g.MinPoints)
+		} else {
+			g.points[i] = int32(math.Exp(logMin + rng.Float64()*logSpan))
+		}
+		if i == 0 {
+			continue
+		}
+		deg := rng.Intn(g.MaxDeg + 1)
+		if deg > i {
+			deg = i
+		}
+		seen := map[int]bool{}
+		for k := 0; k < deg; k++ {
+			j := rng.Intn(i)
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			g.dependents[j] = append(g.dependents[j], int32(i))
+			g.waiting[i]++
+		}
+	}
+	return nil
+}
+
+// TotalTasks returns the DAG size.
+func (g *RandomDAG) TotalTasks() int64 { return int64(g.Tasks) }
+
+// Roots implements sim.Workload.
+func (g *RandomDAG) Roots(emit func(sim.Task)) {
+	if err := g.Build(); err != nil {
+		panic(err) // construction errors are programming errors at this point
+	}
+	for i := 0; i < g.Tasks; i++ {
+		if g.waiting[i] == 0 {
+			emit(sim.Task{ID: int64(i), Points: int(g.points[i]), Hint: -1})
+		}
+	}
+}
+
+// OnComplete implements sim.Workload.
+func (g *RandomDAG) OnComplete(t sim.Task, emit func(sim.Task)) {
+	for _, d := range g.dependents[t.ID] {
+		g.waiting[d]--
+		if g.waiting[d] == 0 {
+			emit(sim.Task{ID: int64(d), Points: int(g.points[d]), Hint: -1})
+		}
+	}
+}
+
+// compile-time interface checks
+var (
+	_ sim.Workload = (*FanOut)(nil)
+	_ sim.Workload = (*Chain)(nil)
+	_ sim.Workload = (*ForkJoin)(nil)
+	_ sim.Workload = (*Wavefront)(nil)
+	_ sim.Workload = (*RandomDAG)(nil)
+)

@@ -1,0 +1,184 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+
+	"taskgrain/internal/costmodel"
+	"taskgrain/internal/sim"
+)
+
+func runWL(t *testing.T, wl sim.Workload, cores int) *sim.Result {
+	t.Helper()
+	r, err := sim.Run(sim.Config{Profile: costmodel.Haswell(), Cores: cores}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFanOutRunsAll(t *testing.T) {
+	wl := &FanOut{N: 500, Points: 2000}
+	r := runWL(t, wl, 8)
+	if r.Tasks != wl.TotalTasks() {
+		t.Fatalf("tasks = %d, want %d", r.Tasks, wl.TotalTasks())
+	}
+}
+
+func TestChainIsSequential(t *testing.T) {
+	wl := &Chain{N: 50, Points: 10000}
+	r1 := runWL(t, &Chain{N: 50, Points: 10000}, 1)
+	r8 := runWL(t, wl, 8)
+	if r8.Tasks != 50 {
+		t.Fatalf("tasks = %d", r8.Tasks)
+	}
+	if r8.MakespanNs < r1.MakespanNs*0.9 {
+		t.Fatalf("chain sped up with cores: %v -> %v", r1.MakespanNs, r8.MakespanNs)
+	}
+	if (&Chain{N: 0}).TotalTasks() != 0 {
+		t.Fatal("empty chain")
+	}
+}
+
+func TestForkJoinCounts(t *testing.T) {
+	cases := []struct {
+		depth, branch int
+		wantTotal     int64
+	}{
+		{0, 2, 1},      // single task, no joins
+		{1, 2, 3 + 1},  // 3 forks + root join
+		{2, 2, 7 + 3},  // 7 forks + 3 joins
+		{2, 3, 13 + 4}, // 13 forks + 4 joins
+	}
+	for _, c := range cases {
+		wl := &ForkJoin{Depth: c.depth, Branch: c.branch, Points: 1000}
+		if got := wl.TotalTasks(); got != c.wantTotal {
+			t.Errorf("depth %d branch %d: TotalTasks = %d, want %d", c.depth, c.branch, got, c.wantTotal)
+			continue
+		}
+		r := runWL(t, wl, 4)
+		if r.Tasks != c.wantTotal {
+			t.Errorf("depth %d branch %d: ran %d, want %d", c.depth, c.branch, r.Tasks, c.wantTotal)
+		}
+		if len(wl.joinWaiting) != 0 {
+			t.Errorf("depth %d branch %d: join bookkeeping leaked", c.depth, c.branch)
+		}
+	}
+}
+
+func TestForkJoinScales(t *testing.T) {
+	mk := func() *ForkJoin { return &ForkJoin{Depth: 6, Branch: 2, Points: 20000} }
+	r1 := runWL(t, mk(), 1)
+	r8 := runWL(t, mk(), 8)
+	if r8.MakespanNs >= r1.MakespanNs {
+		t.Fatalf("fork/join did not scale: %v -> %v", r1.MakespanNs, r8.MakespanNs)
+	}
+}
+
+func TestWavefrontCompletesAndScales(t *testing.T) {
+	mk := func() *Wavefront { return &Wavefront{Width: 20, Height: 20, Points: 5000} }
+	r1 := runWL(t, mk(), 1)
+	r8 := runWL(t, mk(), 8)
+	if r8.Tasks != 400 || r1.Tasks != 400 {
+		t.Fatalf("tasks = %d/%d", r1.Tasks, r8.Tasks)
+	}
+	if r8.MakespanNs >= r1.MakespanNs {
+		t.Fatalf("wavefront did not scale: %v -> %v", r1.MakespanNs, r8.MakespanNs)
+	}
+	// The anti-diagonal bound: even infinite cores need ≥ width+height-1
+	// sequential steps. With 8 cores the speedup cannot exceed min(8, ~10).
+	if r8.MakespanNs < r1.MakespanNs/20 {
+		t.Fatalf("impossible wavefront speedup: %v -> %v", r1.MakespanNs, r8.MakespanNs)
+	}
+}
+
+func TestWavefrontSingleCell(t *testing.T) {
+	r := runWL(t, &Wavefront{Width: 1, Height: 1, Points: 100}, 2)
+	if r.Tasks != 1 {
+		t.Fatalf("tasks = %d", r.Tasks)
+	}
+}
+
+func TestRandomDAGValidation(t *testing.T) {
+	bad := []*RandomDAG{
+		{Tasks: 0, MaxDeg: 1, MinPoints: 1, MaxPoints: 2},
+		{Tasks: 5, MaxDeg: -1, MinPoints: 1, MaxPoints: 2},
+		{Tasks: 5, MaxDeg: 1, MinPoints: 0, MaxPoints: 2},
+		{Tasks: 5, MaxDeg: 1, MinPoints: 5, MaxPoints: 2},
+	}
+	for i, g := range bad {
+		if err := g.Build(); err == nil {
+			t.Errorf("bad dag %d accepted", i)
+		}
+	}
+}
+
+func TestRandomDAGRunsAllTasks(t *testing.T) {
+	g := &RandomDAG{Tasks: 2000, MaxDeg: 3, MinPoints: 100, MaxPoints: 50000, Seed: 42}
+	r := runWL(t, g, 8)
+	if r.Tasks != 2000 {
+		t.Fatalf("tasks = %d", r.Tasks)
+	}
+	// Heavy-tailed sizes: the histogram must span more than one bucket.
+	if len(r.DurationHist.Buckets()) < 3 {
+		t.Fatalf("duration distribution too narrow: %+v", r.DurationHist.Buckets())
+	}
+}
+
+func TestRandomDAGDeterministic(t *testing.T) {
+	mk := func() *sim.Result {
+		g := &RandomDAG{Tasks: 500, MaxDeg: 4, MinPoints: 100, MaxPoints: 10000, Seed: 7}
+		return runWL(t, g, 4)
+	}
+	a, b := mk(), mk()
+	if a.MakespanNs != b.MakespanNs || a.PendingAccesses != b.PendingAccesses {
+		t.Fatal("random DAG not deterministic under fixed seed")
+	}
+	// Different seeds must (overwhelmingly) give different schedules.
+	g2 := &RandomDAG{Tasks: 500, MaxDeg: 4, MinPoints: 100, MaxPoints: 10000, Seed: 8}
+	c := runWL(t, g2, 4)
+	if c.MakespanNs == a.MakespanNs {
+		t.Fatal("different seeds produced identical makespans (suspicious)")
+	}
+}
+
+func TestRandomDAGFixedPointSize(t *testing.T) {
+	g := &RandomDAG{Tasks: 100, MaxDeg: 2, MinPoints: 500, MaxPoints: 500, Seed: 1}
+	if err := g.Build(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range g.points {
+		if p != 500 {
+			t.Fatalf("points[%d] = %d", i, p)
+		}
+	}
+}
+
+// Property: every workload runs exactly TotalTasks tasks at any core count.
+func TestQuickAllWorkloadsComplete(t *testing.T) {
+	type counted interface {
+		sim.Workload
+		TotalTasks() int64
+	}
+	f := func(seed int64, cores8, n8 uint8) bool {
+		cores := int(cores8%8) + 1
+		n := int(n8%64) + 1
+		wls := []counted{
+			&FanOut{N: n, Points: 1000},
+			&Chain{N: n, Points: 1000},
+			&ForkJoin{Depth: int(n%4) + 1, Branch: 2, Points: 1000},
+			&Wavefront{Width: n%8 + 1, Height: n%6 + 1, Points: 1000},
+			&RandomDAG{Tasks: n, MaxDeg: 2, MinPoints: 100, MaxPoints: 5000, Seed: seed},
+		}
+		for _, wl := range wls {
+			r, err := sim.Run(sim.Config{Profile: costmodel.Haswell(), Cores: cores}, wl)
+			if err != nil || r.Tasks != wl.TotalTasks() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
