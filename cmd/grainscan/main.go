@@ -17,6 +17,9 @@
 //	-samples <n>             samples per configuration
 //	-config <file.json>      load the whole sweep definition from a file
 //	-saveconfig <file.json>  write the effective definition and exit
+//	-introspect <addr>       serve live counters over HTTP during native
+//	                         sweeps; the registry follows the configuration
+//	                         currently running
 //	-json <file.json>        also save the full sweep result for later
 //	                         comparison (taskgrain compare a.json b.json)
 package main
@@ -25,15 +28,21 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"taskgrain/internal/config"
 	"taskgrain/internal/core"
 	"taskgrain/internal/costmodel"
+	"taskgrain/internal/counters"
+	"taskgrain/internal/introspect"
 	"taskgrain/internal/plot"
+	"taskgrain/internal/taskrt"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -54,8 +63,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	configPath := fs.String("config", "", "load sweep definition from a JSON file")
 	saveConfig := fs.String("saveconfig", "", "write the effective definition to a JSON file and exit")
 	jsonOut := fs.String("json", "", "save the full sweep result to a JSON file")
+	introspectAddr := fs.String("introspect", "", "serve live counters over HTTP during native sweeps")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *introspectAddr != "" && (*engineName != "native" || *configPath != "") {
+		return fail(stderr, fmt.Errorf("-introspect requires -engine native without -config"))
 	}
 
 	if *configPath != "" {
@@ -75,7 +88,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		eng = core.NewSimEngine(prof)
 	case "native":
-		eng = core.NewNativeEngine()
+		neng := core.NewNativeEngine()
+		if *introspectAddr != "" {
+			// Each sweep configuration builds a fresh runtime; the provider
+			// handler re-reads this pointer per request so /counters always
+			// shows the configuration currently running.
+			var reg atomic.Pointer[counters.Registry]
+			neng.OnRuntime = func(rt *taskrt.Runtime) { reg.Store(rt.Counters()) }
+			ln, err := net.Listen("tcp", *introspectAddr)
+			if err != nil {
+				return fail(stderr, err)
+			}
+			srv := &http.Server{Handler: introspect.NewProviderHandler(reg.Load)}
+			go srv.Serve(ln)
+			defer srv.Close()
+			fmt.Fprintf(stdout, "introspect: http://%s/counters (live, follows the running configuration)\n\n", ln.Addr())
+		}
+		eng = neng
 	default:
 		return fail(stderr, fmt.Errorf("unknown engine %q", *engineName))
 	}

@@ -58,6 +58,19 @@ func TestNativeScan(t *testing.T) {
 	}
 }
 
+func TestNativeScanIntrospect(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-engine", "native", "-cores", "1", "-points", "20000",
+		"-steps", "2", "-sizes", "1000,5000", "-samples", "1",
+		"-introspect", "127.0.0.1:0"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "introspect: http://127.0.0.1:") {
+		t.Errorf("introspect address line missing:\n%s", out.String())
+	}
+}
+
 func TestScanBadArgs(t *testing.T) {
 	for _, args := range [][]string{
 		{"-engine", "dreams"},
@@ -65,6 +78,8 @@ func TestScanBadArgs(t *testing.T) {
 		{"-sizes", "12,banana"},
 		{"-engine", "sim", "-cores", "5000"},
 		{"-config", "/does/not/exist.json"},
+		{"-engine", "sim", "-introspect", "127.0.0.1:0"},
+		{"-engine", "native", "-introspect", "no-such-host-zz:99999"},
 	} {
 		var out, errOut strings.Builder
 		if code := run(args, &out, &errOut); code == 0 {

@@ -1,0 +1,298 @@
+// Command loadgen drives a taskgraind server with a stream of job
+// submissions and reports serving-path throughput and latency, including how
+// often the server shed load and how the adaptive grain settled.
+//
+// Usage:
+//
+//	loadgen [flags]
+//
+//	-addr <url>          server base URL (default http://127.0.0.1:8080)
+//	-jobs <n>            total jobs to submit (default 100)
+//	-concurrency <n>     concurrent client workers (default 4)
+//	-kind <name>         stencil1d | fibonacci | irregular (default stencil1d)
+//	-size <n>            problem size (default 100000)
+//	-steps <n>           stencil time steps (default 4)
+//	-grain <n>           task grain; 0 lets the server choose adaptively
+//	-seed <n>            irregular DAG seed
+//	-deadline <dur>      per-job deadline (0 = server default)
+//	-wait-timeout <dur>  long-poll timeout per status request (default 30s)
+//	-max-backoff <dur>   cap on honouring Retry-After after a shed (default 1s)
+//
+// Each worker POSTs a job; on 429/503 it honours the Retry-After hint
+// (capped by -max-backoff) and retries, counting the shed. Admitted jobs are
+// long-polled to a terminal state; the submit→terminal latency feeds the
+// percentile report.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run executes the load generator against the given flag arguments and
+// streams; split from main for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+	jobs := fs.Int("jobs", 100, "total jobs to submit")
+	concurrency := fs.Int("concurrency", 4, "concurrent client workers")
+	kind := fs.String("kind", "stencil1d", "job kind")
+	size := fs.Int("size", 100_000, "problem size")
+	steps := fs.Int("steps", 4, "stencil time steps")
+	grain := fs.Int("grain", 0, "task grain (0 = server chooses adaptively)")
+	seed := fs.Int64("seed", 0, "irregular DAG seed")
+	deadline := fs.Duration("deadline", 0, "per-job deadline (0 = server default)")
+	waitTimeout := fs.Duration("wait-timeout", 30*time.Second, "long-poll timeout per status request")
+	maxBackoff := fs.Duration("max-backoff", time.Second, "cap on honouring Retry-After")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jobs < 1 || *concurrency < 1 {
+		fmt.Fprintln(stderr, "loadgen: -jobs and -concurrency must be positive")
+		return 1
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	spec := map[string]any{"kind": *kind, "size": *size}
+	if *kind == "stencil1d" {
+		spec["steps"] = *steps
+	}
+	if *grain > 0 {
+		spec["grain"] = *grain
+	}
+	if *seed != 0 {
+		spec["seed"] = *seed
+	}
+	if *deadline > 0 {
+		spec["deadline_ms"] = deadline.Milliseconds()
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return 1
+	}
+
+	g := &generator{
+		base:        base,
+		body:        body,
+		waitTimeout: *waitTimeout,
+		maxBackoff:  *maxBackoff,
+	}
+	wallStart := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if int(next.Add(1)) > *jobs {
+					return
+				}
+				g.oneJob()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+
+	g.report(stdout, *jobs, wall)
+	if stats, err := fetchStats(base); err == nil {
+		fmt.Fprintf(stdout, "server adaptive grains: %s\n", stats)
+	}
+	if g.errors.Load() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// generator holds the shared client state of one load run.
+type generator struct {
+	base        string
+	body        []byte
+	waitTimeout time.Duration
+	maxBackoff  time.Duration
+
+	mu        sync.Mutex
+	latencies []time.Duration
+	grains    map[int]int // grain → jobs that ran with it
+
+	done      atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+	sheds     atomic.Int64
+	errors    atomic.Int64
+}
+
+// oneJob submits one job (retrying sheds) and follows it to a terminal
+// state.
+func (g *generator) oneJob() {
+	submitStart := time.Now()
+	var id string
+	for {
+		resp, err := http.Post(g.base+"/v1/jobs", "application/json", bytes.NewReader(g.body))
+		if err != nil {
+			g.errors.Add(1)
+			return
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var v struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(raw, &v); err != nil || v.ID == "" {
+				g.errors.Add(1)
+				return
+			}
+			id = v.ID
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			g.sheds.Add(1)
+			time.Sleep(g.backoff(resp.Header.Get("Retry-After")))
+			continue
+		default:
+			g.errors.Add(1)
+			return
+		}
+		break
+	}
+
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s?wait=true&timeout=%s", g.base, id, g.waitTimeout))
+		if err != nil {
+			g.errors.Add(1)
+			return
+		}
+		var v struct {
+			State string `json:"state"`
+			Grain int    `json:"grain"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			g.errors.Add(1)
+			return
+		}
+		switch v.State {
+		case "done":
+			g.done.Add(1)
+		case "failed":
+			g.failed.Add(1)
+		case "cancelled":
+			g.cancelled.Add(1)
+		default:
+			continue // long-poll timed out before terminal; poll again
+		}
+		g.mu.Lock()
+		g.latencies = append(g.latencies, time.Since(submitStart))
+		if g.grains == nil {
+			g.grains = make(map[int]int)
+		}
+		g.grains[v.Grain]++
+		g.mu.Unlock()
+		return
+	}
+}
+
+// backoff converts a Retry-After header to a sleep, capped by -max-backoff.
+func (g *generator) backoff(header string) time.Duration {
+	d := time.Second
+	if secs, err := strconv.Atoi(header); err == nil && secs > 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d > g.maxBackoff {
+		d = g.maxBackoff
+	}
+	return d
+}
+
+// report prints the throughput and latency summary.
+func (g *generator) report(w io.Writer, jobs int, wall time.Duration) {
+	g.mu.Lock()
+	lat := append([]time.Duration(nil), g.latencies...)
+	grains := make(map[int]int, len(g.grains))
+	for k, v := range g.grains {
+		grains[k] = v
+	}
+	g.mu.Unlock()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+
+	done := g.done.Load()
+	fmt.Fprintf(w, "jobs       %d submitted, %d done, %d failed, %d cancelled, %d errors\n",
+		jobs, done, g.failed.Load(), g.cancelled.Load(), g.errors.Load())
+	fmt.Fprintf(w, "sheds      %d (429/503 retried with backoff)\n", g.sheds.Load())
+	fmt.Fprintf(w, "wall       %.3f s\n", wall.Seconds())
+	if wall > 0 {
+		fmt.Fprintf(w, "throughput %.1f jobs/s\n", float64(done)/wall.Seconds())
+	}
+	if len(lat) > 0 {
+		fmt.Fprintf(w, "latency    p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms\n",
+			ms(quantile(lat, 0.50)), ms(quantile(lat, 0.95)), ms(quantile(lat, 0.99)), ms(lat[len(lat)-1]))
+	}
+	if len(grains) > 0 {
+		keys := make([]int, 0, len(grains))
+		for k := range grains {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%d×%d", grains[k], k))
+		}
+		fmt.Fprintf(w, "grains     %s (jobs×grain)\n", strings.Join(parts, ", "))
+	}
+}
+
+// quantile returns the q-quantile of sorted latencies.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// fetchStats pulls the server's adaptive grain map for the report footer.
+func fetchStats(base string) (string, error) {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		AdaptiveGrains map[string]int `json:"adaptive_grains"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return "", err
+	}
+	kinds := make([]string, 0, len(stats.AdaptiveGrains))
+	for k := range stats.AdaptiveGrains {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, stats.AdaptiveGrains[k]))
+	}
+	return strings.Join(parts, " "), nil
+}

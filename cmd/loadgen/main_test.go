@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"taskgrain/internal/config"
+	"taskgrain/internal/taskserve"
+)
+
+// newBackend starts an in-process taskserve server for the client to drive.
+func newBackend(t *testing.T, mutate func(*config.Server)) *httptest.Server {
+	t.Helper()
+	cfg := config.DefaultServer()
+	cfg.Workers = 2
+	cfg.SampleInterval = 5 * time.Millisecond
+	cfg.ShedMinTasks = 1e12 // keep admission deterministic under test load
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := taskserve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+func TestLoadgenFixedGrain(t *testing.T) {
+	ts := newBackend(t, nil)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL,
+		"-jobs", "10", "-concurrency", "3",
+		"-kind", "fibonacci", "-size", "22", "-grain", "12",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "10 done, 0 failed") {
+		t.Fatalf("not all jobs completed:\n%s", out)
+	}
+	if !strings.Contains(out, "throughput") || !strings.Contains(out, "latency") {
+		t.Fatalf("report missing throughput/latency:\n%s", out)
+	}
+	if !strings.Contains(out, "10×12") {
+		t.Fatalf("report missing fixed grain 12:\n%s", out)
+	}
+}
+
+func TestLoadgenAdaptiveGrainAndSheds(t *testing.T) {
+	ts := newBackend(t, func(cfg *config.Server) {
+		cfg.MaxQueuedJobs = 2
+		cfg.MaxConcurrentJobs = 1
+		cfg.RetryAfter = time.Second
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL,
+		"-jobs", "12", "-concurrency", "6",
+		"-kind", "stencil1d", "-size", "50000", "-steps", "2",
+		"-max-backoff", "2ms",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "12 done, 0 failed") {
+		t.Fatalf("not all jobs completed:\n%s", out)
+	}
+	// Adaptive mode: the grain column must report server-chosen values and
+	// the footer must carry the server's live grain table.
+	if !strings.Contains(out, "grains") || strings.Contains(out, "×0 ") {
+		t.Fatalf("adaptive grains not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "server adaptive grains:") || !strings.Contains(out, "stencil1d=") {
+		t.Fatalf("server stats footer missing:\n%s", out)
+	}
+}
+
+func TestLoadgenBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-jobs", "potato"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+	if code := run([]string{"-jobs", "0"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("zero jobs exit %d, want 1", code)
+	}
+}
+
+func TestLoadgenUnreachableServer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", "127.0.0.1:1", "-jobs", "2", "-concurrency", "1",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("unreachable server exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "2 errors") {
+		t.Fatalf("errors not counted:\n%s", stdout.String())
+	}
+}

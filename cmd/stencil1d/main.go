@@ -16,6 +16,8 @@
 //	-counters               dump the full counter registry (native engine)
 //	-verify                 check the native result against the sequential reference
 //	-trace <file>           write a Chrome trace-event JSON of the run
+//	-introspect <addr>      serve the live counter registry over HTTP during
+//	                        the run (native engine; e.g. 127.0.0.1:9090)
 package main
 
 import (
@@ -23,12 +25,15 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
 
 	"taskgrain/internal/core"
 	"taskgrain/internal/costmodel"
+	"taskgrain/internal/introspect"
 	"taskgrain/internal/plot"
 	"taskgrain/internal/sim"
 	"taskgrain/internal/stencil"
@@ -53,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dumpCounters := fs.Bool("counters", false, "dump the counter registry (native)")
 	verify := fs.Bool("verify", false, "verify against the sequential reference (native)")
 	traceFile := fs.String("trace", "", "write Chrome trace-event JSON to this file")
+	introspectAddr := fs.String("introspect", "", "serve live counters over HTTP on this address (native)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -70,8 +76,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var err error
 	switch *engine {
 	case "native":
-		err = runNative(stdout, cfg, *cores, *policy, *dumpCounters, *verify, tracer)
+		err = runNative(stdout, cfg, *cores, *policy, *dumpCounters, *verify, tracer, *introspectAddr)
 	case "sim":
+		if *introspectAddr != "" {
+			return fail(stderr, fmt.Errorf("-introspect requires the native engine"))
+		}
 		err = runSim(stdout, cfg, *platform, *cores, *policy, tracer)
 	default:
 		err = fmt.Errorf("unknown engine %q (native, sim)", *engine)
@@ -123,7 +132,7 @@ func fail(stderr io.Writer, err error) int {
 	return 1
 }
 
-func runNative(stdout io.Writer, cfg stencil.Config, cores int, policyName string, dumpCounters, verify bool, tracer *trace.Tracer) error {
+func runNative(stdout io.Writer, cfg stencil.Config, cores int, policyName string, dumpCounters, verify bool, tracer *trace.Tracer, introspectAddr string) error {
 	pol, err := taskrt.ParsePolicy(policyName)
 	if err != nil {
 		return err
@@ -136,6 +145,16 @@ func runNative(stdout io.Writer, cfg stencil.Config, cores int, policyName strin
 		opts = append(opts, taskrt.WithTracer(tracer))
 	}
 	rt := taskrt.New(opts...)
+	if introspectAddr != "" {
+		ln, err := net.Listen("tcp", introspectAddr)
+		if err != nil {
+			return fmt.Errorf("introspect: %w", err)
+		}
+		srv := &http.Server{Handler: introspect.NewHandler(rt.Counters())}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(stdout, "introspect       http://%s/counters\n", ln.Addr())
+	}
 	rt.Start()
 	start := time.Now()
 	sol, err := stencil.Run(rt, cfg)

@@ -66,6 +66,18 @@ func TestTraceExport(t *testing.T) {
 	}
 }
 
+func TestIntrospectFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-engine", "native", "-cores", "1", "-points", "20000",
+		"-partition", "1000", "-steps", "2", "-introspect", "127.0.0.1:0"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "introspect       http://127.0.0.1:") {
+		t.Errorf("introspect address line missing:\n%s", out.String())
+	}
+}
+
 func TestBadArguments(t *testing.T) {
 	cases := [][]string{
 		{"-engine", "quantum"},
@@ -74,6 +86,8 @@ func TestBadArguments(t *testing.T) {
 		{"-engine", "sim", "-policy", "lottery"},
 		{"-engine", "native", "-policy", "lottery"},
 		{"-engine", "sim", "-cores", "999"},
+		{"-engine", "sim", "-introspect", "127.0.0.1:0"},
+		{"-engine", "native", "-introspect", "no-such-host-zz:99999"},
 	}
 	for _, args := range cases {
 		var out, errOut strings.Builder

@@ -1,0 +1,161 @@
+// Command taskgraind serves the taskrt runtime as a long-running task
+// execution daemon: JSON jobs over HTTP, admission control with load
+// shedding, adaptive grain selection from live counters, and a graceful
+// SIGTERM drain.
+//
+// Usage:
+//
+//	taskgraind [flags]
+//
+//	-config <file.json>     load configuration from a JSON file
+//	-addr <host:port>       HTTP listen address (default :8080)
+//	-workers <n>            runtime worker threads (0 = GOMAXPROCS)
+//	-policy <name>          scheduling policy (default priority-local-fifo)
+//	-max-queued-jobs <n>    job-queue admission bound (shed 429 beyond)
+//	-max-concurrent-jobs <n> concurrent job runners
+//	-max-inflight-tasks <n> runtime task-backlog admission bound
+//	-high-idle <f>          idle-rate shed threshold (Eq. 1; default 0.30)
+//	-shed-min-tasks <f>     interval task floor before idle-rate sheds
+//	-retry-after <dur>      Retry-After hint on shed responses
+//	-sample-interval <dur>  policy-engine sampling period
+//	-max-job-size <n>       largest accepted job size
+//	-default-deadline <dur> deadline for jobs that set none (0 = none)
+//	-drain-timeout <dur>    bound on the SIGTERM drain (default 1m)
+//
+// Precedence, lowest to highest: defaults, the -config file, TASKGRAIND_*
+// environment variables, explicit flags.
+//
+// On SIGTERM or SIGINT the daemon stops admitting (new submissions get
+// 503 + Retry-After), finishes every admitted job, flushes the final
+// counter snapshot to stdout, and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"taskgrain/internal/config"
+	"taskgrain/internal/taskserve"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run executes the daemon against the given flag arguments and streams;
+// split from main for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	cfg := config.DefaultServer()
+	// The -config file is the lowest explicit layer, so its path must be
+	// known before flag parsing binds the remaining layers; pre-scan for it.
+	if path := configPathFromArgs(args); path != "" {
+		loaded, err := config.LoadServerFile(path)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		cfg = loaded
+	}
+	if err := cfg.ApplyEnv(os.LookupEnv); err != nil {
+		return fail(stderr, err)
+	}
+
+	fs := flag.NewFlagSet("taskgraind", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.String("config", "", "JSON configuration file")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "bound on the graceful drain after SIGTERM")
+	cfg.Flags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	s, err := taskserve.New(cfg)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	s.Start()
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		s.Close()
+		return fail(stderr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(stdout, "taskgraind listening on %s (workers %d, policy %s, queue %d, high-idle %.0f%%)\n",
+		ln.Addr(), s.Config().Workers, cfg.Policy, cfg.MaxQueuedJobs, cfg.HighIdle*100)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sigc)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stdout, "taskgraind: %v — draining (new submissions get 503 + Retry-After)\n", sig)
+	case err := <-errc:
+		s.Close()
+		return fail(stderr, err)
+	}
+
+	// Stop admitting, finish everything already admitted, flush counters.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	snap, drainErr := s.Drain(ctx)
+	flushCounters(stdout, snap)
+
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	_ = srv.Shutdown(shutCtx)
+	s.Close()
+
+	if drainErr != nil {
+		return fail(stderr, fmt.Errorf("drain: %w", drainErr))
+	}
+	fmt.Fprintln(stdout, "taskgraind: drained cleanly")
+	return 0
+}
+
+// fail prints the error and returns a non-zero exit code.
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "taskgraind:", err)
+	return 1
+}
+
+// configPathFromArgs extracts the -config value ahead of full flag parsing.
+func configPathFromArgs(args []string) string {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		for _, prefix := range []string{"-config", "--config"} {
+			if a == prefix && i+1 < len(args) {
+				return args[i+1]
+			}
+			if strings.HasPrefix(a, prefix+"=") {
+				return strings.TrimPrefix(a, prefix+"=")
+			}
+		}
+	}
+	return ""
+}
+
+// flushCounters writes the final counter snapshot, sorted by name, so the
+// run's totals survive in the daemon's log after shutdown.
+func flushCounters(w io.Writer, snap map[string]float64) {
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "final counters:")
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-50s %v\n", n, snap[n])
+	}
+}

@@ -1,0 +1,90 @@
+package adaptive
+
+import (
+	"sync"
+	"testing"
+)
+
+func newTestController(t *testing.T, start int) *Controller {
+	t.Helper()
+	c, err := NewController(Config{MinPartition: 100, MaxPartition: 100_000}, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestControllerStartClamped(t *testing.T) {
+	c := newTestController(t, 7)
+	if g := c.Grain(); g != 100 {
+		t.Fatalf("start grain = %d, want clamped 100", g)
+	}
+	c = newTestController(t, 10_000_000)
+	if g := c.Grain(); g != 100_000 {
+		t.Fatalf("start grain = %d, want clamped 100000", g)
+	}
+}
+
+func TestControllerGrowsOnOverheadWall(t *testing.T) {
+	c := newTestController(t, 1000)
+	// High idle-rate with plenty of parallel slack: left wall, grain grows.
+	g, dec := c.Observe(Observation{PartitionSize: 1000, IdleRate: 0.8, Tasks: 1000, Cores: 8})
+	if dec != Grow || g != 2000 {
+		t.Fatalf("Observe = (%d, %v), want (2000, grow)", g, dec)
+	}
+	if c.Grain() != 2000 {
+		t.Fatalf("Grain = %d after grow, want 2000", c.Grain())
+	}
+}
+
+func TestControllerShrinksOnStarvation(t *testing.T) {
+	c := newTestController(t, 10_000)
+	// Too few tasks per core: right wall, grain shrinks.
+	g, dec := c.Observe(Observation{PartitionSize: 10_000, IdleRate: 0.9, Tasks: 3, Cores: 8})
+	if dec != Shrink || g != 5000 {
+		t.Fatalf("Observe = (%d, %v), want (5000, shrink)", g, dec)
+	}
+}
+
+func TestControllerKeepAdoptsObservedGrain(t *testing.T) {
+	c := newTestController(t, 4000)
+	// A job ran at an explicit grain of 2000 and was healthy; Keep adopts it.
+	g, dec := c.Observe(Observation{PartitionSize: 2000, IdleRate: 0.1, Tasks: 500, Cores: 8})
+	if dec != Keep || g != 2000 {
+		t.Fatalf("Observe = (%d, %v), want (2000, keep)", g, dec)
+	}
+}
+
+func TestControllerStats(t *testing.T) {
+	c := newTestController(t, 1000)
+	c.Observe(Observation{PartitionSize: 1000, IdleRate: 0.8, Tasks: 1000, Cores: 8}) // grow
+	c.Observe(Observation{PartitionSize: 2000, IdleRate: 0.1, Tasks: 500, Cores: 8})  // keep
+	c.Observe(Observation{PartitionSize: 2000, IdleRate: 0.9, Tasks: 3, Cores: 8})    // shrink
+	obs, kept, grown, shrunk := c.Stats()
+	if obs != 3 || kept != 1 || grown != 1 || shrunk != 1 {
+		t.Fatalf("Stats = (%d,%d,%d,%d), want (3,1,1,1)", obs, kept, grown, shrunk)
+	}
+}
+
+func TestControllerConcurrentObserve(t *testing.T) {
+	c := newTestController(t, 1000)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				g := c.Grain()
+				c.Observe(Observation{PartitionSize: g, IdleRate: 0.5, Tasks: 400, Cores: 8})
+			}
+		}()
+	}
+	wg.Wait()
+	if g := c.Grain(); g < 100 || g > 100_000 {
+		t.Fatalf("grain %d escaped bounds", g)
+	}
+	obs, _, _, _ := c.Stats()
+	if obs != 1600 {
+		t.Fatalf("observations = %d, want 1600", obs)
+	}
+}

@@ -1,0 +1,239 @@
+package config
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"taskgrain/internal/taskrt"
+)
+
+// Server is the serializable configuration of the taskserve daemon
+// (cmd/taskgraind). Precedence, lowest to highest: defaults, a JSON file
+// (LoadServer), environment variables (ApplyEnv, TASKGRAIND_* keys), and
+// command-line flags (Flags).
+type Server struct {
+	// Addr is the HTTP listen address.
+	Addr string `json:"addr"`
+	// Workers is the runtime worker count (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Policy is the scheduling policy name (default priority-local-fifo).
+	Policy string `json:"policy,omitempty"`
+
+	// MaxQueuedJobs bounds jobs admitted but not yet running; submissions
+	// beyond it are shed with 429.
+	MaxQueuedJobs int `json:"max_queued_jobs"`
+	// MaxConcurrentJobs bounds jobs running task groups at once.
+	MaxConcurrentJobs int `json:"max_concurrent_jobs"`
+	// MaxInflightTasks sheds submissions while the runtime backlog
+	// (staged+pending+active+suspended tasks) exceeds it.
+	MaxInflightTasks int64 `json:"max_inflight_tasks"`
+	// HighIdle is the idle-rate admission threshold (Eq. 1; the paper
+	// demonstrates ~0.30): intervals above it with real task flow mark the
+	// runtime overhead-bound and shed new work.
+	HighIdle float64 `json:"high_idle"`
+	// ShedMinTasks is the interval task-count floor below which a high
+	// idle-rate means an *empty* runtime rather than an overloaded one (the
+	// two walls of the paper's U-curve are indistinguishable by idle-rate
+	// alone), so no shedding happens.
+	ShedMinTasks float64 `json:"shed_min_tasks"`
+	// RetryAfter is the client backoff hint attached to 429/503 responses.
+	RetryAfter time.Duration `json:"retry_after_ns"`
+	// SampleInterval is the policy-engine sampling period driving admission
+	// and adaptive grain selection.
+	SampleInterval time.Duration `json:"sample_interval_ns"`
+	// MaxJobSize rejects single jobs larger than this many points (400).
+	MaxJobSize int `json:"max_job_size"`
+	// DefaultDeadline bounds jobs that do not set one (0 = none).
+	DefaultDeadline time.Duration `json:"default_deadline_ns,omitempty"`
+}
+
+// DefaultServer returns the taskgraind defaults.
+func DefaultServer() Server {
+	return Server{
+		Addr:              ":8080",
+		Policy:            "priority-local-fifo",
+		MaxQueuedJobs:     64,
+		MaxConcurrentJobs: 4,
+		MaxInflightTasks:  100_000,
+		HighIdle:          0.30,
+		ShedMinTasks:      256,
+		RetryAfter:        time.Second,
+		SampleInterval:    50 * time.Millisecond,
+		MaxJobSize:        50_000_000,
+	}
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (s *Server) Validate() error {
+	switch {
+	case s.Addr == "":
+		return fmt.Errorf("config: server addr is empty")
+	case s.Workers < 0:
+		return fmt.Errorf("config: server workers = %d", s.Workers)
+	case s.MaxQueuedJobs < 1:
+		return fmt.Errorf("config: max_queued_jobs = %d", s.MaxQueuedJobs)
+	case s.MaxConcurrentJobs < 1:
+		return fmt.Errorf("config: max_concurrent_jobs = %d", s.MaxConcurrentJobs)
+	case s.MaxInflightTasks < 1:
+		return fmt.Errorf("config: max_inflight_tasks = %d", s.MaxInflightTasks)
+	case s.HighIdle <= 0 || s.HighIdle >= 1:
+		return fmt.Errorf("config: high_idle = %v not in (0,1)", s.HighIdle)
+	case s.ShedMinTasks < 0:
+		return fmt.Errorf("config: shed_min_tasks = %v", s.ShedMinTasks)
+	case s.RetryAfter <= 0:
+		return fmt.Errorf("config: retry_after = %v", s.RetryAfter)
+	case s.SampleInterval <= 0:
+		return fmt.Errorf("config: sample_interval = %v", s.SampleInterval)
+	case s.MaxJobSize < 1:
+		return fmt.Errorf("config: max_job_size = %d", s.MaxJobSize)
+	case s.DefaultDeadline < 0:
+		return fmt.Errorf("config: default_deadline = %v", s.DefaultDeadline)
+	}
+	if _, err := taskrt.ParsePolicy(s.policyName()); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) policyName() string {
+	if s.Policy == "" {
+		return "priority-local-fifo"
+	}
+	return s.Policy
+}
+
+// PolicyKind returns the parsed scheduling policy.
+func (s *Server) PolicyKind() (taskrt.PolicyKind, error) {
+	return taskrt.ParsePolicy(s.policyName())
+}
+
+// ApplyEnv overlays TASKGRAIND_* environment variables onto the
+// configuration. lookup is os.LookupEnv in production; injected for tests.
+// Durations accept Go syntax ("250ms"); unparsable values are errors rather
+// than silently ignored.
+func (s *Server) ApplyEnv(lookup func(string) (string, bool)) error {
+	if lookup == nil {
+		lookup = os.LookupEnv
+	}
+	str := func(key string, dst *string) error {
+		if v, ok := lookup(key); ok {
+			*dst = v
+		}
+		return nil
+	}
+	num := func(key string, set func(int64)) error {
+		v, ok := lookup(key)
+		if !ok {
+			return nil
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("config: %s=%q: %w", key, v, err)
+		}
+		set(n)
+		return nil
+	}
+	flt := func(key string, dst *float64) error {
+		v, ok := lookup(key)
+		if !ok {
+			return nil
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("config: %s=%q: %w", key, v, err)
+		}
+		*dst = f
+		return nil
+	}
+	dur := func(key string, dst *time.Duration) error {
+		v, ok := lookup(key)
+		if !ok {
+			return nil
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("config: %s=%q: %w", key, v, err)
+		}
+		*dst = d
+		return nil
+	}
+	steps := []func() error{
+		func() error { return str("TASKGRAIND_ADDR", &s.Addr) },
+		func() error { return num("TASKGRAIND_WORKERS", func(n int64) { s.Workers = int(n) }) },
+		func() error { return str("TASKGRAIND_POLICY", &s.Policy) },
+		func() error { return num("TASKGRAIND_MAX_QUEUED_JOBS", func(n int64) { s.MaxQueuedJobs = int(n) }) },
+		func() error {
+			return num("TASKGRAIND_MAX_CONCURRENT_JOBS", func(n int64) { s.MaxConcurrentJobs = int(n) })
+		},
+		func() error { return num("TASKGRAIND_MAX_INFLIGHT_TASKS", func(n int64) { s.MaxInflightTasks = n }) },
+		func() error { return flt("TASKGRAIND_HIGH_IDLE", &s.HighIdle) },
+		func() error { return flt("TASKGRAIND_SHED_MIN_TASKS", &s.ShedMinTasks) },
+		func() error { return dur("TASKGRAIND_RETRY_AFTER", &s.RetryAfter) },
+		func() error { return dur("TASKGRAIND_SAMPLE_INTERVAL", &s.SampleInterval) },
+		func() error { return num("TASKGRAIND_MAX_JOB_SIZE", func(n int64) { s.MaxJobSize = int(n) }) },
+		func() error { return dur("TASKGRAIND_DEFAULT_DEADLINE", &s.DefaultDeadline) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flags registers command-line flags bound to the configuration fields, so
+// flag parsing (highest precedence) overwrites file and environment values.
+func (s *Server) Flags(fs *flag.FlagSet) {
+	fs.StringVar(&s.Addr, "addr", s.Addr, "HTTP listen address")
+	fs.IntVar(&s.Workers, "workers", s.Workers, "runtime workers (0 = GOMAXPROCS)")
+	fs.StringVar(&s.Policy, "policy", s.policyName(), "scheduling policy")
+	fs.IntVar(&s.MaxQueuedJobs, "max-queued-jobs", s.MaxQueuedJobs, "admission bound on queued jobs")
+	fs.IntVar(&s.MaxConcurrentJobs, "max-concurrent-jobs", s.MaxConcurrentJobs, "jobs running concurrently")
+	fs.Int64Var(&s.MaxInflightTasks, "max-inflight-tasks", s.MaxInflightTasks, "admission bound on runtime task backlog")
+	fs.Float64Var(&s.HighIdle, "high-idle", s.HighIdle, "idle-rate shedding threshold (Eq. 1)")
+	fs.Float64Var(&s.ShedMinTasks, "shed-min-tasks", s.ShedMinTasks, "interval task floor before idle-rate sheds")
+	fs.DurationVar(&s.RetryAfter, "retry-after", s.RetryAfter, "Retry-After hint on shed responses")
+	fs.DurationVar(&s.SampleInterval, "sample-interval", s.SampleInterval, "policy-engine sampling period")
+	fs.IntVar(&s.MaxJobSize, "max-job-size", s.MaxJobSize, "largest accepted job size (points)")
+	fs.DurationVar(&s.DefaultDeadline, "default-deadline", s.DefaultDeadline, "deadline for jobs that set none (0 = none)")
+}
+
+// LoadServer decodes a server configuration from JSON over the defaults,
+// rejecting unknown fields.
+func LoadServer(r io.Reader) (Server, error) {
+	s := DefaultServer()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("config: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// LoadServerFile loads a server configuration from a JSON file.
+func LoadServerFile(path string) (Server, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return DefaultServer(), fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return LoadServer(f)
+}
+
+// Save encodes the server configuration as indented JSON.
+func (s *Server) Save(w io.Writer) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

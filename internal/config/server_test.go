@@ -1,0 +1,114 @@
+package config
+
+import (
+	"flag"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDefaultServerValid(t *testing.T) {
+	s := DefaultServer()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("default server config invalid: %v", err)
+	}
+	if s.HighIdle != 0.30 {
+		t.Fatalf("default HighIdle = %v, want the paper's 0.30", s.HighIdle)
+	}
+}
+
+func TestServerValidateRejects(t *testing.T) {
+	cases := []func(*Server){
+		func(s *Server) { s.Addr = "" },
+		func(s *Server) { s.MaxQueuedJobs = 0 },
+		func(s *Server) { s.MaxConcurrentJobs = 0 },
+		func(s *Server) { s.MaxInflightTasks = 0 },
+		func(s *Server) { s.HighIdle = 1.5 },
+		func(s *Server) { s.RetryAfter = 0 },
+		func(s *Server) { s.SampleInterval = -time.Second },
+		func(s *Server) { s.MaxJobSize = 0 },
+		func(s *Server) { s.Policy = "no-such-policy" },
+	}
+	for i, mutate := range cases {
+		s := DefaultServer()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid config %+v", i, s)
+		}
+	}
+}
+
+func TestServerApplyEnv(t *testing.T) {
+	env := map[string]string{
+		"TASKGRAIND_ADDR":                "127.0.0.1:9999",
+		"TASKGRAIND_WORKERS":             "3",
+		"TASKGRAIND_MAX_QUEUED_JOBS":     "7",
+		"TASKGRAIND_MAX_CONCURRENT_JOBS": "2",
+		"TASKGRAIND_MAX_INFLIGHT_TASKS":  "12345",
+		"TASKGRAIND_HIGH_IDLE":           "0.45",
+		"TASKGRAIND_RETRY_AFTER":         "2500ms",
+		"TASKGRAIND_SAMPLE_INTERVAL":     "25ms",
+		"TASKGRAIND_DEFAULT_DEADLINE":    "30s",
+	}
+	s := DefaultServer()
+	if err := s.ApplyEnv(func(k string) (string, bool) { v, ok := env[k]; return v, ok }); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr != "127.0.0.1:9999" || s.Workers != 3 || s.MaxQueuedJobs != 7 ||
+		s.MaxConcurrentJobs != 2 || s.MaxInflightTasks != 12345 || s.HighIdle != 0.45 ||
+		s.RetryAfter != 2500*time.Millisecond || s.SampleInterval != 25*time.Millisecond ||
+		s.DefaultDeadline != 30*time.Second {
+		t.Fatalf("env overlay not applied: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerApplyEnvRejectsGarbage(t *testing.T) {
+	s := DefaultServer()
+	err := s.ApplyEnv(func(k string) (string, bool) {
+		if k == "TASKGRAIND_RETRY_AFTER" {
+			return "soon", true
+		}
+		return "", false
+	})
+	if err == nil {
+		t.Fatal("ApplyEnv accepted TASKGRAIND_RETRY_AFTER=soon")
+	}
+}
+
+func TestServerFlagsOverride(t *testing.T) {
+	s := DefaultServer()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	s.Flags(fs)
+	if err := fs.Parse([]string{"-addr", ":7070", "-max-queued-jobs", "3", "-high-idle", "0.2"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr != ":7070" || s.MaxQueuedJobs != 3 || s.HighIdle != 0.2 {
+		t.Fatalf("flags not bound: %+v", s)
+	}
+}
+
+func TestServerLoadRoundTrip(t *testing.T) {
+	s := DefaultServer()
+	s.Addr = ":7171"
+	s.MaxQueuedJobs = 11
+	var b strings.Builder
+	if err := s.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadServer(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestServerLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := LoadServer(strings.NewReader(`{"addr": ":1", "no_such_field": 1}`)); err == nil {
+		t.Fatal("LoadServer accepted unknown field")
+	}
+}

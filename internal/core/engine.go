@@ -88,6 +88,10 @@ type NativeEngine struct {
 	NUMADomains int
 	// MaxWorkers caps the core counts offered (default: GOMAXPROCS).
 	MaxWorkers int
+	// OnRuntime, when set, observes each configuration's freshly started
+	// runtime before the benchmark runs on it — the hook live-introspection
+	// endpoints use to follow a sweep's current counter registry.
+	OnRuntime func(*taskrt.Runtime)
 }
 
 // NewNativeEngine returns a native engine with host defaults.
@@ -122,6 +126,9 @@ func (e *NativeEngine) Run(cfg stencil.Config, cores int) (RawRun, error) {
 		taskrt.WithPolicy(e.Policy),
 	)
 	rt.Start()
+	if e.OnRuntime != nil {
+		e.OnRuntime(rt)
+	}
 	start := time.Now()
 	_, err := stencil.Run(rt, cfg)
 	elapsed := time.Since(start)

@@ -30,6 +30,22 @@ import (
 
 // NewHandler builds the introspection handler over a counter registry.
 func NewHandler(reg *counters.Registry) http.Handler {
+	return NewProviderHandler(func() *counters.Registry { return reg })
+}
+
+// NewProviderHandler builds the introspection handler over a registry
+// *source*, re-evaluated per request. Long-running commands that build a
+// fresh runtime per configuration (cmd/grainscan sweeps) swap the registry
+// between runs while the HTTP endpoint stays up; a nil return serves an
+// empty registry rather than failing.
+func NewProviderHandler(get func() *counters.Registry) http.Handler {
+	empty := counters.NewRegistry()
+	registry := func() *counters.Registry {
+		if r := get(); r != nil {
+			return r
+		}
+		return empty
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -37,7 +53,7 @@ func NewHandler(reg *counters.Registry) http.Handler {
 	})
 	mux.HandleFunc("/counters", func(w http.ResponseWriter, r *http.Request) {
 		prefix := r.URL.Query().Get("prefix")
-		snap := reg.Snapshot()
+		snap := registry().Snapshot()
 		out := make(map[string]float64, len(snap))
 		for name, v := range snap {
 			if prefix == "" || strings.HasPrefix(name, prefix) {
@@ -51,7 +67,7 @@ func NewHandler(reg *counters.Registry) http.Handler {
 		if name == "" {
 			name = strings.TrimPrefix(r.URL.Path, "/counter")
 		}
-		v, ok := reg.Value(name)
+		v, ok := registry().Value(name)
 		if !ok {
 			http.Error(w, "unknown counter "+name, http.StatusNotFound)
 			return
@@ -61,11 +77,11 @@ func NewHandler(reg *counters.Registry) http.Handler {
 	mux.HandleFunc("/counter", counterHandler)
 	mux.HandleFunc("/counter/", counterHandler)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writePrometheus(w, reg)
+		writePrometheus(w, registry())
 	})
 	mux.HandleFunc("/histogram/", func(w http.ResponseWriter, r *http.Request) {
 		name := strings.TrimPrefix(r.URL.Path, "/histogram")
-		c, ok := reg.Get(name)
+		c, ok := registry().Get(name)
 		if !ok {
 			http.Error(w, "unknown counter "+name, http.StatusNotFound)
 			return

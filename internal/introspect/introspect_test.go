@@ -217,3 +217,85 @@ func TestPromName(t *testing.T) {
 		t.Fatalf("instance promName = %q %q", m, l)
 	}
 }
+
+func TestCounterQueryFormWithHashNames(t *testing.T) {
+	// Per-worker instance names embed '#' ("/threads{worker-thread#3}/...").
+	// In a URL path an unescaped '#' starts the fragment, so such names must
+	// be reachable through the ?name= query form with escaping.
+	srv, reg := newServer(t)
+	pw := counters.NewPerWorker("/threads/count/stolen", 4)
+	reg.MustRegister(pw)
+	if err := reg.RegisterInstances(pw); err != nil {
+		t.Fatal(err)
+	}
+	pw.Add(3, 7)
+	pw.Add(0, 2)
+
+	for _, tc := range []struct {
+		name string
+		want string
+	}{
+		{"/threads{worker-thread#3}/count/stolen", `"value": 7`},
+		{"/threads{worker-thread#0}/count/stolen", `"value": 2`},
+		{"/threads{worker-thread#1}/count/stolen", `"value": 0`},
+		{"/threads/count/stolen", `"value": 9`}, // aggregate, no '#'
+	} {
+		code, body := get(t, srv.URL+"/counter?name="+url.QueryEscape(tc.name))
+		if code != 200 {
+			t.Errorf("%s: code %d (%s)", tc.name, code, body)
+			continue
+		}
+		if !strings.Contains(body, tc.want) {
+			t.Errorf("%s: body %s missing %s", tc.name, body, tc.want)
+		}
+		if !strings.Contains(body, tc.name) {
+			t.Errorf("%s: response does not echo the name: %s", tc.name, body)
+		}
+	}
+
+	// The path form truncates at the unescaped '#' (the client would not
+	// even send the fragment); the server must refuse, not mis-resolve.
+	code, _ := get(t, srv.URL+"/counter/threads{worker-thread#3}/count/stolen")
+	if code != 404 {
+		t.Errorf("unescaped path form: code %d, want 404", code)
+	}
+	// Unknown names through the query form are 404 too.
+	code, _ = get(t, srv.URL+"/counter?name="+url.QueryEscape("/no/such{worker-thread#9}/counter"))
+	if code != 404 {
+		t.Errorf("unknown name: code %d, want 404", code)
+	}
+}
+
+func TestProviderHandlerFollowsRegistrySwaps(t *testing.T) {
+	// The provider form re-reads its source per request: nil serves an empty
+	// registry, and swapping the registry (grainscan's per-configuration
+	// runtimes) is visible on the next request with no handler rebuild.
+	var reg atomic.Pointer[counters.Registry]
+	srv := httptest.NewServer(NewProviderHandler(reg.Load))
+	t.Cleanup(srv.Close)
+
+	code, body := get(t, srv.URL+"/counters")
+	if code != 200 || strings.TrimSpace(body) != "{}" {
+		t.Fatalf("nil registry: %d %q", code, body)
+	}
+
+	first := counters.NewRegistry()
+	c := counters.NewCumulative("/threads/count/cumulative")
+	first.MustRegister(c)
+	c.Add(5)
+	reg.Store(first)
+	code, body = get(t, srv.URL+"/counter?name="+url.QueryEscape("/threads/count/cumulative"))
+	if code != 200 || !strings.Contains(body, `"value": 5`) {
+		t.Fatalf("first registry: %d %s", code, body)
+	}
+
+	second := counters.NewRegistry()
+	c2 := counters.NewCumulative("/threads/count/cumulative")
+	second.MustRegister(c2)
+	c2.Add(11)
+	reg.Store(second)
+	code, body = get(t, srv.URL+"/counter?name="+url.QueryEscape("/threads/count/cumulative"))
+	if code != 200 || !strings.Contains(body, `"value": 11`) {
+		t.Fatalf("swapped registry: %d %s", code, body)
+	}
+}

@@ -1,0 +1,175 @@
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStagedToPendingPromotion models the runtime's dual-queue flow under
+// full concurrency: producers push task IDs into a staged queue, promoter
+// goroutines batch-move staged→pending (the scheduler's promotion step), and
+// consumers pop the pending queue. Every pushed ID must come out of the
+// pending side exactly once — no loss, no duplication — which is exactly the
+// invariant the worker loop relies on when it drains its staged queue into
+// the pending queue it schedules from. Run with -race.
+func TestStagedToPendingPromotion(t *testing.T) {
+	const (
+		producers    = 4
+		promoters    = 2
+		consumers    = 4
+		perProducer  = 5_000
+		total        = producers * perProducer
+		promoteBatch = 64
+	)
+	staged := NewMS[int]()
+	pending := NewInstrumented[int](NewMS[int]())
+
+	var produced atomic.Int64 // IDs pushed to staged
+	var promoted atomic.Int64 // IDs moved staged→pending
+	var producersWG sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		producersWG.Add(1)
+		go func() {
+			defer producersWG.Done()
+			for i := 0; i < perProducer; i++ {
+				staged.Push(p*perProducer + i)
+				produced.Add(1)
+			}
+		}()
+	}
+
+	// Promoters run until producers are done AND the staged queue has been
+	// drained; the signal is the promoted count reaching the total.
+	var promotersWG sync.WaitGroup
+	for range [promoters]struct{}{} {
+		promotersWG.Add(1)
+		go func() {
+			defer promotersWG.Done()
+			for promoted.Load() < total {
+				// Batch promotion, like the worker's staged drain.
+				for i := 0; i < promoteBatch; i++ {
+					v, ok := staged.Pop()
+					if !ok {
+						break
+					}
+					pending.Push(v)
+					promoted.Add(1)
+				}
+			}
+		}()
+	}
+
+	seen := make([]atomic.Int32, total)
+	var consumed atomic.Int64
+	var consumersWG sync.WaitGroup
+	for range [consumers]struct{}{} {
+		consumersWG.Add(1)
+		go func() {
+			defer consumersWG.Done()
+			for consumed.Load() < total {
+				v, ok := pending.Pop()
+				if !ok {
+					continue // miss: pending empty while promotion lags
+				}
+				if v < 0 || v >= total {
+					t.Errorf("consumed out-of-range id %d", v)
+					return
+				}
+				if n := seen[v].Add(1); n > 1 {
+					t.Errorf("id %d consumed %d times", v, n)
+					return
+				}
+				consumed.Add(1)
+			}
+		}()
+	}
+
+	producersWG.Wait()
+	promotersWG.Wait()
+	consumersWG.Wait()
+
+	if got := produced.Load(); got != total {
+		t.Fatalf("produced %d, want %d", got, total)
+	}
+	if got := promoted.Load(); got != total {
+		t.Fatalf("promoted %d, want %d", got, total)
+	}
+	if got := consumed.Load(); got != total {
+		t.Fatalf("consumed %d, want %d", got, total)
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("id %d seen %d times", i, seen[i].Load())
+		}
+	}
+	if staged.Len() != 0 || pending.Len() != 0 {
+		t.Fatalf("queues not drained: staged %d, pending %d", staged.Len(), pending.Len())
+	}
+	// The instrumented pending queue must have counted every successful pop
+	// as an access, plus one access per miss.
+	if acc, miss := pending.Accesses(), pending.Misses(); acc != uint64(total)+miss {
+		t.Fatalf("accesses %d != consumed %d + misses %d", acc, total, miss)
+	}
+}
+
+// TestPromotionPreservesPerProducerOrder checks the FIFO composition: with a
+// single promoter, the staged→pending hop must preserve each producer's
+// relative order end to end (the property the scheduler's FIFO fairness
+// rests on).
+func TestPromotionPreservesPerProducerOrder(t *testing.T) {
+	const (
+		producers   = 3
+		perProducer = 2_000
+	)
+	staged := NewMS[[2]int]() // {producer, seq}
+	pending := NewMS[[2]int]()
+
+	var producersWG sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		producersWG.Add(1)
+		go func() {
+			defer producersWG.Done()
+			for i := 0; i < perProducer; i++ {
+				staged.Push([2]int{p, i})
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { // single promoter
+		defer close(done)
+		moved := 0
+		for moved < producers*perProducer {
+			if v, ok := staged.Pop(); ok {
+				pending.Push(v)
+				moved++
+			}
+		}
+	}()
+	producersWG.Wait()
+	<-done
+
+	lastSeq := [producers]int{}
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	for {
+		v, ok := pending.Pop()
+		if !ok {
+			break
+		}
+		p, seq := v[0], v[1]
+		if seq <= lastSeq[p] {
+			t.Fatalf("producer %d order violated: %d after %d", p, seq, lastSeq[p])
+		}
+		lastSeq[p] = seq
+	}
+	for p, last := range lastSeq {
+		if last != perProducer-1 {
+			t.Fatalf("producer %d: last seq %d, want %d", p, last, perProducer-1)
+		}
+	}
+}

@@ -292,6 +292,12 @@ func (rt *Runtime) FuncTotal() int64 {
 // phases over all workers.
 func (rt *Runtime) ExecTotal() int64 { return rt.execTotal.Total() }
 
+// Inflight returns the number of tasks currently staged, pending, active, or
+// suspended — the live backlog an external admission controller bounds. The
+// reading is instantaneously consistent (one atomic load) but can of course
+// change before the caller acts on it.
+func (rt *Runtime) Inflight() int64 { return rt.inflight.Load() }
+
 // TasksExecuted returns n_t, the cumulative number of terminated-or-running
 // task first phases.
 func (rt *Runtime) TasksExecuted() int64 { return rt.tasksRun.Total() }

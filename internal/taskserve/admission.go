@@ -1,0 +1,111 @@
+package taskserve
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"taskgrain/internal/config"
+	"taskgrain/internal/policyengine"
+)
+
+// shedError is a refused admission: the HTTP status to return, why, and the
+// Retry-After hint.
+type shedError struct {
+	status     int
+	reason     string
+	retryAfter time.Duration
+}
+
+func (e *shedError) Error() string { return fmt.Sprintf("shed (%d): %s", e.status, e.reason) }
+
+// admission decides whether a submission may enter the system. It bounds two
+// queues directly — jobs waiting for a runner slot and the runtime's own
+// task backlog (staged+pending+active+suspended, the serving-layer analogue
+// of the paper's pending-queue depth) — and sheds on the idle-rate signal:
+// an interval whose Eq. 1 idle-rate exceeds the threshold *while tasks are
+// flowing* means the runtime is overhead-bound (the U-curve's left wall),
+// so adding work would only buy more scheduling overhead. The task-flow
+// floor is what disambiguates that from an empty runtime, where idle-rate
+// is also high but admitting is exactly right.
+type admission struct {
+	cfg config.Server
+
+	queuedJobs    func() int
+	inflightTasks func() int64
+
+	// overloaded is the latest interval verdict, written by the policy
+	// engine's sampling loop and read on every submission.
+	overloaded atomic.Bool
+	// lastIdle holds the latest interval idle-rate (float64 bits) for the
+	// stats endpoint.
+	lastIdle atomic.Uint64
+
+	shedQueue    atomic.Int64 // sheds due to the job-queue bound
+	shedBacklog  atomic.Int64 // sheds due to the task-backlog bound
+	shedOverload atomic.Int64 // sheds due to the idle-rate signal
+}
+
+func newAdmission(cfg config.Server, queuedJobs func() int, inflightTasks func() int64) *admission {
+	return &admission{cfg: cfg, queuedJobs: queuedJobs, inflightTasks: inflightTasks}
+}
+
+// check admits (nil) or returns the shed decision for one submission.
+func (a *admission) check() *shedError {
+	if q := a.queuedJobs(); q >= a.cfg.MaxQueuedJobs {
+		a.shedQueue.Add(1)
+		return &shedError{
+			status:     429,
+			reason:     fmt.Sprintf("job queue full (%d queued, limit %d)", q, a.cfg.MaxQueuedJobs),
+			retryAfter: a.cfg.RetryAfter,
+		}
+	}
+	if n := a.inflightTasks(); n >= a.cfg.MaxInflightTasks {
+		a.shedBacklog.Add(1)
+		return &shedError{
+			status:     429,
+			reason:     fmt.Sprintf("task backlog %d at limit %d", n, a.cfg.MaxInflightTasks),
+			retryAfter: a.cfg.RetryAfter,
+		}
+	}
+	if a.overloaded.Load() {
+		a.shedOverload.Add(1)
+		return &shedError{
+			status: 429,
+			reason: fmt.Sprintf("idle-rate %.0f%% above threshold %.0f%% under load (overhead-bound)",
+				a.idleRate()*100, a.cfg.HighIdle*100),
+			retryAfter: a.cfg.RetryAfter,
+		}
+	}
+	return nil
+}
+
+// observe consumes one policy-engine interval sample and updates the
+// overload verdict. Exposed as a policyengine.Policy via policy().
+func (a *admission) observe(s policyengine.Sample) {
+	a.lastIdle.Store(math.Float64bits(s.IdleRate))
+	a.overloaded.Store(s.IdleRate > a.cfg.HighIdle && s.Tasks >= a.cfg.ShedMinTasks)
+}
+
+// policy adapts the admission controller to the policy engine: it only
+// observes, never actuates.
+func (a *admission) policy() policyengine.Policy {
+	return policyengine.PolicyFunc{
+		PolicyName: "admission",
+		Fn: func(s policyengine.Sample) []policyengine.Action {
+			a.observe(s)
+			return nil
+		},
+	}
+}
+
+// idleRate returns the latest interval idle-rate.
+func (a *admission) idleRate() float64 {
+	return math.Float64frombits(a.lastIdle.Load())
+}
+
+// sheds returns the cumulative shed counts by cause.
+func (a *admission) sheds() (queue, backlog, overload int64) {
+	return a.shedQueue.Load(), a.shedBacklog.Load(), a.shedOverload.Load()
+}

@@ -1,0 +1,162 @@
+package taskserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"taskgrain/internal/introspect"
+)
+
+// maxBodyBytes bounds a job submission body; the spec is a handful of
+// scalars, so anything bigger is a client bug or abuse.
+const maxBodyBytes = 1 << 16
+
+// waitTimeoutDefault and waitTimeoutMax bound GET ?wait=true long-polls.
+const (
+	waitTimeoutDefault = 30 * time.Second
+	waitTimeoutMax     = 5 * time.Minute
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs           submit a job (202, or 429/503 + Retry-After)
+//	GET    /v1/jobs           list retained jobs
+//	GET    /v1/jobs/{id}      job status; ?wait=true[&timeout=30s] long-polls
+//	DELETE /v1/jobs/{id}      request cancellation
+//	GET    /v1/stats          service stats
+//	GET    /healthz           liveness
+//	/debug/...                the introspect counter surface (live registry)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.StatsSnapshot())
+	})
+	mux.Handle("/debug/", http.StripPrefix("/debug", introspect.NewHandler(s.rt.Counters())))
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
+		return
+	}
+	spec = spec.withDefaults()
+	if err := spec.Validate(s.cfg.MaxJobSize); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	job, shed := s.Submit(spec)
+	if shed != nil {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(shed.retryAfter)))
+		writeError(w, shed.status, shed.reason)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.View())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	views := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.View())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	if wantWait(r) {
+		timeout, err := waitTimeout(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case <-job.Done():
+		case <-t.C:
+			// Not an error: return the current (non-terminal) view so the
+			// client can re-poll.
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+// wantWait reports whether ?wait=true (or =1) was requested.
+func wantWait(r *http.Request) bool {
+	switch r.URL.Query().Get("wait") {
+	case "true", "1":
+		return true
+	}
+	return false
+}
+
+// waitTimeout parses ?timeout= (Go duration syntax), applying the default
+// and ceiling.
+func waitTimeout(r *http.Request) (time.Duration, error) {
+	v := r.URL.Query().Get("timeout")
+	if v == "" {
+		return waitTimeoutDefault, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, errors.New("bad timeout " + strconv.Quote(v) + " (want a Go duration, e.g. 30s)")
+	}
+	if d <= 0 || d > waitTimeoutMax {
+		return 0, fmt.Errorf("timeout %v out of (0,%v]", d, waitTimeoutMax)
+	}
+	return d, nil
+}
+
+// retryAfterSeconds renders a duration as the integral seconds Retry-After
+// requires, rounding sub-second hints up so clients actually back off.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // network write errors are the client's problem
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg, "status": status})
+}

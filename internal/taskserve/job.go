@@ -1,0 +1,322 @@
+package taskserve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is a job's lifecycle state. Unlike task states (which the runtime
+// owns), job states are service-level: queued (admitted, waiting for a
+// runner slot), running (its task group is on the runtime), then exactly one
+// of done, failed, or cancelled.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobResult summarizes a completed job's execution.
+type JobResult struct {
+	// Tasks is the number of runtime tasks the job spawned.
+	Tasks int64 `json:"tasks"`
+	// Checksum is a workload-defined digest of the computed values, so
+	// clients can assert two runs computed the same thing.
+	Checksum float64 `json:"checksum"`
+	// IdleRate is Eq. 1 over the job's execution interval. Approximate when
+	// jobs overlap on the shared runtime.
+	IdleRate float64 `json:"idle_rate"`
+	// generations is the number of dependency waves the workload ran
+	// (internal: feeds the adaptive tuner's parallel-slack signal).
+	generations int
+}
+
+// Job is one admitted submission.
+type Job struct {
+	id   string
+	spec JobSpec
+
+	mu          sync.Mutex
+	state       JobState
+	grain       int
+	grainSource string // "request" or "adaptive"
+	decision    string // adaptive decision recorded after the run, if any
+	errMsg      string
+	result      *JobResult
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	deadline    time.Time // zero = none
+
+	// cancel carries the first abort request ("cancelled by client",
+	// "deadline exceeded"); task bodies poll cancelRequested.
+	cancelRequested chan struct{}
+	cancelOnce      sync.Once
+	cancelReason    string
+	cancelToState   JobState
+
+	done chan struct{} // closed on any terminal transition
+}
+
+func newJob(id string, spec JobSpec, deadline time.Time) *Job {
+	return &Job{
+		id:              id,
+		spec:            spec,
+		state:           JobQueued,
+		submitted:       time.Now(),
+		deadline:        deadline,
+		cancelRequested: make(chan struct{}),
+		done:            make(chan struct{}),
+	}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// aborted reports whether an abort (cancel or deadline) has been requested.
+func (j *Job) aborted() bool {
+	select {
+	case <-j.cancelRequested:
+		return true
+	default:
+		return false
+	}
+}
+
+// requestAbort records the first abort request. toState picks the terminal
+// state the job will land in (JobCancelled for client cancellation,
+// JobFailed for deadline expiry). A job still queued transitions immediately;
+// a running job's tasks observe the flag and drain.
+func (j *Job) requestAbort(reason string, toState JobState) {
+	j.cancelOnce.Do(func() {
+		j.mu.Lock()
+		j.cancelReason = reason
+		j.cancelToState = toState
+		close(j.cancelRequested)
+		if j.state == JobQueued {
+			j.state = toState
+			j.errMsg = reason
+			j.finished = time.Now()
+			close(j.done)
+		}
+		j.mu.Unlock()
+	})
+}
+
+// startRunning transitions queued→running, recording the grain decision. It
+// reports false if the job was aborted while queued (the runner skips it).
+func (j *Job) startRunning(grain int, source string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.grain = grain
+	j.grainSource = source
+	j.started = time.Now()
+	return true
+}
+
+// finish moves a running job to its terminal state.
+func (j *Job) finish(res *JobResult, runErr error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobRunning {
+		return
+	}
+	j.finished = time.Now()
+	switch {
+	case j.cancelToState != "": // abort won the race
+		j.state = j.cancelToState
+		j.errMsg = j.cancelReason
+	case runErr != nil:
+		j.state = JobFailed
+		j.errMsg = runErr.Error()
+	default:
+		j.state = JobDone
+		j.result = res
+	}
+	close(j.done)
+}
+
+// setDecision records the adaptive tuner's verdict on the job's grain.
+func (j *Job) setDecision(d string) {
+	j.mu.Lock()
+	j.decision = d
+	j.mu.Unlock()
+}
+
+// JobView is the JSON representation of a job served by the API.
+type JobView struct {
+	ID          string     `json:"id"`
+	Kind        string     `json:"kind"`
+	Size        int        `json:"size"`
+	Steps       int        `json:"steps,omitempty"`
+	State       JobState   `json:"state"`
+	Grain       int        `json:"grain,omitempty"`
+	GrainSource string     `json:"grain_source,omitempty"`
+	Decision    string     `json:"adaptive_decision,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	ElapsedMS   float64    `json:"elapsed_ms,omitempty"`
+	DeadlineAt  *time.Time `json:"deadline_at,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.id,
+		Kind:        j.spec.Kind,
+		Size:        j.spec.Size,
+		Steps:       j.spec.Steps,
+		State:       j.state,
+		Grain:       j.grain,
+		GrainSource: j.grainSource,
+		Decision:    j.decision,
+		SubmittedAt: j.submitted,
+		Error:       j.errMsg,
+		Result:      j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+		if !j.started.IsZero() {
+			v.ElapsedMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		}
+	}
+	if !j.deadline.IsZero() {
+		t := j.deadline
+		v.DeadlineAt = &t
+	}
+	return v
+}
+
+// retainFinished bounds how many terminal jobs the store keeps for status
+// polling; older finished jobs are evicted FIFO so a long-lived daemon's
+// memory stays flat.
+const retainFinished = 1024
+
+// jobStore indexes jobs by ID and evicts old finished jobs.
+type jobStore struct {
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // insertion order, for listing and eviction
+	nextID   uint64
+	finished int
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*Job)}
+}
+
+// add registers a new job under a fresh ID.
+func (st *jobStore) add(spec JobSpec, deadline time.Time) *Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.nextID++
+	id := fmt.Sprintf("j-%d", st.nextID)
+	j := newJob(id, spec, deadline)
+	st.jobs[id] = j
+	st.order = append(st.order, id)
+	st.evictLocked()
+	return j
+}
+
+// remove deletes a job that was never run (admission race loser).
+func (st *jobStore) remove(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.jobs, id)
+	for i, oid := range st.order {
+		if oid == id {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// get looks a job up by ID.
+func (st *jobStore) get(id string) (*Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// list snapshots every retained job in submission order.
+func (st *jobStore) list() []*Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*Job, 0, len(st.order))
+	for _, id := range st.order {
+		if j, ok := st.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention bound.
+// Non-terminal jobs are never evicted. Caller holds st.mu.
+func (st *jobStore) evictLocked() {
+	terminal := 0
+	for _, id := range st.order {
+		if st.jobs[id].State().Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= retainFinished {
+		return
+	}
+	kept := st.order[:0]
+	for _, id := range st.order {
+		if terminal > retainFinished && st.jobs[id].State().Terminal() {
+			delete(st.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	st.order = kept
+}
+
+// counts tallies jobs by state.
+func (st *jobStore) counts() map[JobState]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[JobState]int)
+	for _, j := range st.jobs {
+		out[j.State()]++
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package taskserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLoadSoak drives a sustained mixed-kind job stream from concurrent
+// clients through the full HTTP path, honouring Retry-After on sheds, and
+// then checks the books balance: every admitted job reaches a terminal
+// state, the outcome counters sum to the admission count, and the drain
+// leaves the runtime quiescent.
+func TestLoadSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	cfg := testConfig()
+	cfg.MaxQueuedJobs = 16
+	cfg.MaxConcurrentJobs = 4
+	s, ts := newTestServer(t, cfg)
+
+	specs := []JobSpec{
+		{Kind: KindStencil, Size: 50_000, Steps: 2, Grain: 2000},
+		{Kind: KindStencil, Size: 50_000, Steps: 2}, // adaptive
+		{Kind: KindFibonacci, Size: 26, Grain: 14},
+		{Kind: KindFibonacci, Size: 22}, // adaptive
+		{Kind: KindIrregular, Size: 100_000, Grain: 1000, Seed: 3},
+		{Kind: KindIrregular, Size: 100_000, Seed: 4}, // adaptive
+	}
+
+	const (
+		clients       = 6
+		jobsPerClient = 25
+	)
+	var (
+		mu       sync.Mutex
+		admitted []string
+		shed     atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < jobsPerClient; i++ {
+				spec := specs[(c+i)%len(specs)]
+				body, _ := json.Marshal(spec)
+				for attempt := 0; attempt < 20; attempt++ {
+					resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					raw, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusTooManyRequests {
+						shed.Add(1)
+						// Honour the hint but stay fast: the server's
+						// Retry-After is a ceiling for a soak test.
+						time.Sleep(2 * time.Millisecond)
+						continue
+					}
+					if resp.StatusCode != http.StatusAccepted {
+						t.Errorf("client %d job %d: status %d: %s", c, i, resp.StatusCode, raw)
+						return
+					}
+					var v JobView
+					if err := json.Unmarshal(raw, &v); err != nil {
+						t.Errorf("client %d job %d: %v", c, i, err)
+						return
+					}
+					mu.Lock()
+					admitted = append(admitted, v.ID)
+					mu.Unlock()
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	if _, err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	done := 0
+	for _, id := range admitted {
+		j, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("admitted job %s vanished", id)
+		}
+		st := j.State()
+		if !st.Terminal() {
+			t.Fatalf("job %s not terminal after drain: %s", id, st)
+		}
+		if st == JobDone {
+			done++
+			if v := j.View(); v.Result == nil || v.Result.Tasks == 0 {
+				t.Fatalf("job %s done without a result", id)
+			}
+		}
+	}
+	if done == 0 {
+		t.Fatal("soak completed zero jobs")
+	}
+
+	stats := s.StatsSnapshot()
+	if stats.Submitted != int64(len(admitted)) {
+		t.Fatalf("submitted counter %d, admitted %d", stats.Submitted, len(admitted))
+	}
+	if got := stats.Completed + stats.Failed + stats.Cancelled; got != stats.Submitted {
+		t.Fatalf("outcomes %d (done %d, failed %d, cancelled %d) != submitted %d",
+			got, stats.Completed, stats.Failed, stats.Cancelled, stats.Submitted)
+	}
+	if stats.InflightTasks != 0 {
+		t.Fatalf("runtime not quiescent after drain: %d inflight tasks", stats.InflightTasks)
+	}
+	t.Logf("soak: %d admitted, %d done, %d sheds", len(admitted), done, shed.Load())
+}

@@ -1,0 +1,377 @@
+// Package taskserve exposes the taskrt runtime as a long-running network
+// service: JSON job submissions over HTTP become task groups on a shared
+// runtime, with the paper's runtime-observable counters doing double duty —
+// operators watch them on /debug, and the server itself acts on them for
+// admission control (shed when the idle-rate says the runtime is
+// overhead-bound, Eq. 1) and for live grain selection (jobs submitted
+// without a grain get one steered by the adaptive tuner from recent
+// counter intervals).
+//
+// Lifecycle: New → Start → serve Handler() → Drain (stop admitting, finish
+// everything in flight, flush counters) → Close.
+package taskserve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"taskgrain/internal/adaptive"
+	"taskgrain/internal/config"
+	"taskgrain/internal/counters"
+	"taskgrain/internal/policyengine"
+	"taskgrain/internal/taskrt"
+)
+
+// Server is the task-execution service.
+type Server struct {
+	cfg     config.Server
+	workers int
+
+	rt     *taskrt.Runtime
+	eng    *policyengine.Engine
+	adm    *admission
+	store  *jobStore
+	grains map[string]*adaptive.Controller
+
+	queue    chan *Job
+	runnerWG sync.WaitGroup
+	queueMu  sync.Mutex // serializes queue sends against Drain's close
+	draining atomic.Bool
+	started  atomic.Bool
+
+	startTime time.Time
+
+	// Service counters, registered in the runtime's registry so /debug and
+	// /metrics expose them next to the scheduler counters they react to.
+	submitted  *counters.Cumulative
+	completed  *counters.Cumulative
+	failed     *counters.Cumulative
+	cancelledC *counters.Cumulative
+	shed       *counters.Cumulative
+}
+
+// New builds a server from the configuration. The runtime is owned by the
+// server; Start launches it.
+func New(cfg config.Server) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pol, err := cfg.PolicyKind()
+	if err != nil {
+		return nil, err
+	}
+	rt := taskrt.New(taskrt.WithWorkers(workers), taskrt.WithPolicy(pol))
+
+	s := &Server{
+		cfg:        cfg,
+		workers:    workers,
+		rt:         rt,
+		store:      newJobStore(),
+		grains:     make(map[string]*adaptive.Controller),
+		queue:      make(chan *Job, cfg.MaxQueuedJobs),
+		submitted:  counters.NewCumulative("/server/jobs/submitted"),
+		completed:  counters.NewCumulative("/server/jobs/completed"),
+		failed:     counters.NewCumulative("/server/jobs/failed"),
+		cancelledC: counters.NewCumulative("/server/jobs/cancelled"),
+		shed:       counters.NewCumulative("/server/jobs/shed"),
+	}
+	s.adm = newAdmission(cfg,
+		func() int { return len(s.queue) },
+		rt.Inflight,
+	)
+	for _, kind := range []string{KindStencil, KindFibonacci, KindIrregular} {
+		lo, hi, start := grainBounds(kind, cfg.MaxJobSize)
+		ctl, err := adaptive.NewController(adaptive.Config{
+			MinPartition: lo,
+			MaxPartition: hi,
+			HighIdle:     cfg.HighIdle,
+		}, start)
+		if err != nil {
+			return nil, fmt.Errorf("taskserve: grain controller for %s: %w", kind, err)
+		}
+		s.grains[kind] = ctl
+	}
+
+	reg := rt.Counters()
+	reg.MustRegister(s.submitted)
+	reg.MustRegister(s.completed)
+	reg.MustRegister(s.failed)
+	reg.MustRegister(s.cancelledC)
+	reg.MustRegister(s.shed)
+	reg.MustRegister(counters.NewDerived("/server/jobs/queued", func() float64 {
+		return float64(len(s.queue))
+	}))
+	reg.MustRegister(counters.NewDerived("/server/tasks/inflight", func() float64 {
+		return float64(rt.Inflight())
+	}))
+
+	eng, err := policyengine.New(reg, workers, policyengine.Actuators{
+		ActiveWorkers: rt.ActiveWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng.AddPolicy(s.adm.policy())
+	s.eng = eng
+	return s, nil
+}
+
+// Runtime returns the server's runtime (for tests and embedding).
+func (s *Server) Runtime() *taskrt.Runtime { return s.rt }
+
+// Config returns the effective configuration.
+func (s *Server) Config() config.Server { return s.cfg }
+
+// Start launches the runtime, the sampling loop, and the job runners.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	s.startTime = time.Now()
+	s.rt.Start()
+	s.eng.Run(s.cfg.SampleInterval)
+	for i := 0; i < s.cfg.MaxConcurrentJobs; i++ {
+		s.runnerWG.Add(1)
+		go s.runner()
+	}
+}
+
+// Submit validates, admits, and enqueues one job. It returns the stored job,
+// or a shedError describing why the submission was refused.
+func (s *Server) Submit(spec JobSpec) (*Job, *shedError) {
+	spec = spec.withDefaults()
+	if s.draining.Load() {
+		s.shed.Inc()
+		return nil, &shedError{status: 503, reason: "draining", retryAfter: s.cfg.RetryAfter}
+	}
+	if se := s.adm.check(); se != nil {
+		s.shed.Inc()
+		return nil, se
+	}
+
+	var deadline time.Time
+	d := time.Duration(spec.DeadlineMillis) * time.Millisecond
+	if d == 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	job := s.store.add(spec, deadline)
+
+	// The admission check and this send race against concurrent submitters
+	// and Drain; the mutex-guarded non-blocking send is the backstop that
+	// keeps the queue bound exact and never blocks a request handler.
+	s.queueMu.Lock()
+	if s.draining.Load() {
+		s.queueMu.Unlock()
+		s.store.remove(job.ID())
+		s.shed.Inc()
+		return nil, &shedError{status: 503, reason: "draining", retryAfter: s.cfg.RetryAfter}
+	}
+	select {
+	case s.queue <- job:
+		s.queueMu.Unlock()
+	default:
+		s.queueMu.Unlock()
+		s.store.remove(job.ID())
+		s.shed.Inc()
+		return nil, &shedError{
+			status:     429,
+			reason:     fmt.Sprintf("job queue full (limit %d)", s.cfg.MaxQueuedJobs),
+			retryAfter: s.cfg.RetryAfter,
+		}
+	}
+	s.submitted.Inc()
+	return job, nil
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) { return s.store.get(id) }
+
+// Jobs lists retained jobs in submission order.
+func (s *Server) Jobs() []*Job { return s.store.list() }
+
+// Cancel requests cancellation of a job by ID.
+func (s *Server) Cancel(id string) (*Job, bool) {
+	j, ok := s.store.get(id)
+	if !ok {
+		return nil, false
+	}
+	j.requestAbort("cancelled by client", JobCancelled)
+	return j, true
+}
+
+// runner is one job-execution worker: it owns no tasks itself, it just
+// drives one job at a time onto the shared runtime.
+func (s *Server) runner() {
+	defer s.runnerWG.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one admitted job end to end: grain choice, deadline arm,
+// workload run, counter observation, adaptive feedback, terminal state.
+func (s *Server) runJob(job *Job) {
+	if job.State() != JobQueued {
+		s.accountTerminal(job) // aborted while queued
+		return
+	}
+	if !job.deadline.IsZero() && time.Now().After(job.deadline) {
+		job.requestAbort("deadline exceeded before start", JobFailed)
+		s.failed.Inc()
+		return
+	}
+
+	spec := job.spec
+	grain := spec.Grain
+	source := "request"
+	ctl := s.grains[spec.Kind]
+	if grain == 0 {
+		grain = clampGrain(spec.Kind, ctl.Grain(), spec.Size)
+		source = "adaptive"
+	}
+	if !job.startRunning(grain, source) {
+		s.accountTerminal(job)
+		return
+	}
+
+	var timer *time.Timer
+	if !job.deadline.IsZero() {
+		timer = time.AfterFunc(time.Until(job.deadline), func() {
+			job.requestAbort("deadline exceeded", JobFailed)
+		})
+	}
+
+	prev := s.rt.Counters().Snapshot()
+	res, err := runWorkload(s.rt, spec, grain, job.aborted)
+	cur := s.rt.Counters().Snapshot()
+	if timer != nil {
+		timer.Stop()
+	}
+
+	if res != nil {
+		obs := adaptive.ObservationFromSnapshots(prev, cur, grain, s.workers, res.generations)
+		res.IdleRate = obs.IdleRate
+		// The interval task count is polluted by concurrent jobs; the job's
+		// own spawn count is exact, so prefer it for the slack signal.
+		obs.Tasks = float64(res.Tasks) / float64(maxInt(res.generations, 1))
+		if err == nil && !job.aborted() {
+			_, dec := ctl.Observe(obs)
+			job.setDecision(dec.String())
+		}
+	}
+
+	job.finish(res, err)
+	s.accountTerminal(job)
+}
+
+// accountTerminal bumps the outcome counter matching the job's terminal
+// state. No-op for non-terminal states.
+func (s *Server) accountTerminal(job *Job) {
+	switch job.State() {
+	case JobDone:
+		s.completed.Inc()
+	case JobCancelled:
+		s.cancelledC.Inc()
+	case JobFailed:
+		s.failed.Inc()
+	}
+}
+
+// Drain performs the graceful-shutdown sequence: stop admitting (new
+// submissions get 503 + Retry-After), let every already-admitted job finish,
+// stop the sampling loop, wait for runtime quiescence, and return the final
+// counter snapshot for flushing. Ctx bounds the wait; on expiry the drain
+// keeps whatever completed and returns the context error.
+func (s *Server) Drain(ctx context.Context) (counters.Snapshot, error) {
+	if s.draining.CompareAndSwap(false, true) {
+		s.queueMu.Lock()
+		close(s.queue)
+		s.queueMu.Unlock()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.runnerWG.Wait()
+		s.rt.WaitIdle()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return s.rt.Counters().Snapshot(), ctx.Err()
+	}
+	s.eng.Stop()
+	return s.rt.Counters().Snapshot(), nil
+}
+
+// Close drains (unbounded) and shuts the runtime down. After Close the
+// server cannot be restarted.
+func (s *Server) Close() error {
+	_, err := s.Drain(context.Background())
+	s.rt.Shutdown()
+	return err
+}
+
+// Stats is the service-level status served by GET /v1/stats.
+type Stats struct {
+	UptimeSeconds  float64           `json:"uptime_seconds"`
+	Workers        int               `json:"workers"`
+	ActiveWorkers  int               `json:"active_workers"`
+	Draining       bool              `json:"draining"`
+	Jobs           map[JobState]int  `json:"jobs"`
+	QueuedJobs     int               `json:"queued_jobs"`
+	InflightTasks  int64             `json:"inflight_tasks"`
+	Submitted      int64             `json:"submitted"`
+	Completed      int64             `json:"completed"`
+	Failed         int64             `json:"failed"`
+	Cancelled      int64             `json:"cancelled"`
+	Shed           int64             `json:"shed"`
+	ShedByQueue    int64             `json:"shed_by_queue"`
+	ShedByBacklog  int64             `json:"shed_by_backlog"`
+	ShedByOverload int64             `json:"shed_by_overload"`
+	IdleRate       float64           `json:"idle_rate"`
+	AdaptiveGrains map[string]int    `json:"adaptive_grains"`
+	GrainDecisions map[string][3]int `json:"grain_decisions"` // keep/grow/shrink
+}
+
+// Stats snapshots the service state.
+func (s *Server) StatsSnapshot() Stats {
+	grains := make(map[string]int, len(s.grains))
+	decisions := make(map[string][3]int, len(s.grains))
+	for kind, ctl := range s.grains {
+		grains[kind] = ctl.Grain()
+		_, kept, grown, shrunk := ctl.Stats()
+		decisions[kind] = [3]int{kept, grown, shrunk}
+	}
+	sq, sb, so := s.adm.sheds()
+	return Stats{
+		UptimeSeconds:  time.Since(s.startTime).Seconds(),
+		Workers:        s.workers,
+		ActiveWorkers:  s.rt.ActiveWorkers(),
+		Draining:       s.draining.Load(),
+		Jobs:           s.store.counts(),
+		QueuedJobs:     len(s.queue),
+		InflightTasks:  s.rt.Inflight(),
+		Submitted:      s.submitted.Raw(),
+		Completed:      s.completed.Raw(),
+		Failed:         s.failed.Raw(),
+		Cancelled:      s.cancelledC.Raw(),
+		Shed:           s.shed.Raw(),
+		ShedByQueue:    sq,
+		ShedByBacklog:  sb,
+		ShedByOverload: so,
+		IdleRate:       s.adm.idleRate(),
+		AdaptiveGrains: grains,
+		GrainDecisions: decisions,
+	}
+}

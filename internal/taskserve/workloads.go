@@ -1,0 +1,352 @@
+// Workload runners: each job kind is executed as a task group on the shared
+// runtime, with the job's grain as the granularity knob and a per-task abort
+// check so cancellation and deadlines drain quickly without ever blocking a
+// worker. The three kinds cover the paper's application classes: a regular
+// dataflow grid (stencil1d), a recursive fork/join tree (fibonacci), and a
+// seeded irregular DAG (irregular).
+package taskserve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"taskgrain/internal/future"
+	simpkg "taskgrain/internal/sim"
+	"taskgrain/internal/taskrt"
+	"taskgrain/internal/workloads"
+)
+
+// Job kinds.
+const (
+	KindStencil   = "stencil1d"
+	KindFibonacci = "fibonacci"
+	KindIrregular = "irregular"
+)
+
+// JobSpec is the request vocabulary of POST /v1/jobs: a parameterized task
+// workload in the Task Bench style — kind, problem size, and the grain knob.
+type JobSpec struct {
+	// Kind selects the workload: stencil1d, fibonacci, or irregular.
+	Kind string `json:"kind"`
+	// Size is the problem size: grid points (stencil1d), the Fibonacci index
+	// (fibonacci), or total work points (irregular).
+	Size int `json:"size"`
+	// Steps is the stencil time-step count (default 4; stencil1d only).
+	Steps int `json:"steps,omitempty"`
+	// Grain is the task grain: points per partition (stencil1d), the
+	// sequential cutoff index (fibonacci), or points per task (irregular).
+	// Zero asks the server to choose adaptively from live counters.
+	Grain int `json:"grain,omitempty"`
+	// Seed makes irregular DAG structure reproducible (irregular only).
+	Seed int64 `json:"seed,omitempty"`
+	// DeadlineMillis bounds the job's total service time (queue + run);
+	// zero uses the server default.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+}
+
+// Fibonacci bounds. fib(92) is the largest index fitting uint64, but both
+// halves of the workload are exponential — the sequential kernel in the
+// cutoff, the task tree in (index − cutoff) — so the service bounds each:
+// the cutoff at 32 (≈2M adds per leaf task) and the tree span at 25
+// (≈242k tasks).
+const (
+	maxFibIndex  = 50
+	maxFibCutoff = 32
+	maxFibSpan   = 25
+)
+
+// withDefaults fills unset optional fields.
+func (s JobSpec) withDefaults() JobSpec {
+	if s.Kind == KindStencil && s.Steps == 0 {
+		s.Steps = 4
+	}
+	return s
+}
+
+// Validate reports the first problem with the spec, or nil. maxSize is the
+// server's configured job-size ceiling.
+func (s *JobSpec) Validate(maxSize int) error {
+	switch s.Kind {
+	case KindStencil, KindFibonacci, KindIrregular:
+	default:
+		return fmt.Errorf("taskserve: unknown kind %q (want %s, %s, or %s)",
+			s.Kind, KindStencil, KindFibonacci, KindIrregular)
+	}
+	if s.Size < 1 {
+		return fmt.Errorf("taskserve: size = %d", s.Size)
+	}
+	if s.Size > maxSize {
+		return fmt.Errorf("taskserve: size %d exceeds server limit %d", s.Size, maxSize)
+	}
+	if s.Kind == KindFibonacci && s.Size > maxFibIndex {
+		return fmt.Errorf("taskserve: fibonacci index %d exceeds limit %d", s.Size, maxFibIndex)
+	}
+	if s.Grain < 0 || s.Grain > s.Size {
+		return fmt.Errorf("taskserve: grain %d out of [0,%d]", s.Grain, s.Size)
+	}
+	if s.Kind == KindFibonacci && s.Grain > 0 {
+		if s.Grain > maxFibCutoff {
+			return fmt.Errorf("taskserve: fibonacci cutoff %d exceeds limit %d", s.Grain, maxFibCutoff)
+		}
+		if s.Size-s.Grain > maxFibSpan {
+			return fmt.Errorf("taskserve: fibonacci span %d−%d exceeds tree limit %d", s.Size, s.Grain, maxFibSpan)
+		}
+	}
+	if s.Kind == KindStencil && (s.Steps < 1 || s.Steps > 10_000) {
+		return fmt.Errorf("taskserve: steps = %d out of [1,10000]", s.Steps)
+	}
+	if s.DeadlineMillis < 0 {
+		return fmt.Errorf("taskserve: deadline_ms = %d", s.DeadlineMillis)
+	}
+	return nil
+}
+
+// grainBounds returns the adaptive-tuner clamp for one kind. Units follow
+// the kind's grain semantics (points for stencil/irregular, the cutoff index
+// for fibonacci).
+func grainBounds(kind string, maxJobSize int) (lo, hi, start int) {
+	switch kind {
+	case KindFibonacci:
+		return 1, maxFibCutoff, 20
+	default:
+		return 64, maxJobSize, 10_000
+	}
+}
+
+// clampGrain restricts an adaptive recommendation to the job's own legal
+// range; for fibonacci that includes the exponential-tree guard rails.
+func clampGrain(kind string, g, size int) int {
+	lo, hi := 1, size
+	if kind == KindFibonacci {
+		if hi > maxFibCutoff {
+			hi = maxFibCutoff
+		}
+		if size-maxFibSpan > lo {
+			lo = size - maxFibSpan
+		}
+	}
+	if g < lo {
+		return lo
+	}
+	if g > hi {
+		return hi
+	}
+	return g
+}
+
+// runWorkload dispatches a job to its kind's runner. abort is polled by
+// every task body; a true return makes the task cheap (skip the kernel, keep
+// the dependency structure) so the group drains at queue speed.
+func runWorkload(rt *taskrt.Runtime, spec JobSpec, grain int, abort func() bool) (*JobResult, error) {
+	switch spec.Kind {
+	case KindStencil:
+		return runStencilJob(rt, spec, grain, abort)
+	case KindFibonacci:
+		return runFibJob(rt, spec, grain, abort)
+	case KindIrregular:
+		return runIrregularJob(rt, spec, grain, abort)
+	default:
+		return nil, fmt.Errorf("taskserve: unknown kind %q", spec.Kind)
+	}
+}
+
+// runStencilJob executes Size grid points of three-point heat diffusion on a
+// ring for Steps steps, one task per partition per step with a group barrier
+// between steps — the serving-path edition of the paper's HPX-Stencil
+// benchmark, with grain = points per partition.
+func runStencilJob(rt *taskrt.Runtime, spec JobSpec, grain int, abort func() bool) (*JobResult, error) {
+	n := spec.Size
+	parts := (n + grain - 1) / grain
+	const alpha = 0.25
+
+	cur := make([][]float64, parts)
+	next := make([][]float64, parts)
+	var tasks atomic.Int64
+
+	// Initialization wave: one task per partition.
+	g := rt.NewGroup()
+	for p := 0; p < parts; p++ {
+		p := p
+		tasks.Add(1)
+		g.Spawn(func(*taskrt.Context) {
+			lo := p * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			part := make([]float64, hi-lo)
+			if !abort() {
+				for i := range part {
+					part[i] = float64(lo + i)
+				}
+			}
+			cur[p] = part
+		})
+	}
+	g.Wait()
+
+	steps := 0
+	for s := 0; s < spec.Steps && !abort(); s++ {
+		g := rt.NewGroup()
+		for p := 0; p < parts; p++ {
+			p := p
+			tasks.Add(1)
+			g.Spawn(func(*taskrt.Context) {
+				left := cur[(p-1+parts)%parts]
+				mid := cur[p]
+				right := cur[(p+1)%parts]
+				out := make([]float64, len(mid))
+				if abort() {
+					copy(out, mid)
+				} else {
+					heatKernel(left, mid, right, out, alpha)
+				}
+				next[p] = out
+			})
+		}
+		g.Wait()
+		cur, next = next, cur
+		steps++
+	}
+
+	sum := 0.0
+	for _, part := range cur {
+		for _, v := range part {
+			sum += v
+		}
+	}
+	return &JobResult{Tasks: tasks.Load(), Checksum: sum, generations: steps + 1}, nil
+}
+
+// heatKernel applies the three-point diffusion update to one partition given
+// its ring neighbours.
+func heatKernel(left, mid, right, out []float64, alpha float64) {
+	m := len(mid)
+	at := func(i int) float64 {
+		switch {
+		case i < 0:
+			return left[len(left)-1]
+		case i >= m:
+			return right[0]
+		default:
+			return mid[i]
+		}
+	}
+	for i := 0; i < m; i++ {
+		l, c, r := at(i-1), mid[i], at(i+1)
+		out[i] = c + alpha*(l-2*c+r)
+	}
+}
+
+// runFibJob computes fib(Size) as a recursive future tree with a sequential
+// cutoff at index grain — the canonical fine-grained fork/join workload,
+// with grain = how much of the tree one task absorbs.
+func runFibJob(rt *taskrt.Runtime, spec JobSpec, grain int, abort func() bool) (*JobResult, error) {
+	var tasks atomic.Int64
+	var build func(n int) *future.Future[uint64]
+	build = func(n int) *future.Future[uint64] {
+		if abort() {
+			return future.Ready[uint64](0)
+		}
+		if n < grain || n < 2 {
+			tasks.Add(1)
+			return future.Async(rt, func() uint64 {
+				if abort() {
+					return 0
+				}
+				return fibSeq(n)
+			})
+		}
+		left := build(n - 1)
+		right := build(n - 2)
+		tasks.Add(1) // the join task
+		return future.Dataflow(rt, func(vs []uint64) uint64 {
+			return vs[0] + vs[1]
+		}, []*future.Future[uint64]{left, right})
+	}
+	v := build(spec.Size).Wait()
+	gens := spec.Size - grain + 1
+	if gens < 1 {
+		gens = 1
+	}
+	return &JobResult{Tasks: tasks.Load(), Checksum: float64(v), generations: gens}, nil
+}
+
+// fibSeq is the sequential kernel below the cutoff.
+func fibSeq(n int) uint64 {
+	if n < 2 {
+		return uint64(n)
+	}
+	return fibSeq(n-1) + fibSeq(n-2)
+}
+
+// runIrregularJob executes a seeded random DAG totalling ~Size work points,
+// grain points per task — the graph-analytics-shaped load the paper calls
+// out as inherently fine-grained. The DAG generator is shared with the
+// simulator; its completion hooks mutate generator state, so a mutex
+// serializes them (task kernels themselves run fully parallel).
+func runIrregularJob(rt *taskrt.Runtime, spec JobSpec, grain int, abort func() bool) (*JobResult, error) {
+	nTasks := spec.Size / grain
+	if nTasks < 1 {
+		nTasks = 1
+	}
+	dag := &workloads.RandomDAG{
+		Tasks:     nTasks,
+		MaxDeg:    3,
+		MinPoints: maxInt(1, grain/2),
+		MaxPoints: maxInt(2, grain*2),
+		Seed:      spec.Seed,
+	}
+	if err := dag.Build(); err != nil {
+		return nil, err
+	}
+
+	var (
+		mu       sync.Mutex // serializes DAG bookkeeping (Roots/OnComplete)
+		tasks    atomic.Int64
+		checksum atomic.Uint64
+		g        = rt.NewGroup()
+	)
+	var spawn func(st simpkg.Task)
+	spawn = func(st simpkg.Task) {
+		tasks.Add(1)
+		g.Spawn(func(*taskrt.Context) {
+			if !abort() {
+				checksum.Add(burn(st.Points))
+			}
+			mu.Lock()
+			dag.OnComplete(st, spawn)
+			mu.Unlock()
+		})
+	}
+	mu.Lock()
+	dag.Roots(spawn)
+	mu.Unlock()
+	g.Wait()
+
+	return &JobResult{
+		Tasks:       tasks.Load(),
+		Checksum:    float64(checksum.Load() % (1 << 52)), // keep exact in float64
+		generations: 1,
+	}, nil
+}
+
+// burn is the irregular kernel: points iterations of xorshift, returning a
+// value the compiler cannot elide.
+func burn(points int) uint64 {
+	x := uint64(points)*2654435761 + 1
+	for i := 0; i < points; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
