@@ -64,8 +64,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	saveConfig := fs.String("saveconfig", "", "write the effective definition to a JSON file and exit")
 	jsonOut := fs.String("json", "", "save the full sweep result to a JSON file")
 	introspectAddr := fs.String("introspect", "", "serve live counters over HTTP during native sweeps")
+	bench := fs.String("bench", "", "alternate benchmark: taskbench (METG per dependence pattern)")
+	patterns := fs.String("patterns", "", "taskbench: comma-separated patterns (default all)")
+	width := fs.Int("width", 32, "taskbench: task-grid width")
+	kernel := fs.String("kernel", "", "taskbench: per-task kernel (busywork or memwalk)")
+	target := fs.Float64("target", 0.5, "taskbench: METG efficiency target")
+	bprobes := fs.Int("bprobes", 6, "taskbench: METG probes per pattern")
+	smoke := fs.Bool("smoke", false, "taskbench: tiny verified grid, structure only, no timing")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	switch *bench {
+	case "":
+	case "taskbench":
+		// Taskbench mode bypasses the stencil sweep machinery entirely: the
+		// granularity axis is the kernel grain, measured METG-style on the
+		// native runtime.
+		return runTaskbench(stdout, stderr, benchOptions{
+			cores: *cores, steps: *steps, width: *width,
+			patterns: *patterns, kernel: *kernel,
+			target: *target, probes: *bprobes, smoke: *smoke,
+		})
+	default:
+		return fail(stderr, fmt.Errorf("unknown bench %q (want taskbench)", *bench))
 	}
 	if *introspectAddr != "" && (*engineName != "native" || *configPath != "") {
 		return fail(stderr, fmt.Errorf("-introspect requires -engine native without -config"))

@@ -71,6 +71,37 @@ func TestNativeScanIntrospect(t *testing.T) {
 	}
 }
 
+func TestTaskbenchSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-bench", "taskbench", "-smoke"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "smoke ok: 6 patterns") {
+		t.Errorf("smoke output:\n%s", out.String())
+	}
+	for _, p := range []string{"trivial", "chain", "stencil1d", "fft", "random", "tree"} {
+		if !strings.Contains(out.String(), p) {
+			t.Errorf("smoke output missing pattern %s:\n%s", p, out.String())
+		}
+	}
+}
+
+func TestTaskbenchMETGSweep(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-bench", "taskbench", "-patterns", "trivial,fft",
+		"-steps", "3", "-width", "16", "-bprobes", "2", "-cores", "2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"taskbench — native, 2 workers", "METG(50%)",
+		"trivial", "fft", "pattern"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestScanBadArgs(t *testing.T) {
 	for _, args := range [][]string{
 		{"-engine", "dreams"},
@@ -80,6 +111,9 @@ func TestScanBadArgs(t *testing.T) {
 		{"-config", "/does/not/exist.json"},
 		{"-engine", "sim", "-introspect", "127.0.0.1:0"},
 		{"-engine", "native", "-introspect", "no-such-host-zz:99999"},
+		{"-bench", "quicksort"},
+		{"-bench", "taskbench", "-patterns", "moebius"},
+		{"-bench", "taskbench", "-kernel", "gemm"},
 	} {
 		var out, errOut strings.Builder
 		if code := run(args, &out, &errOut); code == 0 {

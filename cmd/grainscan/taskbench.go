@@ -1,0 +1,141 @@
+// Task Bench mode: instead of sweeping the stencil partition size, sweep the
+// kernel grain of parameterized task grids (-bench taskbench) and report each
+// dependence pattern's METG — the smallest task duration that still meets the
+// efficiency target — on the native runtime.
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+
+	"taskgrain/internal/plot"
+	"taskgrain/internal/taskbench"
+	"taskgrain/internal/taskrt"
+)
+
+// benchOptions carries the taskbench-mode flags out of the flag set.
+type benchOptions struct {
+	cores    int
+	steps    int
+	width    int
+	patterns string
+	kernel   string
+	target   float64
+	probes   int
+	smoke    bool
+}
+
+// Smoke-mode grid: tiny, fixed, and verified — structure only, no timing, so
+// CI can run it on noisy shared hosts.
+const (
+	smokeSteps = 4
+	smokeWidth = 8
+	smokeGrain = 64
+)
+
+// runTaskbench executes taskbench mode and returns the process exit code.
+func runTaskbench(stdout, stderr io.Writer, o benchOptions) int {
+	patterns, err := parsePatterns(o.patterns)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	kernel, err := taskbench.ParseKernel(o.kernel)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	nc := o.cores
+	if nc == 0 {
+		nc = runtime.GOMAXPROCS(0)
+	}
+
+	rt := taskrt.New(taskrt.WithWorkers(nc))
+	rt.Start()
+	defer func() {
+		rt.WaitIdle()
+		rt.Shutdown()
+	}()
+
+	if o.smoke {
+		return runTaskbenchSmoke(stdout, stderr, rt, patterns, kernel, nc)
+	}
+
+	fmt.Fprintf(stdout, "taskbench — native, %d workers, %d steps × %d width, kernel %s\n\n",
+		nc, o.steps, o.width, kernel.Name())
+	header := []string{"pattern", "tasks", "METG(µs)", "eff%", "probes", "found"}
+	var rows [][]string
+	for _, p := range patterns {
+		res, err := taskbench.MeasureMETG(rt,
+			taskbench.Config{
+				Graph:  taskbench.Graph{Pattern: p, Steps: o.steps, Width: o.width},
+				Kernel: kernel,
+			},
+			taskbench.MetgConfig{Target: o.target, Probes: o.probes})
+		if err != nil {
+			return fail(stderr, err)
+		}
+		rows = append(rows, []string{
+			p.String(),
+			fmt.Sprintf("%d", res.Tasks),
+			fmt.Sprintf("%.1f", res.MetgNs/1e3),
+			fmt.Sprintf("%.0f", res.Efficiency*100),
+			fmt.Sprintf("%d", len(res.Probes)),
+			fmt.Sprintf("%v", res.Found),
+		})
+		fmt.Fprintln(stdout, res.String())
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, plot.Table(header, rows))
+	return 0
+}
+
+// runTaskbenchSmoke runs every requested pattern once on a tiny verified
+// grid. It asserts structure (task counts, dependency ordering) and never
+// timing, so it is safe as a CI gate.
+func runTaskbenchSmoke(stdout, stderr io.Writer, rt *taskrt.Runtime, patterns []taskbench.Pattern, kernel taskbench.Kernel, nc int) int {
+	fmt.Fprintf(stdout, "taskbench smoke — native, %d workers, %d steps × %d width (verified, no timing)\n",
+		nc, smokeSteps, smokeWidth)
+	failures := 0
+	for _, p := range patterns {
+		g := taskbench.Graph{Pattern: p, Steps: smokeSteps, Width: smokeWidth}
+		res, err := taskbench.Run(rt, taskbench.Config{
+			Graph: g, Kernel: kernel, Grain: smokeGrain, Verify: true,
+		})
+		switch {
+		case err != nil:
+			fmt.Fprintf(stderr, "grainscan: %s: %v\n", p, err)
+			failures++
+		case res.Violations != 0:
+			fmt.Fprintf(stderr, "grainscan: %s: %d happens-before violations\n", p, res.Violations)
+			failures++
+		case res.Tasks != int64(g.Tasks()):
+			fmt.Fprintf(stderr, "grainscan: %s: ran %d tasks, want %d\n", p, res.Tasks, g.Tasks())
+			failures++
+		default:
+			fmt.Fprintf(stdout, "  %-10s %3d tasks ok (checksum %x)\n", p, res.Tasks, res.Checksum)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(stderr, "grainscan: smoke failed for %d pattern(s)\n", failures)
+		return 1
+	}
+	fmt.Fprintf(stdout, "smoke ok: %d patterns\n", len(patterns))
+	return 0
+}
+
+// parsePatterns resolves a comma-separated pattern list; empty means all.
+func parsePatterns(flagVal string) ([]taskbench.Pattern, error) {
+	if flagVal == "" {
+		return taskbench.Patterns(), nil
+	}
+	var out []taskbench.Pattern
+	for _, name := range strings.Split(flagVal, ",") {
+		p, err := taskbench.ParsePattern(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

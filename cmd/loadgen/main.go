@@ -9,14 +9,18 @@
 //	-addr <url>          server base URL (default http://127.0.0.1:8080)
 //	-jobs <n>            total jobs to submit (default 100)
 //	-concurrency <n>     concurrent client workers (default 4)
-//	-kind <name>         stencil1d | fibonacci | irregular (default stencil1d)
-//	-size <n>            problem size (default 100000)
-//	-steps <n>           stencil time steps (default 4)
+//	-kind <name>         stencil1d | fibonacci | irregular | taskbench
+//	-size <n>            problem size / taskbench grid width (default 100000)
+//	-steps <n>           stencil / taskbench time steps (default 4)
 //	-grain <n>           task grain; 0 lets the server choose adaptively
-//	-seed <n>            irregular DAG seed
+//	-seed <n>            irregular DAG / taskbench random-pattern seed
+//	-pattern <name>      taskbench dependence pattern (default stencil1d)
+//	-kernel <name>       taskbench per-task kernel (busywork or memwalk)
+//	-metg                taskbench: also request a per-job METG(50%) search
 //	-deadline <dur>      per-job deadline (0 = server default)
 //	-wait-timeout <dur>  long-poll timeout per status request (default 30s)
 //	-max-backoff <dur>   cap on honouring Retry-After after a shed (default 1s)
+//	-max-retries <n>     submits abandoned after n sheds (0 = retry forever)
 //
 // Each worker POSTs a job; on 429/503 it honours the Retry-After hint
 // (capped by -max-backoff) and retries, counting the shed. Admitted jobs are
@@ -38,6 +42,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"taskgrain/internal/stats"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -52,12 +58,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	concurrency := fs.Int("concurrency", 4, "concurrent client workers")
 	kind := fs.String("kind", "stencil1d", "job kind")
 	size := fs.Int("size", 100_000, "problem size")
-	steps := fs.Int("steps", 4, "stencil time steps")
+	steps := fs.Int("steps", 4, "stencil/taskbench time steps")
 	grain := fs.Int("grain", 0, "task grain (0 = server chooses adaptively)")
-	seed := fs.Int64("seed", 0, "irregular DAG seed")
+	seed := fs.Int64("seed", 0, "irregular DAG / taskbench seed")
+	pattern := fs.String("pattern", "", "taskbench dependence pattern")
+	kernel := fs.String("kernel", "", "taskbench per-task kernel")
+	metg := fs.Bool("metg", false, "taskbench: request per-job METG search")
 	deadline := fs.Duration("deadline", 0, "per-job deadline (0 = server default)")
 	waitTimeout := fs.Duration("wait-timeout", 30*time.Second, "long-poll timeout per status request")
 	maxBackoff := fs.Duration("max-backoff", time.Second, "cap on honouring Retry-After")
+	maxRetries := fs.Int("max-retries", 0, "abandon a submit after this many sheds (0 = retry forever)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,8 +81,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		base = "http://" + base
 	}
 	spec := map[string]any{"kind": *kind, "size": *size}
-	if *kind == "stencil1d" {
+	if *kind == "stencil1d" || *kind == "taskbench" {
 		spec["steps"] = *steps
+	}
+	if *kind == "taskbench" {
+		if *pattern != "" {
+			spec["pattern"] = *pattern
+		}
+		if *kernel != "" {
+			spec["kernel"] = *kernel
+		}
+		if *metg {
+			spec["metg"] = true
+		}
 	}
 	if *grain > 0 {
 		spec["grain"] = *grain
@@ -94,6 +115,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		body:        body,
 		waitTimeout: *waitTimeout,
 		maxBackoff:  *maxBackoff,
+		maxRetries:  *maxRetries,
 	}
 	wallStart := time.Now()
 	var next atomic.Int64
@@ -129,10 +151,12 @@ type generator struct {
 	body        []byte
 	waitTimeout time.Duration
 	maxBackoff  time.Duration
+	maxRetries  int
 
 	mu        sync.Mutex
 	latencies []time.Duration
 	grains    map[int]int // grain → jobs that ran with it
+	metgNs    []float64   // METG figures from taskbench jobs that found one
 
 	done      atomic.Int64
 	failed    atomic.Int64
@@ -146,6 +170,7 @@ type generator struct {
 func (g *generator) oneJob() {
 	submitStart := time.Now()
 	var id string
+	retries := 0
 	for {
 		resp, err := http.Post(g.base+"/v1/jobs", "application/json", bytes.NewReader(g.body))
 		if err != nil {
@@ -166,6 +191,13 @@ func (g *generator) oneJob() {
 			id = v.ID
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			g.sheds.Add(1)
+			retries++
+			if g.maxRetries > 0 && retries >= g.maxRetries {
+				// Shed to exhaustion: the job never ran, so it contributes no
+				// latency sample — the report must stay well-formed anyway.
+				g.errors.Add(1)
+				return
+			}
 			time.Sleep(g.backoff(resp.Header.Get("Retry-After")))
 			continue
 		default:
@@ -182,8 +214,12 @@ func (g *generator) oneJob() {
 			return
 		}
 		var v struct {
-			State string `json:"state"`
-			Grain int    `json:"grain"`
+			State  string `json:"state"`
+			Grain  int    `json:"grain"`
+			Result *struct {
+				MetgNs    float64 `json:"metg_ns"`
+				MetgFound bool    `json:"metg_found"`
+			} `json:"result"`
 		}
 		err = json.NewDecoder(resp.Body).Decode(&v)
 		resp.Body.Close()
@@ -207,6 +243,9 @@ func (g *generator) oneJob() {
 			g.grains = make(map[int]int)
 		}
 		g.grains[v.Grain]++
+		if v.Result != nil && v.Result.MetgFound {
+			g.metgNs = append(g.metgNs, v.Result.MetgNs)
+		}
 		g.mu.Unlock()
 		return
 	}
@@ -224,16 +263,21 @@ func (g *generator) backoff(header string) time.Duration {
 	return d
 }
 
-// report prints the throughput and latency summary.
+// report prints the throughput and latency summary. It must stay well-formed
+// with zero samples — a run where every job shed or errored reports zeros,
+// never NaN and never a panic.
 func (g *generator) report(w io.Writer, jobs int, wall time.Duration) {
 	g.mu.Lock()
-	lat := append([]time.Duration(nil), g.latencies...)
+	latMs := make([]float64, len(g.latencies))
+	for i, d := range g.latencies {
+		latMs[i] = float64(d) / float64(time.Millisecond)
+	}
 	grains := make(map[int]int, len(g.grains))
 	for k, v := range g.grains {
 		grains[k] = v
 	}
+	metg := append([]float64(nil), g.metgNs...)
 	g.mu.Unlock()
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 
 	done := g.done.Load()
 	fmt.Fprintf(w, "jobs       %d submitted, %d done, %d failed, %d cancelled, %d errors\n",
@@ -243,9 +287,14 @@ func (g *generator) report(w io.Writer, jobs int, wall time.Duration) {
 	if wall > 0 {
 		fmt.Fprintf(w, "throughput %.1f jobs/s\n", float64(done)/wall.Seconds())
 	}
-	if len(lat) > 0 {
-		fmt.Fprintf(w, "latency    p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms\n",
-			ms(quantile(lat, 0.50)), ms(quantile(lat, 0.95)), ms(quantile(lat, 0.99)), ms(lat[len(lat)-1]))
+	// stats.Percentile returns 0 on an empty set, so the line is printed
+	// unconditionally: all-shed runs read "p50 0.0 ms" rather than crashing.
+	fmt.Fprintf(w, "latency    p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms (%d samples)\n",
+		stats.Percentile(latMs, 50), stats.Percentile(latMs, 95),
+		stats.Percentile(latMs, 99), stats.Percentile(latMs, 100), len(latMs))
+	if len(metg) > 0 {
+		fmt.Fprintf(w, "metg       p50 %.1f µs across %d jobs that found one\n",
+			stats.Percentile(metg, 50)/1e3, len(metg))
 	}
 	if len(grains) > 0 {
 		keys := make([]int, 0, len(grains))
@@ -260,17 +309,6 @@ func (g *generator) report(w io.Writer, jobs int, wall time.Duration) {
 		fmt.Fprintf(w, "grains     %s (jobs×grain)\n", strings.Join(parts, ", "))
 	}
 }
-
-// quantile returns the q-quantile of sorted latencies.
-func quantile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
-}
-
-func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // fetchStats pulls the server's adaptive grain map for the report footer.
 func fetchStats(base string) (string, error) {

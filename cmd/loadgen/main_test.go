@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -84,6 +85,60 @@ func TestLoadgenAdaptiveGrainAndSheds(t *testing.T) {
 	}
 	if !strings.Contains(out, "server adaptive grains:") || !strings.Contains(out, "stencil1d=") {
 		t.Fatalf("server stats footer missing:\n%s", out)
+	}
+}
+
+func TestLoadgenTaskbench(t *testing.T) {
+	ts := newBackend(t, nil)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL,
+		"-jobs", "4", "-concurrency", "2",
+		"-kind", "taskbench", "-size", "8", "-steps", "3",
+		"-pattern", "fft", "-kernel", "busywork", "-grain", "5000", "-metg",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "4 done, 0 failed") {
+		t.Fatalf("not all taskbench jobs completed:\n%s", out)
+	}
+	// The METG line appears only when jobs found one; either way the stats
+	// footer must show taskbench's adaptive controller.
+	if !strings.Contains(out, "taskbench=") {
+		t.Fatalf("server stats footer missing taskbench grain:\n%s", out)
+	}
+}
+
+// TestLoadgenAllShedReportIsEmptySafe: a server that sheds every submission
+// yields zero latency samples; the report must print NaN-free zeros instead
+// of panicking (regression for percentile-of-empty).
+func TestLoadgenAllShedReportIsEmptySafe(t *testing.T) {
+	shedAll := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "shed", http.StatusTooManyRequests)
+	}))
+	defer shedAll.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", shedAll.URL,
+		"-jobs", "3", "-concurrency", "2",
+		"-max-backoff", "1ms", "-max-retries", "2",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("all-shed run exit %d, want 1\nstdout: %s", code, stdout.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "3 errors") {
+		t.Fatalf("shed-out jobs not counted as errors:\n%s", out)
+	}
+	if !strings.Contains(out, "latency    p50 0.0 ms") || !strings.Contains(out, "(0 samples)") {
+		t.Fatalf("empty latency line not zero-safe:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("report leaked NaN:\n%s", out)
 	}
 }
 

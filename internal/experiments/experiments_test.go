@@ -46,7 +46,7 @@ func TestListAndUnknown(t *testing.T) {
 	metas := List()
 	want := []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "threshold", "adaptive", "policies", "validate", "micro",
-		"classes", "energy", "stencil2d", "placement"}
+		"classes", "energy", "stencil2d", "placement", "metg"}
 	if len(metas) != len(want) {
 		t.Fatalf("experiments = %d, want %d", len(metas), len(want))
 	}
@@ -237,6 +237,35 @@ func TestPlacementExperiment(t *testing.T) {
 	if !strings.Contains(r.Text, "round-robin") || !strings.Contains(r.Text, "owner-computes") {
 		t.Errorf("placement report incomplete")
 	}
+}
+
+func TestMETGExperiment(t *testing.T) {
+	r, err := Run("metg", Options{NativeWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"METG(50%)", "2 workers", "trivial", "chain",
+		"stencil1d", "fft", "random", "tree"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("metg report missing %q:\n%s", want, r.Text)
+		}
+	}
+	csv, ok := r.CSV["metg_patterns.csv"]
+	if !ok {
+		t.Fatalf("metg CSV missing, have %v", keys(r.CSV))
+	}
+	if !strings.HasPrefix(csv, "pattern,tasks,metg_ns") {
+		t.Errorf("metg csv header: %.60q", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != len(taskbenchPatternCount())+1 {
+		t.Errorf("metg csv rows = %d, want %d", lines-1, len(taskbenchPatternCount()))
+	}
+}
+
+// taskbenchPatternCount mirrors taskbench.Patterns() for row-count checks
+// without importing the package into every test.
+func taskbenchPatternCount() []string {
+	return []string{"trivial", "chain", "stencil1d", "fft", "random", "tree"}
 }
 
 func keys(m map[string]string) []string {

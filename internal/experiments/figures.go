@@ -16,6 +16,7 @@ func init() {
 	registerEnergy()
 	registerStencil2D()
 	registerPlacement()
+	registerMETG()
 }
 
 // registerFigures adds the per-table/figure reproductions in paper order.

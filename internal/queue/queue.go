@@ -87,8 +87,12 @@ func (q *MSQueue[T]) Pop() (T, bool) {
 			q.tail.CompareAndSwap(tail, next)
 			continue
 		}
-		v := next.value
 		if q.head.CompareAndSwap(head, next) {
+			// Read the value only after winning the CAS: the winner is the
+			// unique goroutine to advance head past this node, so the slot
+			// sees exactly one reader and one (clearing) writer. Reading it
+			// before the CAS would race with the winner's clear below.
+			v := next.value
 			q.length.Add(-1)
 			// Clear the value slot so the GC can reclaim large payloads
 			// while `next` serves as the new dummy node.

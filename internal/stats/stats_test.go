@@ -93,6 +93,29 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestEmptySampleSetsAreNaNSafe pins the contract reporting code depends on
+// (e.g. loadgen after a run that sheds 100% of jobs): every aggregate over an
+// empty or nil sample set is exactly zero — no panic, no NaN.
+func TestEmptySampleSetsAreNaNSafe(t *testing.T) {
+	for _, xs := range [][]float64{nil, {}} {
+		for _, p := range []float64{0, 50, 95, 99, 100} {
+			got := Percentile(xs, p)
+			if got != 0 || math.IsNaN(got) {
+				t.Errorf("Percentile(%v, %v) = %v, want 0", xs, p, got)
+			}
+		}
+		if got := Mean(xs); got != 0 || math.IsNaN(got) {
+			t.Errorf("Mean(%v) = %v, want 0", xs, got)
+		}
+		if got := Std(xs); got != 0 || math.IsNaN(got) {
+			t.Errorf("Std(%v) = %v, want 0", xs, got)
+		}
+		if got := COV(xs); got != 0 || math.IsNaN(got) {
+			t.Errorf("COV(%v) = %v, want 0", xs, got)
+		}
+	}
+}
+
 func TestPercentileDoesNotMutate(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Percentile(xs, 50)

@@ -1,0 +1,283 @@
+package taskbench
+
+import (
+	"math/bits"
+	"reflect"
+	"testing"
+)
+
+// conformanceWidths covers the edge shapes the patterns must survive:
+// degenerate width 1, the smallest branching width 2, non-powers of two
+// (the FFT partner-drop case), and a round power of two.
+var conformanceWidths = []int{1, 2, 3, 5, 8, 12, 16, 33}
+
+// TestChainConformance: every non-root task has exactly one parent — its
+// own lane.
+func TestChainConformance(t *testing.T) {
+	for _, width := range conformanceWidths {
+		g := Graph{Pattern: Chain, Steps: 6, Width: width}
+		for s := 0; s < g.Steps; s++ {
+			for w := 0; w < width; w++ {
+				deps := g.Deps(s, w)
+				if s == 0 {
+					if len(deps) != 0 {
+						t.Fatalf("chain w=%d: root has deps %v", width, deps)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(deps, []int{w}) {
+					t.Fatalf("chain width=%d (%d,%d): deps %v, want [%d]", width, s, w, deps, w)
+				}
+			}
+		}
+	}
+}
+
+// TestTrivialConformance: no task has any parent.
+func TestTrivialConformance(t *testing.T) {
+	for _, width := range conformanceWidths {
+		g := Graph{Pattern: Trivial, Steps: 4, Width: width}
+		for s := 0; s < g.Steps; s++ {
+			for w := 0; w < width; w++ {
+				if deps := g.Deps(s, w); len(deps) != 0 {
+					t.Fatalf("trivial width=%d (%d,%d): deps %v", width, s, w, deps)
+				}
+			}
+		}
+	}
+}
+
+// TestStencilConformance: parents are {w-1, w, w+1} clamped at the edges.
+func TestStencilConformance(t *testing.T) {
+	for _, width := range conformanceWidths {
+		g := Graph{Pattern: Stencil, Steps: 4, Width: width}
+		for s := 1; s < g.Steps; s++ {
+			for w := 0; w < width; w++ {
+				want := []int{}
+				for _, d := range []int{w - 1, w, w + 1} {
+					if d >= 0 && d < width {
+						want = append(want, d)
+					}
+				}
+				if deps := g.Deps(s, w); !reflect.DeepEqual(deps, want) {
+					t.Fatalf("stencil width=%d (%d,%d): deps %v, want %v", width, s, w, deps, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFFTConformance: at step s the partner sits at XOR distance
+// 2^((s-1) mod ceil(log2 width)); partners beyond the width (non-power-of-
+// two grids) are dropped, leaving only the self-dependency.
+func TestFFTConformance(t *testing.T) {
+	for _, width := range conformanceWidths {
+		g := Graph{Pattern: FFT, Steps: 9, Width: width}
+		stages := bits.Len(uint(width - 1))
+		if stages < 1 {
+			stages = 1
+		}
+		for s := 1; s < g.Steps; s++ {
+			dist := 1 << ((s - 1) % stages)
+			for w := 0; w < width; w++ {
+				deps := g.Deps(s, w)
+				partner := w ^ dist
+				if partner >= width {
+					if !reflect.DeepEqual(deps, []int{w}) {
+						t.Fatalf("fft width=%d (%d,%d): partner %d out of grid, deps %v, want [%d]",
+							width, s, w, partner, deps, w)
+					}
+					continue
+				}
+				want := []int{w, partner}
+				if partner < w {
+					want = []int{partner, w}
+				}
+				if !reflect.DeepEqual(deps, want) {
+					t.Fatalf("fft width=%d (%d,%d): deps %v, want %v (dist %d)", width, s, w, deps, want, dist)
+				}
+			}
+		}
+	}
+}
+
+// TestFFTPartnerSymmetry: the butterfly exchange is symmetric — if a has
+// in-grid partner b at step s, then b's partner at step s is a.
+func TestFFTPartnerSymmetry(t *testing.T) {
+	g := Graph{Pattern: FFT, Steps: 7, Width: 16}
+	for s := 1; s < g.Steps; s++ {
+		for w := 0; w < g.Width; w++ {
+			for _, d := range g.Deps(s, w) {
+				if d == w {
+					continue
+				}
+				back := g.Deps(s, d)
+				found := false
+				for _, b := range back {
+					if b == w {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("fft (%d,%d): partner %d does not point back (deps %v)", s, w, d, back)
+				}
+			}
+		}
+	}
+}
+
+// TestTreeConformance: each merge task has exactly the two children
+// {2w, 2w+1} of the previous step (one child when the previous active width
+// is odd and w is the last lane), and the active width halves per step.
+func TestTreeConformance(t *testing.T) {
+	for _, width := range conformanceWidths {
+		g := Graph{Pattern: Tree, Steps: 8, Width: width}
+		prev := width
+		for s := 1; s < g.Steps; s++ {
+			active := g.ActiveWidth(s)
+			wantActive := prev
+			if wantActive > 1 {
+				wantActive = (prev + 1) / 2
+			}
+			if active != wantActive {
+				t.Fatalf("tree width=%d step %d: active %d, want %d", width, s, active, wantActive)
+			}
+			for w := 0; w < active; w++ {
+				deps := g.Deps(s, w)
+				want := []int{}
+				for _, d := range []int{2 * w, 2*w + 1} {
+					if d < prev {
+						want = append(want, d)
+					}
+				}
+				if len(want) == 0 {
+					want = []int{w % prev}
+				}
+				if !reflect.DeepEqual(deps, want) {
+					t.Fatalf("tree width=%d (%d,%d): deps %v, want %v", width, s, w, deps, want)
+				}
+				if prev >= 2*(w+1) && len(deps) != 2 {
+					t.Fatalf("tree width=%d (%d,%d): interior merge has %d children, want 2", width, s, w, len(deps))
+				}
+			}
+			prev = active
+		}
+	}
+}
+
+// TestTreeCoverage: every task of step s-1 feeds exactly one merge task of
+// step s — the fan-in partitions the previous generation.
+func TestTreeCoverage(t *testing.T) {
+	for _, width := range conformanceWidths {
+		g := Graph{Pattern: Tree, Steps: 6, Width: width}
+		for s := 1; s < g.Steps; s++ {
+			prev := g.ActiveWidth(s - 1)
+			if prev == 1 {
+				break // collapsed to the chain tail
+			}
+			seen := make([]int, prev)
+			for w := 0; w < g.ActiveWidth(s); w++ {
+				for _, d := range g.Deps(s, w) {
+					seen[d]++
+				}
+			}
+			for d, n := range seen {
+				if n != 1 {
+					t.Fatalf("tree width=%d step %d: child %d consumed %d times", width, s, d, n)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomConformance: deps are deterministic in the seed, within range,
+// duplicate-free, ascending, and bounded by the max in-degree.
+func TestRandomConformance(t *testing.T) {
+	for _, width := range conformanceWidths {
+		g1 := Graph{Pattern: Random, Steps: 5, Width: width, Seed: 42}
+		g2 := Graph{Pattern: Random, Steps: 5, Width: width, Seed: 42}
+		g3 := Graph{Pattern: Random, Steps: 5, Width: width, Seed: 43}
+		diff := false
+		for s := 1; s < g1.Steps; s++ {
+			for w := 0; w < width; w++ {
+				deps := g1.Deps(s, w)
+				if !reflect.DeepEqual(deps, g2.Deps(s, w)) {
+					t.Fatalf("random width=%d (%d,%d): same seed, different deps", width, s, w)
+				}
+				if !reflect.DeepEqual(deps, g3.Deps(s, w)) {
+					diff = true
+				}
+				if len(deps) < 1 || len(deps) > maxRandomDeg {
+					t.Fatalf("random width=%d (%d,%d): in-degree %d", width, s, w, len(deps))
+				}
+				for i, d := range deps {
+					if d < 0 || d >= width {
+						t.Fatalf("random width=%d (%d,%d): dep %d out of range", width, s, w, d)
+					}
+					if i > 0 && deps[i-1] >= d {
+						t.Fatalf("random width=%d (%d,%d): deps %v not strictly ascending", width, s, w, deps)
+					}
+				}
+			}
+		}
+		if width >= 3 && !diff {
+			t.Errorf("random width=%d: seeds 42 and 43 generated identical graphs", width)
+		}
+	}
+}
+
+// TestGraphTasks: the task count is the sum of active widths.
+func TestGraphTasks(t *testing.T) {
+	cases := []struct {
+		g    Graph
+		want int
+	}{
+		{Graph{Pattern: Stencil, Steps: 4, Width: 8}, 32},
+		{Graph{Pattern: Chain, Steps: 3, Width: 1}, 3},
+		{Graph{Pattern: Tree, Steps: 4, Width: 8}, 8 + 4 + 2 + 1},
+		{Graph{Pattern: Tree, Steps: 6, Width: 8}, 8 + 4 + 2 + 1 + 1 + 1},
+		{Graph{Pattern: Tree, Steps: 3, Width: 5}, 5 + 3 + 2},
+	}
+	for _, c := range cases {
+		if got := c.g.Tasks(); got != c.want {
+			t.Errorf("%s %dx%d: Tasks() = %d, want %d", c.g.Pattern, c.g.Steps, c.g.Width, got, c.want)
+		}
+	}
+}
+
+// TestParsePattern: round-trips and aliases.
+func TestParsePattern(t *testing.T) {
+	for _, p := range Patterns() {
+		got, err := ParsePattern(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePattern(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	for alias, want := range map[string]Pattern{
+		"serial": Chain, "stencil": Stencil, "butterfly": FFT, "sparse": Random,
+		"fanin": Tree, "independent": Trivial,
+	} {
+		if got, err := ParsePattern(alias); err != nil || got != want {
+			t.Errorf("ParsePattern(%q) = %v, %v, want %v", alias, got, err, want)
+		}
+	}
+	if _, err := ParsePattern("nosuch"); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+// TestGraphValidate rejects malformed shapes.
+func TestGraphValidate(t *testing.T) {
+	for _, g := range []Graph{
+		{Pattern: Chain, Steps: 0, Width: 4},
+		{Pattern: Chain, Steps: 4, Width: 0},
+		{Pattern: Pattern(99), Steps: 4, Width: 4},
+	} {
+		if err := g.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", g)
+		}
+	}
+	if err := (Graph{Pattern: FFT, Steps: 4, Width: 12}).Validate(); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+}

@@ -1,0 +1,138 @@
+package taskbench
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"taskgrain/internal/taskrt"
+)
+
+// newTestRuntime builds and starts a small multi-worker runtime.
+func newTestRuntime(t testing.TB, workers int) *taskrt.Runtime {
+	t.Helper()
+	rt := taskrt.New(taskrt.WithWorkers(workers))
+	rt.Start()
+	t.Cleanup(func() {
+		rt.WaitIdle()
+		rt.Shutdown()
+	})
+	return rt
+}
+
+// TestHappensBefore runs every pattern with the verification stamps on: no
+// task may observe an incomplete dependency, and under `go test -race` the
+// deliberately plain stamp reads turn any missing happens-before edge into
+// a reported race.
+func TestHappensBefore(t *testing.T) {
+	rt := newTestRuntime(t, 4)
+	for _, p := range Patterns() {
+		for _, width := range []int{1, 2, 7, 16} {
+			res, err := Run(rt, Config{
+				Graph:  Graph{Pattern: p, Steps: 6, Width: width, Seed: 7},
+				Grain:  64,
+				Verify: true,
+			})
+			if err != nil {
+				t.Fatalf("%s width=%d: %v", p, width, err)
+			}
+			if res.Violations != 0 {
+				t.Errorf("%s width=%d: %d happens-before violations", p, width, res.Violations)
+			}
+			if want := int64((Graph{Pattern: p, Steps: 6, Width: width}).Tasks()); res.Tasks != want {
+				t.Errorf("%s width=%d: ran %d tasks, want %d", p, width, res.Tasks, want)
+			}
+		}
+	}
+}
+
+// TestHappensBeforeUnderAbort: aborting mid-grid must still complete the
+// dependence structure in order (stamps are written even for skipped
+// kernels), so cancellation cannot fake a violation.
+func TestHappensBeforeUnderAbort(t *testing.T) {
+	rt := newTestRuntime(t, 4)
+	var ran atomic.Int64
+	abort := func() bool { return ran.Add(1) > 20 }
+	res, err := Run(rt, Config{
+		Graph:  Graph{Pattern: Stencil, Steps: 8, Width: 16},
+		Grain:  1000,
+		Verify: true,
+		Abort:  abort,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Errorf("aborted run reported %d violations", res.Violations)
+	}
+	if res.Tasks != int64(8*16) {
+		t.Errorf("aborted run executed %d tasks, want all %d (kernels skipped, structure kept)", res.Tasks, 8*16)
+	}
+}
+
+// TestChecksumDeterminism: identical configurations produce identical
+// checksums regardless of scheduling order.
+func TestChecksumDeterminism(t *testing.T) {
+	rt := newTestRuntime(t, 4)
+	var first uint64
+	for i := 0; i < 3; i++ {
+		res, err := Run(rt, Config{
+			Graph: Graph{Pattern: Random, Steps: 5, Width: 9, Seed: 1234},
+			Grain: 128,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res.Checksum
+		} else if res.Checksum != first {
+			t.Fatalf("run %d checksum %x, want %x", i, res.Checksum, first)
+		}
+	}
+}
+
+// FuzzRandomPattern fuzzes the seeded sparse pattern: for any (seed, steps,
+// width) the generated dependency sets must stay well-formed, and a real
+// runtime run with verification must observe zero happens-before
+// violations. Failures reproduce exactly from the fuzz corpus because the
+// graph is a pure function of the inputs.
+func FuzzRandomPattern(f *testing.F) {
+	f.Add(int64(0), 4, 8)
+	f.Add(int64(42), 6, 1)
+	f.Add(int64(-1), 3, 2)
+	f.Add(int64(2015), 5, 13)
+	rt := taskrt.New(taskrt.WithWorkers(2))
+	rt.Start()
+	f.Cleanup(func() {
+		rt.WaitIdle()
+		rt.Shutdown()
+	})
+	f.Fuzz(func(t *testing.T, seed int64, steps, width int) {
+		if steps < 1 || steps > 8 || width < 1 || width > 32 {
+			t.Skip()
+		}
+		g := Graph{Pattern: Random, Steps: steps, Width: width, Seed: seed}
+		for s := 1; s < steps; s++ {
+			for w := 0; w < width; w++ {
+				deps := g.Deps(s, w)
+				if len(deps) < 1 || len(deps) > maxRandomDeg {
+					t.Fatalf("seed=%d (%d,%d): in-degree %d", seed, s, w, len(deps))
+				}
+				for i, d := range deps {
+					if d < 0 || d >= width {
+						t.Fatalf("seed=%d (%d,%d): dep %d out of [0,%d)", seed, s, w, d, width)
+					}
+					if i > 0 && deps[i-1] >= d {
+						t.Fatalf("seed=%d (%d,%d): deps %v not strictly ascending", seed, s, w, deps)
+					}
+				}
+			}
+		}
+		res, err := Run(rt, Config{Graph: g, Grain: 8, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violations != 0 {
+			t.Fatalf("seed=%d steps=%d width=%d: %d violations", seed, steps, width, res.Violations)
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package taskbench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kernel is the per-task work function. Run performs `units` units of work
+// for the task in the given grid lane and returns a checksum the compiler
+// cannot elide; implementations must be safe for concurrent Run calls from
+// every worker. The unit is the kernel's own smallest step of work — the
+// grain knob counts units, and Calibrate converts units to wall time.
+type Kernel interface {
+	Name() string
+	Run(lane, units int) uint64
+}
+
+// ParseKernel maps a name to a kernel instance.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "", "busywork", "compute":
+		return BusyWork{}, nil
+	case "memwalk", "memory":
+		return NewMemoryWalk(), nil
+	}
+	return nil, fmt.Errorf("taskbench: unknown kernel %q (want busywork or memwalk)", s)
+}
+
+// BusyWork is the compute-bound kernel: one unit is one xorshift64 step, a
+// dependent chain of ALU operations (~1ns/unit), so task duration scales
+// linearly with the grain.
+type BusyWork struct{}
+
+// Name implements Kernel.
+func (BusyWork) Name() string { return "busywork" }
+
+// Run implements Kernel.
+func (BusyWork) Run(lane, units int) uint64 {
+	x := uint64(lane)*2654435761 + 1
+	for i := 0; i < units; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+// memWalkSize and memWalkStride shape the memory-bound kernel's access
+// pattern: a buffer well beyond L2, walked with a large prime stride so
+// successive units touch distinct cache lines.
+const (
+	memWalkSize   = 1 << 21 // uint64s: 16 MiB, beyond the paper's L2s
+	memWalkStride = 4097
+)
+
+// MemoryWalk is the memory-bound kernel: one unit is one strided load from
+// a shared read-only buffer, so task duration is dominated by cache and
+// memory latency rather than ALU throughput.
+type MemoryWalk struct {
+	buf []uint64
+}
+
+// memWalkShared lazily builds the one buffer all MemoryWalk instances
+// share; the kernel only reads it after construction.
+var memWalkShared = sync.OnceValue(func() []uint64 {
+	buf := make([]uint64, memWalkSize)
+	for i := range buf {
+		buf[i] = splitmix(uint64(i))
+	}
+	return buf
+})
+
+// NewMemoryWalk returns the strided-walk kernel.
+func NewMemoryWalk() *MemoryWalk { return &MemoryWalk{buf: memWalkShared()} }
+
+// Name implements Kernel.
+func (*MemoryWalk) Name() string { return "memwalk" }
+
+// Run implements Kernel.
+func (m *MemoryWalk) Run(lane, units int) uint64 {
+	idx := (uint64(lane) * 0x9e3779b97f4a7c15) % memWalkSize
+	var sum uint64
+	for i := 0; i < units; i++ {
+		sum += m.buf[idx]
+		idx = (idx + memWalkStride) % memWalkSize
+	}
+	return sum
+}
+
+// calibration caches ns-per-unit per kernel name: the figure drifts with
+// host load, but the METG search only needs it to seed unit counts — the
+// metric itself is computed from measured task durations.
+var (
+	calMu    sync.Mutex
+	calCache = map[string]float64{}
+)
+
+// Calibrate measures the kernel's cost in nanoseconds per unit, caching the
+// result per kernel name. The measurement grows the unit count until the
+// timed run is long enough (≥200µs) to quantize well.
+func Calibrate(k Kernel) float64 {
+	calMu.Lock()
+	defer calMu.Unlock()
+	if ns, ok := calCache[k.Name()]; ok {
+		return ns
+	}
+	units := 1 << 12
+	var perUnit float64
+	for {
+		start := time.Now()
+		sink := k.Run(0, units)
+		elapsed := time.Since(start)
+		_ = sink
+		if elapsed >= 200*time.Microsecond || units >= 1<<24 {
+			perUnit = float64(elapsed.Nanoseconds()) / float64(units)
+			break
+		}
+		units *= 4
+	}
+	if perUnit <= 0 {
+		perUnit = 1 // degenerate clock resolution; assume ~1ns/unit
+	}
+	calCache[k.Name()] = perUnit
+	return perUnit
+}
+
+// UnitsFor converts a target task duration to a unit count at the given
+// calibration, never returning less than one unit.
+func UnitsFor(nsPerUnit float64, d time.Duration) int {
+	if nsPerUnit <= 0 {
+		nsPerUnit = 1
+	}
+	u := int(float64(d.Nanoseconds()) / nsPerUnit)
+	if u < 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,157 @@
+package taskbench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"taskgrain/internal/taskrt"
+)
+
+// MetgConfig parameterizes a METG search.
+type MetgConfig struct {
+	// Target is the parallel-efficiency floor (default 0.5, i.e. METG(50%):
+	// idle-rate ≤ 50%, the coarse half of the paper's Eq. 1 tolerance).
+	Target float64
+	// MinTaskNs and MaxTaskNs bound the task-duration search (defaults
+	// 500ns and 2ms).
+	MinTaskNs, MaxTaskNs float64
+	// Probes is how many grid runs the binary search spends (default 8).
+	Probes int
+	// Abort, when set, stops the search early; the result reports whatever
+	// was found so far.
+	Abort func() bool
+}
+
+func (m MetgConfig) withDefaults() MetgConfig {
+	if m.Target == 0 {
+		m.Target = 0.5
+	}
+	if m.MinTaskNs == 0 {
+		m.MinTaskNs = 500
+	}
+	if m.MaxTaskNs == 0 {
+		m.MaxTaskNs = 2e6
+	}
+	if m.Probes == 0 {
+		m.Probes = 8
+	}
+	if m.Abort == nil {
+		m.Abort = func() bool { return false }
+	}
+	return m
+}
+
+// Probe is one binary-search step of a METG measurement.
+type Probe struct {
+	// TargetNs is the task duration the probe aimed for; Grain the unit
+	// count it translated to.
+	TargetNs float64
+	Grain    int
+	// TaskNs is the task duration actually measured (ΔΣt_exec / tasks).
+	TaskNs float64
+	// Efficiency is the probe's measured parallel efficiency.
+	Efficiency float64
+}
+
+// MetgResult is the outcome of a METG search for one pattern.
+type MetgResult struct {
+	Pattern Pattern
+	Target  float64
+	// Found reports whether any probed granularity met the target; when
+	// false, MetgNs holds the coarsest probe's duration as a lower-bound
+	// hint and Efficiency its (sub-target) efficiency.
+	Found bool
+	// MetgNs is the minimum effective task granularity: the smallest
+	// measured task duration whose run still met the efficiency target.
+	MetgNs float64
+	// Efficiency is the efficiency measured at MetgNs.
+	Efficiency float64
+	// Tasks is the grid size each probe ran.
+	Tasks int64
+	// Probes records the search trajectory.
+	Probes []Probe
+}
+
+// String renders the headline figure.
+func (r *MetgResult) String() string {
+	if !r.Found {
+		return fmt.Sprintf("%s: METG(%.0f%%) not reached (best eff %.0f%% at %.1fµs)",
+			r.Pattern, r.Target*100, r.Efficiency*100, r.MetgNs/1e3)
+	}
+	return fmt.Sprintf("%s: METG(%.0f%%) = %.1fµs (eff %.0f%%)",
+		r.Pattern, r.Target*100, r.MetgNs/1e3, r.Efficiency*100)
+}
+
+// MeasureMETG binary-searches the kernel grain for the smallest task
+// duration whose grid run still meets the efficiency target — Task Bench's
+// METG metric, computed from the runtime's own Σt_exec/Σt_func counters.
+// rt must already be started. Efficiency is monotone in grain on both walls
+// of the paper's U-curve's left side (finer tasks → more scheduler overhead
+// per unit of work), which is what makes bisection sound here.
+func MeasureMETG(rt *taskrt.Runtime, cfg Config, mcfg MetgConfig) (*MetgResult, error) {
+	m := mcfg.withDefaults()
+	kernel := cfg.Kernel
+	if kernel == nil {
+		kernel = BusyWork{}
+		cfg.Kernel = kernel
+	}
+	nsPerUnit := Calibrate(kernel)
+
+	out := &MetgResult{Pattern: cfg.Graph.Pattern, Target: m.Target}
+	probe := func(targetNs float64) (Probe, error) {
+		cfg := cfg
+		cfg.Grain = UnitsFor(nsPerUnit, time.Duration(targetNs))
+		res, err := Run(rt, cfg)
+		if err != nil {
+			return Probe{}, err
+		}
+		out.Tasks = res.Tasks
+		p := Probe{TargetNs: targetNs, Grain: cfg.Grain, TaskNs: res.TaskNs, Efficiency: res.Efficiency}
+		out.Probes = append(out.Probes, p)
+		return p, nil
+	}
+
+	lo, hi := m.MinTaskNs, m.MaxTaskNs
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	// First probe at the coarse end: if even the largest task misses the
+	// target (e.g. a serial chain on many workers), bisection has no
+	// bracket and the search reports Found=false.
+	p, err := probe(hi)
+	if err != nil {
+		return out, err
+	}
+	out.MetgNs, out.Efficiency = p.TaskNs, p.Efficiency
+	if p.Efficiency < m.Target {
+		return out, nil
+	}
+	out.Found = true
+
+	for i := 1; i < m.Probes && hi/lo > 1.1 && !m.Abort(); i++ {
+		mid := geoMid(lo, hi)
+		p, err := probe(mid)
+		if err != nil {
+			return out, err
+		}
+		if p.Efficiency >= m.Target {
+			hi = mid
+			if p.TaskNs < out.MetgNs || !out.Found {
+				out.MetgNs, out.Efficiency = p.TaskNs, p.Efficiency
+			}
+		} else {
+			lo = mid
+		}
+	}
+	return out, nil
+}
+
+// geoMid returns the geometric midpoint, the natural bisection step for a
+// quantity searched across decades.
+func geoMid(lo, hi float64) float64 {
+	if lo <= 0 {
+		lo = 1
+	}
+	return math.Sqrt(lo * hi)
+}

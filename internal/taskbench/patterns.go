@@ -1,0 +1,247 @@
+// Package taskbench is a Task Bench-style parameterized task-graph engine
+// (Slaughter et al., PAPERS.md): a grid of Steps × Width tasks whose
+// dependence structure is selected from a family of patterns and whose
+// per-task kernel grain is a free knob. Where the paper locates the
+// granularity sweet spot with one workload (the 1D heat stencil), taskbench
+// sweeps the *shape* of the dependence graph too, and distills the result
+// into METG — the minimum effective task granularity at a target parallel
+// efficiency (Eq. 1's idle-rate complement).
+//
+// The engine maps every grid task onto the taskrt runtime through the
+// future package (Async for roots, Dataflow for dependent tasks), so every
+// counter of the granularity study (Eqs. 1–6) observes the benchmark
+// exactly as it observes the stencil.
+package taskbench
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Pattern selects the dependence structure connecting step s tasks to step
+// s-1 tasks.
+type Pattern int
+
+// Dependence patterns. Each names a closed-form parent set; the conformance
+// tests assert these forms hold for every (step, index), including edge
+// widths.
+const (
+	// Trivial is the embarrassingly parallel grid: no dependencies at all.
+	Trivial Pattern = iota
+	// Chain gives every task exactly one parent — the same index one step
+	// earlier — so the grid is Width independent sequential chains.
+	Chain
+	// Stencil is the paper's workload shape: parents {w-1, w, w+1} clamped
+	// to the grid edge (non-periodic, matching Task Bench's stencil).
+	Stencil
+	// FFT is the butterfly: parents {w, w XOR d} with the partner distance
+	// d = 2^((s-1) mod ceil(log2 Width)) — the log-distance exchange of an
+	// FFT stage. Partners landing outside the grid are dropped (the
+	// non-power-of-two case).
+	FFT
+	// Random draws 1–3 distinct parents per task from a splitmix-style hash
+	// of (Seed, step, index), so the sparse structure is a pure function of
+	// the seed and exactly reproducible.
+	Random
+	// Tree is a binary fan-in: task w at step s merges children {2w, 2w+1}
+	// of the previous step, the active width halving each step until one
+	// lane remains (which then continues as a chain).
+	Tree
+)
+
+// Patterns lists every pattern in declaration order.
+func Patterns() []Pattern {
+	return []Pattern{Trivial, Chain, Stencil, FFT, Random, Tree}
+}
+
+// String returns the pattern's canonical name.
+func (p Pattern) String() string {
+	switch p {
+	case Trivial:
+		return "trivial"
+	case Chain:
+		return "chain"
+	case Stencil:
+		return "stencil1d"
+	case FFT:
+		return "fft"
+	case Random:
+		return "random"
+	case Tree:
+		return "tree"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// ParsePattern maps a name to a Pattern.
+func ParsePattern(s string) (Pattern, error) {
+	switch s {
+	case "trivial", "independent":
+		return Trivial, nil
+	case "chain", "serial":
+		return Chain, nil
+	case "stencil1d", "stencil":
+		return Stencil, nil
+	case "fft", "butterfly":
+		return FFT, nil
+	case "random", "sparse":
+		return Random, nil
+	case "tree", "fanin":
+		return Tree, nil
+	}
+	return 0, fmt.Errorf("taskbench: unknown pattern %q (want trivial, chain, stencil1d, fft, random, or tree)", s)
+}
+
+// Graph is one concrete task grid: Steps dependency generations of up to
+// Width tasks each, connected per Pattern. Seed parameterizes Random only.
+type Graph struct {
+	Pattern Pattern
+	Steps   int
+	Width   int
+	Seed    int64
+}
+
+// Validate reports the first problem with the graph shape, or nil.
+func (g Graph) Validate() error {
+	if g.Steps < 1 {
+		return fmt.Errorf("taskbench: steps = %d", g.Steps)
+	}
+	if g.Width < 1 {
+		return fmt.Errorf("taskbench: width = %d", g.Width)
+	}
+	switch g.Pattern {
+	case Trivial, Chain, Stencil, FFT, Random, Tree:
+		return nil
+	}
+	return fmt.Errorf("taskbench: unknown pattern %d", int(g.Pattern))
+}
+
+// ActiveWidth returns how many tasks exist at the given step. Every pattern
+// keeps the full width except Tree, whose fan-in halves the live lane count
+// each step (never below one).
+func (g Graph) ActiveWidth(step int) int {
+	if g.Pattern != Tree {
+		return g.Width
+	}
+	w := g.Width
+	for s := 0; s < step && w > 1; s++ {
+		w = (w + 1) / 2
+	}
+	return w
+}
+
+// Tasks returns the total number of tasks in the grid.
+func (g Graph) Tasks() int {
+	total := 0
+	for s := 0; s < g.Steps; s++ {
+		total += g.ActiveWidth(s)
+	}
+	return total
+}
+
+// fftStages returns the butterfly stage count ceil(log2(Width)), minimum 1,
+// so the partner distance cycles 1, 2, …, 2^(stages-1).
+func (g Graph) fftStages() int {
+	n := bits.Len(uint(g.Width - 1)) // ceil(log2(Width)) for Width >= 2
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Deps returns the parent indices (at step-1) of task (step, w), in
+// ascending order, with no duplicates. Step 0 tasks have no parents. The
+// result is a pure function of the graph parameters — callers may re-derive
+// it at any time and get identical structure.
+func (g Graph) Deps(step, w int) []int {
+	if step <= 0 {
+		return nil
+	}
+	prev := g.ActiveWidth(step - 1)
+	switch g.Pattern {
+	case Trivial:
+		return nil
+	case Chain:
+		return []int{w}
+	case Stencil:
+		deps := make([]int, 0, 3)
+		for _, d := range [3]int{w - 1, w, w + 1} {
+			if d >= 0 && d < prev {
+				deps = append(deps, d)
+			}
+		}
+		return deps
+	case FFT:
+		dist := 1 << ((step - 1) % g.fftStages())
+		partner := w ^ dist
+		if partner >= prev {
+			return []int{w}
+		}
+		if partner < w {
+			return []int{partner, w}
+		}
+		return []int{w, partner}
+	case Random:
+		return g.randomDeps(step, w, prev)
+	case Tree:
+		deps := make([]int, 0, 2)
+		for _, d := range [2]int{2 * w, 2*w + 1} {
+			if d < prev {
+				deps = append(deps, d)
+			}
+		}
+		if len(deps) == 0 {
+			// Collapsed tail: the surviving lane continues as a chain.
+			return []int{w % prev}
+		}
+		return deps
+	}
+	return nil
+}
+
+// maxRandomDeg bounds the Random pattern's in-degree.
+const maxRandomDeg = 3
+
+// randomDeps derives the Random pattern's parent set from a hash of
+// (Seed, step, w): 1–3 distinct indices in [0, prev), ascending.
+func (g Graph) randomDeps(step, w, prev int) []int {
+	h := splitmix(uint64(g.Seed) ^ uint64(step)*0x9e3779b97f4a7c15 ^ uint64(w)*0xbf58476d1ce4e5b9)
+	k := 1 + int(h%maxRandomDeg)
+	if k > prev {
+		k = prev
+	}
+	deps := make([]int, 0, k)
+	for len(deps) < k {
+		h = splitmix(h)
+		d := int(h % uint64(prev))
+		dup := false
+		for _, e := range deps {
+			if e == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			deps = append(deps, d)
+		}
+	}
+	// Ascending order for a canonical form (k <= 3: a bubble pass is fine).
+	for i := 0; i < len(deps); i++ {
+		for j := i + 1; j < len(deps); j++ {
+			if deps[j] < deps[i] {
+				deps[i], deps[j] = deps[j], deps[i]
+			}
+		}
+	}
+	return deps
+}
+
+// splitmix is the SplitMix64 mixing function — the hash behind the Random
+// pattern's reproducible structure.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,110 @@
+package taskbench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunAllPatterns exercises the engine across patterns and kernels and
+// checks the result bookkeeping.
+func TestRunAllPatterns(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	kernels := []Kernel{BusyWork{}, NewMemoryWalk()}
+	for i, p := range Patterns() {
+		res, err := Run(rt, Config{
+			Graph:  Graph{Pattern: p, Steps: 4, Width: 8, Seed: 9},
+			Kernel: kernels[i%len(kernels)],
+			Grain:  256,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.Pattern != p || res.Grain != 256 {
+			t.Errorf("%s: result echoes pattern %s grain %d", p, res.Pattern, res.Grain)
+		}
+		if res.Tasks != int64((Graph{Pattern: p, Steps: 4, Width: 8}).Tasks()) {
+			t.Errorf("%s: tasks = %d", p, res.Tasks)
+		}
+		if res.Efficiency < 0 || res.Efficiency > 1 {
+			t.Errorf("%s: efficiency %v out of [0,1]", p, res.Efficiency)
+		}
+		if res.ExecNs <= 0 || res.TaskNs <= 0 {
+			t.Errorf("%s: exec %d taskns %v not positive", p, res.ExecNs, res.TaskNs)
+		}
+	}
+}
+
+// TestRunRejectsBadGraph: shape validation happens before any spawning.
+func TestRunRejectsBadGraph(t *testing.T) {
+	rt := newTestRuntime(t, 1)
+	if _, err := Run(rt, Config{Graph: Graph{Pattern: Chain, Steps: 0, Width: 4}}); err == nil {
+		t.Error("zero-step graph accepted")
+	}
+	if _, err := Run(rt, Config{Graph: Graph{Pattern: Pattern(42), Steps: 2, Width: 2}}); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+// TestCalibrate: calibration is positive, cached, and unit conversion never
+// returns less than one unit.
+func TestCalibrate(t *testing.T) {
+	ns := Calibrate(BusyWork{})
+	if ns <= 0 {
+		t.Fatalf("Calibrate = %v", ns)
+	}
+	if again := Calibrate(BusyWork{}); again != ns {
+		t.Errorf("calibration not cached: %v then %v", ns, again)
+	}
+	if u := UnitsFor(ns, time.Microsecond); u < 1 {
+		t.Errorf("UnitsFor(1µs) = %d", u)
+	}
+	if u := UnitsFor(ns, 0); u != 1 {
+		t.Errorf("UnitsFor(0) = %d, want floor of 1", u)
+	}
+}
+
+// TestMeasureMETGTrivial: an embarrassingly parallel grid must reach the
+// 50% target at some granularity on a 2-worker runtime, and the search
+// trajectory is recorded.
+func TestMeasureMETGTrivial(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	res, err := MeasureMETG(rt,
+		Config{Graph: Graph{Pattern: Trivial, Steps: 4, Width: 32}},
+		MetgConfig{Probes: 4, MinTaskNs: 2_000, MaxTaskNs: 500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("trivial pattern never reached 50%% efficiency: %+v", res.Probes)
+	}
+	if res.MetgNs <= 0 {
+		t.Errorf("METG = %v ns", res.MetgNs)
+	}
+	if len(res.Probes) < 1 || len(res.Probes) > 4 {
+		t.Errorf("probes recorded = %d", len(res.Probes))
+	}
+	if !strings.Contains(res.String(), "METG(50%)") {
+		t.Errorf("headline %q missing METG figure", res.String())
+	}
+}
+
+// TestMeasureMETGAbort: an aborted search stops early and still returns a
+// well-formed result.
+func TestMeasureMETGAbort(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	calls := 0
+	res, err := MeasureMETG(rt,
+		Config{Graph: Graph{Pattern: Chain, Steps: 3, Width: 4}},
+		MetgConfig{Probes: 8, MinTaskNs: 1_000, MaxTaskNs: 100_000,
+			Abort: func() bool { calls++; return true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probes) > 2 {
+		t.Errorf("aborted search ran %d probes", len(res.Probes))
+	}
+	if calls == 0 {
+		t.Error("abort never polled")
+	}
+}

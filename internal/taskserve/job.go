@@ -36,6 +36,17 @@ type JobResult struct {
 	// IdleRate is Eq. 1 over the job's execution interval. Approximate when
 	// jobs overlap on the shared runtime.
 	IdleRate float64 `json:"idle_rate"`
+	// Pattern echoes the dependence pattern a taskbench job ran.
+	Pattern string `json:"pattern,omitempty"`
+	// Efficiency is the taskbench run's parallel efficiency (1 − idle-rate
+	// over its own counter interval).
+	Efficiency float64 `json:"efficiency,omitempty"`
+	// MetgNs is the METG(50%) figure of a taskbench job submitted with
+	// metg=true: the smallest task duration (ns) that still met 50%
+	// parallel efficiency on this pattern. MetgFound reports whether any
+	// probed granularity met the target.
+	MetgNs    float64 `json:"metg_ns,omitempty"`
+	MetgFound bool    `json:"metg_found,omitempty"`
 	// generations is the number of dependency waves the workload ran
 	// (internal: feeds the adaptive tuner's parallel-slack signal).
 	generations int
@@ -173,6 +184,7 @@ type JobView struct {
 	Kind        string     `json:"kind"`
 	Size        int        `json:"size"`
 	Steps       int        `json:"steps,omitempty"`
+	Pattern     string     `json:"pattern,omitempty"`
 	State       JobState   `json:"state"`
 	Grain       int        `json:"grain,omitempty"`
 	GrainSource string     `json:"grain_source,omitempty"`
@@ -195,6 +207,7 @@ func (j *Job) View() JobView {
 		Kind:        j.spec.Kind,
 		Size:        j.spec.Size,
 		Steps:       j.spec.Steps,
+		Pattern:     j.spec.Pattern,
 		State:       j.state,
 		Grain:       j.grain,
 		GrainSource: j.grainSource,

@@ -33,6 +33,9 @@ func TestLoadSoak(t *testing.T) {
 		{Kind: KindFibonacci, Size: 22}, // adaptive
 		{Kind: KindIrregular, Size: 100_000, Grain: 1000, Seed: 3},
 		{Kind: KindIrregular, Size: 100_000, Seed: 4}, // adaptive
+		{Kind: KindTaskbench, Size: 16, Steps: 3, Pattern: "fft", Grain: 5000},
+		{Kind: KindTaskbench, Size: 8, Steps: 4, Pattern: "tree", Kernel: "memwalk"}, // adaptive
+		{Kind: KindTaskbench, Size: 12, Steps: 3, Pattern: "random", Seed: 11},       // adaptive
 	}
 
 	const (

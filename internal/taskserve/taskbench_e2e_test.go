@@ -1,0 +1,111 @@
+package taskserve
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestTaskbenchJobEndToEnd submits a taskbench job with an METG request over
+// the HTTP API, long-polls it to completion, and checks the job document
+// carries the pattern, the grain that served it, and the METG figures.
+func TestTaskbenchJobEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+
+	spec := JobSpec{
+		Kind: KindTaskbench, Size: 16, Steps: 4,
+		Pattern: "fft", Grain: 20_000, Metg: true,
+	}
+	resp, v := postJob(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if v.Pattern != "fft" {
+		t.Fatalf("submit view pattern = %q, want fft", v.Pattern)
+	}
+
+	got := getJob(t, ts.URL, v.ID, "?wait=true&timeout=60s")
+	if got.State != JobDone {
+		t.Fatalf("state %s, error %q", got.State, got.Error)
+	}
+	if got.Pattern != "fft" {
+		t.Errorf("job document pattern = %q, want fft", got.Pattern)
+	}
+	if got.Grain != spec.Grain || got.GrainSource != "request" {
+		t.Errorf("grain %d source %q, want %d/request", got.Grain, got.GrainSource, spec.Grain)
+	}
+	if got.Result == nil {
+		t.Fatal("done job carries no result")
+	}
+	// 16-wide, 4-step grid: 64 tasks regardless of pattern (fft keeps full width).
+	if got.Result.Tasks != 64 {
+		t.Errorf("tasks = %d, want 64", got.Result.Tasks)
+	}
+	if got.Result.Pattern != "fft" {
+		t.Errorf("result pattern = %q, want fft", got.Result.Pattern)
+	}
+	if got.Result.Efficiency < 0 || got.Result.Efficiency > 1 {
+		t.Errorf("efficiency %v out of [0,1]", got.Result.Efficiency)
+	}
+	if got.Result.MetgNs <= 0 {
+		t.Errorf("metg_ns = %v, want > 0 (metg=true was requested)", got.Result.MetgNs)
+	}
+	// MetgFound may be false on a loaded host; the figure must still be a
+	// well-formed probe duration either way.
+}
+
+// TestTaskbenchAdaptiveGrain: a grainless taskbench job gets a server-chosen
+// grain from its own controller (jobKinds wiring), within the kind's bounds.
+func TestTaskbenchAdaptiveGrain(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	if s.grains[KindTaskbench] == nil {
+		t.Fatal("no adaptive controller for taskbench kind")
+	}
+
+	resp, v := postJob(t, ts.URL, JobSpec{Kind: KindTaskbench, Size: 8, Steps: 3, Pattern: "chain"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	got := getJob(t, ts.URL, v.ID, "?wait=true&timeout=60s")
+	if got.State != JobDone {
+		t.Fatalf("state %s, error %q", got.State, got.Error)
+	}
+	if got.GrainSource != "adaptive" {
+		t.Fatalf("grain_source = %q, want adaptive", got.GrainSource)
+	}
+	if got.Grain < 1 || got.Grain > maxTaskbenchGrain {
+		t.Fatalf("chosen grain %d out of taskbench range", got.Grain)
+	}
+}
+
+// TestTaskbenchValidation: taskbench-specific spec errors are 400s, and
+// taskbench-only fields are rejected on other kinds.
+func TestTaskbenchValidation(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	bad := []JobSpec{
+		{Kind: KindTaskbench, Size: 8, Pattern: "moebius"},
+		{Kind: KindTaskbench, Size: 8, Kernel: "gemm"},
+		{Kind: KindTaskbench, Size: maxTaskbenchWidth + 1},
+		{Kind: KindTaskbench, Size: 8, Grain: maxTaskbenchGrain + 1},
+		{Kind: KindStencil, Size: 1000, Pattern: "fft"},
+		{Kind: KindFibonacci, Size: 20, Metg: true},
+	}
+	for _, spec := range bad {
+		resp, _ := postJob(t, ts.URL, spec)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %+v: status %d, want 400", spec, resp.StatusCode)
+		}
+	}
+
+	// Defaulting: an empty pattern means stencil1d.
+	resp, v := postJob(t, ts.URL, JobSpec{Kind: KindTaskbench, Size: 4, Steps: 2, Grain: 1000})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("default-pattern submit: %d", resp.StatusCode)
+	}
+	got := getJob(t, ts.URL, v.ID, "?wait=true&timeout=60s")
+	if got.Pattern != "stencil1d" {
+		t.Errorf("default pattern = %q, want stencil1d", got.Pattern)
+	}
+	if got.State != JobDone {
+		t.Errorf("state %s, error %q", got.State, got.Error)
+	}
+}

@@ -87,7 +87,7 @@ func New(cfg config.Server) (*Server, error) {
 		func() int { return len(s.queue) },
 		rt.Inflight,
 	)
-	for _, kind := range []string{KindStencil, KindFibonacci, KindIrregular} {
+	for _, kind := range jobKinds {
 		lo, hi, start := grainBounds(kind, cfg.MaxJobSize)
 		ctl, err := adaptive.NewController(adaptive.Config{
 			MinPartition: lo,

@@ -1,9 +1,10 @@
 // Workload runners: each job kind is executed as a task group on the shared
 // runtime, with the job's grain as the granularity knob and a per-task abort
 // check so cancellation and deadlines drain quickly without ever blocking a
-// worker. The three kinds cover the paper's application classes: a regular
-// dataflow grid (stencil1d), a recursive fork/join tree (fibonacci), and a
-// seeded irregular DAG (irregular).
+// worker. The kinds cover the paper's application classes: a regular
+// dataflow grid (stencil1d), a recursive fork/join tree (fibonacci), a
+// seeded irregular DAG (irregular), and the parameterized Task Bench grid
+// (taskbench), whose dependence pattern is part of the request.
 package taskserve
 
 import (
@@ -13,6 +14,7 @@ import (
 
 	"taskgrain/internal/future"
 	simpkg "taskgrain/internal/sim"
+	"taskgrain/internal/taskbench"
 	"taskgrain/internal/taskrt"
 	"taskgrain/internal/workloads"
 )
@@ -22,24 +24,43 @@ const (
 	KindStencil   = "stencil1d"
 	KindFibonacci = "fibonacci"
 	KindIrregular = "irregular"
+	KindTaskbench = "taskbench"
 )
+
+// jobKinds lists every kind; the server builds one adaptive grain
+// controller per entry.
+var jobKinds = []string{KindStencil, KindFibonacci, KindIrregular, KindTaskbench}
 
 // JobSpec is the request vocabulary of POST /v1/jobs: a parameterized task
 // workload in the Task Bench style — kind, problem size, and the grain knob.
 type JobSpec struct {
-	// Kind selects the workload: stencil1d, fibonacci, or irregular.
+	// Kind selects the workload: stencil1d, fibonacci, irregular, or
+	// taskbench.
 	Kind string `json:"kind"`
 	// Size is the problem size: grid points (stencil1d), the Fibonacci index
-	// (fibonacci), or total work points (irregular).
+	// (fibonacci), total work points (irregular), or the task-grid width
+	// (taskbench).
 	Size int `json:"size"`
-	// Steps is the stencil time-step count (default 4; stencil1d only).
+	// Steps is the time-step / dependency-generation count (default 4;
+	// stencil1d and taskbench).
 	Steps int `json:"steps,omitempty"`
 	// Grain is the task grain: points per partition (stencil1d), the
-	// sequential cutoff index (fibonacci), or points per task (irregular).
-	// Zero asks the server to choose adaptively from live counters.
+	// sequential cutoff index (fibonacci), points per task (irregular), or
+	// kernel work units per task (taskbench). Zero asks the server to
+	// choose adaptively from live counters.
 	Grain int `json:"grain,omitempty"`
-	// Seed makes irregular DAG structure reproducible (irregular only).
+	// Seed makes irregular DAG / taskbench random-pattern structure
+	// reproducible.
 	Seed int64 `json:"seed,omitempty"`
+	// Pattern selects the taskbench dependence pattern: trivial, chain,
+	// stencil1d, fft, random, or tree (default stencil1d; taskbench only).
+	Pattern string `json:"pattern,omitempty"`
+	// Kernel selects the taskbench per-task kernel: busywork or memwalk
+	// (default busywork; taskbench only).
+	Kernel string `json:"kernel,omitempty"`
+	// Metg, for taskbench jobs, additionally runs a bounded METG(50%)
+	// search on the job's pattern and reports the figure in the result.
+	Metg bool `json:"metg,omitempty"`
 	// DeadlineMillis bounds the job's total service time (queue + run);
 	// zero uses the server default.
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
@@ -56,10 +77,21 @@ const (
 	maxFibSpan   = 25
 )
 
+// Taskbench bounds: the grid width and generation count cap the task count
+// (width × steps tasks), and the grain — kernel work units per task — caps
+// single-task duration (~10ms of busy-work at the ceiling).
+const (
+	maxTaskbenchWidth = 4096
+	maxTaskbenchGrain = 10_000_000
+)
+
 // withDefaults fills unset optional fields.
 func (s JobSpec) withDefaults() JobSpec {
-	if s.Kind == KindStencil && s.Steps == 0 {
+	if (s.Kind == KindStencil || s.Kind == KindTaskbench) && s.Steps == 0 {
 		s.Steps = 4
+	}
+	if s.Kind == KindTaskbench && s.Pattern == "" {
+		s.Pattern = taskbench.Stencil.String()
 	}
 	return s
 }
@@ -68,10 +100,10 @@ func (s JobSpec) withDefaults() JobSpec {
 // server's configured job-size ceiling.
 func (s *JobSpec) Validate(maxSize int) error {
 	switch s.Kind {
-	case KindStencil, KindFibonacci, KindIrregular:
+	case KindStencil, KindFibonacci, KindIrregular, KindTaskbench:
 	default:
-		return fmt.Errorf("taskserve: unknown kind %q (want %s, %s, or %s)",
-			s.Kind, KindStencil, KindFibonacci, KindIrregular)
+		return fmt.Errorf("taskserve: unknown kind %q (want %s, %s, %s, or %s)",
+			s.Kind, KindStencil, KindFibonacci, KindIrregular, KindTaskbench)
 	}
 	if s.Size < 1 {
 		return fmt.Errorf("taskserve: size = %d", s.Size)
@@ -82,8 +114,28 @@ func (s *JobSpec) Validate(maxSize int) error {
 	if s.Kind == KindFibonacci && s.Size > maxFibIndex {
 		return fmt.Errorf("taskserve: fibonacci index %d exceeds limit %d", s.Size, maxFibIndex)
 	}
-	if s.Grain < 0 || s.Grain > s.Size {
-		return fmt.Errorf("taskserve: grain %d out of [0,%d]", s.Grain, s.Size)
+	if s.Kind == KindTaskbench {
+		// The taskbench grain counts kernel units, not points, so it has
+		// its own ceiling independent of Size (the grid width).
+		if s.Size > maxTaskbenchWidth {
+			return fmt.Errorf("taskserve: taskbench width %d exceeds limit %d", s.Size, maxTaskbenchWidth)
+		}
+		if s.Grain < 0 || s.Grain > maxTaskbenchGrain {
+			return fmt.Errorf("taskserve: taskbench grain %d out of [0,%d]", s.Grain, maxTaskbenchGrain)
+		}
+		if _, err := taskbench.ParsePattern(s.Pattern); err != nil {
+			return fmt.Errorf("taskserve: %w", err)
+		}
+		if _, err := taskbench.ParseKernel(s.Kernel); err != nil {
+			return fmt.Errorf("taskserve: %w", err)
+		}
+	} else {
+		if s.Pattern != "" || s.Kernel != "" || s.Metg {
+			return fmt.Errorf("taskserve: pattern/kernel/metg are taskbench-only fields")
+		}
+		if s.Grain < 0 || s.Grain > s.Size {
+			return fmt.Errorf("taskserve: grain %d out of [0,%d]", s.Grain, s.Size)
+		}
 	}
 	if s.Kind == KindFibonacci && s.Grain > 0 {
 		if s.Grain > maxFibCutoff {
@@ -93,7 +145,7 @@ func (s *JobSpec) Validate(maxSize int) error {
 			return fmt.Errorf("taskserve: fibonacci span %d−%d exceeds tree limit %d", s.Size, s.Grain, maxFibSpan)
 		}
 	}
-	if s.Kind == KindStencil && (s.Steps < 1 || s.Steps > 10_000) {
+	if (s.Kind == KindStencil || s.Kind == KindTaskbench) && (s.Steps < 1 || s.Steps > 10_000) {
 		return fmt.Errorf("taskserve: steps = %d out of [1,10000]", s.Steps)
 	}
 	if s.DeadlineMillis < 0 {
@@ -109,22 +161,30 @@ func grainBounds(kind string, maxJobSize int) (lo, hi, start int) {
 	switch kind {
 	case KindFibonacci:
 		return 1, maxFibCutoff, 20
+	case KindTaskbench:
+		// Units of kernel work per task: start around tens of microseconds
+		// of busy-work, the fine side of the paper's sweet spot.
+		return 256, maxTaskbenchGrain, 50_000
 	default:
 		return 64, maxJobSize, 10_000
 	}
 }
 
 // clampGrain restricts an adaptive recommendation to the job's own legal
-// range; for fibonacci that includes the exponential-tree guard rails.
+// range; for fibonacci that includes the exponential-tree guard rails, and
+// for taskbench the grain is kernel units, bounded independently of Size.
 func clampGrain(kind string, g, size int) int {
 	lo, hi := 1, size
-	if kind == KindFibonacci {
+	switch kind {
+	case KindFibonacci:
 		if hi > maxFibCutoff {
 			hi = maxFibCutoff
 		}
 		if size-maxFibSpan > lo {
 			lo = size - maxFibSpan
 		}
+	case KindTaskbench:
+		hi = maxTaskbenchGrain
 	}
 	if g < lo {
 		return lo
@@ -146,9 +206,67 @@ func runWorkload(rt *taskrt.Runtime, spec JobSpec, grain int, abort func() bool)
 		return runFibJob(rt, spec, grain, abort)
 	case KindIrregular:
 		return runIrregularJob(rt, spec, grain, abort)
+	case KindTaskbench:
+		return runTaskbenchJob(rt, spec, grain, abort)
 	default:
 		return nil, fmt.Errorf("taskserve: unknown kind %q", spec.Kind)
 	}
+}
+
+// Bounds on the per-job METG search (spec.Metg): the probe grid is capped
+// so the search costs milliseconds, not the job's full problem size.
+const (
+	metgProbeSteps = 4
+	metgProbeWidth = 16
+	metgProbes     = 4
+)
+
+// runTaskbenchJob executes a Steps × Size task grid of the requested
+// dependence pattern through the taskbench engine, grain = kernel work
+// units per task. With spec.Metg set it follows up with a bounded
+// METG(50%) search on the same pattern so the job document carries the
+// minimum effective task granularity next to the grain that served it.
+func runTaskbenchJob(rt *taskrt.Runtime, spec JobSpec, grain int, abort func() bool) (*JobResult, error) {
+	pattern, err := taskbench.ParsePattern(spec.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	kernel, err := taskbench.ParseKernel(spec.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	cfg := taskbench.Config{
+		Graph:  taskbench.Graph{Pattern: pattern, Steps: spec.Steps, Width: spec.Size, Seed: spec.Seed},
+		Kernel: kernel,
+		Grain:  grain,
+		Abort:  abort,
+	}
+	res, err := taskbench.Run(rt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &JobResult{
+		Tasks:       res.Tasks,
+		Checksum:    float64(res.Checksum % (1 << 52)), // keep exact in float64
+		Pattern:     pattern.String(),
+		Efficiency:  res.Efficiency,
+		generations: spec.Steps,
+	}
+	if spec.Metg && !abort() {
+		probe := cfg
+		probe.Graph.Steps = minInt(probe.Graph.Steps, metgProbeSteps)
+		probe.Graph.Width = minInt(probe.Graph.Width, metgProbeWidth)
+		metg, err := taskbench.MeasureMETG(rt, probe, taskbench.MetgConfig{
+			Probes: metgProbes,
+			Abort:  abort,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.MetgNs = metg.MetgNs
+		out.MetgFound = metg.Found
+	}
+	return out, nil
 }
 
 // runStencilJob executes Size grid points of three-point heat diffusion on a
@@ -346,6 +464,13 @@ func burn(points int) uint64 {
 
 func maxInt(a, b int) int {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
 		return a
 	}
 	return b
