@@ -90,39 +90,42 @@ func (m *MemoryWalk) Run(lane, units int) uint64 {
 
 // calibration caches ns-per-unit per kernel name: the figure drifts with
 // host load, but the METG search only needs it to seed unit counts — the
-// metric itself is computed from measured task durations.
-var (
-	calMu    sync.Mutex
-	calCache = map[string]float64{}
-)
+// metric itself is computed from measured task durations. One entry per
+// kernel name, each with its own Once, so calibrating one kernel (a timing
+// loop of up to 1<<24 units) never blocks callers calibrating another.
+var calCache sync.Map // kernel name -> *calEntry
+
+type calEntry struct {
+	once sync.Once
+	ns   float64
+}
 
 // Calibrate measures the kernel's cost in nanoseconds per unit, caching the
 // result per kernel name. The measurement grows the unit count until the
 // timed run is long enough (≥200µs) to quantize well.
 func Calibrate(k Kernel) float64 {
-	calMu.Lock()
-	defer calMu.Unlock()
-	if ns, ok := calCache[k.Name()]; ok {
-		return ns
-	}
-	units := 1 << 12
-	var perUnit float64
-	for {
-		start := time.Now()
-		sink := k.Run(0, units)
-		elapsed := time.Since(start)
-		_ = sink
-		if elapsed >= 200*time.Microsecond || units >= 1<<24 {
-			perUnit = float64(elapsed.Nanoseconds()) / float64(units)
-			break
+	e, _ := calCache.LoadOrStore(k.Name(), &calEntry{})
+	entry := e.(*calEntry)
+	entry.once.Do(func() {
+		units := 1 << 12
+		var perUnit float64
+		for {
+			start := time.Now()
+			sink := k.Run(0, units)
+			elapsed := time.Since(start)
+			_ = sink
+			if elapsed >= 200*time.Microsecond || units >= 1<<24 {
+				perUnit = float64(elapsed.Nanoseconds()) / float64(units)
+				break
+			}
+			units *= 4
 		}
-		units *= 4
-	}
-	if perUnit <= 0 {
-		perUnit = 1 // degenerate clock resolution; assume ~1ns/unit
-	}
-	calCache[k.Name()] = perUnit
-	return perUnit
+		if perUnit <= 0 {
+			perUnit = 1 // degenerate clock resolution; assume ~1ns/unit
+		}
+		entry.ns = perUnit
+	})
+	return entry.ns
 }
 
 // UnitsFor converts a target task duration to a unit count at the given

@@ -126,6 +126,10 @@ func Run(rt *taskrt.Runtime, cfg Config) (*Result, error) {
 	execBefore, funcBefore := rt.ExecTotal(), rt.FuncTotal()
 	start := time.Now()
 
+	// Patterns like Trivial and Random leave tasks with no dependents, so
+	// waiting on the final step alone would return with earlier-step tasks
+	// still running. Collect every future and wait on all of them.
+	all := make([]*future.Future[uint64], 0, g.Tasks())
 	prev := make([]*future.Future[uint64], 0, g.Width)
 	for step := 0; step < g.Steps; step++ {
 		active := g.ActiveWidth(step)
@@ -148,8 +152,9 @@ func Run(rt *taskrt.Runtime, cfg Config) (*Result, error) {
 			}, depFs)
 		}
 		prev = cur
+		all = append(all, cur...)
 	}
-	future.WhenAll(prev).Wait()
+	future.WhenAll(all).Wait()
 
 	elapsed := time.Since(start)
 	res := &Result{

@@ -35,6 +35,38 @@ func TestRunAllPatterns(t *testing.T) {
 	}
 }
 
+// laggardKernel stalls one step-0 lane so that every other task — including
+// the whole final step — finishes long before it.
+type laggardKernel struct{ slowLane int }
+
+func (laggardKernel) Name() string { return "laggard" }
+
+func (k laggardKernel) Run(lane, units int) uint64 {
+	if lane == k.slowLane {
+		time.Sleep(50 * time.Millisecond)
+	}
+	return uint64(lane)
+}
+
+// TestRunWaitsForAllSteps: patterns without cross-step edges (Trivial) leave
+// earlier-step tasks with no dependents, so waiting on the final step alone
+// would return mid-run. With spare workers draining the final step while one
+// step-0 task sleeps, Run must still block until the straggler completes.
+func TestRunWaitsForAllSteps(t *testing.T) {
+	rt := newTestRuntime(t, 4)
+	g := Graph{Pattern: Trivial, Steps: 2, Width: 4}
+	res, err := Run(rt, Config{Graph: g, Kernel: laggardKernel{slowLane: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != int64(g.Tasks()) {
+		t.Errorf("Run returned before all tasks completed: %d of %d", res.Tasks, g.Tasks())
+	}
+	if res.Elapsed < 50*time.Millisecond {
+		t.Errorf("Run returned in %v, before the straggler's 50ms sleep", res.Elapsed)
+	}
+}
+
 // TestRunRejectsBadGraph: shape validation happens before any spawning.
 func TestRunRejectsBadGraph(t *testing.T) {
 	rt := newTestRuntime(t, 1)

@@ -77,6 +77,22 @@ func TestTaskbenchAdaptiveGrain(t *testing.T) {
 	}
 }
 
+// TestTaskbenchClampGrain: adaptive recommendations are clamped to the same
+// range grainBounds declares — in particular a low recommendation lands on
+// the 256-unit floor, not at 1.
+func TestTaskbenchClampGrain(t *testing.T) {
+	lo, hi, _ := grainBounds(KindTaskbench, maxTaskbenchWidth)
+	if got := clampGrain(KindTaskbench, 1, 8); got != lo {
+		t.Errorf("clampGrain(taskbench, 1) = %d, want floor %d", got, lo)
+	}
+	if got := clampGrain(KindTaskbench, maxTaskbenchGrain*2, 8); got != hi {
+		t.Errorf("clampGrain(taskbench, 2*max) = %d, want ceiling %d", got, hi)
+	}
+	if got := clampGrain(KindTaskbench, 5_000, 8); got != 5_000 {
+		t.Errorf("clampGrain(taskbench, 5000) = %d, want passthrough", got)
+	}
+}
+
 // TestTaskbenchValidation: taskbench-specific spec errors are 400s, and
 // taskbench-only fields are rejected on other kinds.
 func TestTaskbenchValidation(t *testing.T) {

@@ -83,6 +83,10 @@ const (
 const (
 	maxTaskbenchWidth = 4096
 	maxTaskbenchGrain = 10_000_000
+	// taskbenchGrainFloor is the adaptive-tuner minimum: ~a quarter
+	// microsecond of busy-work, below which per-task overhead swamps the
+	// kernel entirely.
+	taskbenchGrainFloor = 256
 )
 
 // withDefaults fills unset optional fields.
@@ -164,7 +168,7 @@ func grainBounds(kind string, maxJobSize int) (lo, hi, start int) {
 	case KindTaskbench:
 		// Units of kernel work per task: start around tens of microseconds
 		// of busy-work, the fine side of the paper's sweet spot.
-		return 256, maxTaskbenchGrain, 50_000
+		return taskbenchGrainFloor, maxTaskbenchGrain, 50_000
 	default:
 		return 64, maxJobSize, 10_000
 	}
@@ -184,7 +188,7 @@ func clampGrain(kind string, g, size int) int {
 			lo = size - maxFibSpan
 		}
 	case KindTaskbench:
-		hi = maxTaskbenchGrain
+		lo, hi = taskbenchGrainFloor, maxTaskbenchGrain
 	}
 	if g < lo {
 		return lo
