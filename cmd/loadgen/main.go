@@ -7,6 +7,9 @@
 //	loadgen [flags]
 //
 //	-addr <url>          server base URL (default http://127.0.0.1:8080)
+//	-mesh <a,b,...>      comma-separated target URLs; jobs spread round-robin
+//	                     (point at several taskgraind nodes, or at one or
+//	                     more taskmeshd gateways; overrides -addr)
 //	-jobs <n>            total jobs to submit (default 100)
 //	-concurrency <n>     concurrent client workers (default 4)
 //	-kind <name>         stencil1d | fibonacci | irregular | taskbench
@@ -25,7 +28,9 @@
 // Each worker POSTs a job; on 429/503 it honours the Retry-After hint
 // (capped by -max-backoff) and retries, counting the shed. Admitted jobs are
 // long-polled to a terminal state; the submit→terminal latency feeds the
-// percentile report.
+// percentile report. All requests share one http.Client whose timeout is the
+// long-poll budget plus slack, so a hung server cannot wedge a worker
+// forever.
 package main
 
 import (
@@ -54,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+	meshTargets := fs.String("mesh", "", "comma-separated target URLs; jobs spread round-robin (overrides -addr)")
 	jobs := fs.Int("jobs", 100, "total jobs to submit")
 	concurrency := fs.Int("concurrency", 4, "concurrent client workers")
 	kind := fs.String("kind", "stencil1d", "job kind")
@@ -76,9 +82,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	base := strings.TrimRight(*addr, "/")
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	raw := []string{*addr}
+	if *meshTargets != "" {
+		raw = strings.Split(*meshTargets, ",")
+	}
+	var targets []string
+	for _, a := range raw {
+		base := strings.TrimRight(strings.TrimSpace(a), "/")
+		if base == "" {
+			continue
+		}
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		targets = append(targets, base)
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(stderr, "loadgen: -mesh lists no usable targets")
+		return 1
 	}
 	spec := map[string]any{"kind": *kind, "size": *size}
 	if *kind == "stencil1d" || *kind == "taskbench" {
@@ -111,11 +132,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	g := &generator{
-		base:        base,
+		targets:     targets,
 		body:        body,
 		waitTimeout: *waitTimeout,
 		maxBackoff:  *maxBackoff,
 		maxRetries:  *maxRetries,
+		// One shared client for every worker: the timeout covers a full
+		// long-poll plus slack for connection setup and response transfer, so
+		// a wedged server fails the request instead of leaking a goroutine.
+		client: &http.Client{Timeout: *waitTimeout + 15*time.Second},
 	}
 	wallStart := time.Now()
 	var next atomic.Int64
@@ -136,8 +161,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	wall := time.Since(wallStart)
 
 	g.report(stdout, *jobs, wall)
-	if stats, err := fetchStats(base); err == nil {
-		fmt.Fprintf(stdout, "server adaptive grains: %s\n", stats)
+	for _, target := range targets {
+		if stats, err := fetchStats(g.client, target); err == nil && stats != "" {
+			if len(targets) > 1 {
+				fmt.Fprintf(stdout, "adaptive grains %s: %s\n", target, stats)
+			} else {
+				fmt.Fprintf(stdout, "server adaptive grains: %s\n", stats)
+			}
+		}
 	}
 	if g.errors.Load() > 0 {
 		return 1
@@ -147,11 +178,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // generator holds the shared client state of one load run.
 type generator struct {
-	base        string
+	targets     []string // submission targets, picked round-robin per job
 	body        []byte
 	waitTimeout time.Duration
 	maxBackoff  time.Duration
 	maxRetries  int
+	client      *http.Client
+	rr          atomic.Uint64
 
 	mu        sync.Mutex
 	latencies []time.Duration
@@ -166,13 +199,15 @@ type generator struct {
 }
 
 // oneJob submits one job (retrying sheds) and follows it to a terminal
-// state.
+// state. The job is pinned to one target — chosen round-robin across the
+// -mesh list — so its status polls go where it was admitted.
 func (g *generator) oneJob() {
+	base := g.targets[int(g.rr.Add(1)-1)%len(g.targets)]
 	submitStart := time.Now()
 	var id string
 	retries := 0
 	for {
-		resp, err := http.Post(g.base+"/v1/jobs", "application/json", bytes.NewReader(g.body))
+		resp, err := g.client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(g.body))
 		if err != nil {
 			g.errors.Add(1)
 			return
@@ -208,7 +243,7 @@ func (g *generator) oneJob() {
 	}
 
 	for {
-		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s?wait=true&timeout=%s", g.base, id, g.waitTimeout))
+		resp, err := g.client.Get(fmt.Sprintf("%s/v1/jobs/%s?wait=true&timeout=%s", base, id, g.waitTimeout))
 		if err != nil {
 			g.errors.Add(1)
 			return
@@ -310,9 +345,9 @@ func (g *generator) report(w io.Writer, jobs int, wall time.Duration) {
 	}
 }
 
-// fetchStats pulls the server's adaptive grain map for the report footer.
-func fetchStats(base string) (string, error) {
-	resp, err := http.Get(base + "/v1/stats")
+// fetchStats pulls a target's adaptive grain map for the report footer.
+func fetchStats(client *http.Client, base string) (string, error) {
+	resp, err := client.Get(base + "/v1/stats")
 	if err != nil {
 		return "", err
 	}

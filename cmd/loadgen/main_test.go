@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -139,6 +140,48 @@ func TestLoadgenAllShedReportIsEmptySafe(t *testing.T) {
 	}
 	if strings.Contains(out, "NaN") {
 		t.Fatalf("report leaked NaN:\n%s", out)
+	}
+}
+
+// TestLoadgenMeshTargets: -mesh spreads jobs round-robin across several
+// backends; every target must see submissions and every job must complete.
+func TestLoadgenMeshTargets(t *testing.T) {
+	a := newBackend(t, nil)
+	b := newBackend(t, nil)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-mesh", a.URL + "," + b.URL,
+		"-jobs", "8", "-concurrency", "4",
+		"-kind", "fibonacci", "-size", "20", "-grain", "10",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "8 done, 0 failed") {
+		t.Fatalf("not all jobs completed across the mesh targets:\n%s", out)
+	}
+	// Per-target stats footers replace the single-server one, and round-robin
+	// must have reached both backends.
+	for _, target := range []string{a.URL, b.URL} {
+		if !strings.Contains(out, "adaptive grains "+target) {
+			t.Fatalf("missing per-target stats footer for %s:\n%s", target, out)
+		}
+	}
+	for _, ts := range []*httptest.Server{a, b} {
+		resp, err := http.Get(ts.URL + "/debug/counters?prefix=/server/jobs/submitted")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap map[string]float64
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if snap["/server/jobs/submitted"] != 4 {
+			t.Fatalf("round-robin skew: %s saw %v submissions, want 4",
+				ts.URL, snap["/server/jobs/submitted"])
+		}
 	}
 }
 

@@ -1,0 +1,145 @@
+// Command taskmeshd serves a cluster of taskgraind nodes behind one
+// gateway: heartbeat health-checking, idle-rate-aware routing, spillover on
+// shed, and idempotent failover when a node dies mid-job. Clients speak the
+// same /v1/jobs API they would speak to a single node.
+//
+// Usage:
+//
+//	taskmeshd -nodes host1:8080,host2:8080 [flags]
+//
+//	-config <file.json>       load configuration from a JSON file
+//	-addr <host:port>         gateway listen address (default :8090)
+//	-nodes <a,b,...>          comma-separated node base URLs (required)
+//	-route-policy <name>      least-idle-rate | least-inflight | round-robin
+//	-heartbeat-interval <dur> node heartbeat period (default 250ms)
+//	-down-after <n>           consecutive heartbeat failures before down
+//	-max-submit-attempts <n>  total node tries per submission
+//	-max-backoff <dur>        cap on inter-pass spillover backoff
+//	-hedge-delay <dur>        long-poll liveness-probe delay
+//	-flow-floor <f>           inflight-task floor for idle-rate scoring
+//	-request-timeout <dur>    per-node request timeout
+//
+// Precedence, lowest to highest: defaults, the -config file, TASKMESHD_*
+// environment variables, explicit flags.
+//
+// On SIGTERM or SIGINT the gateway stops heartbeating, flushes its routing
+// counters to stdout, and exits 0. It holds no job state worth draining —
+// admitted jobs live on the nodes and survive a gateway restart.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"taskgrain/internal/config"
+	"taskgrain/internal/mesh"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run executes the gateway against the given flag arguments and streams;
+// split from main for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	cfg := config.DefaultMesh()
+	if path := configPathFromArgs(args); path != "" {
+		loaded, err := config.LoadMeshFile(path)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		cfg = loaded
+	}
+	if err := cfg.ApplyEnv(os.LookupEnv); err != nil {
+		return fail(stderr, err)
+	}
+
+	fs := flag.NewFlagSet("taskmeshd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.String("config", "", "JSON configuration file")
+	cfg.Flags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	m, err := mesh.New(cfg)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	m.Start()
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		m.Stop()
+		return fail(stderr, err)
+	}
+	srv := &http.Server{Handler: m.Handler()}
+	fmt.Fprintf(stdout, "taskmeshd listening on %s (policy %s, %d nodes)\n",
+		ln.Addr(), cfg.RoutePolicy, len(cfg.Nodes))
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sigc)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stdout, "taskmeshd: %v — shutting down\n", sig)
+	case err := <-errc:
+		m.Stop()
+		return fail(stderr, err)
+	}
+
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	_ = srv.Shutdown(shutCtx)
+	m.Stop()
+	flushCounters(stdout, m.Counters().Snapshot())
+	fmt.Fprintln(stdout, "taskmeshd: stopped")
+	return 0
+}
+
+// fail prints the error and returns a non-zero exit code.
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "taskmeshd:", err)
+	return 1
+}
+
+// configPathFromArgs extracts the -config value ahead of full flag parsing.
+func configPathFromArgs(args []string) string {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		for _, prefix := range []string{"-config", "--config"} {
+			if a == prefix && i+1 < len(args) {
+				return args[i+1]
+			}
+			if strings.HasPrefix(a, prefix+"=") {
+				return strings.TrimPrefix(a, prefix+"=")
+			}
+		}
+	}
+	return ""
+}
+
+// flushCounters writes the final routing-counter snapshot, sorted by name.
+func flushCounters(w io.Writer, snap map[string]float64) {
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "final counters:")
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-50s %v\n", n, snap[n])
+	}
+}

@@ -1,0 +1,273 @@
+package mesh
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"taskgrain/internal/config"
+)
+
+// jobView is the slice of the relayed job document these tests assert on.
+type jobView struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Result *struct {
+		Checksum float64 `json:"checksum"`
+	} `json:"result"`
+	Mesh *struct {
+		Node    string `json:"node"`
+		Retries int    `json:"retries"`
+		Spills  int    `json:"spills"`
+	} `json:"mesh"`
+}
+
+func decodeView(t *testing.T, resp *http.Response) jobView {
+	t.Helper()
+	defer resp.Body.Close()
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// pollTerminal long-polls one mesh job to a terminal state through the
+// gateway.
+func pollTerminal(t *testing.T, gw, id string, budget time.Duration) jobView {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(gw + "/v1/jobs/" + id + "?wait=true&timeout=10s")
+		if err != nil {
+			t.Fatalf("poll %s: %v", id, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			body := decodeView(t, resp)
+			t.Fatalf("poll %s: %d (%+v)", id, resp.StatusCode, body)
+		}
+		v := decodeView(t, resp)
+		switch v.State {
+		case "done", "failed", "cancelled":
+			return v
+		}
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return jobView{}
+}
+
+// TestMeshFailoverZeroLostJobsOnNodeDeath is the subsystem's acceptance
+// test: three real nodes behind the gateway, a burst of jobs spread across
+// them, one node killed mid-burst. Every admitted job must still reach a
+// terminal state through the gateway — zero lost jobs — with the failover
+// resubmissions surfaced in the per-job retry counts and the gateway's
+// counters.
+func TestMeshFailoverZeroLostJobsOnNodeDeath(t *testing.T) {
+	fronts := make([]*httptest.Server, 3)
+	urls := make([]string, 3)
+	for i := range fronts {
+		_, ts := startServeNode(t, func(cfg *config.Server) {
+			cfg.MaxConcurrentJobs = 2 // keep per-node queues busy at kill time
+		})
+		fronts[i] = ts
+		urls[i] = ts.URL
+	}
+	cfg := testMeshConfig(urls...)
+	cfg.RoutePolicy = config.MeshPolicyRoundRobin // even spread → victim surely owns jobs
+	m, gw := startMesh(t, cfg)
+
+	// Burst: enough medium-sized jobs that the victim node still holds
+	// queued and running work when it dies.
+	const jobs = 24
+	spec := []byte(`{"kind":"stencil1d","size":400000,"steps":10}`)
+	ids := make([]string, 0, jobs)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := w; j < jobs; j += 8 {
+				resp, err := http.Post(gw.URL+"/v1/jobs", "application/json", bytes.NewReader(spec))
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				v := decodeView(t, resp)
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("submit: %d (%+v)", resp.StatusCode, v)
+					return
+				}
+				mu.Lock()
+				ids = append(ids, v.ID)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Kill node 0 mid-burst: drop its live connections and close its
+	// listener. The taskserve behind it keeps running — from the mesh's view
+	// this is a node dying with admitted jobs on board.
+	fronts[0].CloseClientConnections()
+	fronts[0].Close()
+
+	states := make([]jobView, jobs)
+	for i, id := range ids {
+		i, id := i, id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			states[i] = pollTerminal(t, gw.URL, id, 60*time.Second)
+		}()
+	}
+	wg.Wait()
+
+	doneCount, retried := 0, 0
+	for _, v := range states {
+		if v.State == "done" {
+			doneCount++
+		}
+		if v.Mesh != nil && v.Mesh.Retries > 0 {
+			retried++
+		}
+	}
+	if doneCount != jobs {
+		t.Fatalf("lost jobs: %d/%d done (%+v)", doneCount, jobs, states)
+	}
+	if retried == 0 {
+		t.Fatal("node death recorded no per-job retries")
+	}
+	snap := m.Counters().Snapshot()
+	if snap["/mesh/jobs/failovers"] < 1 {
+		t.Fatalf("failovers counter empty after node death: %v", snap)
+	}
+	if snap["/mesh/jobs/terminal"] != jobs {
+		t.Fatalf("terminal counter = %v, want %d", snap["/mesh/jobs/terminal"], jobs)
+	}
+}
+
+// TestMeshHedgeFailsOverHungNodeDuringLongPoll: a node that wedges (accepts
+// the TCP connection but never answers) must not hold a status long-poll for
+// the client's full timeout. The hedge probe detects the hang within
+// HedgeDelay + RequestTimeout and fails the job over to a live node.
+func TestMeshHedgeFailsOverHungNodeDuringLongPoll(t *testing.T) {
+	hung := newFakeNode(t)
+	taker := newFakeNode(t)
+	hung.set(func(f *fakeNode) {
+		f.counters = map[string]float64{"/server/jobs/queued": 0}
+		f.statusFn = func(w http.ResponseWriter, r *http.Request, id string) {
+			<-r.Context().Done() // wedge until the caller gives up
+		}
+	})
+	taker.set(func(f *fakeNode) {
+		f.counters = map[string]float64{"/server/jobs/queued": 5}
+	})
+
+	cfg := testMeshConfig(hung.ts.URL, taker.ts.URL)
+	cfg.RoutePolicy = config.MeshPolicyLeastInflight // hung node ranks first
+	cfg.HedgeDelay = 50 * time.Millisecond
+	cfg.RequestTimeout = 150 * time.Millisecond
+	m, gw := startMesh(t, cfg)
+
+	resp, body := postJob(t, gw.URL, `{"kind":"fibonacci","size":10}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", resp.StatusCode, body)
+	}
+	id, _ := body["id"].(string)
+
+	start := time.Now()
+	v := pollTerminal(t, gw.URL, id, 10*time.Second)
+	elapsed := time.Since(start)
+	if v.State != "done" || v.Mesh == nil || v.Mesh.Node != taker.name() || v.Mesh.Retries != 1 {
+		t.Fatalf("hedged failover view: %+v", v)
+	}
+	// The poll asked for a 10s long-poll; the hedge must cut the hang to
+	// roughly HedgeDelay + RequestTimeout, not wait it out.
+	if elapsed > 5*time.Second {
+		t.Fatalf("hedge did not cut the hung long-poll: took %v", elapsed)
+	}
+	snap := m.Counters().Snapshot()
+	if snap[nodeCounter(hung.name(), "failovers")] != 1 {
+		t.Fatalf("hung node failover not counted: %v", snap)
+	}
+}
+
+// TestMeshLoadShiftsAwayFromOversizedGrainNode is the routing acceptance
+// test: under least-idle-rate, a node stuck running an oversized-grain job
+// (grain = problem size → one serial partition → half its workers starved,
+// Eq. 1 idle-rate high *with* task flow) must repel new work, and the
+// per-node routed-jobs counters must show the shift.
+func TestMeshLoadShiftsAwayFromOversizedGrainNode(t *testing.T) {
+	_, tsA := startServeNode(t, nil)
+	_, tsB := startServeNode(t, nil)
+	cfg := testMeshConfig(tsA.URL, tsB.URL) // least-idle-rate is the default policy
+	m, gw := startMesh(t, cfg)
+	nodeA, nodeB := m.NodeRegistry().Nodes()[0], m.NodeRegistry().Nodes()[1]
+
+	// Pin node A with a long serial job: grain = size collapses the stencil
+	// to one partition, so of the node's two workers one runs the whole job
+	// and the other sits idle — the oversized-grain wall of the U-curve.
+	big := `{"kind":"stencil1d","size":500000,"steps":400,"grain":500000}`
+	resp, err := http.Post(tsA.URL+"/v1/jobs", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bigView struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&bigView); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("big job submit: %d", resp.StatusCode)
+	}
+	t.Cleanup(func() {
+		req, _ := http.NewRequest(http.MethodDelete, tsA.URL+"/v1/jobs/"+bigView.ID, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	})
+
+	// Wait for the heartbeat to see node A busy-and-starved (score > 0).
+	waitFor(t, 10*time.Second, "heartbeat to observe node A oversized-grain load", func() bool {
+		return m.router.score(nodeA) > 0
+	})
+
+	// Route a stream of small jobs through the gateway. Before each one,
+	// wait until the registry's latest readings show B empty and A still
+	// busy, so each decision exercises the live signals rather than racing
+	// the heartbeat.
+	const small = 10
+	for i := 0; i < small; i++ {
+		waitFor(t, 10*time.Second, "node B idle and node A busy", func() bool {
+			return m.router.score(nodeB) == 0 && m.router.score(nodeA) > 0
+		})
+		resp, body := postJob(t, gw.URL, fmt.Sprintf(`{"kind":"fibonacci","size":15,"grain":15,"idempotency_key":"shift-%d"}`, i))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("small job %d: %d %v", i, resp.StatusCode, body)
+		}
+		id, _ := body["id"].(string)
+		if v := pollTerminal(t, gw.URL, id, 30*time.Second); v.State != "done" {
+			t.Fatalf("small job %d state %s", i, v.State)
+		}
+	}
+
+	snap := m.Counters().Snapshot()
+	routedA := snap[nodeCounter(nodeA.Name(), "routed-jobs")]
+	routedB := snap[nodeCounter(nodeB.Name(), "routed-jobs")]
+	if routedA != 0 || routedB != small {
+		t.Fatalf("load did not shift off the oversized-grain node: A routed %v, B routed %v (want 0 and %d)",
+			routedA, routedB, small)
+	}
+}

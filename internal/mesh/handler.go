@@ -1,0 +1,154 @@
+package mesh
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"taskgrain/internal/introspect"
+)
+
+const (
+	maxSubmitBody      = 1 << 16
+	waitTimeoutDefault = 30 * time.Second
+	waitTimeoutMax     = 5 * time.Minute
+)
+
+// Handler returns the gateway's HTTP surface: the same /v1/jobs API the
+// nodes serve (so clients are oblivious to the mesh), plus the mesh-only
+// node and stats views and the introspect /debug namespace.
+func (m *Mesh) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/jobs", m.handleJobs)
+	mux.HandleFunc("/v1/jobs/", m.handleJob)
+	mux.HandleFunc("/v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"nodes": m.nodes.Statuses()})
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, m.StatsSnapshot())
+	})
+	mux.Handle("/debug/", http.StripPrefix("/debug", introspect.NewHandler(m.reg)))
+	return mux
+}
+
+// handleJobs serves POST /v1/jobs (submit through the mesh) and GET /v1/jobs
+// (list mesh jobs).
+func (m *Mesh) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		raw, err := io.ReadAll(io.LimitReader(r.Body, maxSubmitBody))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "unreadable body")
+			return
+		}
+		status, body, retryAfter := m.submit(raw)
+		if retryAfter > 0 {
+			secs := int(retryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		writeJSON(w, status, body)
+	case http.MethodGet:
+		jobs := m.jobs.list()
+		out := make([]map[string]any, 0, len(jobs))
+		for _, j := range jobs {
+			node, retries, spills, _, state, _ := j.snapshot()
+			out = append(out, map[string]any{
+				"id":      j.id,
+				"kind":    j.kind,
+				"state":   state,
+				"node":    node,
+				"retries": retries,
+				"spills":  spills,
+			})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use POST or GET")
+	}
+}
+
+// handleJob serves GET /v1/jobs/{id} (status relay, with ?wait=true&timeout=
+// long-poll passthrough) and DELETE /v1/jobs/{id} (cancel relay).
+func (m *Mesh) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	job, ok := m.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		waitTimeout, err := parseWait(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		status, body := m.relayStatus(job, r.URL.RawQuery, waitTimeout)
+		writeJSON(w, status, body)
+	case http.MethodDelete:
+		status, body := m.relayCancel(job)
+		writeJSON(w, status, body)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or DELETE")
+	}
+}
+
+// parseWait parses the ?wait=true&timeout= long-poll parameters, mirroring
+// the node-side semantics so the raw query can be relayed verbatim. Returns
+// 0 when the request is a plain poll.
+func parseWait(r *http.Request) (time.Duration, error) {
+	q := r.URL.Query()
+	wait, _ := strconv.ParseBool(q.Get("wait"))
+	if !wait {
+		return 0, nil
+	}
+	timeout := waitTimeoutDefault
+	if ts := q.Get("timeout"); ts != "" {
+		d, err := time.ParseDuration(ts)
+		if err != nil || d <= 0 {
+			return 0, errBadTimeout(ts)
+		}
+		timeout = d
+	}
+	if timeout > waitTimeoutMax {
+		timeout = waitTimeoutMax
+	}
+	return timeout, nil
+}
+
+type badTimeout string
+
+func errBadTimeout(s string) error { return badTimeout(s) }
+
+func (b badTimeout) Error() string { return "bad timeout " + strconv.Quote(string(b)) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

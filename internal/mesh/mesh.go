@@ -1,0 +1,159 @@
+// Package mesh federates multiple taskgraind nodes behind one gateway — the
+// distributed edition of the paper's counter-driven control loops. The same
+// runtime-observable signals PR 1 uses for single-node admission control
+// (Eq. 1 idle-rate, pending/backlog depth) become *routing* signals here:
+//
+//   - a node registry heartbeats each node's introspect surface (/healthz
+//     for liveness and drain state, /debug/counters for idle-rate, task
+//     backlog, and job occupancy), holding a live load map of the cluster;
+//   - a router picks the target node per job via pluggable policies
+//     (least-idle-rate, least-inflight, round-robin) with consistent
+//     per-kind affinity so each node's adaptive-grain controllers stay warm;
+//   - a forwarding proxy relays the /v1/jobs API, spilling over to the
+//     next-best node when a node sheds (429/503 + Retry-After), hedging
+//     status long-polls against hung nodes, and failing over idempotently
+//     when a node dies mid-job.
+//
+// The gateway serves its own introspect surface: per-node routed/spill/
+// failover counters next to the mesh totals, in the same counter idiom the
+// nodes use for their scheduler counters.
+package mesh
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"taskgrain/internal/config"
+	"taskgrain/internal/counters"
+)
+
+// Mesh is the cluster dispatch gateway.
+type Mesh struct {
+	cfg    config.Mesh
+	policy Policy
+	client *http.Client
+
+	reg    *counters.Registry
+	nodes  *Registry
+	router *router
+	jobs   *meshStore
+
+	id        string // gateway instance tag, prefixed onto idempotency keys
+	startTime time.Time
+	started   bool
+	mu        sync.Mutex
+
+	submitted *counters.Cumulative // jobs some node admitted
+	rejected  *counters.Cumulative // submissions refused by the whole mesh
+	spillsC   *counters.Cumulative // per-node bounces during submission
+	failovers *counters.Cumulative // dead-node resubmissions
+	terminalC *counters.Cumulative // terminal states observed
+}
+
+// New builds a gateway from the configuration. Start launches the
+// heartbeats.
+func New(cfg config.Mesh) (*Mesh, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	policy, err := ParsePolicy(cfg.RoutePolicy)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mesh{
+		cfg:    cfg,
+		policy: policy,
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+		reg:       counters.NewRegistry(),
+		jobs:      newMeshStore(),
+		id:        fmt.Sprintf("%08x", rand.Uint32()),
+		submitted: counters.NewCumulative("/mesh/jobs/submitted"),
+		rejected:  counters.NewCumulative("/mesh/jobs/rejected"),
+		spillsC:   counters.NewCumulative("/mesh/jobs/spills"),
+		failovers: counters.NewCumulative("/mesh/jobs/failovers"),
+		terminalC: counters.NewCumulative("/mesh/jobs/terminal"),
+	}
+	m.reg.MustRegister(m.submitted)
+	m.reg.MustRegister(m.rejected)
+	m.reg.MustRegister(m.spillsC)
+	m.reg.MustRegister(m.failovers)
+	m.reg.MustRegister(m.terminalC)
+
+	m.nodes, err = newRegistry(cfg, m.client, m.reg)
+	if err != nil {
+		return nil, err
+	}
+	m.router = newRouter(m.nodes, policy, cfg.FlowFloor)
+	m.reg.MustRegister(counters.NewDerived("/mesh/nodes/routable", func() float64 {
+		return float64(len(m.nodes.Routable()))
+	}))
+	m.reg.MustRegister(counters.NewDerived("/mesh/nodes/total", func() float64 {
+		return float64(len(m.nodes.Nodes()))
+	}))
+	return m, nil
+}
+
+// Start sweeps the node set once (so routing works immediately) and launches
+// the heartbeat loops.
+func (m *Mesh) Start() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.startTime = time.Now()
+	m.mu.Unlock()
+	m.nodes.Start()
+}
+
+// Stop terminates the heartbeat loops. In-flight relayed requests are not
+// interrupted.
+func (m *Mesh) Stop() { m.nodes.Stop() }
+
+// Counters returns the gateway's routing-counter registry.
+func (m *Mesh) Counters() *counters.Registry { return m.reg }
+
+// NodeRegistry returns the node registry (for tests and embedding).
+func (m *Mesh) NodeRegistry() *Registry { return m.nodes }
+
+// Stats is the gateway-level status served by GET /v1/stats.
+type Stats struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Policy        string       `json:"policy"`
+	Nodes         []NodeStatus `json:"nodes"`
+	Submitted     int64        `json:"submitted"`
+	Rejected      int64        `json:"rejected"`
+	Spills        int64        `json:"spills"`
+	Failovers     int64        `json:"failovers"`
+	Terminal      int64        `json:"terminal"`
+}
+
+// StatsSnapshot snapshots the gateway state.
+func (m *Mesh) StatsSnapshot() Stats {
+	m.mu.Lock()
+	start := m.startTime
+	m.mu.Unlock()
+	uptime := 0.0
+	if !start.IsZero() {
+		uptime = time.Since(start).Seconds()
+	}
+	return Stats{
+		UptimeSeconds: uptime,
+		Policy:        string(m.policy),
+		Nodes:         m.nodes.Statuses(),
+		Submitted:     m.submitted.Raw(),
+		Rejected:      m.rejected.Raw(),
+		Spills:        m.spillsC.Raw(),
+		Failovers:     m.failovers.Raw(),
+		Terminal:      m.terminalC.Raw(),
+	}
+}

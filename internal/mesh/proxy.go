@@ -1,0 +1,389 @@
+package mesh
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// nodeResponse is one relayed node reply: the HTTP status, the decoded JSON
+// body (nil if undecodable), and the Retry-After hint if present.
+type nodeResponse struct {
+	status     int
+	body       map[string]any
+	retryAfter time.Duration
+}
+
+// doJSON performs one request against a node and decodes the JSON reply.
+func (m *Mesh) doJSON(ctx context.Context, method, url string, body []byte) (nodeResponse, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nodeResponse{}, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return nodeResponse{}, err
+	}
+	defer resp.Body.Close()
+	out := nodeResponse{status: resp.StatusCode}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+		out.retryAfter = time.Duration(ra) * time.Second
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nodeResponse{}, err
+	}
+	var v map[string]any
+	if json.Unmarshal(raw, &v) == nil {
+		out.body = v
+	}
+	return out, nil
+}
+
+// submit admits one job into the mesh: parse the spec far enough to route
+// it, stamp an idempotency key, and run the spillover placement loop. It
+// returns the HTTP status, the response payload for the client, and the
+// Retry-After hint to relay when the whole mesh shed.
+func (m *Mesh) submit(raw []byte) (int, any, time.Duration) {
+	var spec map[string]any
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return http.StatusBadRequest, errBody(fmt.Sprintf("bad job spec: %v", err)), 0
+	}
+	kind, _ := spec["kind"].(string)
+
+	key, _ := spec["idempotency_key"].(string)
+	job := m.jobs.add(kind, key, nil)
+	if key == "" {
+		// Mesh-scoped key: failover resubmission replays instead of
+		// re-running if the suspect node turns out to be alive.
+		key = fmt.Sprintf("mesh-%s-%s", m.id, job.id)
+	}
+	spec["idempotency_key"] = key
+	body, err := json.Marshal(spec)
+	if err != nil {
+		m.jobs.remove(job.id)
+		return http.StatusBadRequest, errBody(fmt.Sprintf("bad job spec: %v", err)), 0
+	}
+	job.mu.Lock()
+	job.key, job.spec = key, body
+	job.mu.Unlock()
+
+	resp, placed := m.placeJob(job, 0, false)
+	if !placed {
+		m.jobs.remove(job.id)
+		m.rejected.Inc()
+		return resp.status, resp.body, resp.retryAfter
+	}
+	m.submitted.Inc()
+	return http.StatusAccepted, m.augment(resp.body, job), 0
+}
+
+// placeJob runs the spillover loop for one job: rank the routable nodes for
+// the job's kind, try each best-first, and between passes honour the
+// smallest Retry-After hint seen (jittered, capped by MaxBackoff) — bounded
+// by MaxSubmitAttempts node tries in total. placed reports whether some
+// node admitted the job; when false the response describes the terminal
+// refusal for the client (mesh-level 503, or a node's own 4xx relayed
+// verbatim, which also ends the loop — a spec rejection will not get better
+// on another node).
+func (m *Mesh) placeJob(job *meshJob, fromEpoch int, isFailover bool) (nodeResponse, bool) {
+	attempts := 0
+	lastRefusal := nodeResponse{
+		status: http.StatusServiceUnavailable,
+		body:   errBody("no routable mesh nodes"),
+	}
+	for {
+		hint := time.Duration(0)
+		ranked := m.router.rank(job.kind)
+		for _, n := range ranked {
+			if attempts >= m.cfg.MaxSubmitAttempts {
+				break
+			}
+			attempts++
+			ctx, cancel := context.WithTimeout(context.Background(), m.cfg.RequestTimeout)
+			resp, err := m.doJSON(ctx, http.MethodPost, n.base+"/v1/jobs", job.spec)
+			cancel()
+			switch {
+			case err != nil:
+				n.markUnreachable(m.cfg.DownAfter)
+				m.noteSpill(n, job)
+			case resp.status == http.StatusAccepted:
+				id, _ := resp.body["id"].(string)
+				if id == "" {
+					m.noteSpill(n, job)
+					continue
+				}
+				if !job.place(n, id, fromEpoch, isFailover) {
+					// A concurrent failover re-placed the job first. The
+					// idempotency key makes this submission a replay, not a
+					// duplicate run, only if it landed on the same node —
+					// placements are serialized by failoverMu precisely so
+					// this branch stays unreachable; it is kept as a guard.
+					return resp, true
+				}
+				n.routed.Inc()
+				return resp, true
+			case resp.status == http.StatusTooManyRequests || resp.status == http.StatusServiceUnavailable:
+				// The shed path this whole loop exists for: spill over to
+				// the next-best node, remembering the backoff hint.
+				m.noteSpill(n, job)
+				if resp.retryAfter > 0 && (hint == 0 || resp.retryAfter < hint) {
+					hint = resp.retryAfter
+				}
+				lastRefusal = nodeResponse{
+					status: http.StatusServiceUnavailable,
+					body:   errBody(fmt.Sprintf("all mesh nodes shed (last: %s with %d)", n.name, resp.status)),
+				}
+			default:
+				// Spec-level rejection (4xx): every node would refuse it the
+				// same way. Relay verbatim.
+				if resp.body == nil {
+					resp.body = errBody(fmt.Sprintf("node %s refused with %d", n.name, resp.status))
+				}
+				return resp, false
+			}
+		}
+		if attempts >= m.cfg.MaxSubmitAttempts {
+			lastRefusal.retryAfter = maxDuration(hint, time.Second)
+			return lastRefusal, false
+		}
+		m.backoff(hint)
+	}
+}
+
+// noteSpill accounts one bounced submission attempt against a node.
+func (m *Mesh) noteSpill(n *Node, job *meshJob) {
+	n.spills.Inc()
+	m.spillsC.Inc()
+	job.mu.Lock()
+	job.spills++
+	job.mu.Unlock()
+}
+
+// backoff sleeps between spillover passes: the Retry-After hint (default
+// 100ms when nodes gave none), capped by MaxBackoff, jittered into
+// [1/2, 1)× so synchronized retries from many clients decorrelate.
+func (m *Mesh) backoff(hint time.Duration) {
+	base := hint
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if base > m.cfg.MaxBackoff {
+		base = m.cfg.MaxBackoff
+	}
+	d := base/2 + time.Duration(rand.Int63n(int64(base/2)+1))
+	time.Sleep(d)
+}
+
+// relayStatus forwards one status poll to the job's current node, hedging
+// long-polls and failing over when the node is gone. rawQuery carries the
+// client's wait/timeout parameters verbatim; waitTimeout is the parsed
+// long-poll bound (0 for a plain poll).
+func (m *Mesh) relayStatus(job *meshJob, rawQuery string, waitTimeout time.Duration) (int, any) {
+	for attempt := 0; attempt <= m.cfg.MaxSubmitAttempts; attempt++ {
+		n, nodeID, epoch := job.placement()
+		if n == nil {
+			return http.StatusServiceUnavailable, errBody("job has no placement")
+		}
+		url := n.base + "/v1/jobs/" + nodeID
+		if rawQuery != "" {
+			url += "?" + rawQuery
+		}
+		resp, err := m.hedgedGet(n, url, nodeID, waitTimeout)
+		switch {
+		case err == nil && resp.status == http.StatusOK:
+			if job.observe(resp.body) {
+				m.terminalC.Inc()
+			}
+			return http.StatusOK, m.augment(resp.body, job)
+		case err == nil && resp.status == http.StatusNotFound:
+			// The node restarted (or evicted the job): its jobStore no
+			// longer knows the ID. If we already saw a terminal state,
+			// serve the cached view; otherwise treat it like a death.
+			if status, body, ok := m.cachedView(job); ok {
+				return status, body
+			}
+			if !m.failover(job, epoch) {
+				return m.unavailable(n)
+			}
+		case err != nil:
+			if status, body, ok := m.cachedView(job); ok {
+				return status, body
+			}
+			if !m.failover(job, epoch) {
+				return m.unavailable(n)
+			}
+		default:
+			if resp.body == nil {
+				resp.body = errBody(fmt.Sprintf("node %s answered %d", n.name, resp.status))
+			}
+			return resp.status, resp.body
+		}
+	}
+	return http.StatusServiceUnavailable, errBody("job placement unstable; retry")
+}
+
+// cachedView serves the last observed node response if the job already
+// reached a terminal state — a node dying *after* finishing a job must not
+// un-finish it.
+func (m *Mesh) cachedView(job *meshJob) (int, any, bool) {
+	_, _, _, terminal, _, lastView := job.snapshot()
+	if terminal && lastView != nil {
+		return http.StatusOK, m.augment(lastView, job), true
+	}
+	return 0, nil, false
+}
+
+// unavailable is the relay verdict when failover found no takers.
+func (m *Mesh) unavailable(n *Node) (int, any) {
+	return http.StatusServiceUnavailable,
+		errBody(fmt.Sprintf("node %s unreachable and no failover target admitted the job; retry", n.name))
+}
+
+// hedgedGet performs the status GET. For long-polls it hedges: if the
+// primary request produces nothing within HedgeDelay, a cheap no-wait probe
+// checks whether the node is still alive — a dead node fails the probe in
+// milliseconds instead of wedging the client for the whole long-poll
+// timeout, and a live node just keeps the primary running.
+func (m *Mesh) hedgedGet(n *Node, url, nodeID string, waitTimeout time.Duration) (nodeResponse, error) {
+	budget := m.cfg.RequestTimeout
+	if waitTimeout > 0 {
+		budget += waitTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+
+	type result struct {
+		resp nodeResponse
+		err  error
+	}
+	primary := make(chan result, 1)
+	go func() {
+		r, err := m.doJSON(ctx, http.MethodGet, url, nil)
+		primary <- result{r, err}
+	}()
+
+	if waitTimeout <= 0 || m.cfg.HedgeDelay <= 0 {
+		r := <-primary
+		return r.resp, r.err
+	}
+
+	hedge := time.NewTimer(m.cfg.HedgeDelay)
+	defer hedge.Stop()
+	for {
+		select {
+		case r := <-primary:
+			return r.resp, r.err
+		case <-hedge.C:
+			probeCtx, probeCancel := context.WithTimeout(context.Background(), m.cfg.RequestTimeout)
+			_, err := m.doJSON(probeCtx, http.MethodGet, n.base+"/v1/jobs/"+nodeID, nil)
+			probeCancel()
+			if err != nil {
+				// The node is gone; abandon the long-poll now.
+				cancel()
+				<-primary
+				return nodeResponse{}, fmt.Errorf("mesh: %s died during long-poll: %w", n.name, err)
+			}
+			// Node alive — keep waiting on the primary, reprobing each
+			// HedgeDelay in case it dies later in the poll.
+			hedge.Reset(m.cfg.HedgeDelay)
+		}
+	}
+}
+
+// failover re-places a job whose node died mid-flight: mark the node
+// unreachable, resubmit the spec (same idempotency key — if the node was
+// merely slow and still holds the job, a future heartbeat revives it and
+// the key prevents a duplicate run on *that* node) to the next-best node,
+// and bump the retry count. Concurrent pollers serialize on failoverMu so
+// exactly one resubmission happens per placement epoch. Reports whether the
+// job has a live placement afterwards.
+func (m *Mesh) failover(job *meshJob, fromEpoch int) bool {
+	job.failoverMu.Lock()
+	defer job.failoverMu.Unlock()
+	old, _, epoch := job.placement()
+	if epoch != fromEpoch {
+		return true // a concurrent poller already re-placed it
+	}
+	if old != nil {
+		old.markUnreachable(m.cfg.DownAfter)
+	}
+	resp, placed := m.placeJob(job, fromEpoch, true)
+	_ = resp
+	if !placed {
+		return false
+	}
+	if old != nil {
+		old.failovers.Inc()
+	}
+	m.failovers.Inc()
+	return true
+}
+
+// relayCancel forwards a cancellation to the job's current node.
+func (m *Mesh) relayCancel(job *meshJob) (int, any) {
+	n, nodeID, _ := job.placement()
+	if n == nil {
+		return http.StatusServiceUnavailable, errBody("job has no placement")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.RequestTimeout)
+	defer cancel()
+	resp, err := m.doJSON(ctx, http.MethodDelete, n.base+"/v1/jobs/"+nodeID, nil)
+	if err != nil {
+		n.markUnreachable(m.cfg.DownAfter)
+		return http.StatusBadGateway, errBody(fmt.Sprintf("node %s unreachable: %v", n.name, err))
+	}
+	if resp.status == http.StatusOK {
+		if job.observe(resp.body) {
+			m.terminalC.Inc()
+		}
+		return http.StatusOK, m.augment(resp.body, job)
+	}
+	if resp.body == nil {
+		resp.body = errBody(fmt.Sprintf("node %s answered %d", n.name, resp.status))
+	}
+	return resp.status, resp.body
+}
+
+// augment rewrites a node job view for the mesh client: the ID becomes the
+// mesh-scoped ID (node-local IDs collide across nodes), and a "mesh"
+// object surfaces the placement, the failover retry count, and the
+// submission spill count.
+func (m *Mesh) augment(view map[string]any, job *meshJob) map[string]any {
+	node, retries, spills, _, _, _ := job.snapshot()
+	out := make(map[string]any, len(view)+2)
+	for k, v := range view {
+		out[k] = v
+	}
+	out["id"] = job.id
+	out["mesh"] = map[string]any{
+		"node":    node,
+		"retries": retries,
+		"spills":  spills,
+	}
+	return out
+}
+
+func errBody(msg string) map[string]any {
+	return map[string]any{"error": msg}
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

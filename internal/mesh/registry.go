@@ -1,0 +1,371 @@
+package mesh
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"taskgrain/internal/config"
+	"taskgrain/internal/counters"
+)
+
+// NodeState is one node's health as seen by the registry.
+type NodeState string
+
+// Node health states. Only healthy nodes are routing-eligible: draining
+// nodes are still answering status polls for their admitted jobs but refuse
+// new work, and down nodes have failed DownAfter consecutive heartbeats (or
+// a forwarded request hit a transport error, which fast-paths the verdict).
+const (
+	NodeUnknown  NodeState = "unknown"
+	NodeHealthy  NodeState = "healthy"
+	NodeDraining NodeState = "draining"
+	NodeDown     NodeState = "down"
+)
+
+// stateOrd renders a state as a number for the /mesh/node{...}/state
+// counter: 0 healthy, 1 draining, 2 down, 3 unknown.
+func stateOrd(s NodeState) float64 {
+	switch s {
+	case NodeHealthy:
+		return 0
+	case NodeDraining:
+		return 1
+	case NodeDown:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Node is one taskgraind backend tracked by the registry: its address, the
+// latest heartbeat-observed load signals, and the routing counters the
+// gateway's introspect surface exposes per node.
+type Node struct {
+	base string // normalized base URL ("http://host:port")
+	name string // instance name for counters ("host:port")
+
+	mu       sync.Mutex
+	state    NodeState
+	idleRate float64 // /server/idle-rate: interval Eq. 1 reading
+	inflight float64 // /server/tasks/inflight: runtime task backlog
+	queued   float64 // /server/jobs/queued
+	running  float64 // /server/jobs/running
+	fails    int     // consecutive heartbeat failures
+	lastSeen time.Time
+
+	// Routing outcomes, registered in the gateway's counter registry as
+	// /mesh/node{<name>}/... instances.
+	routed    *counters.Cumulative // jobs this node admitted
+	spills    *counters.Cumulative // submissions that bounced off (429/503/error)
+	failovers *counters.Cumulative // jobs resubmitted elsewhere after death
+}
+
+// Base returns the node's base URL.
+func (n *Node) Base() string { return n.base }
+
+// Name returns the node's display name (host:port).
+func (n *Node) Name() string { return n.name }
+
+// State returns the node's current health state.
+func (n *Node) State() NodeState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+// load returns the latest heartbeat-observed load signals.
+func (n *Node) load() (idleRate, inflight, queued, running float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.idleRate, n.inflight, n.queued, n.running
+}
+
+// markUnreachable records a transport-level failure observed by the proxy
+// (connection refused, reset): the node leaves the routing set immediately
+// instead of waiting out DownAfter heartbeats. The heartbeat loop revives it
+// if it comes back.
+func (n *Node) markUnreachable(downAfter int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fails = downAfter
+	n.state = NodeDown
+}
+
+// observe applies one successful heartbeat reading.
+func (n *Node) observe(draining bool, snap map[string]float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fails = 0
+	n.lastSeen = time.Now()
+	if draining || snap["/server/draining"] > 0 {
+		n.state = NodeDraining
+	} else {
+		n.state = NodeHealthy
+	}
+	n.idleRate = snap["/server/idle-rate"]
+	n.inflight = snap["/server/tasks/inflight"]
+	n.queued = snap["/server/jobs/queued"]
+	n.running = snap["/server/jobs/running"]
+}
+
+// observeFailure applies one failed heartbeat.
+func (n *Node) observeFailure(downAfter int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fails++
+	if n.fails >= downAfter {
+		n.state = NodeDown
+	}
+}
+
+// NodeStatus is a node's JSON representation, served by GET /v1/nodes.
+type NodeStatus struct {
+	Name          string    `json:"name"`
+	Base          string    `json:"base"`
+	State         NodeState `json:"state"`
+	IdleRate      float64   `json:"idle_rate"`
+	InflightTasks float64   `json:"inflight_tasks"`
+	QueuedJobs    float64   `json:"queued_jobs"`
+	RunningJobs   float64   `json:"running_jobs"`
+	RoutedJobs    int64     `json:"routed_jobs"`
+	Spills        int64     `json:"spills"`
+	Failovers     int64     `json:"failovers"`
+	LastSeen      time.Time `json:"last_seen,omitempty"`
+}
+
+// Status snapshots the node.
+func (n *Node) Status() NodeStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return NodeStatus{
+		Name:          n.name,
+		Base:          n.base,
+		State:         n.state,
+		IdleRate:      n.idleRate,
+		InflightTasks: n.inflight,
+		QueuedJobs:    n.queued,
+		RunningJobs:   n.running,
+		RoutedJobs:    n.routed.Raw(),
+		Spills:        n.spills.Raw(),
+		Failovers:     n.failovers.Raw(),
+		LastSeen:      n.lastSeen,
+	}
+}
+
+// Registry tracks the health and load of every mesh node by heartbeating
+// each node's introspect surface: GET /healthz for liveness and drain state,
+// GET /debug/counters?prefix=/server for the idle-rate (Eq. 1), task
+// backlog, and job occupancy the router scores on.
+type Registry struct {
+	client    *http.Client
+	interval  time.Duration
+	downAfter int
+	timeout   time.Duration
+	nodes     []*Node
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// normalizeBase canonicalizes a node address: scheme added if missing,
+// trailing slash dropped.
+func normalizeBase(addr string) string {
+	b := strings.TrimRight(strings.TrimSpace(addr), "/")
+	if !strings.Contains(b, "://") {
+		b = "http://" + b
+	}
+	return b
+}
+
+// newRegistry builds the node set from the configuration and registers the
+// per-node routing counters in reg.
+func newRegistry(cfg config.Mesh, client *http.Client, reg *counters.Registry) (*Registry, error) {
+	r := &Registry{
+		client:    client,
+		interval:  cfg.HeartbeatInterval,
+		downAfter: cfg.DownAfter,
+		timeout:   cfg.RequestTimeout,
+		stop:      make(chan struct{}),
+	}
+	seen := make(map[string]bool)
+	for _, addr := range cfg.Nodes {
+		base := normalizeBase(addr)
+		if seen[base] {
+			return nil, fmt.Errorf("mesh: duplicate node %s", base)
+		}
+		seen[base] = true
+		name := strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+		n := &Node{
+			base:      base,
+			name:      name,
+			state:     NodeUnknown,
+			routed:    counters.NewCumulative(nodeCounter(name, "routed-jobs")),
+			spills:    counters.NewCumulative(nodeCounter(name, "spills")),
+			failovers: counters.NewCumulative(nodeCounter(name, "failovers")),
+		}
+		reg.MustRegister(n.routed)
+		reg.MustRegister(n.spills)
+		reg.MustRegister(n.failovers)
+		reg.MustRegister(counters.NewDerived(nodeCounter(name, "idle-rate"), func() float64 {
+			ir, _, _, _ := n.load()
+			return ir
+		}))
+		reg.MustRegister(counters.NewDerived(nodeCounter(name, "state"), func() float64 {
+			return stateOrd(n.State())
+		}))
+		r.nodes = append(r.nodes, n)
+	}
+	return r, nil
+}
+
+// nodeCounter names one per-node counter instance, following the HPX
+// instance convention the introspect surface already renders
+// ("/mesh/node{127.0.0.1:8081}/routed-jobs").
+func nodeCounter(name, leaf string) string {
+	return fmt.Sprintf("/mesh/node{%s}/%s", name, leaf)
+}
+
+// Nodes returns the full node set (fixed at construction).
+func (r *Registry) Nodes() []*Node { return r.nodes }
+
+// Routable returns the nodes currently eligible for new work.
+func (r *Registry) Routable() []*Node {
+	out := make([]*Node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n.State() == NodeHealthy {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Statuses snapshots every node.
+func (r *Registry) Statuses() []NodeStatus {
+	out := make([]NodeStatus, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, n.Status())
+	}
+	return out
+}
+
+// Start performs one synchronous sweep (so the gateway can route immediately
+// after construction) and launches the per-node heartbeat loops.
+func (r *Registry) Start() {
+	r.Sweep()
+	for _, n := range r.nodes {
+		n := n
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			tick := time.NewTicker(r.interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-r.stop:
+					return
+				case <-tick.C:
+					r.heartbeat(n)
+				}
+			}
+		}()
+	}
+}
+
+// Stop terminates the heartbeat loops and waits for them to exit.
+func (r *Registry) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// Sweep heartbeats every node once, concurrently, returning when all
+// verdicts are in. Exposed for tests and the initial Start probe.
+func (r *Registry) Sweep() {
+	var wg sync.WaitGroup
+	for _, n := range r.nodes {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.heartbeat(n)
+		}()
+	}
+	wg.Wait()
+}
+
+// heartbeat polls one node: /healthz for liveness + drain state, then the
+// /server counter namespace for load signals.
+func (r *Registry) heartbeat(n *Node) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+
+	draining, err := r.health(ctx, n)
+	if err != nil {
+		n.observeFailure(r.downAfter)
+		return
+	}
+	snap, err := r.serverCounters(ctx, n)
+	if err != nil {
+		n.observeFailure(r.downAfter)
+		return
+	}
+	n.observe(draining, snap)
+}
+
+// health GETs /healthz and reports the drain state. A legacy plain-text "ok"
+// body counts as healthy so older nodes stay routable.
+func (r *Registry) health(ctx context.Context, n *Node) (draining bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.base+"/healthz", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("mesh: %s /healthz: %d", n.name, resp.StatusCode)
+	}
+	var v struct {
+		Status string `json:"status"`
+	}
+	if json.Unmarshal(raw, &v) == nil && v.Status != "" {
+		return v.Status == "draining", nil
+	}
+	if strings.TrimSpace(string(raw)) == "ok" {
+		return false, nil
+	}
+	return false, fmt.Errorf("mesh: %s /healthz: unrecognized body %q", n.name, raw)
+}
+
+// serverCounters GETs the node's /server counter namespace.
+func (r *Registry) serverCounters(ctx context.Context, n *Node) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.base+"/debug/counters?prefix=/server", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("mesh: %s /debug/counters: %d", n.name, resp.StatusCode)
+	}
+	var snap map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("mesh: %s /debug/counters: %w", n.name, err)
+	}
+	return snap, nil
+}

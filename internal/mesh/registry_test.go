@@ -1,0 +1,132 @@
+package mesh
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"taskgrain/internal/counters"
+)
+
+// sweepRegistry builds a registry over the nodes and runs one synchronous
+// sweep.
+func sweepRegistry(t *testing.T, cfg conf, urls ...string) *Registry {
+	t.Helper()
+	mc := testMeshConfig(urls...)
+	if cfg.downAfter > 0 {
+		mc.DownAfter = cfg.downAfter
+	}
+	r, err := newRegistry(mc, http.DefaultClient, counters.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Sweep()
+	return r
+}
+
+type conf struct{ downAfter int }
+
+func TestRegistryHeartbeatTracksHealthDrainAndDeath(t *testing.T) {
+	f := newFakeNode(t)
+	f.set(func(f *fakeNode) {
+		f.counters = map[string]float64{
+			"/server/idle-rate":      0.25,
+			"/server/tasks/inflight": 12,
+			"/server/jobs/queued":    3,
+			"/server/jobs/running":   2,
+		}
+	})
+	reg := sweepRegistry(t, conf{downAfter: 2}, f.ts.URL)
+	n := reg.Nodes()[0]
+
+	if n.State() != NodeHealthy {
+		t.Fatalf("state = %s, want healthy", n.State())
+	}
+	idle, inflight, queued, running := n.load()
+	if idle != 0.25 || inflight != 12 || queued != 3 || running != 2 {
+		t.Fatalf("load = %v %v %v %v, want 0.25 12 3 2", idle, inflight, queued, running)
+	}
+	if len(reg.Routable()) != 1 {
+		t.Fatal("healthy node not routable")
+	}
+
+	// Draining: reported by /healthz, node leaves the routing set but is not
+	// down.
+	f.set(func(f *fakeNode) { f.draining = true })
+	reg.Sweep()
+	if n.State() != NodeDraining || len(reg.Routable()) != 0 {
+		t.Fatalf("draining node: state %s, routable %d", n.State(), len(reg.Routable()))
+	}
+
+	// Death: DownAfter consecutive failures flip the node down; a single
+	// failure does not (transient blips must not reshuffle routing).
+	f.set(func(f *fakeNode) { f.dead = true })
+	reg.Sweep()
+	if n.State() != NodeDraining {
+		t.Fatalf("one failure flipped state to %s", n.State())
+	}
+	reg.Sweep()
+	if n.State() != NodeDown {
+		t.Fatalf("state after DownAfter failures = %s, want down", n.State())
+	}
+
+	// Revival: a successful heartbeat restores the node.
+	f.set(func(f *fakeNode) { f.dead = false; f.draining = false })
+	reg.Sweep()
+	if n.State() != NodeHealthy || len(reg.Routable()) != 1 {
+		t.Fatalf("revived node: state %s, routable %d", n.State(), len(reg.Routable()))
+	}
+}
+
+// TestRegistryLegacyPlainHealthz: nodes predating the JSON health body answer
+// a bare "ok"; they must stay routable.
+func TestRegistryLegacyPlainHealthz(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			w.Write([]byte("ok\n"))
+		case "/debug/counters":
+			writeJSON(w, http.StatusOK, map[string]float64{"/server/idle-rate": 0.5})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+	reg := sweepRegistry(t, conf{}, ts.URL)
+	if got := reg.Nodes()[0].State(); got != NodeHealthy {
+		t.Fatalf("legacy node state = %s, want healthy", got)
+	}
+}
+
+func TestRegistryRejectsDuplicateNodes(t *testing.T) {
+	mc := testMeshConfig("127.0.0.1:9999", "http://127.0.0.1:9999/")
+	if _, err := newRegistry(mc, http.DefaultClient, counters.NewRegistry()); err == nil {
+		t.Fatal("duplicate node addresses accepted")
+	}
+}
+
+// TestRegistryPerNodeCounters: each node's routing outcomes surface as
+// counter instances under /mesh/node{host:port}/..., the idiom the
+// introspect surface renders.
+func TestRegistryPerNodeCounters(t *testing.T) {
+	f := newFakeNode(t)
+	cReg := counters.NewRegistry()
+	mc := testMeshConfig(f.ts.URL)
+	r, err := newRegistry(mc, http.DefaultClient, cReg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Sweep()
+	r.Nodes()[0].routed.Inc()
+
+	snap := cReg.Snapshot()
+	name := f.name()
+	if snap[nodeCounter(name, "routed-jobs")] != 1 {
+		t.Fatalf("routed-jobs counter missing: %v", snap)
+	}
+	for _, leaf := range []string{"spills", "failovers", "idle-rate", "state"} {
+		if _, ok := snap[nodeCounter(name, leaf)]; !ok {
+			t.Fatalf("counter %s missing: %v", nodeCounter(name, leaf), snap)
+		}
+	}
+}

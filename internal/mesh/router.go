@@ -1,0 +1,140 @@
+package mesh
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"taskgrain/internal/config"
+)
+
+// Policy selects how the router ranks nodes for a submission.
+type Policy string
+
+// Routing policies. least-idle-rate uses the paper's Eq. 1 counter as the
+// load signal (see rank for the empty-node disambiguation); least-inflight
+// ranks by job-level occupancy; round-robin ignores load entirely.
+const (
+	LeastIdleRate Policy = config.MeshPolicyLeastIdleRate
+	LeastInflight Policy = config.MeshPolicyLeastInflight
+	RoundRobin    Policy = config.MeshPolicyRoundRobin
+)
+
+// ParsePolicy parses a routing policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case string(LeastIdleRate), string(LeastInflight), string(RoundRobin):
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("mesh: unknown routing policy %q (want %s)",
+		s, strings.Join(config.MeshPolicies, ", "))
+}
+
+// router ranks routable nodes for each submission.
+//
+// Load signal (least-idle-rate): an interval idle-rate above zero means the
+// node's workers spent scheduler-loop time not executing tasks. That reads
+// two ways — the node is empty (idle workers, nothing to run: perfect
+// routing target) or it is overhead/serialization-bound (tasks in flight
+// but workers starved: the worst routing target). Exactly the paper's
+// U-curve ambiguity the admission controller resolves with a task-flow
+// floor; the router applies the same disambiguation using the node's
+// inflight-task backlog: below flowFloor the idle-rate scores as 0.
+//
+// Affinity: each job kind has a consistent node preference computed by
+// rendezvous (highest-random-weight) hashing over the node set, used to
+// break score ties. Equal-load candidates therefore route by kind, keeping
+// each node's per-kind adaptive-grain controller warm instead of smearing
+// every kind across every node; when load genuinely differs, load wins.
+type router struct {
+	reg       *Registry
+	policy    Policy
+	flowFloor float64
+	rr        atomic.Uint64
+}
+
+func newRouter(reg *Registry, policy Policy, flowFloor float64) *router {
+	return &router{reg: reg, policy: policy, flowFloor: flowFloor}
+}
+
+// idleBucket quantizes an idle-rate into 5%-wide bands so measurement
+// jitter between equally loaded nodes cannot defeat affinity.
+func idleBucket(idle float64) float64 {
+	return math.Round(idle * 20)
+}
+
+// score computes one node's load score under the router's policy (lower is
+// better).
+func (ro *router) score(n *Node) float64 {
+	idle, inflight, queued, running := n.load()
+	switch ro.policy {
+	case LeastInflight:
+		return queued + running
+	case LeastIdleRate:
+		if inflight < ro.flowFloor && queued == 0 && running == 0 {
+			// High idle-rate with no task flow is an *empty* node, the
+			// best possible target — not an overloaded one.
+			return 0
+		}
+		return idleBucket(idle)
+	default:
+		return 0
+	}
+}
+
+// rank returns the routable nodes ordered best-first for a job of the given
+// kind. Round-robin rotates; the load policies sort by score with
+// per-kind rendezvous affinity breaking ties.
+func (ro *router) rank(kind string) []*Node {
+	nodes := ro.reg.Routable()
+	if len(nodes) <= 1 {
+		return nodes
+	}
+	if ro.policy == RoundRobin {
+		start := int(ro.rr.Add(1)-1) % len(nodes)
+		out := make([]*Node, 0, len(nodes))
+		for i := 0; i < len(nodes); i++ {
+			out = append(out, nodes[(start+i)%len(nodes)])
+		}
+		return out
+	}
+	type cand struct {
+		n     *Node
+		score float64
+		aff   uint64
+	}
+	cands := make([]cand, len(nodes))
+	for i, n := range nodes {
+		cands[i] = cand{n: n, score: ro.score(n), aff: affinityWeight(kind, n.name)}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score < cands[j].score
+		}
+		if cands[i].aff != cands[j].aff {
+			return cands[i].aff > cands[j].aff
+		}
+		return cands[i].n.name < cands[j].n.name
+	})
+	out := make([]*Node, len(cands))
+	for i, c := range cands {
+		out[i] = c.n
+	}
+	return out
+}
+
+// affinityWeight is the rendezvous-hash weight of (kind, node): for a fixed
+// kind, the node with the highest weight is that kind's home. Adding or
+// removing a node only moves the kinds whose maximum changed — the standard
+// HRW stability property, so a node death reshuffles at most the dead
+// node's kinds.
+func affinityWeight(kind, node string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(kind))
+	h.Write([]byte{'|'})
+	h.Write([]byte(node))
+	return h.Sum64()
+}

@@ -1,0 +1,162 @@
+package mesh
+
+import (
+	"testing"
+
+	"taskgrain/internal/counters"
+)
+
+// newTestNode builds a registry node with fixed observed load, bypassing the
+// heartbeat.
+func newTestNode(name string, state NodeState, idle, inflight, queued, running float64) *Node {
+	return &Node{
+		base:      "http://" + name,
+		name:      name,
+		state:     state,
+		idleRate:  idle,
+		inflight:  inflight,
+		queued:    queued,
+		running:   running,
+		routed:    counters.NewCumulative(nodeCounter(name, "routed-jobs")),
+		spills:    counters.NewCumulative(nodeCounter(name, "spills")),
+		failovers: counters.NewCumulative(nodeCounter(name, "failovers")),
+	}
+}
+
+func names(nodes []*Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.name
+	}
+	return out
+}
+
+func TestRouterLeastInflightRanksByOccupancy(t *testing.T) {
+	reg := &Registry{nodes: []*Node{
+		newTestNode("a:1", NodeHealthy, 0, 0, 5, 2), // 7 jobs
+		newTestNode("b:1", NodeHealthy, 0, 0, 0, 1), // 1 job
+		newTestNode("c:1", NodeHealthy, 0, 0, 2, 1), // 3 jobs
+	}}
+	ro := newRouter(reg, LeastInflight, 1)
+	got := names(ro.rank("stencil1d"))
+	want := []string{"b:1", "c:1", "a:1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRouterIdleRateDisambiguation: a high idle-rate reads as *empty* below
+// the flow floor (best target) and as *overhead-bound* above it (worst
+// target) — the two walls of the paper's U-curve must rank at opposite ends.
+func TestRouterIdleRateDisambiguation(t *testing.T) {
+	empty := newTestNode("empty:1", NodeHealthy, 0.95, 0, 0, 0)
+	busy := newTestNode("busy:1", NodeHealthy, 0.10, 40, 1, 2)
+	starved := newTestNode("starved:1", NodeHealthy, 0.95, 200, 3, 4)
+	reg := &Registry{nodes: []*Node{starved, busy, empty}}
+	ro := newRouter(reg, LeastIdleRate, 1)
+
+	got := names(ro.rank("stencil1d"))
+	want := []string{"empty:1", "busy:1", "starved:1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRouterSkipsUnroutableNodes(t *testing.T) {
+	reg := &Registry{nodes: []*Node{
+		newTestNode("down:1", NodeDown, 0, 0, 0, 0),
+		newTestNode("drain:1", NodeDraining, 0, 0, 0, 0),
+		newTestNode("ok:1", NodeHealthy, 0, 0, 9, 9),
+		newTestNode("new:1", NodeUnknown, 0, 0, 0, 0),
+	}}
+	ro := newRouter(reg, LeastIdleRate, 1)
+	got := names(ro.rank("fibonacci"))
+	if len(got) != 1 || got[0] != "ok:1" {
+		t.Fatalf("rank included unroutable nodes: %v", got)
+	}
+}
+
+func TestRouterRoundRobinRotates(t *testing.T) {
+	reg := &Registry{nodes: []*Node{
+		newTestNode("a:1", NodeHealthy, 0, 0, 0, 0),
+		newTestNode("b:1", NodeHealthy, 0, 0, 0, 0),
+		newTestNode("c:1", NodeHealthy, 0, 0, 0, 0),
+	}}
+	ro := newRouter(reg, RoundRobin, 1)
+	seen := map[string]int{}
+	for i := 0; i < 6; i++ {
+		seen[ro.rank("fibonacci")[0].name]++
+	}
+	for _, n := range []string{"a:1", "b:1", "c:1"} {
+		if seen[n] != 2 {
+			t.Fatalf("round-robin skew: %v", seen)
+		}
+	}
+}
+
+// TestRouterKindAffinityBreaksTies: with equal load, each kind must prefer a
+// stable home node, and the preference must be a function of the kind (so
+// distinct kinds can spread) — keeping per-kind adaptive-grain controllers
+// warm on their node.
+func TestRouterKindAffinityBreaksTies(t *testing.T) {
+	reg := &Registry{nodes: []*Node{
+		newTestNode("a:1", NodeHealthy, 0.9, 0, 0, 0),
+		newTestNode("b:1", NodeHealthy, 0.9, 0, 0, 0),
+		newTestNode("c:1", NodeHealthy, 0.9, 0, 0, 0),
+	}}
+	ro := newRouter(reg, LeastIdleRate, 1)
+	firstFor := func(kind string) string { return ro.rank(kind)[0].name }
+
+	homes := map[string]string{}
+	for _, kind := range []string{"stencil1d", "fibonacci", "irregular", "taskbench", "k5", "k6"} {
+		home := firstFor(kind)
+		for i := 0; i < 5; i++ {
+			if got := firstFor(kind); got != home {
+				t.Fatalf("kind %q home flapped: %s then %s", kind, home, got)
+			}
+		}
+		homes[home] = kind
+	}
+	if len(homes) < 2 {
+		t.Fatalf("every kind homed to the same node: %v", homes)
+	}
+
+	// Load beats affinity: make one kind's home node busy and it must move.
+	kind := "stencil1d"
+	home := firstFor(kind)
+	for _, n := range reg.nodes {
+		if n.name == home {
+			n.mu.Lock()
+			n.inflight, n.queued, n.running = 50, 2, 2
+			n.mu.Unlock()
+		}
+	}
+	if got := firstFor(kind); got == home {
+		t.Fatalf("affinity overrode load: %q still first for %q", got, kind)
+	}
+}
+
+// TestRouterIdleBucketsAbsorbJitter: idle-rates within the same 5% band must
+// not override affinity, so measurement noise cannot smear a kind across
+// equally loaded nodes.
+func TestRouterIdleBucketsAbsorbJitter(t *testing.T) {
+	a := newTestNode("a:1", NodeHealthy, 0.41, 10, 1, 1)
+	b := newTestNode("b:1", NodeHealthy, 0.40, 10, 1, 1)
+	reg := &Registry{nodes: []*Node{a, b}}
+	ro := newRouter(reg, LeastIdleRate, 1)
+	kind := "fibonacci"
+	first := ro.rank(kind)[0].name
+	a.mu.Lock()
+	a.idleRate = 0.40
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.idleRate = 0.41
+	b.mu.Unlock()
+	if got := ro.rank(kind)[0].name; got != first {
+		t.Fatalf("1%% idle-rate jitter flipped routing: %s then %s", first, got)
+	}
+}

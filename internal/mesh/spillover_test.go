@@ -1,0 +1,188 @@
+package mesh
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"taskgrain/internal/config"
+)
+
+// postJob submits a spec through the gateway and decodes the reply.
+func postJob(t *testing.T, gw string, spec string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(gw+"/v1/jobs", "application/json", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestMeshSpilloverOn429: the least-loaded (first-ranked) node sheds with
+// 429 + Retry-After; the gateway must reroute to the second choice within
+// the same pass — no client-visible failure, one spill recorded against the
+// shedding node, the admit recorded against the taker.
+func TestMeshSpilloverOn429(t *testing.T) {
+	shedder := newFakeNode(t)
+	taker := newFakeNode(t)
+	// least-inflight: shedder reports an empty queue so it ranks first;
+	// taker reports backlog so it is strictly second choice.
+	shedder.set(func(f *fakeNode) {
+		f.counters = map[string]float64{"/server/jobs/queued": 0, "/server/jobs/running": 0}
+		f.submitFn = func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "shed"})
+		}
+	})
+	taker.set(func(f *fakeNode) {
+		f.counters = map[string]float64{"/server/jobs/queued": 3, "/server/jobs/running": 1}
+	})
+
+	cfg := testMeshConfig(shedder.ts.URL, taker.ts.URL)
+	cfg.RoutePolicy = config.MeshPolicyLeastInflight
+	m, gw := startMesh(t, cfg)
+
+	start := time.Now()
+	resp, body := postJob(t, gw.URL, `{"kind":"fibonacci","size":10}`)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit through spillover: %d %v", resp.StatusCode, body)
+	}
+	mesh, _ := body["mesh"].(map[string]any)
+	if mesh == nil || mesh["node"] != taker.name() || mesh["spills"] != float64(1) {
+		t.Fatalf("spillover not surfaced in view: %v", body)
+	}
+	// Same-pass spillover must not sleep out the Retry-After hint: the next
+	// node is tried immediately.
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("same-pass spillover slept %v", elapsed)
+	}
+	if shedder.submits.Load() != 1 || taker.submits.Load() != 1 {
+		t.Fatalf("submits: shedder %d taker %d, want 1 and 1",
+			shedder.submits.Load(), taker.submits.Load())
+	}
+
+	snap := m.Counters().Snapshot()
+	if snap[nodeCounter(shedder.name(), "spills")] != 1 {
+		t.Fatalf("shedder spill not counted: %v", snap)
+	}
+	if snap[nodeCounter(taker.name(), "routed-jobs")] != 1 {
+		t.Fatalf("taker admit not counted: %v", snap)
+	}
+	if snap["/mesh/jobs/submitted"] != 1 || snap["/mesh/jobs/rejected"] != 0 {
+		t.Fatalf("mesh totals wrong: %v", snap)
+	}
+}
+
+// TestMeshSubmitExhaustionHonoursRetryAfter: when every node sheds, the
+// gateway retries across passes — sleeping out the nodes' Retry-After hint
+// (capped by MaxBackoff) between passes — and finally sheds itself with 503
+// + Retry-After after MaxSubmitAttempts node tries.
+func TestMeshSubmitExhaustionHonoursRetryAfter(t *testing.T) {
+	shed := func(f *fakeNode) {
+		f.submitFn = func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "shed"})
+		}
+	}
+	a := newFakeNode(t)
+	b := newFakeNode(t)
+	a.set(shed)
+	b.set(shed)
+
+	cfg := testMeshConfig(a.ts.URL, b.ts.URL)
+	cfg.MaxSubmitAttempts = 4
+	cfg.MaxBackoff = 30 * time.Millisecond
+	m, gw := startMesh(t, cfg)
+
+	start := time.Now()
+	resp, body := postJob(t, gw.URL, `{"kind":"fibonacci","size":10}`)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted submit: %d %v", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("mesh shed without a Retry-After hint")
+	}
+	// 4 attempts over 2 nodes = 2 passes = 1 inter-pass backoff, jittered
+	// into [MaxBackoff/2, MaxBackoff).
+	if got := a.submits.Load() + b.submits.Load(); got != 4 {
+		t.Fatalf("node tries = %d, want MaxSubmitAttempts = 4", got)
+	}
+	if elapsed < 15*time.Millisecond {
+		t.Fatalf("inter-pass backoff skipped: submit returned in %v", elapsed)
+	}
+
+	snap := m.Counters().Snapshot()
+	if snap["/mesh/jobs/rejected"] != 1 || snap["/mesh/jobs/submitted"] != 0 {
+		t.Fatalf("mesh totals wrong after exhaustion: %v", snap)
+	}
+	// The job must not linger in the gateway store.
+	if jobs := m.jobs.list(); len(jobs) != 0 {
+		t.Fatalf("rejected job retained: %v", jobs)
+	}
+}
+
+// TestMeshSubmitRelaysSpecRejection: a 4xx that is not a shed is a verdict on
+// the spec itself — the gateway must relay it without burning attempts on
+// other nodes.
+func TestMeshSubmitRelaysSpecRejection(t *testing.T) {
+	bad := newFakeNode(t)
+	other := newFakeNode(t)
+	bad.set(func(f *fakeNode) {
+		f.counters = map[string]float64{"/server/jobs/queued": 0}
+		f.submitFn = func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "unknown kind"})
+		}
+	})
+	other.set(func(f *fakeNode) {
+		f.counters = map[string]float64{"/server/jobs/queued": 5}
+	})
+
+	cfg := testMeshConfig(bad.ts.URL, other.ts.URL)
+	cfg.RoutePolicy = config.MeshPolicyLeastInflight
+	_, gw := startMesh(t, cfg)
+
+	resp, body := postJob(t, gw.URL, `{"kind":"nonsense","size":10}`)
+	if resp.StatusCode != http.StatusBadRequest || body["error"] != "unknown kind" {
+		t.Fatalf("spec rejection not relayed: %d %v", resp.StatusCode, body)
+	}
+	if other.submits.Load() != 0 {
+		t.Fatal("spec rejection was retried on another node")
+	}
+}
+
+// TestMeshSubmitStampsIdempotencyKey: every forwarded spec must carry an
+// idempotency key so a failover resubmission replays instead of re-running;
+// a client-provided key is preserved.
+func TestMeshSubmitStampsIdempotencyKey(t *testing.T) {
+	var keys []string
+	n := newFakeNode(t)
+	n.set(func(f *fakeNode) {
+		f.submitFn = func(w http.ResponseWriter, r *http.Request) {
+			var spec map[string]any
+			json.NewDecoder(r.Body).Decode(&spec)
+			k, _ := spec["idempotency_key"].(string)
+			keys = append(keys, k)
+			writeJSON(w, http.StatusAccepted, map[string]any{"id": "n-1", "state": "queued"})
+		}
+	})
+	_, gw := startMesh(t, testMeshConfig(n.ts.URL))
+
+	if resp, _ := postJob(t, gw.URL, `{"kind":"fibonacci","size":10}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatal("submit failed")
+	}
+	if resp, _ := postJob(t, gw.URL, `{"kind":"fibonacci","size":10,"idempotency_key":"client-key-7"}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatal("submit failed")
+	}
+	if len(keys) != 2 || keys[0] == "" || keys[1] != "client-key-7" {
+		t.Fatalf("idempotency keys = %v", keys)
+	}
+}

@@ -1,0 +1,187 @@
+package mesh
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// meshJob is one gateway-admitted submission: the mesh-scoped ID clients
+// poll, the idempotency key every (re)submission carries, the raw spec for
+// failover replays, and the current node placement.
+type meshJob struct {
+	id   string
+	key  string
+	kind string
+	spec []byte // spec JSON as forwarded to nodes (includes the key)
+
+	// failoverMu serializes failover resubmissions: a poller re-placing the
+	// job holds it across the network round-trips so concurrent pollers
+	// cannot race the same epoch onto two different nodes. It is never held
+	// together with mu by the same goroutine path ordering (failoverMu
+	// first, then mu inside placement/place).
+	failoverMu sync.Mutex
+
+	mu        sync.Mutex
+	node      *Node
+	nodeJobID string
+	epoch     int  // bumped per placement; serializes concurrent failovers
+	retries   int  // failover resubmissions
+	spills    int  // 429/transport spillovers during initial submit
+	terminal  bool // a terminal state has been observed
+	state     string
+	lastView  map[string]any // last node response; serves polls after the node dies
+	submitted time.Time
+}
+
+// placement returns the job's current node, node-local ID, and epoch.
+func (j *meshJob) placement() (*Node, string, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.node, j.nodeJobID, j.epoch
+}
+
+// place records a (re)placement. For failovers the caller passes the epoch
+// it observed; a stale epoch means another poller already re-placed the job
+// and this placement is discarded (reported false).
+func (j *meshJob) place(n *Node, nodeJobID string, fromEpoch int, isFailover bool) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.epoch != fromEpoch {
+		return false
+	}
+	j.node = n
+	j.nodeJobID = nodeJobID
+	j.epoch++
+	if isFailover {
+		j.retries++
+	}
+	return true
+}
+
+// observe records a node response body for the job, tracking terminal
+// transitions. Reports whether this observation was the first terminal one.
+func (j *meshJob) observe(view map[string]any) (newlyTerminal bool) {
+	state, _ := view["state"].(string)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminal {
+		return false
+	}
+	j.state = state
+	j.lastView = view
+	switch state {
+	case "done", "failed", "cancelled":
+		j.terminal = true
+		return true
+	}
+	return false
+}
+
+// snapshot returns the job's mesh-level status fields.
+func (j *meshJob) snapshot() (node string, retries, spills int, terminal bool, state string, lastView map[string]any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.node != nil {
+		node = j.node.name
+	}
+	return node, j.retries, j.spills, j.terminal, j.state, j.lastView
+}
+
+// retainMeshJobs bounds how many terminal mesh jobs the gateway keeps for
+// status polling, mirroring the node-side jobStore retention.
+const retainMeshJobs = 4096
+
+// meshStore indexes mesh jobs by gateway-scoped ID.
+type meshStore struct {
+	mu     sync.Mutex
+	jobs   map[string]*meshJob
+	order  []string
+	nextID uint64
+}
+
+func newMeshStore() *meshStore {
+	return &meshStore{jobs: make(map[string]*meshJob)}
+}
+
+// add registers a new mesh job under a fresh "m-<n>" ID.
+func (st *meshStore) add(kind, key string, spec []byte) *meshJob {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.nextID++
+	j := &meshJob{
+		id:        fmt.Sprintf("m-%d", st.nextID),
+		key:       key,
+		kind:      kind,
+		spec:      spec,
+		submitted: time.Now(),
+	}
+	st.jobs[j.id] = j
+	st.order = append(st.order, j.id)
+	st.evictLocked()
+	return j
+}
+
+// remove deletes a job whose submission never landed anywhere.
+func (st *meshStore) remove(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.jobs, id)
+	for i, oid := range st.order {
+		if oid == id {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// get looks a mesh job up by ID.
+func (st *meshStore) get(id string) (*meshJob, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// list snapshots every retained job in submission order.
+func (st *meshStore) list() []*meshJob {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*meshJob, 0, len(st.order))
+	for _, id := range st.order {
+		if j, ok := st.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention bound.
+// Caller holds st.mu.
+func (st *meshStore) evictLocked() {
+	terminal := 0
+	for _, id := range st.order {
+		st.jobs[id].mu.Lock()
+		if st.jobs[id].terminal {
+			terminal++
+		}
+		st.jobs[id].mu.Unlock()
+	}
+	if terminal <= retainMeshJobs {
+		return
+	}
+	kept := st.order[:0]
+	for _, id := range st.order {
+		j := st.jobs[id]
+		j.mu.Lock()
+		evict := terminal > retainMeshJobs && j.terminal
+		j.mu.Unlock()
+		if evict {
+			delete(st.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	st.order = kept
+}

@@ -28,13 +28,19 @@ const (
 //	GET    /v1/jobs/{id}      job status; ?wait=true[&timeout=30s] long-polls
 //	DELETE /v1/jobs/{id}      request cancellation
 //	GET    /v1/stats          service stats
-//	GET    /healthz           liveness
+//	GET    /healthz           liveness + drain state (JSON {"status":"ok"}
+//	                          or {"status":"draining"}, always 200 — the mesh
+//	                          registry reads the body to stop routing to a
+//	                          draining node before a submit bounces off 503)
 //	/debug/...                the introspect counter surface (live registry)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("ok\n"))
+		status := "ok"
+		if s.draining.Load() {
+			status = "draining"
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": status})
 	})
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)

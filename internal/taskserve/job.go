@@ -239,43 +239,81 @@ func (j *Job) View() JobView {
 // memory stays flat.
 const retainFinished = 1024
 
-// jobStore indexes jobs by ID and evicts old finished jobs.
+// jobStore indexes jobs by ID (and idempotency key) and evicts old finished
+// jobs.
 type jobStore struct {
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	order    []string // insertion order, for listing and eviction
+	keys     map[string]string // idempotency key → job ID
+	order    []string          // insertion order, for listing and eviction
 	nextID   uint64
 	finished int
 }
 
 func newJobStore() *jobStore {
-	return &jobStore{jobs: make(map[string]*Job)}
+	return &jobStore{jobs: make(map[string]*Job), keys: make(map[string]string)}
 }
 
-// add registers a new job under a fresh ID.
-func (st *jobStore) add(spec JobSpec, deadline time.Time) *Job {
+// add registers a new job under a fresh ID. If the spec carries an
+// idempotency key already held by a retained job, that job is returned with
+// dup=true instead — the check and the key registration are atomic, so
+// concurrent duplicate submissions admit exactly one run.
+func (st *jobStore) add(spec JobSpec, deadline time.Time) (j *Job, dup bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if spec.IdempotencyKey != "" {
+		if id, ok := st.keys[spec.IdempotencyKey]; ok {
+			if existing, ok := st.jobs[id]; ok {
+				return existing, true
+			}
+		}
+	}
 	st.nextID++
 	id := fmt.Sprintf("j-%d", st.nextID)
-	j := newJob(id, spec, deadline)
+	j = newJob(id, spec, deadline)
 	st.jobs[id] = j
+	if spec.IdempotencyKey != "" {
+		st.keys[spec.IdempotencyKey] = id
+	}
 	st.order = append(st.order, id)
 	st.evictLocked()
-	return j
+	return j, false
 }
 
 // remove deletes a job that was never run (admission race loser).
 func (st *jobStore) remove(id string) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	delete(st.jobs, id)
+	st.dropLocked(id)
 	for i, oid := range st.order {
 		if oid == id {
 			st.order = append(st.order[:i], st.order[i+1:]...)
 			break
 		}
 	}
+}
+
+// dropLocked deletes one job and its key-index entry. Caller holds st.mu.
+func (st *jobStore) dropLocked(id string) {
+	if j, ok := st.jobs[id]; ok && j.spec.IdempotencyKey != "" {
+		delete(st.keys, j.spec.IdempotencyKey)
+	}
+	delete(st.jobs, id)
+}
+
+// getByKey looks a job up by idempotency key ("" never matches).
+func (st *jobStore) getByKey(key string) (*Job, bool) {
+	if key == "" {
+		return nil, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	id, ok := st.keys[key]
+	if !ok {
+		return nil, false
+	}
+	j, ok := st.jobs[id]
+	return j, ok
 }
 
 // get looks a job up by ID.
@@ -314,7 +352,7 @@ func (st *jobStore) evictLocked() {
 	kept := st.order[:0]
 	for _, id := range st.order {
 		if terminal > retainFinished && st.jobs[id].State().Terminal() {
-			delete(st.jobs, id)
+			st.dropLocked(id)
 			terminal--
 			continue
 		}

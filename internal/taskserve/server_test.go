@@ -489,11 +489,11 @@ func TestDrainIsIdempotent(t *testing.T) {
 func TestJobStoreEviction(t *testing.T) {
 	st := newJobStore()
 	for i := 0; i < retainFinished+50; i++ {
-		j := st.add(JobSpec{Kind: KindFibonacci, Size: 5}, time.Time{})
+		j, _ := st.add(JobSpec{Kind: KindFibonacci, Size: 5}, time.Time{})
 		j.startRunning(1, "request")
 		j.finish(&JobResult{}, nil)
 	}
-	live := st.add(JobSpec{Kind: KindFibonacci, Size: 5}, time.Time{})
+	live, _ := st.add(JobSpec{Kind: KindFibonacci, Size: 5}, time.Time{})
 	st.add(JobSpec{Kind: KindFibonacci, Size: 5}, time.Time{}) // trigger evict pass
 	if len(st.list()) > retainFinished+2 {
 		t.Fatalf("store retained %d jobs, bound is %d+2", len(st.list()), retainFinished)

@@ -37,11 +37,12 @@ type Server struct {
 	store  *jobStore
 	grains map[string]*adaptive.Controller
 
-	queue    chan *Job
-	runnerWG sync.WaitGroup
-	queueMu  sync.Mutex // serializes queue sends against Drain's close
-	draining atomic.Bool
-	started  atomic.Bool
+	queue       chan *Job
+	runnerWG    sync.WaitGroup
+	queueMu     sync.Mutex // serializes queue sends against Drain's close
+	draining    atomic.Bool
+	started     atomic.Bool
+	runningJobs atomic.Int64
 
 	startTime time.Time
 
@@ -112,6 +113,22 @@ func New(cfg config.Server) (*Server, error) {
 	reg.MustRegister(counters.NewDerived("/server/tasks/inflight", func() float64 {
 		return float64(rt.Inflight())
 	}))
+	// The remaining derived counters are the node's load surface for a mesh
+	// gateway (internal/mesh): one heartbeat GET of /debug/counters yields
+	// the interval idle-rate (Eq. 1, the routing load signal), the job-level
+	// occupancy, and the drain state.
+	reg.MustRegister(counters.NewDerived("/server/jobs/running", func() float64 {
+		return float64(s.runningJobs.Load())
+	}))
+	reg.MustRegister(counters.NewDerived("/server/idle-rate", func() float64 {
+		return s.adm.idleRate()
+	}))
+	reg.MustRegister(counters.NewDerived("/server/draining", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	}))
 
 	eng, err := policyengine.New(reg, workers, policyengine.Actuators{
 		ActiveWorkers: rt.ActiveWorkers,
@@ -146,8 +163,17 @@ func (s *Server) Start() {
 
 // Submit validates, admits, and enqueues one job. It returns the stored job,
 // or a shedError describing why the submission was refused.
+//
+// A spec carrying an idempotency key replays rather than re-executes: if a
+// retained job was already admitted under the same key, that job is returned
+// without a second admission — even while draining, so a mesh gateway
+// resubmitting after a suspected node death never double-runs work the node
+// in fact still holds.
 func (s *Server) Submit(spec JobSpec) (*Job, *shedError) {
 	spec = spec.withDefaults()
+	if j, ok := s.store.getByKey(spec.IdempotencyKey); ok {
+		return j, nil
+	}
 	if s.draining.Load() {
 		s.shed.Inc()
 		return nil, &shedError{status: 503, reason: "draining", retryAfter: s.cfg.RetryAfter}
@@ -165,7 +191,12 @@ func (s *Server) Submit(spec JobSpec) (*Job, *shedError) {
 	if d > 0 {
 		deadline = time.Now().Add(d)
 	}
-	job := s.store.add(spec, deadline)
+	job, dup := s.store.add(spec, deadline)
+	if dup {
+		// A concurrent submission with the same idempotency key won the
+		// store race; hand its job back instead of enqueueing a second run.
+		return job, nil
+	}
 
 	// The admission check and this send race against concurrent submitters
 	// and Drain; the mutex-guarded non-blocking send is the backstop that
@@ -215,7 +246,9 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 func (s *Server) runner() {
 	defer s.runnerWG.Done()
 	for job := range s.queue {
+		s.runningJobs.Add(1)
 		s.runJob(job)
+		s.runningJobs.Add(-1)
 	}
 }
 

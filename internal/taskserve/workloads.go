@@ -64,7 +64,16 @@ type JobSpec struct {
 	// DeadlineMillis bounds the job's total service time (queue + run);
 	// zero uses the server default.
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+	// IdempotencyKey, when set, makes the submission replayable: a second
+	// submit with the same key returns the already-admitted job instead of
+	// running the work twice. Mesh gateways set it so failover resubmission
+	// after a suspected node death stays exactly-once per node.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
+
+// maxIdempotencyKey bounds the key length; keys are routing metadata, not
+// payload.
+const maxIdempotencyKey = 128
 
 // Fibonacci bounds. fib(92) is the largest index fitting uint64, but both
 // halves of the workload are exponential — the sequential kernel in the
@@ -154,6 +163,9 @@ func (s *JobSpec) Validate(maxSize int) error {
 	}
 	if s.DeadlineMillis < 0 {
 		return fmt.Errorf("taskserve: deadline_ms = %d", s.DeadlineMillis)
+	}
+	if len(s.IdempotencyKey) > maxIdempotencyKey {
+		return fmt.Errorf("taskserve: idempotency_key longer than %d bytes", maxIdempotencyKey)
 	}
 	return nil
 }
