@@ -81,7 +81,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		m.Stop()
 		return fail(stderr, err)
 	}
-	srv := &http.Server{Handler: m.Handler()}
+	// No ReadTimeout/WriteTimeout: status long-polls legitimately hold a
+	// response open for minutes. Header reads and idle keep-alives still get
+	// bounded so stalled clients cannot pin connections forever.
+	srv := &http.Server{
+		Handler:           m.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	fmt.Fprintf(stdout, "taskmeshd listening on %s (policy %s, %d nodes)\n",
 		ln.Addr(), cfg.RoutePolicy, len(cfg.Nodes))
 

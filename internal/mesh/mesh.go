@@ -46,11 +46,16 @@ type Mesh struct {
 	started   bool
 	mu        sync.Mutex
 
+	stopReaper chan struct{} // closed by Stop; ends the stale-job reaper
+	stopOnce   sync.Once
+	reaperWG   sync.WaitGroup
+
 	submitted *counters.Cumulative // jobs some node admitted
 	rejected  *counters.Cumulative // submissions refused by the whole mesh
 	spillsC   *counters.Cumulative // per-node bounces during submission
 	failovers *counters.Cumulative // dead-node resubmissions
 	terminalC *counters.Cumulative // terminal states observed
+	staleC    *counters.Cumulative // abandoned non-terminal jobs reaped
 }
 
 // New builds a gateway from the configuration. Start launches the
@@ -72,20 +77,23 @@ func New(cfg config.Mesh) (*Mesh, error) {
 				IdleConnTimeout:     90 * time.Second,
 			},
 		},
-		reg:       counters.NewRegistry(),
-		jobs:      newMeshStore(),
-		id:        fmt.Sprintf("%08x", rand.Uint32()),
-		submitted: counters.NewCumulative("/mesh/jobs/submitted"),
-		rejected:  counters.NewCumulative("/mesh/jobs/rejected"),
-		spillsC:   counters.NewCumulative("/mesh/jobs/spills"),
-		failovers: counters.NewCumulative("/mesh/jobs/failovers"),
-		terminalC: counters.NewCumulative("/mesh/jobs/terminal"),
+		reg:        counters.NewRegistry(),
+		jobs:       newMeshStore(),
+		id:         fmt.Sprintf("%08x", rand.Uint32()),
+		stopReaper: make(chan struct{}),
+		submitted:  counters.NewCumulative("/mesh/jobs/submitted"),
+		rejected:   counters.NewCumulative("/mesh/jobs/rejected"),
+		spillsC:    counters.NewCumulative("/mesh/jobs/spills"),
+		failovers:  counters.NewCumulative("/mesh/jobs/failovers"),
+		terminalC:  counters.NewCumulative("/mesh/jobs/terminal"),
+		staleC:     counters.NewCumulative("/mesh/jobs/evicted-stale"),
 	}
 	m.reg.MustRegister(m.submitted)
 	m.reg.MustRegister(m.rejected)
 	m.reg.MustRegister(m.spillsC)
 	m.reg.MustRegister(m.failovers)
 	m.reg.MustRegister(m.terminalC)
+	m.reg.MustRegister(m.staleC)
 
 	m.nodes, err = newRegistry(cfg, m.client, m.reg)
 	if err != nil {
@@ -102,7 +110,7 @@ func New(cfg config.Mesh) (*Mesh, error) {
 }
 
 // Start sweeps the node set once (so routing works immediately) and launches
-// the heartbeat loops.
+// the heartbeat loops and the stale-job reaper.
 func (m *Mesh) Start() {
 	m.mu.Lock()
 	if m.started {
@@ -113,11 +121,37 @@ func (m *Mesh) Start() {
 	m.startTime = time.Now()
 	m.mu.Unlock()
 	m.nodes.Start()
+	m.reaperWG.Add(1)
+	go m.reapStale()
 }
 
-// Stop terminates the heartbeat loops. In-flight relayed requests are not
-// interrupted.
-func (m *Mesh) Stop() { m.nodes.Stop() }
+// Stop terminates the heartbeat loops and the stale-job reaper. In-flight
+// relayed requests are not interrupted.
+func (m *Mesh) Stop() {
+	m.stopOnce.Do(func() { close(m.stopReaper) })
+	m.reaperWG.Wait()
+	m.nodes.Stop()
+}
+
+// reapStale periodically evicts non-terminal jobs no client has touched for
+// staleJobAge — submit-and-forget submissions would otherwise accumulate in
+// the gateway store forever, since a job only turns terminal when a poll
+// relays a terminal node response.
+func (m *Mesh) reapStale() {
+	defer m.reaperWG.Done()
+	tick := time.NewTicker(staleSweepInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stopReaper:
+			return
+		case <-tick.C:
+			if n := m.jobs.evictStale(staleJobAge); n > 0 {
+				m.staleC.Add(int64(n))
+			}
+		}
+	}
+}
 
 // Counters returns the gateway's routing-counter registry.
 func (m *Mesh) Counters() *counters.Registry { return m.reg }

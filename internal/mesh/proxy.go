@@ -39,9 +39,7 @@ func (m *Mesh) doJSON(ctx context.Context, method, url string, body []byte) (nod
 	}
 	defer resp.Body.Close()
 	out := nodeResponse{status: resp.StatusCode}
-	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-		out.retryAfter = time.Duration(ra) * time.Second
-	}
+	out.retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
 		return nodeResponse{}, err
@@ -51,6 +49,27 @@ func (m *Mesh) doJSON(ctx context.Context, method, url string, body []byte) (nod
 		out.body = v
 	}
 	return out, nil
+}
+
+// parseRetryAfter interprets a Retry-After header value as a delay: the
+// delta-seconds form, or the RFC 9110 HTTP-date form relative to now.
+// Unparseable or non-positive values read as "no hint".
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+		return 0
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // submit admits one job into the mesh: parse the spec far enough to route
@@ -94,7 +113,9 @@ func (m *Mesh) submit(raw []byte) (int, any, time.Duration) {
 // placeJob runs the spillover loop for one job: rank the routable nodes for
 // the job's kind, try each best-first, and between passes honour the
 // smallest Retry-After hint seen (jittered, capped by MaxBackoff) — bounded
-// by MaxSubmitAttempts node tries in total. placed reports whether some
+// by MaxSubmitAttempts node tries in total (a pass that finds no routable
+// nodes consumes an attempt too, so the bound holds when the whole mesh is
+// down or draining). placed reports whether some
 // node admitted the job; when false the response describes the terminal
 // refusal for the client (mesh-level 503, or a node's own 4xx relayed
 // verbatim, which also ends the loop — a spec rejection will not get better
@@ -108,10 +129,21 @@ func (m *Mesh) placeJob(job *meshJob, fromEpoch int, isFailover bool) (nodeRespo
 	for {
 		hint := time.Duration(0)
 		ranked := m.router.rank(job.kind)
-		for _, n := range ranked {
-			if attempts >= m.cfg.MaxSubmitAttempts {
-				break
+		if len(ranked) == 0 {
+			// Every node is down or draining. The empty pass still consumes
+			// an attempt — otherwise nothing would ever increment attempts
+			// and the loop would spin in backoff forever, wedging the
+			// client's POST (and, via failover, the job's failoverMu). The
+			// inter-pass backoff below gives heartbeats a chance to revive a
+			// node before the budget runs out.
+			attempts++
+			lastRefusal = nodeResponse{
+				status: http.StatusServiceUnavailable,
+				body:   errBody("no routable mesh nodes"),
 			}
+		}
+		for i := 0; i < len(ranked) && attempts < m.cfg.MaxSubmitAttempts; {
+			n := ranked[i]
 			attempts++
 			ctx, cancel := context.WithTimeout(context.Background(), m.cfg.RequestTimeout)
 			resp, err := m.doJSON(ctx, http.MethodPost, n.base+"/v1/jobs", job.spec)
@@ -120,10 +152,21 @@ func (m *Mesh) placeJob(job *meshJob, fromEpoch int, isFailover bool) (nodeRespo
 			case err != nil:
 				n.markUnreachable(m.cfg.DownAfter)
 				m.noteSpill(n, job)
+				i++
 			case resp.status == http.StatusAccepted:
 				id, _ := resp.body["id"].(string)
 				if id == "" {
-					m.noteSpill(n, job)
+					// The node admitted a job but the reply carried no
+					// decodable ID. Re-placing elsewhere would orphan that
+					// admitted run, so replay the *same* node — the
+					// idempotency key turns the retry into a lookup of the
+					// job the node already holds — until the attempt budget
+					// runs out, at which point the anomaly is surfaced.
+					lastRefusal = nodeResponse{
+						status: http.StatusBadGateway,
+						body: errBody(fmt.Sprintf(
+							"node %s admitted the job but returned no id", n.name)),
+					}
 					continue
 				}
 				if !job.place(n, id, fromEpoch, isFailover) {
@@ -147,6 +190,7 @@ func (m *Mesh) placeJob(job *meshJob, fromEpoch int, isFailover bool) (nodeRespo
 					status: http.StatusServiceUnavailable,
 					body:   errBody(fmt.Sprintf("all mesh nodes shed (last: %s with %d)", n.name, resp.status)),
 				}
+				i++
 			default:
 				// Spec-level rejection (4xx): every node would refuse it the
 				// same way. Relay verbatim.

@@ -159,6 +159,132 @@ func TestMeshSubmitRelaysSpecRejection(t *testing.T) {
 	}
 }
 
+// TestMeshSubmitNoRoutableNodes: with every node down or draining the
+// placement loop must consume its attempt budget and shed with 503 — not
+// spin in backoff forever, which would wedge the client's POST (and, via
+// failover, the job's failoverMu).
+func TestMeshSubmitNoRoutableNodes(t *testing.T) {
+	dead := newFakeNode(t)
+	draining := newFakeNode(t)
+	dead.set(func(f *fakeNode) { f.dead = true })
+	draining.set(func(f *fakeNode) { f.draining = true })
+
+	m, gw := startMesh(t, testMeshConfig(dead.ts.URL, draining.ts.URL))
+	waitFor(t, 2*time.Second, "no routable nodes", func() bool {
+		return len(m.NodeRegistry().Routable()) == 0
+	})
+
+	start := time.Now()
+	resp, body := postJob(t, gw.URL, `{"kind":"fibonacci","size":10}`)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusServiceUnavailable || body["error"] != "no routable mesh nodes" {
+		t.Fatalf("submit with no routable nodes: %d %v", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("mesh shed without a Retry-After hint")
+	}
+	// MaxSubmitAttempts empty passes with MaxBackoff-capped sleeps between
+	// them — anything beyond a couple of seconds means the loop spun.
+	if elapsed > 2*time.Second {
+		t.Fatalf("empty-mesh submit took %v", elapsed)
+	}
+	if got := dead.submits.Load() + draining.submits.Load(); got != 0 {
+		t.Fatalf("unroutable nodes received %d submits", got)
+	}
+	snap := m.Counters().Snapshot()
+	if snap["/mesh/jobs/rejected"] != 1 || snap["/mesh/jobs/submitted"] != 0 {
+		t.Fatalf("mesh totals wrong: %v", snap)
+	}
+	if jobs := m.jobs.list(); len(jobs) != 0 {
+		t.Fatalf("rejected job retained: %v", jobs)
+	}
+}
+
+// TestMeshSubmitReplaysUndecodableAccept: a 202 whose body lacks a decodable
+// id means the node *did* admit a job — the gateway must replay the same
+// node (the idempotency key turns the retry into a lookup of the job the
+// node already holds) instead of re-placing elsewhere and orphaning the
+// admitted run.
+func TestMeshSubmitReplaysUndecodableAccept(t *testing.T) {
+	flaky := newFakeNode(t)
+	other := newFakeNode(t)
+	flaky.set(func(f *fakeNode) {
+		f.counters = map[string]float64{"/server/jobs/queued": 0}
+		f.submitFn = func(w http.ResponseWriter, r *http.Request) {
+			if f.submits.Load() == 1 {
+				writeJSON(w, http.StatusAccepted, map[string]any{"state": "queued"}) // no id
+				return
+			}
+			writeJSON(w, http.StatusAccepted, map[string]any{"id": "n-1", "state": "queued"})
+		}
+	})
+	other.set(func(f *fakeNode) {
+		f.counters = map[string]float64{"/server/jobs/queued": 5}
+	})
+
+	cfg := testMeshConfig(flaky.ts.URL, other.ts.URL)
+	cfg.RoutePolicy = config.MeshPolicyLeastInflight
+	m, gw := startMesh(t, cfg)
+
+	resp, body := postJob(t, gw.URL, `{"kind":"fibonacci","size":10}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit through replay: %d %v", resp.StatusCode, body)
+	}
+	mesh, _ := body["mesh"].(map[string]any)
+	if mesh == nil || mesh["node"] != flaky.name() {
+		t.Fatalf("job not placed on the admitting node: %v", body)
+	}
+	if flaky.submits.Load() != 2 || other.submits.Load() != 0 {
+		t.Fatalf("submits: flaky %d other %d, want a same-node replay (2 and 0)",
+			flaky.submits.Load(), other.submits.Load())
+	}
+	snap := m.Counters().Snapshot()
+	if snap[nodeCounter(flaky.name(), "spills")] != 0 {
+		t.Fatalf("same-node replay counted as a spill: %v", snap)
+	}
+}
+
+// TestMeshSubmitUndecodableAcceptExhausts: if the node never returns a
+// decodable id, the replay loop stays attempt-bounded and surfaces the
+// anomaly as 502 instead of silently shedding or spinning.
+func TestMeshSubmitUndecodableAcceptExhausts(t *testing.T) {
+	n := newFakeNode(t)
+	n.set(func(f *fakeNode) {
+		f.submitFn = func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusAccepted, map[string]any{"state": "queued"})
+		}
+	})
+	cfg := testMeshConfig(n.ts.URL)
+	cfg.MaxSubmitAttempts = 3
+	_, gw := startMesh(t, cfg)
+
+	resp, body := postJob(t, gw.URL, `{"kind":"fibonacci","size":10}`)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("undecodable accepts: %d %v, want 502", resp.StatusCode, body)
+	}
+	if got := n.submits.Load(); got != 3 {
+		t.Fatalf("node tries = %d, want MaxSubmitAttempts = 3", got)
+	}
+}
+
+// TestParseRetryAfter: both RFC 9110 forms must be honoured — delta-seconds
+// and HTTP-date — with junk and stale values reading as "no hint".
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter("3"); d != 3*time.Second {
+		t.Fatalf("delta-seconds: %v", d)
+	}
+	future := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d <= 0 || d > 5*time.Second {
+		t.Fatalf("http-date: %v", d)
+	}
+	past := time.Now().Add(-5 * time.Second).UTC().Format(http.TimeFormat)
+	for _, v := range []string{"", "-2", "0", "garbage", past} {
+		if d := parseRetryAfter(v); d != 0 {
+			t.Fatalf("parseRetryAfter(%q) = %v, want 0", v, d)
+		}
+	}
+}
+
 // TestMeshSubmitStampsIdempotencyKey: every forwarded spec must carry an
 // idempotency key so a failover resubmission replays instead of re-running;
 // a client-provided key is preserved.

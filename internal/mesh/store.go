@@ -32,6 +32,17 @@ type meshJob struct {
 	state     string
 	lastView  map[string]any // last node response; serves polls after the node dies
 	submitted time.Time
+	touched   time.Time // last client contact; drives stale eviction
+}
+
+// touch refreshes the job's last-access time. The stale reaper only evicts
+// non-terminal jobs nobody has touched for a full staleJobAge, so an
+// actively polled long-running job is never reaped while a submit-and-forget
+// one eventually is.
+func (j *meshJob) touch() {
+	j.mu.Lock()
+	j.touched = time.Now()
+	j.mu.Unlock()
 }
 
 // placement returns the job's current node, node-local ID, and epoch.
@@ -92,6 +103,18 @@ func (j *meshJob) snapshot() (node string, retries, spills int, terminal bool, s
 // status polling, mirroring the node-side jobStore retention.
 const retainMeshJobs = 4096
 
+// Stale-job reaping: terminal jobs are bounded by retainMeshJobs, but a job
+// only *becomes* terminal when a client poll relays a terminal node response
+// — a submit-and-forget client (or a job whose failover exhausted) would
+// otherwise leave its non-terminal entry in the gateway store forever. The
+// reaper evicts non-terminal jobs untouched for staleJobAge; the jobs
+// themselves live on at the nodes, so an evicted ID merely polls as 404 at
+// the gateway, exactly like one displaced by the terminal-count bound.
+const (
+	staleJobAge        = 30 * time.Minute
+	staleSweepInterval = time.Minute
+)
+
 // meshStore indexes mesh jobs by gateway-scoped ID.
 type meshStore struct {
 	mu     sync.Mutex
@@ -109,12 +132,14 @@ func (st *meshStore) add(kind, key string, spec []byte) *meshJob {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.nextID++
+	now := time.Now()
 	j := &meshJob{
 		id:        fmt.Sprintf("m-%d", st.nextID),
 		key:       key,
 		kind:      kind,
 		spec:      spec,
-		submitted: time.Now(),
+		submitted: now,
+		touched:   now,
 	}
 	st.jobs[j.id] = j
 	st.order = append(st.order, j.id)
@@ -135,11 +160,14 @@ func (st *meshStore) remove(id string) {
 	}
 }
 
-// get looks a mesh job up by ID.
+// get looks a mesh job up by ID, refreshing its last-access time.
 func (st *meshStore) get(id string) (*meshJob, bool) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	j, ok := st.jobs[id]
+	st.mu.Unlock()
+	if ok {
+		j.touch()
+	}
 	return j, ok
 }
 
@@ -184,4 +212,30 @@ func (st *meshStore) evictLocked() {
 		kept = append(kept, id)
 	}
 	st.order = kept
+}
+
+// evictStale drops non-terminal jobs whose last client contact is older than
+// maxAge, returning how many were evicted. Terminal jobs are left to the
+// count-bounded eviction; actively polled jobs stay because get refreshes
+// their touch time.
+func (st *meshStore) evictStale(maxAge time.Duration) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cutoff := time.Now().Add(-maxAge)
+	kept := st.order[:0]
+	evicted := 0
+	for _, id := range st.order {
+		j := st.jobs[id]
+		j.mu.Lock()
+		stale := !j.terminal && j.touched.Before(cutoff)
+		j.mu.Unlock()
+		if stale {
+			delete(st.jobs, id)
+			evicted++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	st.order = kept
+	return evicted
 }
