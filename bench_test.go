@@ -12,6 +12,7 @@ import (
 	"taskgrain/internal/adaptive"
 	"taskgrain/internal/core"
 	"taskgrain/internal/costmodel"
+	"taskgrain/internal/microbench"
 	"taskgrain/internal/sim"
 	"taskgrain/internal/stencil"
 )
@@ -366,6 +367,34 @@ func BenchmarkStagedBatchAblation(b *testing.B) {
 		b.ReportMetric(exec[1], "batch1-s")
 		b.ReportMetric(exec[8], "batch8-s")
 		b.ReportMetric(exec[64], "batch64-s")
+	}
+}
+
+// BenchmarkX13SpawnPath regenerates the EXPERIMENTS X13 headline numbers
+// for the native runtime's spawn/wake path: per-task spawn cost (single vs
+// SpawnBatch), park-to-wake latency, and idle discovery-probe rate. It
+// fails if batching stops amortizing the spawn cost — the left wall of the
+// U-curve (Eq. 3's t_o) moving back in.
+func BenchmarkX13SpawnPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := microbench.New(4, 20000)
+		var single, batch microbench.Result
+		amortized := false
+		for attempt := 0; attempt < 3 && !amortized; attempt++ {
+			single = s.SpawnLatency()
+			batch = s.SpawnBatchLatency()
+			amortized = batch.NsPerOp < single.NsPerOp
+		}
+		if !amortized && !microbench.RaceEnabled {
+			b.Fatalf("SpawnBatch %.0f ns/task not cheaper than Spawn %.0f ns/task",
+				batch.NsPerOp, single.NsPerOp)
+		}
+		wake := s.ParkToWakeLatency()
+		idle := s.IdleProbeRate()
+		b.ReportMetric(single.NsPerOp, "spawn-ns/task")
+		b.ReportMetric(batch.NsPerOp, "spawn-batch-ns/task")
+		b.ReportMetric(wake.NsPerOp, "park-to-wake-ns")
+		b.ReportMetric(idle.NsPerOp, "idle-probes/sec")
 	}
 }
 

@@ -21,6 +21,9 @@
 //	/threads/count/staged-accesses         staged-queue look-ups
 //	/threads/count/staged-misses           staged-queue look-ups that failed
 //	/threads/count/stolen                  tasks obtained from another worker
+//	/threads/count/wake-signals            targeted wakes delivered to parked workers
+//	/threads/count/wakeups                 parks that ended on a wake signal
+//	/threads/count/park-timeouts           parks that ended on the timeout backstop
 package counters
 
 import (
@@ -47,6 +50,9 @@ const (
 	StagedAccesses        = "/threads/count/staged-accesses"
 	StagedMisses          = "/threads/count/staged-misses"
 	CountStolen           = "/threads/count/stolen"
+	CountWakeSignals      = "/threads/count/wake-signals"
+	CountWakeups          = "/threads/count/wakeups"
+	CountParkTimeouts     = "/threads/count/park-timeouts"
 )
 
 // Counter is a named, introspectable performance counter.

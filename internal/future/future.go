@@ -140,6 +140,24 @@ func Async[T any](rt *taskrt.Runtime, fn func() T, opts ...taskrt.SpawnOption) *
 	return f
 }
 
+// AsyncBatch spawns every fn as a task through one Runtime.SpawnBatch
+// transaction (single inflight add, batched queue pushes, one wake) and
+// returns the futures in input order. Use it where a step fans out many
+// independent tasks at once; each task still passes through the full
+// staged→pending→active lifecycle.
+func AsyncBatch[T any](rt *taskrt.Runtime, fns []func() T, opts ...taskrt.SpawnOption) []*Future[T] {
+	outs := make([]*Future[T], len(fns))
+	proms := make([]*Promise[T], len(fns))
+	bodies := make([]func(*taskrt.Context), len(fns))
+	for i, fn := range fns {
+		proms[i], outs[i] = NewPromise[T]()
+		i, fn := i, fn
+		bodies[i] = func(*taskrt.Context) { proms[i].Set(fn()) }
+	}
+	rt.SpawnBatch(bodies, opts...)
+	return outs
+}
+
 // AsyncCtx is Async for task bodies that need their scheduling Context.
 func AsyncCtx[T any](rt *taskrt.Runtime, fn func(*taskrt.Context) T, opts ...taskrt.SpawnOption) *Future[T] {
 	p, f := NewPromise[T]()

@@ -21,11 +21,18 @@ type Result struct {
 	Name    string
 	Iters   int
 	NsPerOp float64
+	// Unit overrides the default "ns/op" label for measurements that are
+	// not per-operation times (e.g. the idle probe rate).
+	Unit string
 }
 
 // String renders "name: N ns/op (iters)".
 func (r Result) String() string {
-	return fmt.Sprintf("%s: %.1f ns/op (%d iters)", r.Name, r.NsPerOp, r.Iters)
+	unit := r.Unit
+	if unit == "" {
+		unit = "ns/op"
+	}
+	return fmt.Sprintf("%s: %.1f %s (%d iters)", r.Name, r.NsPerOp, unit, r.Iters)
 }
 
 // Suite aggregates all micro-benchmarks.
@@ -68,6 +75,76 @@ func (s *Suite) SpawnLatency() Result {
 	rt.WaitIdle()
 	ns := float64(time.Since(start).Nanoseconds()) / float64(s.Iters)
 	return Result{Name: "spawn+run empty task", Iters: s.Iters, NsPerOp: ns}
+}
+
+// SpawnBatchLatency is SpawnLatency through Runtime.SpawnBatch in batches
+// of 256: one inflight add, batched queue pushes, and one wake per batch.
+// Comparing it against SpawnLatency isolates the spawn-side scheduler cost
+// the batch amortizes.
+func (s *Suite) SpawnBatchLatency() Result {
+	rt := taskrt.New(taskrt.WithWorkers(s.Workers))
+	rt.Start()
+	defer rt.Shutdown()
+	const batch = 256
+	var sink atomic.Int64
+	fns := make([]func(*taskrt.Context), batch)
+	for i := range fns {
+		fns[i] = func(*taskrt.Context) { sink.Add(1) }
+	}
+	iters := (s.Iters + batch - 1) / batch * batch
+	start := time.Now()
+	for i := 0; i < iters; i += batch {
+		rt.SpawnBatch(fns)
+	}
+	rt.WaitIdle()
+	ns := float64(time.Since(start).Nanoseconds()) / float64(iters)
+	return Result{Name: "spawn+run empty task (batch 256)", Iters: iters, NsPerOp: ns}
+}
+
+// ParkToWakeLatency measures spawn into a fully parked runtime → first
+// instruction of the task: the targeted-wake path plus dispatch. Each
+// iteration sleeps long enough for every worker to park first.
+func (s *Suite) ParkToWakeLatency() Result {
+	rt := taskrt.New(taskrt.WithWorkers(s.Workers))
+	rt.Start()
+	defer rt.Shutdown()
+	iters := s.Iters / 20
+	if iters < 50 {
+		iters = 50
+	}
+	var totalNs int64
+	for i := 0; i < iters; i++ {
+		time.Sleep(time.Millisecond) // all workers park (64 sweeps << 1ms)
+		started := make(chan int64, 1)
+		spawnAt := time.Now()
+		rt.Spawn(func(*taskrt.Context) { started <- time.Since(spawnAt).Nanoseconds() })
+		totalNs += <-started
+		rt.WaitIdle()
+	}
+	return Result{Name: "park-to-wake (spawn into parked runtime)", Iters: iters,
+		NsPerOp: float64(totalNs) / float64(iters)}
+}
+
+// IdleProbeRate measures queue probes (pending+staged accesses) per second
+// on a fully idle runtime — the discovery-sweep churn the per-worker parker
+// is designed to quiesce. Lower is better; the old broadcast-timeout scheme
+// measured ~1.7M/s with 4 workers.
+func (s *Suite) IdleProbeRate() Result {
+	rt := taskrt.New(taskrt.WithWorkers(s.Workers))
+	rt.Start()
+	defer rt.Shutdown()
+	time.Sleep(20 * time.Millisecond) // decay into parked steady state
+	reg := rt.Counters()
+	read := func() float64 {
+		pa, _ := reg.Value("/threads/count/pending-accesses")
+		sa, _ := reg.Value("/threads/count/staged-accesses")
+		return pa + sa
+	}
+	const window = 50 * time.Millisecond
+	before := read()
+	time.Sleep(window)
+	perSec := (read() - before) / window.Seconds()
+	return Result{Name: "idle discovery probes", Iters: 1, NsPerOp: perSec, Unit: "probes/sec"}
 }
 
 // AsyncFutureLatency measures Async + Wait round trips.
@@ -166,9 +243,12 @@ func (s *Suite) RunAll() []Result {
 	return []Result{
 		s.QueueThroughput(),
 		s.SpawnLatency(),
+		s.SpawnBatchLatency(),
 		s.StealLatency(),
 		s.AsyncFutureLatency(),
 		s.DataflowLatency(),
 		s.SuspendResumeLatency(),
+		s.ParkToWakeLatency(),
+		s.IdleProbeRate(),
 	}
 }

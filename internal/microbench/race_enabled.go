@@ -1,0 +1,8 @@
+//go:build race
+
+package microbench
+
+// RaceEnabled reports whether the race detector is compiled in. Timing
+// comparisons are meaningless under its instrumentation, so benchmark
+// assertions consult this to skip.
+const RaceEnabled = true

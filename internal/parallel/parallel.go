@@ -67,14 +67,19 @@ func ForRange(rt *taskrt.Runtime, n, grain int, body func(lo, hi int)) {
 	if grain <= 0 {
 		grain = AutoGrain(rt, n, 0)
 	}
+	// One SpawnBatch for the whole iteration space: the per-task spawn cost
+	// (inflight add, queue CAS, wake) is paid once per loop, which is where
+	// fine grains stop losing to spawn overhead.
 	var wg sync.WaitGroup
+	fns := make([]func(*taskrt.Context), 0, (n+grain-1)/grain)
 	chunks(n, grain, func(lo, hi int) {
-		wg.Add(1)
-		rt.Spawn(func(*taskrt.Context) {
+		fns = append(fns, func(*taskrt.Context) {
 			defer wg.Done()
 			body(lo, hi)
 		})
 	})
+	wg.Add(len(fns))
+	rt.SpawnBatch(fns)
 	wg.Wait()
 }
 
@@ -103,12 +108,10 @@ func Reduce[T any](rt *taskrt.Runtime, in []T, grain int, identity T, combine fu
 	nChunks := (n + grain - 1) / grain
 	partials := make([]T, nChunks)
 	var wg sync.WaitGroup
-	idx := 0
+	fns := make([]func(*taskrt.Context), 0, nChunks)
 	chunks(n, grain, func(lo, hi int) {
-		wg.Add(1)
-		slot := idx
-		idx++
-		rt.Spawn(func(*taskrt.Context) {
+		slot := len(fns)
+		fns = append(fns, func(*taskrt.Context) {
 			defer wg.Done()
 			acc := identity
 			for i := lo; i < hi; i++ {
@@ -117,6 +120,8 @@ func Reduce[T any](rt *taskrt.Runtime, in []T, grain int, identity T, combine fu
 			partials[slot] = acc
 		})
 	})
+	wg.Add(len(fns))
+	rt.SpawnBatch(fns)
 	wg.Wait()
 	acc := identity
 	for _, p := range partials {

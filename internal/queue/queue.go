@@ -102,6 +102,40 @@ func (q *MSQueue[T]) Pop() (T, bool) {
 	}
 }
 
+// PushBatch appends vs in order with a single linearization point: the
+// nodes are linked into a private chain first, then the whole chain is
+// spliced onto the tail with one successful CAS — one contention window per
+// batch instead of one per element. Afterwards the tail pointer may lag
+// inside the chain; the usual Michael–Scott helping in Push/Pop advances it.
+func (q *MSQueue[T]) PushBatch(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	first := &node[T]{value: vs[0]}
+	last := first
+	for _, v := range vs[1:] {
+		n := &node[T]{value: v}
+		last.next.Store(n)
+		last = n
+	}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue // tail moved underneath us; retry
+		}
+		if next != nil {
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, first) {
+			q.tail.CompareAndSwap(tail, last)
+			q.length.Add(int64(len(vs)))
+			return
+		}
+	}
+}
+
 // Len returns the approximate number of queued elements.
 func (q *MSQueue[T]) Len() int { return int(q.length.Load()) }
 
@@ -162,6 +196,13 @@ func NewDeque[T any]() *Deque[T] { return &Deque[T]{} }
 func (d *Deque[T]) Push(v T) {
 	d.mu.Lock()
 	d.items = append(d.items, v)
+	d.mu.Unlock()
+}
+
+// PushBatch appends vs in order at the back under one lock acquisition.
+func (d *Deque[T]) PushBatch(vs []T) {
+	d.mu.Lock()
+	d.items = append(d.items, vs...)
 	d.mu.Unlock()
 }
 

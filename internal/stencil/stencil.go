@@ -156,11 +156,14 @@ func Run(rt *taskrt.Runtime, cfg Config) (*Solution, error) {
 	np := cfg.Partitions()
 	alpha := cfg.alpha()
 
-	cur := make([]*future.Future[Partition], np)
+	// The init wave fans out one independent task per partition — spawn it
+	// as a single batch so the whole wave pays one inflight add and one wake.
+	initFns := make([]func() Partition, np)
 	for p := 0; p < np; p++ {
 		p := p
-		cur[p] = future.Async(rt, func() Partition { return initPartition(cfg, p) })
+		initFns[p] = func() Partition { return initPartition(cfg, p) }
 	}
+	cur := future.AsyncBatch(rt, initFns)
 	for s := 0; s < cfg.TimeSteps; s++ {
 		next := make([]*future.Future[Partition], np)
 		for p := 0; p < np; p++ {

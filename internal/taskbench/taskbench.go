@@ -134,13 +134,19 @@ func Run(rt *taskrt.Runtime, cfg Config) (*Result, error) {
 	for step := 0; step < g.Steps; step++ {
 		active := g.ActiveWidth(step)
 		cur := make([]*future.Future[uint64], active)
+		// Dependency-free lanes (the whole first step, and every lane of
+		// patterns like Trivial) fan out together: collect them and spawn
+		// the step's independent work as one batch.
+		var rootFns []func() uint64
+		var rootLanes []int
 		for w := 0; w < active; w++ {
 			step, w := step, w
 			deps := g.Deps(step, w)
 			if len(deps) == 0 {
-				cur[w] = future.Async(rt, func() uint64 {
+				rootFns = append(rootFns, func() uint64 {
 					return body(step, w, nil)
 				})
+				rootLanes = append(rootLanes, w)
 				continue
 			}
 			depFs := make([]*future.Future[uint64], len(deps))
@@ -150,6 +156,9 @@ func Run(rt *taskrt.Runtime, cfg Config) (*Result, error) {
 			cur[w] = future.Dataflow(rt, func([]uint64) uint64 {
 				return body(step, w, deps)
 			}, depFs)
+		}
+		for i, f := range future.AsyncBatch(rt, rootFns) {
+			cur[rootLanes[i]] = f
 		}
 		prev = cur
 		all = append(all, cur...)

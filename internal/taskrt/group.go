@@ -39,17 +39,39 @@ func (g *Group) Spawn(fn func(*Context), opts ...SpawnOption) *Task {
 	// Completion rides the runtime's termination callback (covers normal
 	// exit, panics, and cancellation); the wrapper only captures panic
 	// values for Panics().
-	return g.rt.spawnInternal(func(c *Context) {
+	return g.rt.spawnInternal(g.wrap(fn), g.taskDone, opts...)
+}
+
+// SpawnBatch adds len(fns) tasks to the group through one
+// Runtime.SpawnBatch transaction. opts apply to every task.
+func (g *Group) SpawnBatch(fns []func(*Context), opts ...SpawnOption) []*Task {
+	if len(fns) == 0 {
+		return nil
+	}
+	g.mu.Lock()
+	g.pending += len(fns)
+	g.mu.Unlock()
+	wrapped := make([]func(*Context), len(fns))
+	for i, fn := range fns {
+		wrapped[i] = g.wrap(fn)
+	}
+	return g.rt.spawnBatchInternal(wrapped, g.taskDone, opts...)
+}
+
+// wrap captures a task phase's panic value for Panics() before re-panicking
+// into the runtime's containment (which counts it and terminates the task).
+func (g *Group) wrap(fn func(*Context)) func(*Context) {
+	return func(c *Context) {
 		defer func() {
 			if r := recover(); r != nil {
 				g.mu.Lock()
 				g.panics = append(g.panics, r)
 				g.mu.Unlock()
-				panic(r) // re-panic so the runtime's containment counts it
+				panic(r)
 			}
 		}()
 		fn(c)
-	}, g.taskDone, opts...)
+	}
 }
 
 // taskDone is the runtime's termination callback for group tasks.

@@ -76,12 +76,21 @@ func newPolicyCounters(workers int) *policyCounters {
 
 // schedPolicy is the queue structure + discovery order of a scheduler.
 // Implementations must be safe for concurrent use by all workers.
+//
+// Push methods return the home worker index the task landed on, so the
+// runtime can target its wake at a worker close to the work, or -1 when the
+// task went to a shared (high/low-priority) queue reachable from anywhere.
 type schedPolicy interface {
 	// pushStaged enqueues a newly created (staged) task.
-	pushStaged(t *Task)
+	pushStaged(t *Task) int
+	// pushStagedBatch enqueues a batch of newly created tasks with one
+	// batched push per destination queue. All tasks share ts[0]'s priority
+	// and hint (the SpawnBatch contract: one option set for the batch).
+	// ts must be non-empty.
+	pushStagedBatch(ts []*Task) int
 	// pushPending enqueues a runnable task (resumed from suspension, or one
 	// whose staged phase is skipped).
-	pushPending(t *Task)
+	pushPending(t *Task) int
 	// next finds the next runnable task for worker w, converting staged
 	// tasks as needed. The returned task is in state Pending.
 	next(w int) *Task
@@ -96,9 +105,39 @@ type placer struct {
 
 func (p *placer) place(t *Task) int {
 	if t.hint != AnyWorker {
-		return t.hint % p.workers
+		// Floored modulo: Go's % truncates toward zero, so a negative hint
+		// (any value other than the AnyWorker sentinel) would yield a
+		// negative index and panic the worker on the queue lookup.
+		h := t.hint % p.workers
+		if h < 0 {
+			h += p.workers
+		}
+		return h
 	}
 	return int(p.rr.Add(1)-1) % p.workers
+}
+
+// scatter distributes an unhinted batch as contiguous chunks round-robin
+// over the per-worker queues — ceil(n/workers) tasks per chunk, one batched
+// push per chunk — and returns the first chunk's home worker. Contiguity
+// keeps a worker's share of the batch on one queue (locality for the woken
+// worker); round-robin keeps successive batches spread like per-task spawn.
+func (p *placer) scatter(ts []*Task, push func(w int, chunk []*Task)) int {
+	n := len(ts)
+	chunk := (n + p.workers - 1) / p.workers
+	home := -1
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		w := int(p.rr.Add(1)-1) % p.workers
+		push(w, ts[lo:hi])
+		if home < 0 {
+			home = w
+		}
+	}
+	return home
 }
 
 // priorityLocal implements the Priority Local-FIFO policy.
@@ -167,30 +206,62 @@ func newPriorityLocal(topo *topology.Topology, pc *policyCounters, highQueues, s
 	return p
 }
 
-func (p *priorityLocal) pushStaged(t *Task) {
+func (p *priorityLocal) pushStaged(t *Task) int {
 	switch t.priority {
 	case PriorityHigh:
 		q := int(p.hpRR.Add(1)-1) % len(p.hpStaged)
 		p.hpStaged[q].Push(t)
+		return -1
 	case PriorityLow:
 		// Low-priority tasks have no staged stage worth modeling: they are
 		// runnable whenever everything else is drained.
 		t.transition(Staged, Pending)
 		p.low.Push(t)
+		return -1
 	default:
-		p.staged[p.place.place(t)].Push(t)
+		home := p.place.place(t)
+		p.staged[home].Push(t)
+		return home
 	}
 }
 
-func (p *priorityLocal) pushPending(t *Task) {
+func (p *priorityLocal) pushStagedBatch(ts []*Task) int {
+	switch ts[0].priority {
+	case PriorityHigh:
+		q := int(p.hpRR.Add(1)-1) % len(p.hpStaged)
+		p.hpStaged[q].PushBatch(ts)
+		return -1
+	case PriorityLow:
+		for _, t := range ts {
+			t.transition(Staged, Pending)
+		}
+		p.low.PushBatch(ts)
+		return -1
+	default:
+		if ts[0].hint != AnyWorker {
+			home := p.place.place(ts[0])
+			p.staged[home].PushBatch(ts)
+			return home
+		}
+		return p.place.scatter(ts, func(w int, chunk []*Task) {
+			p.staged[w].PushBatch(chunk)
+		})
+	}
+}
+
+func (p *priorityLocal) pushPending(t *Task) int {
 	switch t.priority {
 	case PriorityHigh:
 		q := int(p.hpRR.Add(1)-1) % len(p.hpPending)
 		p.hpPending[q].Push(t)
+		return -1
 	case PriorityLow:
 		p.low.Push(t)
+		return -1
 	default:
-		p.pending[p.place.place(t)].Push(t)
+		home := p.place.place(t)
+		p.pending[home].Push(t)
+		return home
 	}
 }
 
@@ -309,8 +380,28 @@ func newStaticRR(workers int, pc *policyCounters) *staticRR {
 	return s
 }
 
-func (s *staticRR) pushStaged(t *Task)  { s.staged[s.place.place(t)].Push(t) }
-func (s *staticRR) pushPending(t *Task) { s.pending[s.place.place(t)].Push(t) }
+func (s *staticRR) pushStaged(t *Task) int {
+	h := s.place.place(t)
+	s.staged[h].Push(t)
+	return h
+}
+
+func (s *staticRR) pushStagedBatch(ts []*Task) int {
+	if ts[0].hint != AnyWorker {
+		h := s.place.place(ts[0])
+		s.staged[h].PushBatch(ts)
+		return h
+	}
+	return s.place.scatter(ts, func(w int, chunk []*Task) {
+		s.staged[w].PushBatch(chunk)
+	})
+}
+
+func (s *staticRR) pushPending(t *Task) int {
+	h := s.place.place(t)
+	s.pending[h].Push(t)
+	return h
+}
 
 func (s *staticRR) next(w int) *Task {
 	s.pc.pendingAcc.Inc(w)
@@ -355,12 +446,30 @@ func newStealLIFO(topo *topology.Topology, pc *policyCounters) *stealLIFO {
 
 // pushStaged under LIFO stealing: the staged stage is collapsed — the task
 // is made runnable immediately on the owner's deque.
-func (s *stealLIFO) pushStaged(t *Task) {
+func (s *stealLIFO) pushStaged(t *Task) int {
 	t.transition(Staged, Pending)
-	s.pushPending(t)
+	return s.pushPending(t)
 }
 
-func (s *stealLIFO) pushPending(t *Task) { s.deques[s.place.place(t)].Push(t) }
+func (s *stealLIFO) pushStagedBatch(ts []*Task) int {
+	for _, t := range ts {
+		t.transition(Staged, Pending)
+	}
+	if ts[0].hint != AnyWorker {
+		h := s.place.place(ts[0])
+		s.deques[h].PushBatch(ts)
+		return h
+	}
+	return s.place.scatter(ts, func(w int, chunk []*Task) {
+		s.deques[w].PushBatch(chunk)
+	})
+}
+
+func (s *stealLIFO) pushPending(t *Task) int {
+	h := s.place.place(t)
+	s.deques[h].Push(t)
+	return h
+}
 
 func (s *stealLIFO) next(w int) *Task {
 	s.pc.pendingAcc.Inc(w)

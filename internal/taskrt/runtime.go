@@ -40,9 +40,12 @@ type Config struct {
 	// wall-clock timestamps relative to Start.
 	Tracer *trace.Tracer
 	// ParkAfter is the number of consecutive empty discovery sweeps before
-	// a worker parks on the wake condition. Defaults to 64.
+	// a worker parks on its per-worker parker. Defaults to 64.
 	ParkAfter int
-	// ParkTimeout bounds one parked wait. Defaults to 200µs.
+	// ParkTimeout bounds one parked wait. With targeted wakeups the timeout
+	// is a liveness backstop, not the normal wake path; a worker whose park
+	// times out runs a single probe sweep and re-parks, doubling its wait up
+	// to 16× ParkTimeout until a signal or work arrives. Defaults to 200µs.
 	ParkTimeout time.Duration
 }
 
@@ -75,6 +78,12 @@ func WithPanicHandler(h func(task *Task, recovered any)) Option {
 // WithTracer attaches an execution tracer.
 func WithTracer(tr *trace.Tracer) Option { return func(c *Config) { c.Tracer = tr } }
 
+// WithParkAfter sets the empty-sweep threshold before a worker parks.
+func WithParkAfter(n int) Option { return func(c *Config) { c.ParkAfter = n } }
+
+// WithParkTimeout sets the base parked-wait bound (the liveness backstop).
+func WithParkTimeout(d time.Duration) Option { return func(c *Config) { c.ParkTimeout = d } }
+
 // Runtime is a task scheduler instance. Create with New, then Start; spawn
 // work with Spawn (or the future package's Async/Dataflow); wait for
 // quiescence with WaitIdle; stop with Shutdown.
@@ -95,15 +104,19 @@ type Runtime struct {
 	// execTotal accumulates Σt_exec (ns) per worker; funcDone accumulates
 	// completed loop time; loopStart holds each running worker's loop start
 	// so Σt_func can be read while the runtime is live.
-	execTotal  *counters.PerWorker
-	funcDone   *counters.PerWorker
-	loopStart  []atomic.Int64 // unix ns; 0 when worker not running
-	tasksRun   *counters.PerWorker
-	phasesRun  *counters.PerWorker
-	suspCount  *counters.PerWorker
-	exceptions *counters.PerWorker
-	cancels    *counters.PerWorker
-	durHist    *counters.Histogram
+	execTotal *counters.PerWorker
+	funcDone  *counters.PerWorker
+	loopStart []atomic.Int64 // unix ns; 0 when worker not running
+	// funcReported latches the highest Σt_func ever returned so concurrent
+	// interval hand-offs between loopStart and funcDone can never make
+	// FuncTotal appear to run backwards.
+	funcReported atomic.Int64
+	tasksRun     *counters.PerWorker
+	phasesRun    *counters.PerWorker
+	suspCount    *counters.PerWorker
+	exceptions   *counters.PerWorker
+	cancels      *counters.PerWorker
+	durHist      *counters.Histogram
 
 	stop      atomic.Bool
 	started   atomic.Bool
@@ -117,10 +130,16 @@ type Runtime struct {
 	throttleMu   sync.Mutex
 	throttleCond *sync.Cond
 
-	// parked worker wake-up
-	parkMu   sync.Mutex
-	parkCond *sync.Cond
-	parked   atomic.Int64
+	// Per-worker park/wake (see parker.go). wakeOrder[h] lists the workers
+	// to try waking for a task homed on h: h itself, then NUMA-local
+	// siblings, then remote domains — the discovery order of Fig. 1.
+	parkers      []parker
+	wakeOrder    [][]int
+	wakeRR       atomic.Uint64
+	parked       atomic.Int64
+	wakeSignals  *counters.PerWorker
+	wakeups      *counters.PerWorker
+	parkTimeouts *counters.PerWorker
 }
 
 // New builds a runtime from options. The runtime is not running until Start.
@@ -168,11 +187,20 @@ func New(opts ...Option) *Runtime {
 		exceptions: counters.NewPerWorker("/threads/count/exceptions", topo.Workers()),
 		cancels:    counters.NewPerWorker("/threads/count/cancelled", topo.Workers()),
 		durHist:    counters.NewHistogram("/threads/time/phase-duration-histogram"),
+
+		parkers:      make([]parker, topo.Workers()),
+		wakeOrder:    make([][]int, topo.Workers()),
+		wakeSignals:  counters.NewPerWorker(counters.CountWakeSignals, topo.Workers()),
+		wakeups:      counters.NewPerWorker(counters.CountWakeups, topo.Workers()),
+		parkTimeouts: counters.NewPerWorker(counters.CountParkTimeouts, topo.Workers()),
 	}
 	rt.idleCond = sync.NewCond(&rt.idleMu)
-	rt.parkCond = sync.NewCond(&rt.parkMu)
 	rt.throttleCond = sync.NewCond(&rt.throttleMu)
 	rt.activeLimit.Store(int32(topo.Workers()))
+	for w := 0; w < topo.Workers(); w++ {
+		rt.parkers[w].sema = make(chan struct{}, 1)
+		rt.wakeOrder[w] = append([]int{w}, topo.VictimOrder(w)...)
+	}
 
 	switch cfg.Policy {
 	case PriorityLocalFIFO:
@@ -204,11 +232,14 @@ func (rt *Runtime) registerCounters() {
 	r.MustRegister(rt.exceptions)
 	r.MustRegister(rt.cancels)
 	r.MustRegister(rt.durHist)
+	r.MustRegister(rt.wakeSignals)
+	r.MustRegister(rt.wakeups)
+	r.MustRegister(rt.parkTimeouts)
 	// Per-worker instances, addressable as /threads{worker-thread#N}/...
 	for _, pw := range []*counters.PerWorker{
 		rt.execTotal, rt.tasksRun, rt.phasesRun,
 		rt.pc.pendingAcc, rt.pc.pendingMiss, rt.pc.stagedAcc, rt.pc.stagedMiss,
-		rt.pc.stolen,
+		rt.pc.stolen, rt.wakeSignals, rt.wakeups, rt.parkTimeouts,
 	} {
 		if err := r.RegisterInstances(pw); err != nil {
 			panic(err)
@@ -276,16 +307,38 @@ func (rt *Runtime) Policy() PolicyKind { return rt.cfg.Policy }
 
 // FuncTotal returns Σt_func in nanoseconds: total scheduler-loop time over
 // all workers, including time spent searching for work (this is what makes
-// starvation visible in the idle-rate, Sec. IV-A).
+// starvation visible in the idle-rate, Sec. IV-A). The reading is monotonic
+// non-negative even while workers hand live intervals off to the completed
+// total (throttling, shutdown).
 func (rt *Runtime) FuncTotal() int64 {
-	total := rt.funcDone.Total()
 	now := time.Now().UnixNano()
+	var total int64
 	for w := range rt.loopStart {
-		if s := rt.loopStart[w].Load(); s != 0 {
-			total += now - s
+		// Per worker: read the completed total BEFORE the live loop start.
+		// Workers hand an interval off in the opposite order (clear
+		// loopStart, then add to funcDone), so an interval completing
+		// between the two reads is counted at most once — a transient
+		// undercount, never a double count. The now > s clamp discards a
+		// loop start that lands after the captured instant, which would
+		// otherwise contribute a negative delta.
+		done := rt.funcDone.Worker(w)
+		if s := rt.loopStart[w].Load(); s != 0 && now > s {
+			done += now - s
+		}
+		total += done
+	}
+	// Latch the high-water mark: a hand-off between our two reads can make
+	// this raw sum smaller than a previous reading that included the live
+	// interval. Callers polling FuncTotal must never see it regress.
+	for {
+		prev := rt.funcReported.Load()
+		if total <= prev {
+			return prev
+		}
+		if rt.funcReported.CompareAndSwap(prev, total) {
+			return total
 		}
 	}
-	return total
 }
 
 // ExecTotal returns Σt_exec in nanoseconds: total time spent inside task
@@ -319,9 +372,7 @@ func (rt *Runtime) Start() {
 // after Start.
 func (rt *Runtime) Shutdown() {
 	rt.stop.Store(true)
-	rt.parkMu.Lock()
-	rt.parkCond.Broadcast()
-	rt.parkMu.Unlock()
+	rt.forceWakeAll()
 	rt.throttleMu.Lock()
 	rt.throttleCond.Broadcast()
 	rt.throttleMu.Unlock()
@@ -345,10 +396,10 @@ func (rt *Runtime) SetActiveWorkers(n int) {
 	rt.throttleMu.Lock()
 	rt.throttleCond.Broadcast()
 	rt.throttleMu.Unlock()
-	// A raised limit may need parked workers to re-check for work too.
-	rt.parkMu.Lock()
-	rt.parkCond.Broadcast()
-	rt.parkMu.Unlock()
+	// A changed limit needs parked workers to re-check promptly too: raised
+	// so they can pick up work for the new capacity, lowered so the ones
+	// past the limit move to the throttled wait.
+	rt.forceWakeAll()
 }
 
 // ActiveWorkers returns the current throttle level.
@@ -390,9 +441,57 @@ func (rt *Runtime) spawnInternal(fn func(*Context), onDone func(*Task), opts ...
 	}
 	rt.inflight.Add(1)
 	rt.trace(trace.Spawn, t.id, -1)
-	rt.policy.pushStaged(t)
-	rt.wakeOne()
+	home := rt.policy.pushStaged(t)
+	rt.wakeOne(home)
 	return t
+}
+
+// SpawnBatch creates one task per element of fns in a single scheduler
+// transaction: IDs and the inflight count are reserved with one atomic add
+// each, the staged pushes are batched per destination queue (MSQueue
+// PushBatch — one CAS window per queue instead of one per task), and at
+// most one parked worker is woken for the whole batch; the rest pick the
+// work up through normal discovery/stealing. opts apply to every task in
+// the batch. Bulk spawn sites (parallel loops, stencil waves, taskbench
+// step fan-out) use this to amortize the spawn-side cost that per-task
+// Spawn pays at fine grain.
+func (rt *Runtime) SpawnBatch(fns []func(*Context), opts ...SpawnOption) []*Task {
+	return rt.spawnBatchInternal(fns, nil, opts...)
+}
+
+// spawnBatchInternal is SpawnBatch plus the pre-visibility termination
+// callback, mirroring spawnInternal.
+func (rt *Runtime) spawnBatchInternal(fns []func(*Context), onDone func(*Task), opts ...SpawnOption) []*Task {
+	n := len(fns)
+	if n == 0 {
+		return nil
+	}
+	base := rt.nextID.Add(uint64(n)) - uint64(n)
+	tasks := make([]*Task, n)
+	for i, fn := range fns {
+		t := &Task{
+			id:       base + uint64(i) + 1,
+			fn:       fn,
+			priority: PriorityNormal,
+			hint:     AnyWorker,
+			rt:       rt,
+		}
+		t.state.Store(int32(Staged))
+		t.onDone = onDone
+		for _, o := range opts {
+			o(t)
+		}
+		tasks[i] = t
+	}
+	rt.inflight.Add(int64(n))
+	if rt.cfg.Tracer != nil {
+		for _, t := range tasks {
+			rt.trace(trace.Spawn, t.id, -1)
+		}
+	}
+	home := rt.policy.pushStagedBatch(tasks)
+	rt.wakeOne(home)
+	return tasks
 }
 
 // trace records an event if a tracer is attached. The base is Start time;
@@ -415,7 +514,10 @@ type SpawnOption func(*Task)
 // WithPriority sets the task's queue family.
 func WithPriority(p Priority) SpawnOption { return func(t *Task) { t.priority = p } }
 
-// WithHint pins the task's home queue to worker w.
+// WithHint pins the task's home queue to worker w. Hints are normalized to
+// a valid worker index with a floored modulo, so any hint value — negative
+// (other than the AnyWorker sentinel) or beyond Workers() — maps to a real
+// queue instead of panicking the worker.
 func WithHint(w int) SpawnOption { return func(t *Task) { t.hint = w } }
 
 // WaitIdle blocks until no task is staged, pending, active, or suspended.
@@ -436,15 +538,6 @@ func (rt *Runtime) taskDone() {
 	}
 }
 
-// wakeOne wakes a parked worker if any are parked.
-func (rt *Runtime) wakeOne() {
-	if rt.parked.Load() > 0 {
-		rt.parkMu.Lock()
-		rt.parkCond.Signal()
-		rt.parkMu.Unlock()
-	}
-}
-
 // workerLoop is one OS-thread-like worker: discover work per the policy,
 // run it, account its time.
 func (rt *Runtime) workerLoop(w int) {
@@ -461,35 +554,48 @@ func (rt *Runtime) workerLoop(w int) {
 	}()
 
 	emptySweeps := 0
+	parkWait := rt.cfg.ParkTimeout
 	for {
 		if rt.stop.Load() {
 			return
 		}
 		if w >= int(rt.activeLimit.Load()) {
 			rt.throttledWait(w)
+			emptySweeps = 0
+			parkWait = rt.cfg.ParkTimeout
 			continue
 		}
 		t := rt.policy.next(w)
-		if t == nil {
-			emptySweeps++
-			if emptySweeps < rt.cfg.ParkAfter {
-				runtime.Gosched()
-				continue
-			}
-			// Park with timeout; parked time still accrues to t_func, so
-			// starvation surfaces in the idle-rate exactly as in the paper.
-			rt.parkMu.Lock()
-			rt.parked.Add(1)
-			if !rt.stop.Load() {
-				waitWithTimeout(rt.parkCond, &rt.parkMu, rt.cfg.ParkTimeout)
-			}
-			rt.parked.Add(-1)
-			rt.parkMu.Unlock()
+		if t != nil {
 			emptySweeps = 0
+			parkWait = rt.cfg.ParkTimeout
+			rt.runTask(w, t)
 			continue
 		}
-		emptySweeps = 0
-		rt.runTask(w, t)
+		emptySweeps++
+		if emptySweeps < rt.cfg.ParkAfter {
+			runtime.Gosched()
+			continue
+		}
+		if rt.parkWorker(w, parkWait) {
+			// A signal means fresh work (or a state change): restart the
+			// full discovery spin at the base timeout.
+			rt.wakeups.Inc(w)
+			emptySweeps = 0
+			parkWait = rt.cfg.ParkTimeout
+		} else {
+			// Timeout backstop: run a single probe sweep (the next() at the
+			// top of the loop) and, if it finds nothing, re-park with an
+			// exponentially longer wait. Holding emptySweeps at the
+			// threshold is what keeps an idle runtime's queue counters
+			// quiescent — the old scheme's full 64-sweep spin after every
+			// timeout was the wake-storm this parker replaces.
+			rt.parkTimeouts.Inc(w)
+			emptySweeps = rt.cfg.ParkAfter
+			if parkWait < rt.cfg.ParkTimeout<<4 {
+				parkWait *= 2
+			}
+		}
 	}
 }
 
@@ -584,18 +690,6 @@ func (rt *Runtime) throttledWait(w int) {
 func (rt *Runtime) resumeNow(t *Task) {
 	rt.trace(trace.Resume, t.id, -1)
 	t.transition(Suspended, Pending)
-	rt.policy.pushPending(t)
-	rt.wakeOne()
-}
-
-// waitWithTimeout waits on cond or until d elapses. The caller must hold mu
-// (the sync.Mutex the cond was built over).
-func waitWithTimeout(cond *sync.Cond, mu *sync.Mutex, d time.Duration) {
-	timer := time.AfterFunc(d, func() {
-		mu.Lock()
-		cond.Broadcast()
-		mu.Unlock()
-	})
-	defer timer.Stop()
-	cond.Wait()
+	home := rt.policy.pushPending(t)
+	rt.wakeOne(home)
 }

@@ -418,6 +418,27 @@ func BenchmarkSpawnRunToCompletion(b *testing.B) {
 	rt.WaitIdle()
 }
 
+func BenchmarkSpawnBatchRunToCompletion(b *testing.B) {
+	rt := New(WithWorkers(2))
+	rt.Start()
+	defer rt.Shutdown()
+	const batch = 256
+	fns := make([]func(*Context), batch)
+	for i := range fns {
+		fns[i] = func(*Context) {}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += batch {
+		if rem := b.N - done; rem < batch {
+			rt.SpawnBatch(fns[:rem])
+		} else {
+			rt.SpawnBatch(fns)
+		}
+	}
+	rt.WaitIdle()
+}
+
 func TestPanicContainment(t *testing.T) {
 	var handled atomic.Int64
 	rt := New(WithWorkers(2), WithPanicHandler(func(task *Task, recovered any) {

@@ -298,12 +298,14 @@ func runStencilJob(rt *taskrt.Runtime, spec JobSpec, grain int, abort func() boo
 	next := make([][]float64, parts)
 	var tasks atomic.Int64
 
-	// Initialization wave: one task per partition.
+	// Initialization wave: one task per partition, spawned as one batch —
+	// the serving path fans out `parts` tasks per wave, so the batched
+	// spawn is where the per-task spawn cost amortizes.
 	g := rt.NewGroup()
+	initFns := make([]func(*taskrt.Context), parts)
 	for p := 0; p < parts; p++ {
 		p := p
-		tasks.Add(1)
-		g.Spawn(func(*taskrt.Context) {
+		initFns[p] = func(*taskrt.Context) {
 			lo := p * grain
 			hi := lo + grain
 			if hi > n {
@@ -316,17 +318,19 @@ func runStencilJob(rt *taskrt.Runtime, spec JobSpec, grain int, abort func() boo
 				}
 			}
 			cur[p] = part
-		})
+		}
 	}
+	tasks.Add(int64(parts))
+	g.SpawnBatch(initFns)
 	g.Wait()
 
 	steps := 0
+	stepFns := make([]func(*taskrt.Context), parts)
 	for s := 0; s < spec.Steps && !abort(); s++ {
 		g := rt.NewGroup()
 		for p := 0; p < parts; p++ {
 			p := p
-			tasks.Add(1)
-			g.Spawn(func(*taskrt.Context) {
+			stepFns[p] = func(*taskrt.Context) {
 				left := cur[(p-1+parts)%parts]
 				mid := cur[p]
 				right := cur[(p+1)%parts]
@@ -337,8 +341,10 @@ func runStencilJob(rt *taskrt.Runtime, spec JobSpec, grain int, abort func() boo
 					heatKernel(left, mid, right, out, alpha)
 				}
 				next[p] = out
-			})
+			}
 		}
+		tasks.Add(int64(parts))
+		g.SpawnBatch(stepFns)
 		g.Wait()
 		cur, next = next, cur
 		steps++

@@ -71,11 +71,14 @@ type Tracer struct {
 	mu     sync.Mutex
 	events []Event
 	limit  int
+	drops  int64
 }
 
 // New creates a tracer retaining at most limit events (<=0 means one
-// million); recording stops silently at the cap so tracing can never OOM an
-// experiment.
+// million); recording stops at the cap so tracing can never OOM an
+// experiment, but the drops are counted (Drops) and reported by
+// RenderSummary and the Chrome JSON metadata — a truncated trace announces
+// itself instead of silently under-reporting the run.
 func New(limit int) *Tracer {
 	if limit <= 0 {
 		limit = 1_000_000
@@ -83,11 +86,14 @@ func New(limit int) *Tracer {
 	return &Tracer{limit: limit}
 }
 
-// Record appends one event (dropped silently once the cap is reached).
+// Record appends one event; once the cap is reached events are counted as
+// dropped instead of retained.
 func (t *Tracer) Record(e Event) {
 	t.mu.Lock()
 	if len(t.events) < t.limit {
 		t.events = append(t.events, e)
+	} else {
+		t.drops++
 	}
 	t.mu.Unlock()
 }
@@ -97,6 +103,13 @@ func (t *Tracer) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.events)
+}
+
+// Drops returns the number of events discarded at the retention cap.
+func (t *Tracer) Drops() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops
 }
 
 // Events returns a copy of the retained events in recording order.
@@ -121,14 +134,22 @@ type chromeEvent struct {
 
 // WriteChromeJSON emits the trace in Chrome trace-event format: one
 // complete ("X") slice per phase on its worker lane, instant events for
-// spawn/suspend/resume/steal.
+// spawn/suspend/resume/steal. Phases still open when the trace ends (their
+// PhaseEnd fell past the retention cap or the run was cut short) are closed
+// at the max observed timestamp so their busy time is not dropped; the
+// otherData metadata records retained/dropped event counts and how many
+// spans were closed this way.
 func (t *Tracer) WriteChromeJSON(w io.Writer) error {
 	events := t.Events()
 	var out []chromeEvent
+	var maxTs int64
 	// Pair begins with ends per (worker, task). One phase at a time runs on
 	// a worker, so a per-worker stack of open phases suffices.
 	open := map[int][]Event{}
 	for _, e := range events {
+		if e.TsNs > maxTs {
+			maxTs = e.TsNs
+		}
 		switch e.Kind {
 		case PhaseBegin:
 			open[e.Worker] = append(open[e.Worker], e)
@@ -159,9 +180,34 @@ func (t *Tracer) WriteChromeJSON(w io.Writer) error {
 			})
 		}
 	}
+	openSpans := 0
+	for worker, stack := range open {
+		for _, b := range stack {
+			openSpans++
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("task %d (open)", b.TaskID),
+				Ph:   "X",
+				Ts:   float64(b.TsNs) / 1000,
+				Dur:  float64(maxTs-b.TsNs) / 1000,
+				Pid:  0,
+				Tid:  worker,
+				Args: map[string]any{"task": b.TaskID, "open": true},
+			})
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
 	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{"traceEvents": out})
+	return enc.Encode(map[string]any{
+		"traceEvents": out,
+		"otherData": map[string]any{
+			"retainedEvents": len(events),
+			"droppedEvents":  t.Drops(),
+			"openSpansClosedAtNs": map[string]any{
+				"count": openSpans,
+				"maxTs": maxTs,
+			},
+		},
+	})
 }
 
 // WorkerStats summarizes one worker's lane.
@@ -187,14 +233,20 @@ func (s WorkerStats) Utilization() float64 {
 }
 
 // Summary computes per-worker phase counts and busy time from the trace,
-// plus global event-kind counts.
+// plus global event-kind counts. Phases still open at trace end are closed
+// at the max observed timestamp, so a truncated trace does not under-report
+// the busy time of the exact long phases that outran it.
 func (t *Tracer) Summary() ([]WorkerStats, map[Kind]int) {
 	events := t.Events()
 	perWorker := map[int]*WorkerStats{}
 	begins := map[int]int64{} // worker → open begin ts
 	kinds := map[Kind]int{}
+	var maxTs int64
 	for _, e := range events {
 		kinds[e.Kind]++
+		if e.TsNs > maxTs {
+			maxTs = e.TsNs
+		}
 		if e.Worker < 0 {
 			continue
 		}
@@ -220,6 +272,14 @@ func (t *Tracer) Summary() ([]WorkerStats, map[Kind]int) {
 			}
 		}
 	}
+	for worker, b := range begins {
+		ws := perWorker[worker]
+		ws.BusyNs += maxTs - b
+		ws.Phases++
+		if maxTs > ws.LastNs {
+			ws.LastNs = maxTs
+		}
+	}
 	out := make([]WorkerStats, 0, len(perWorker))
 	for _, ws := range perWorker {
 		out = append(out, *ws)
@@ -233,6 +293,9 @@ func (t *Tracer) RenderSummary() string {
 	stats, kinds := t.Summary()
 	var b strings.Builder
 	fmt.Fprintf(&b, "trace: %d events retained\n", t.Len())
+	if d := t.Drops(); d > 0 {
+		fmt.Fprintf(&b, "  dropped      %d (retention cap reached; totals under-report)\n", d)
+	}
 	kindNames := []Kind{Spawn, PhaseBegin, PhaseEnd, Suspend, Resume, Steal}
 	for _, k := range kindNames {
 		if kinds[k] > 0 {
@@ -284,6 +347,12 @@ func (t *Tracer) Timeline(bucketNs int64) []TimelineBucket {
 				delete(open, ev.Worker)
 			}
 		}
+	}
+	// Close phases still open at trace end at the max observed timestamp so
+	// the trailing buckets keep the busy time of phases that outran the
+	// trace.
+	for _, b := range open {
+		spans = append(spans, span{b, maxTs})
 	}
 	if maxTs == 0 || len(workers) == 0 {
 		return nil

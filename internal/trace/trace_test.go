@@ -244,3 +244,101 @@ func TestTimelineEmptyAndDefaults(t *testing.T) {
 		t.Fatalf("timeline = %v", tl)
 	}
 }
+
+func TestDropsCountedAndReported(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Kind: Spawn, TaskID: uint64(i)})
+	}
+	if tr.Drops() != 7 {
+		t.Fatalf("Drops = %d, want 7", tr.Drops())
+	}
+	if s := tr.RenderSummary(); !strings.Contains(s, "dropped") || !strings.Contains(s, "7") {
+		t.Fatalf("RenderSummary does not report drops:\n%s", s)
+	}
+	// A tracer under its cap reports no drops.
+	if s := New(100).RenderSummary(); strings.Contains(s, "dropped") {
+		t.Fatalf("summary of empty tracer mentions drops:\n%s", s)
+	}
+}
+
+func TestChromeJSONMetadataAndOpenSpans(t *testing.T) {
+	tr := New(4)
+	tr.Record(Event{Kind: PhaseBegin, TaskID: 1, Worker: 0, TsNs: 1000})
+	tr.Record(Event{Kind: PhaseEnd, TaskID: 1, Worker: 0, TsNs: 2000})
+	tr.Record(Event{Kind: PhaseBegin, TaskID: 2, Worker: 1, TsNs: 1500})
+	tr.Record(Event{Kind: Spawn, TaskID: 3, Worker: -1, TsNs: 5000})   // max ts
+	tr.Record(Event{Kind: PhaseEnd, TaskID: 2, Worker: 1, TsNs: 6000}) // dropped at cap
+
+	var buf strings.Builder
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		OtherData struct {
+			RetainedEvents int   `json:"retainedEvents"`
+			DroppedEvents  int64 `json:"droppedEvents"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.OtherData.RetainedEvents != 4 || doc.OtherData.DroppedEvents != 1 {
+		t.Fatalf("metadata = %+v, want retained 4 dropped 1", doc.OtherData)
+	}
+	// Task 2's open phase must appear as a complete slice ending at the max
+	// observed timestamp (5000ns): ts 1.5µs, dur 3.5µs.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "task 2 (open)" && ev.Ph == "X" {
+			found = true
+			if ev.Ts != 1.5 || ev.Dur != 3.5 {
+				t.Fatalf("open span ts/dur = %v/%v, want 1.5/3.5", ev.Ts, ev.Dur)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("open phase not closed in Chrome JSON: %s", buf.String())
+	}
+}
+
+func TestSummaryClosesOpenPhases(t *testing.T) {
+	tr := New(0)
+	tr.Record(Event{Kind: PhaseBegin, TaskID: 1, Worker: 0, TsNs: 0})
+	tr.Record(Event{Kind: PhaseEnd, TaskID: 1, Worker: 0, TsNs: 100})
+	tr.Record(Event{Kind: PhaseBegin, TaskID: 2, Worker: 0, TsNs: 200}) // never ends
+	tr.Record(Event{Kind: Spawn, TaskID: 9, Worker: -1, TsNs: 1000})    // max ts
+
+	stats, _ := tr.Summary()
+	if len(stats) != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// 100ns closed phase + (1000-200)ns open phase closed at max ts.
+	if stats[0].Phases != 2 || stats[0].BusyNs != 900 {
+		t.Fatalf("phases=%d busy=%d, want phases=2 busy=900", stats[0].Phases, stats[0].BusyNs)
+	}
+	if stats[0].LastNs != 1000 {
+		t.Fatalf("LastNs = %d, want 1000 (extended to close the span)", stats[0].LastNs)
+	}
+}
+
+func TestTimelineClosesOpenPhases(t *testing.T) {
+	tr := New(0)
+	// One phase open from 0, trace ends (max ts) at 2.5ms via an instant.
+	tr.Record(Event{Kind: PhaseBegin, TaskID: 1, Worker: 0, TsNs: 0})
+	tr.Record(Event{Kind: Spawn, TaskID: 2, Worker: 0, TsNs: 2_500_000})
+	buckets := tr.Timeline(1_000_000)
+	if len(buckets) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(buckets))
+	}
+	// The open span [0, 2.5ms) must fill buckets 0 and 1 fully, half of 2.
+	if buckets[0].Busy != 1 || buckets[1].Busy != 1 || buckets[2].Busy != 0.5 {
+		t.Fatalf("busy = %v %v %v, want 1 1 0.5", buckets[0].Busy, buckets[1].Busy, buckets[2].Busy)
+	}
+}
