@@ -9,7 +9,9 @@
 //	-addr <url>          server base URL (default http://127.0.0.1:8080)
 //	-mesh <a,b,...>      comma-separated target URLs; jobs spread round-robin
 //	                     (point at several taskgraind nodes, or at one or
-//	                     more taskmeshd gateways; overrides -addr)
+//	                     more taskmeshd gateways; overrides -addr). With
+//	                     more than one target the report adds a per-target
+//	                     breakdown: p50/p99 latency and shed count per node.
 //	-jobs <n>            total jobs to submit (default 100)
 //	-concurrency <n>     concurrent client workers (default 4)
 //	-kind <name>         stencil1d | fibonacci | irregular | taskbench
@@ -133,6 +135,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	g := &generator{
 		targets:     targets,
+		perTarget:   make([]targetAgg, len(targets)),
 		body:        body,
 		waitTimeout: *waitTimeout,
 		maxBackoff:  *maxBackoff,
@@ -178,7 +181,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // generator holds the shared client state of one load run.
 type generator struct {
-	targets     []string // submission targets, picked round-robin per job
+	targets     []string    // submission targets, picked round-robin per job
+	perTarget   []targetAgg // index-aligned per-target accumulators (under mu)
 	body        []byte
 	waitTimeout time.Duration
 	maxBackoff  time.Duration
@@ -198,11 +202,20 @@ type generator struct {
 	errors    atomic.Int64
 }
 
+// targetAgg is one -mesh target's slice of the run, reported separately when
+// the run spreads over several targets. Guarded by generator.mu.
+type targetAgg struct {
+	latencies []time.Duration // submit→terminal, jobs pinned to this target
+	sheds     int             // 429/503 bounces this target handed back
+	terminal  int             // jobs that reached a terminal state here
+}
+
 // oneJob submits one job (retrying sheds) and follows it to a terminal
 // state. The job is pinned to one target — chosen round-robin across the
 // -mesh list — so its status polls go where it was admitted.
 func (g *generator) oneJob() {
-	base := g.targets[int(g.rr.Add(1)-1)%len(g.targets)]
+	idx := int(g.rr.Add(1)-1) % len(g.targets)
+	base := g.targets[idx]
 	submitStart := time.Now()
 	var id string
 	retries := 0
@@ -226,6 +239,9 @@ func (g *generator) oneJob() {
 			id = v.ID
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			g.sheds.Add(1)
+			g.mu.Lock()
+			g.perTarget[idx].sheds++
+			g.mu.Unlock()
 			retries++
 			if g.maxRetries > 0 && retries >= g.maxRetries {
 				// Shed to exhaustion: the job never ran, so it contributes no
@@ -274,6 +290,8 @@ func (g *generator) oneJob() {
 		}
 		g.mu.Lock()
 		g.latencies = append(g.latencies, time.Since(submitStart))
+		g.perTarget[idx].latencies = append(g.perTarget[idx].latencies, time.Since(submitStart))
+		g.perTarget[idx].terminal++
 		if g.grains == nil {
 			g.grains = make(map[int]int)
 		}
@@ -312,6 +330,14 @@ func (g *generator) report(w io.Writer, jobs int, wall time.Duration) {
 		grains[k] = v
 	}
 	metg := append([]float64(nil), g.metgNs...)
+	perTarget := make([]targetAgg, len(g.perTarget))
+	for i, agg := range g.perTarget {
+		perTarget[i] = targetAgg{
+			latencies: append([]time.Duration(nil), agg.latencies...),
+			sheds:     agg.sheds,
+			terminal:  agg.terminal,
+		}
+	}
 	g.mu.Unlock()
 
 	done := g.done.Load()
@@ -327,6 +353,20 @@ func (g *generator) report(w io.Writer, jobs int, wall time.Duration) {
 	fmt.Fprintf(w, "latency    p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms (%d samples)\n",
 		stats.Percentile(latMs, 50), stats.Percentile(latMs, 95),
 		stats.Percentile(latMs, 99), stats.Percentile(latMs, 100), len(latMs))
+	// Per-target breakdown, only when the run actually spread: a skewed mesh
+	// shows up as one target's p99 or shed count diverging from the rest.
+	if len(g.targets) > 1 {
+		for i, target := range g.targets {
+			agg := perTarget[i]
+			tms := make([]float64, len(agg.latencies))
+			for j, d := range agg.latencies {
+				tms[j] = float64(d) / float64(time.Millisecond)
+			}
+			fmt.Fprintf(w, "target     %s: p50 %.1f ms, p99 %.1f ms, sheds %d (%d terminal)\n",
+				target, stats.Percentile(tms, 50), stats.Percentile(tms, 99),
+				agg.sheds, agg.terminal)
+		}
+	}
 	if len(metg) > 0 {
 		fmt.Fprintf(w, "metg       p50 %.1f µs across %d jobs that found one\n",
 			stats.Percentile(metg, 50)/1e3, len(metg))

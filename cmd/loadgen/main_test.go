@@ -168,6 +168,16 @@ func TestLoadgenMeshTargets(t *testing.T) {
 			t.Fatalf("missing per-target stats footer for %s:\n%s", target, out)
 		}
 	}
+	// Multi-target runs add a latency/shed breakdown per target; with 8 jobs
+	// round-robined over 2 backends each line reports 4 terminal jobs.
+	for _, target := range []string{a.URL, b.URL} {
+		if !strings.Contains(out, "target     "+target+": p50 ") {
+			t.Fatalf("missing per-target breakdown for %s:\n%s", target, out)
+		}
+		if !strings.Contains(out, "sheds 0 (4 terminal)") {
+			t.Fatalf("per-target breakdown miscounted:\n%s", out)
+		}
+	}
 	for _, ts := range []*httptest.Server{a, b} {
 		resp, err := http.Get(ts.URL + "/debug/counters?prefix=/server/jobs/submitted")
 		if err != nil {

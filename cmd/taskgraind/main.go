@@ -21,6 +21,9 @@
 //	-max-job-size <n>       largest accepted job size
 //	-default-deadline <dur> deadline for jobs that set none (0 = none)
 //	-drain-timeout <dur>    bound on the SIGTERM drain (default 1m)
+//	-telemetry-interval <dur> counter-ring sampling period (default 250ms)
+//	-telemetry-ring <n>     samples retained per counter (default 600)
+//	-watchdog-window <dur>  idle-rate watchdog sliding window (default 5s)
 //
 // Precedence, lowest to highest: defaults, the -config file, TASKGRAIND_*
 // environment variables, explicit flags.

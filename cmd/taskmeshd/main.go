@@ -18,6 +18,9 @@
 //	-hedge-delay <dur>        long-poll liveness-probe delay
 //	-flow-floor <f>           inflight-task floor for idle-rate scoring
 //	-request-timeout <dur>    per-node request timeout
+//	-telemetry-interval <dur> counter-ring sampling period (default 250ms)
+//	-telemetry-ring <n>       samples retained per counter (default 600)
+//	-watchdog-window <dur>    per-node idle watchdog window (default 5s)
 //
 // Precedence, lowest to highest: defaults, the -config file, TASKMESHD_*
 // environment variables, explicit flags.

@@ -58,6 +58,15 @@ type Mesh struct {
 	// RequestTimeout bounds each forwarded non-long-poll request
 	// (submissions, probes, cancels, heartbeats).
 	RequestTimeout time.Duration `json:"request_timeout_ns"`
+
+	// TelemetryInterval is the gateway's counter-sampling period for the
+	// telemetry ring behind /mesh/metrics and the per-node watchdogs.
+	TelemetryInterval time.Duration `json:"telemetry_interval_ns"`
+	// TelemetryRing is the ring capacity in samples.
+	TelemetryRing int `json:"telemetry_ring"`
+	// WatchdogWindow is the sliding window a node's idle-rate must stay
+	// above tolerance for before its /telemetry/alerts condition fires.
+	WatchdogWindow time.Duration `json:"watchdog_window_ns"`
 }
 
 // DefaultMesh returns the taskmeshd defaults.
@@ -72,6 +81,9 @@ func DefaultMesh() Mesh {
 		HedgeDelay:        2 * time.Second,
 		FlowFloor:         1,
 		RequestTimeout:    5 * time.Second,
+		TelemetryInterval: 250 * time.Millisecond,
+		TelemetryRing:     600,
+		WatchdogWindow:    5 * time.Second,
 	}
 }
 
@@ -96,6 +108,12 @@ func (m *Mesh) Validate() error {
 		return fmt.Errorf("config: flow_floor = %v", m.FlowFloor)
 	case m.RequestTimeout <= 0:
 		return fmt.Errorf("config: request_timeout = %v", m.RequestTimeout)
+	case m.TelemetryInterval <= 0:
+		return fmt.Errorf("config: telemetry_interval = %v", m.TelemetryInterval)
+	case m.TelemetryRing < 2:
+		return fmt.Errorf("config: telemetry_ring = %d (need at least 2 samples for interval queries)", m.TelemetryRing)
+	case m.WatchdogWindow <= 0:
+		return fmt.Errorf("config: watchdog_window = %v", m.WatchdogWindow)
 	}
 	for _, n := range m.Nodes {
 		if strings.TrimSpace(n) == "" {
@@ -141,6 +159,13 @@ func (m *Mesh) ApplyEnv(lookup func(string) (string, bool)) error {
 		}
 		m.MaxSubmitAttempts = n
 	}
+	if v, ok := lookup("TASKMESHD_TELEMETRY_RING"); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("config: TASKMESHD_TELEMETRY_RING=%q: %w", v, err)
+		}
+		m.TelemetryRing = n
+	}
 	if v, ok := lookup("TASKMESHD_FLOW_FLOOR"); ok {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil {
@@ -156,6 +181,8 @@ func (m *Mesh) ApplyEnv(lookup func(string) (string, bool)) error {
 		{"TASKMESHD_MAX_BACKOFF", &m.MaxBackoff},
 		{"TASKMESHD_HEDGE_DELAY", &m.HedgeDelay},
 		{"TASKMESHD_REQUEST_TIMEOUT", &m.RequestTimeout},
+		{"TASKMESHD_TELEMETRY_INTERVAL", &m.TelemetryInterval},
+		{"TASKMESHD_WATCHDOG_WINDOW", &m.WatchdogWindow},
 	}
 	for _, e := range durs {
 		v, ok := lookup(e.key)
@@ -212,6 +239,9 @@ func (m *Mesh) Flags(fs *flag.FlagSet) {
 	fs.DurationVar(&m.HedgeDelay, "hedge-delay", m.HedgeDelay, "status long-poll hedge delay (0 disables)")
 	fs.Float64Var(&m.FlowFloor, "flow-floor", m.FlowFloor, "inflight-task floor below which a node reads as empty")
 	fs.DurationVar(&m.RequestTimeout, "request-timeout", m.RequestTimeout, "per forwarded request ceiling")
+	fs.DurationVar(&m.TelemetryInterval, "telemetry-interval", m.TelemetryInterval, "telemetry ring sampling period")
+	fs.IntVar(&m.TelemetryRing, "telemetry-ring", m.TelemetryRing, "telemetry ring capacity (samples)")
+	fs.DurationVar(&m.WatchdogWindow, "watchdog-window", m.WatchdogWindow, "per-node idle-rate watchdog sliding window")
 }
 
 // LoadMesh decodes a mesh configuration from JSON over the defaults,

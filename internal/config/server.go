@@ -50,6 +50,18 @@ type Server struct {
 	MaxJobSize int `json:"max_job_size"`
 	// DefaultDeadline bounds jobs that do not set one (0 = none).
 	DefaultDeadline time.Duration `json:"default_deadline_ns,omitempty"`
+
+	// TelemetryInterval is the counter-sampling period of the telemetry
+	// ring (time-series history behind /metrics, /telemetry/* and the
+	// watchdog).
+	TelemetryInterval time.Duration `json:"telemetry_interval_ns"`
+	// TelemetryRing is the ring capacity in samples (history length =
+	// TelemetryInterval × TelemetryRing).
+	TelemetryRing int `json:"telemetry_ring"`
+	// WatchdogWindow is the sliding window the idle-rate must stay above
+	// HighIdle for before the watchdog raises a /telemetry/alerts
+	// condition.
+	WatchdogWindow time.Duration `json:"watchdog_window_ns"`
 }
 
 // DefaultServer returns the taskgraind defaults.
@@ -65,6 +77,9 @@ func DefaultServer() Server {
 		RetryAfter:        time.Second,
 		SampleInterval:    50 * time.Millisecond,
 		MaxJobSize:        50_000_000,
+		TelemetryInterval: 250 * time.Millisecond,
+		TelemetryRing:     600,
+		WatchdogWindow:    5 * time.Second,
 	}
 }
 
@@ -93,6 +108,12 @@ func (s *Server) Validate() error {
 		return fmt.Errorf("config: max_job_size = %d", s.MaxJobSize)
 	case s.DefaultDeadline < 0:
 		return fmt.Errorf("config: default_deadline = %v", s.DefaultDeadline)
+	case s.TelemetryInterval <= 0:
+		return fmt.Errorf("config: telemetry_interval = %v", s.TelemetryInterval)
+	case s.TelemetryRing < 2:
+		return fmt.Errorf("config: telemetry_ring = %d (need at least 2 samples for interval queries)", s.TelemetryRing)
+	case s.WatchdogWindow <= 0:
+		return fmt.Errorf("config: watchdog_window = %v", s.WatchdogWindow)
 	}
 	if _, err := taskrt.ParsePolicy(s.policyName()); err != nil {
 		return fmt.Errorf("config: %w", err)
@@ -177,6 +198,9 @@ func (s *Server) ApplyEnv(lookup func(string) (string, bool)) error {
 		func() error { return dur("TASKGRAIND_SAMPLE_INTERVAL", &s.SampleInterval) },
 		func() error { return num("TASKGRAIND_MAX_JOB_SIZE", func(n int64) { s.MaxJobSize = int(n) }) },
 		func() error { return dur("TASKGRAIND_DEFAULT_DEADLINE", &s.DefaultDeadline) },
+		func() error { return dur("TASKGRAIND_TELEMETRY_INTERVAL", &s.TelemetryInterval) },
+		func() error { return num("TASKGRAIND_TELEMETRY_RING", func(n int64) { s.TelemetryRing = int(n) }) },
+		func() error { return dur("TASKGRAIND_WATCHDOG_WINDOW", &s.WatchdogWindow) },
 	}
 	for _, step := range steps {
 		if err := step(); err != nil {
@@ -201,6 +225,9 @@ func (s *Server) Flags(fs *flag.FlagSet) {
 	fs.DurationVar(&s.SampleInterval, "sample-interval", s.SampleInterval, "policy-engine sampling period")
 	fs.IntVar(&s.MaxJobSize, "max-job-size", s.MaxJobSize, "largest accepted job size (points)")
 	fs.DurationVar(&s.DefaultDeadline, "default-deadline", s.DefaultDeadline, "deadline for jobs that set none (0 = none)")
+	fs.DurationVar(&s.TelemetryInterval, "telemetry-interval", s.TelemetryInterval, "telemetry ring sampling period")
+	fs.IntVar(&s.TelemetryRing, "telemetry-ring", s.TelemetryRing, "telemetry ring capacity (samples)")
+	fs.DurationVar(&s.WatchdogWindow, "watchdog-window", s.WatchdogWindow, "idle-rate watchdog sliding window")
 }
 
 // LoadServer decodes a server configuration from JSON over the defaults,

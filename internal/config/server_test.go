@@ -28,6 +28,9 @@ func TestServerValidateRejects(t *testing.T) {
 		func(s *Server) { s.SampleInterval = -time.Second },
 		func(s *Server) { s.MaxJobSize = 0 },
 		func(s *Server) { s.Policy = "no-such-policy" },
+		func(s *Server) { s.TelemetryInterval = 0 },
+		func(s *Server) { s.TelemetryRing = 1 },
+		func(s *Server) { s.WatchdogWindow = -time.Second },
 	}
 	for i, mutate := range cases {
 		s := DefaultServer()
@@ -49,6 +52,9 @@ func TestServerApplyEnv(t *testing.T) {
 		"TASKGRAIND_RETRY_AFTER":         "2500ms",
 		"TASKGRAIND_SAMPLE_INTERVAL":     "25ms",
 		"TASKGRAIND_DEFAULT_DEADLINE":    "30s",
+		"TASKGRAIND_TELEMETRY_INTERVAL":  "125ms",
+		"TASKGRAIND_TELEMETRY_RING":      "99",
+		"TASKGRAIND_WATCHDOG_WINDOW":     "7s",
 	}
 	s := DefaultServer()
 	if err := s.ApplyEnv(func(k string) (string, bool) { v, ok := env[k]; return v, ok }); err != nil {
@@ -59,6 +65,10 @@ func TestServerApplyEnv(t *testing.T) {
 		s.RetryAfter != 2500*time.Millisecond || s.SampleInterval != 25*time.Millisecond ||
 		s.DefaultDeadline != 30*time.Second {
 		t.Fatalf("env overlay not applied: %+v", s)
+	}
+	if s.TelemetryInterval != 125*time.Millisecond || s.TelemetryRing != 99 ||
+		s.WatchdogWindow != 7*time.Second {
+		t.Fatalf("telemetry env overlay not applied: %+v", s)
 	}
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
@@ -82,11 +92,15 @@ func TestServerFlagsOverride(t *testing.T) {
 	s := DefaultServer()
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	s.Flags(fs)
-	if err := fs.Parse([]string{"-addr", ":7070", "-max-queued-jobs", "3", "-high-idle", "0.2"}); err != nil {
+	if err := fs.Parse([]string{"-addr", ":7070", "-max-queued-jobs", "3", "-high-idle", "0.2",
+		"-telemetry-interval", "75ms", "-telemetry-ring", "42", "-watchdog-window", "11s"}); err != nil {
 		t.Fatal(err)
 	}
 	if s.Addr != ":7070" || s.MaxQueuedJobs != 3 || s.HighIdle != 0.2 {
 		t.Fatalf("flags not bound: %+v", s)
+	}
+	if s.TelemetryInterval != 75*time.Millisecond || s.TelemetryRing != 42 || s.WatchdogWindow != 11*time.Second {
+		t.Fatalf("telemetry flags not bound: %+v", s)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Standard counter paths (HPX-compatible symbolic names).
@@ -252,6 +253,17 @@ func (r *Registry) Names() []string {
 }
 
 // Snapshot reads every counter at (approximately) one instant.
+//
+// Weak-consistency contract: each counter is read once, in map-iteration
+// order, with no global epoch — counters updated concurrently may be
+// observed at slightly different moments within the same snapshot, so two
+// counters in one Snapshot are individually exact but not mutually atomic
+// (a derived ratio read here may disagree in the last digit with the same
+// ratio recomputed from the raw counters of the same Snapshot). This is the
+// HPX counter model: cheap lock-free reads, interval arithmetic done by the
+// consumer. Consumers that turn deltas into rates should use SnapshotAt and
+// divide by the *real* elapsed time between sample stamps, never by an
+// assumed sampling interval.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -260,6 +272,29 @@ func (r *Registry) Snapshot() Snapshot {
 		s[n] = c.Value()
 	}
 	return s
+}
+
+// TimedSnapshot pairs a Snapshot with the wall-clock instant the read
+// started, so interval rates can be computed against real elapsed time.
+type TimedSnapshot struct {
+	At     time.Time
+	Values Snapshot
+}
+
+// SnapshotAt reads every counter (same weak-consistency contract as
+// Snapshot) and stamps the sample with the time the read began. The stamp
+// is taken before the reads: a rate computed as (b.Values−a.Values)/
+// (b.At−a.At) then attributes the read-skew inside each snapshot to the
+// interval it actually occurred in.
+func (r *Registry) SnapshotAt() TimedSnapshot {
+	at := time.Now()
+	return TimedSnapshot{At: at, Values: r.Snapshot()}
+}
+
+// Sub returns the per-counter difference t - prev with the real elapsed
+// time between the two sample stamps.
+func (t TimedSnapshot) Sub(prev TimedSnapshot) (Snapshot, time.Duration) {
+	return t.Values.Sub(prev.Values), t.At.Sub(prev.At)
 }
 
 // ResetAll resets every registered counter.
@@ -274,16 +309,53 @@ func (r *Registry) ResetAll() {
 // Snapshot is a point-in-time reading of all counters.
 type Snapshot map[string]float64
 
+// ResetMarker is the synthetic counter Sub adds when prev holds counters
+// the newer snapshot no longer has: its value is the number of such
+// counters. A counter can only vanish between snapshots when the registry
+// (or the runtime behind it) was rebuilt — which also resets every reading
+// to zero — so a consumer differencing across the discontinuity must not
+// treat the interval as ordinary. Checking Get(ResetMarker) > 0 (or calling
+// Resets for the names) is the signal.
+const ResetMarker = "/snapshot/resets"
+
 // Sub returns the per-counter difference s - prev, the interval reading used
 // for dynamic measurements "calculated over any interval of interest"
 // (Sec. II-A). Counters absent from prev are treated as zero there; derived
 // ratio counters should be recomputed from differenced raw counters instead
 // of differenced directly.
+//
+// Counters present in prev but missing from s (the registry was swapped or
+// torn down between the snapshots) do not silently vanish: each appears in
+// the output with an explicit zero delta, and the ResetMarker entry counts
+// them so the discontinuity is detectable.
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	out := make(Snapshot, len(s))
 	for n, v := range s {
 		out[n] = v - prev[n]
 	}
+	var resets float64
+	for n := range prev {
+		if _, ok := s[n]; !ok {
+			out[n] = 0
+			resets++
+		}
+	}
+	if resets > 0 {
+		out[ResetMarker] = resets
+	}
+	return out
+}
+
+// Resets returns the sorted names present in prev but missing from s — the
+// counters Sub flags via ResetMarker.
+func (s Snapshot) Resets(prev Snapshot) []string {
+	var out []string
+	for n := range prev {
+		if _, ok := s[n]; !ok {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestCumulativeBasics(t *testing.T) {
@@ -312,5 +313,58 @@ func TestRegisterInstances(t *testing.T) {
 	// Duplicate registration fails cleanly.
 	if err := r.RegisterInstances(pw); err == nil {
 		t.Fatal("duplicate instance registration accepted")
+	}
+}
+
+func TestSnapshotAt(t *testing.T) {
+	r := NewRegistry()
+	c := NewCumulative("/test/at")
+	r.MustRegister(c)
+	c.Add(3)
+	a := r.SnapshotAt()
+	time.Sleep(5 * time.Millisecond)
+	c.Add(4)
+	b := r.SnapshotAt()
+	d, elapsed := b.Sub(a)
+	if d.Get("/test/at") != 4 {
+		t.Fatalf("delta = %v", d.Get("/test/at"))
+	}
+	if elapsed < 5*time.Millisecond {
+		t.Fatalf("elapsed %v below the real sleep; stamps must be real time", elapsed)
+	}
+	if !b.At.After(a.At) {
+		t.Fatal("sample stamps not increasing")
+	}
+}
+
+func TestSubResetMarker(t *testing.T) {
+	prev := Snapshot{"/a": 5, "/gone": 7, "/also-gone": 1}
+	cur := Snapshot{"/a": 9}
+	d := cur.Sub(prev)
+	if d.Get("/a") != 4 {
+		t.Fatalf("/a delta = %v", d.Get("/a"))
+	}
+	if d.Get(ResetMarker) != 2 {
+		t.Fatalf("reset marker = %v, want 2", d.Get(ResetMarker))
+	}
+	// The vanished counters are present with explicit zero deltas, not
+	// silently absent.
+	if v, ok := d["/gone"]; !ok || v != 0 {
+		t.Fatalf("/gone delta = %v ok=%v, want explicit 0", v, ok)
+	}
+	if v, ok := d["/also-gone"]; !ok || v != 0 {
+		t.Fatalf("/also-gone delta = %v ok=%v, want explicit 0", v, ok)
+	}
+	resets := cur.Resets(prev)
+	if len(resets) != 2 || resets[0] != "/also-gone" || resets[1] != "/gone" {
+		t.Fatalf("resets = %v", resets)
+	}
+	// No resets → no marker: the steady-state path stays unpolluted.
+	d2 := cur.Sub(Snapshot{"/a": 1})
+	if _, ok := d2[ResetMarker]; ok {
+		t.Fatal("reset marker present without resets")
+	}
+	if len(cur.Resets(Snapshot{"/a": 1})) != 0 {
+		t.Fatal("Resets nonempty without resets")
 	}
 }

@@ -1,6 +1,7 @@
 package mesh
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -9,6 +10,8 @@ import (
 	"time"
 
 	"taskgrain/internal/introspect"
+	"taskgrain/internal/telemetry"
+	"taskgrain/internal/trace"
 )
 
 const (
@@ -19,7 +22,11 @@ const (
 
 // Handler returns the gateway's HTTP surface: the same /v1/jobs API the
 // nodes serve (so clients are oblivious to the mesh), plus the mesh-only
-// node and stats views and the introspect /debug namespace.
+// node and stats views, the telemetry exports (/metrics for the gateway's
+// own counters, /mesh/metrics for the cluster rollup plus every member
+// node's last heartbeat snapshot, /telemetry/alerts for the per-node idle
+// watchdogs, /mesh/trace for the cross-hop Chrome trace), and the
+// introspect /debug namespace.
 func (m *Mesh) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -41,8 +48,72 @@ func (m *Mesh) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, m.StatsSnapshot())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		m.serveMetrics(w, telemetry.PointsFromRegistry(m.reg, map[string]string{"node": m.cfg.Addr}))
+	})
+	mux.HandleFunc("/mesh/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		m.serveMetrics(w, m.clusterPoints())
+	})
+	mux.HandleFunc("/telemetry/alerts", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"alerts": m.Alerts()})
+	})
+	mux.HandleFunc("/mesh/trace", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		var buf bytes.Buffer
+		if err := m.tracer.WriteChromeJSON(&buf); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(buf.Bytes())
+	})
 	mux.Handle("/debug/", http.StripPrefix("/debug", introspect.NewHandler(m.reg)))
 	return mux
+}
+
+// serveMetrics renders points as an OpenMetrics exposition, buffering so an
+// encoding error can still become a clean 500 instead of a torn response.
+func (m *Mesh) serveMetrics(w http.ResponseWriter, points []telemetry.MetricPoint) {
+	var buf bytes.Buffer
+	if err := telemetry.WriteOpenMetrics(&buf, points); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// clusterPoints assembles the /mesh/metrics exposition: the gateway's own
+// registry (routing counters, cluster rollup deriveds) plus every member
+// node's last heartbeat counter snapshot relabelled with node="<name>".
+// Snapshot-derived points are all gauges — the heartbeat carries values,
+// not counter kinds — so a cluster scrape never misclassifies a remote
+// reading as monotonic.
+func (m *Mesh) clusterPoints() []telemetry.MetricPoint {
+	points := telemetry.PointsFromRegistry(m.reg, map[string]string{"node": m.cfg.Addr})
+	for _, n := range m.nodes.Nodes() {
+		snap, _ := n.Snapshot()
+		if len(snap) == 0 {
+			continue
+		}
+		points = append(points, telemetry.PointsFromSnapshot(snap, map[string]string{"node": n.Name()})...)
+	}
+	return points
 }
 
 // handleJobs serves POST /v1/jobs (submit through the mesh) and GET /v1/jobs
@@ -55,7 +126,11 @@ func (m *Mesh) handleJobs(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "unreadable body")
 			return
 		}
-		status, body, retryAfter := m.submit(raw)
+		// A valid incoming trace header makes the mesh job a child of the
+		// client's span; a malformed one is ignored (the job is traced under
+		// a fresh root), mirroring the node-side leniency.
+		parent, _ := trace.ParseSpanContext(r.Header.Get(trace.Header))
+		status, body, retryAfter := m.submit(raw, parent)
 		if retryAfter > 0 {
 			secs := int(retryAfter / time.Second)
 			if secs < 1 {

@@ -21,6 +21,7 @@ package mesh
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -28,7 +29,14 @@ import (
 
 	"taskgrain/internal/config"
 	"taskgrain/internal/counters"
+	"taskgrain/internal/telemetry"
+	"taskgrain/internal/trace"
 )
+
+// traceEventLimit caps the gateway's hop tracer; routing events are a few
+// per job, so this covers tens of thousands of jobs before truncation (which
+// the trace output reports rather than hides).
+const traceEventLimit = 100_000
 
 // Mesh is the cluster dispatch gateway.
 type Mesh struct {
@@ -50,12 +58,23 @@ type Mesh struct {
 	stopOnce   sync.Once
 	reaperWG   sync.WaitGroup
 
+	// tracer records every routing hop (Route/SpillHop/FailoverHop) on the
+	// target node's lane, plus a phase span per placement, so one job's
+	// whole path through the cluster renders as a single timeline.
+	tracer *trace.Tracer
+	// sampler feeds the gateway's telemetry ring; the per-node watchdogs
+	// (index-aligned with the registry's node set) re-judge each node's
+	// idle-rate from its OnSample hook.
+	sampler   *telemetry.Sampler
+	watchdogs []*telemetry.Watchdog
+
 	submitted *counters.Cumulative // jobs some node admitted
 	rejected  *counters.Cumulative // submissions refused by the whole mesh
 	spillsC   *counters.Cumulative // per-node bounces during submission
 	failovers *counters.Cumulative // dead-node resubmissions
 	terminalC *counters.Cumulative // terminal states observed
 	staleC    *counters.Cumulative // abandoned non-terminal jobs reaped
+	hopsC     *counters.Cumulative // trace hops recorded (route+spill+failover)
 }
 
 // New builds a gateway from the configuration. Start launches the
@@ -81,12 +100,14 @@ func New(cfg config.Mesh) (*Mesh, error) {
 		jobs:       newMeshStore(),
 		id:         fmt.Sprintf("%08x", rand.Uint32()),
 		stopReaper: make(chan struct{}),
+		tracer:     trace.New(traceEventLimit),
 		submitted:  counters.NewCumulative("/mesh/jobs/submitted"),
 		rejected:   counters.NewCumulative("/mesh/jobs/rejected"),
 		spillsC:    counters.NewCumulative("/mesh/jobs/spills"),
 		failovers:  counters.NewCumulative("/mesh/jobs/failovers"),
 		terminalC:  counters.NewCumulative("/mesh/jobs/terminal"),
 		staleC:     counters.NewCumulative("/mesh/jobs/evicted-stale"),
+		hopsC:      counters.NewCumulative("/mesh/trace/hops"),
 	}
 	m.reg.MustRegister(m.submitted)
 	m.reg.MustRegister(m.rejected)
@@ -94,6 +115,7 @@ func New(cfg config.Mesh) (*Mesh, error) {
 	m.reg.MustRegister(m.failovers)
 	m.reg.MustRegister(m.terminalC)
 	m.reg.MustRegister(m.staleC)
+	m.reg.MustRegister(m.hopsC)
 
 	m.nodes, err = newRegistry(cfg, m.client, m.reg)
 	if err != nil {
@@ -106,6 +128,68 @@ func New(cfg config.Mesh) (*Mesh, error) {
 	m.reg.MustRegister(counters.NewDerived("/mesh/nodes/total", func() float64 {
 		return float64(len(m.nodes.Nodes()))
 	}))
+
+	// Cluster rollups: the scrape-friendly aggregates /mesh/metrics leads
+	// with. Idle-rate averages over routable (healthy) nodes only — a down
+	// node's stale reading would drag the cluster figure; occupancy sums
+	// over every node still answering (healthy or draining), since draining
+	// nodes are finishing real work.
+	m.reg.MustRegister(counters.NewDerived("/mesh/cluster/idle-rate", func() float64 {
+		nodes := m.nodes.Routable()
+		if len(nodes) == 0 {
+			return 0
+		}
+		sum := 0.0
+		for _, n := range nodes {
+			ir, _, _, _ := n.load()
+			sum += ir
+		}
+		return sum / float64(len(nodes))
+	}))
+	sumLoad := func(pick func(inflight, queued, running float64) float64) func() float64 {
+		return func() float64 {
+			sum := 0.0
+			for _, n := range m.nodes.Nodes() {
+				if s := n.State(); s != NodeHealthy && s != NodeDraining {
+					continue
+				}
+				_, inflight, queued, running := n.load()
+				sum += pick(inflight, queued, running)
+			}
+			return sum
+		}
+	}
+	m.reg.MustRegister(counters.NewDerived("/mesh/cluster/inflight-tasks",
+		sumLoad(func(i, _, _ float64) float64 { return i })))
+	m.reg.MustRegister(counters.NewDerived("/mesh/cluster/queued-jobs",
+		sumLoad(func(_, q, _ float64) float64 { return q })))
+	m.reg.MustRegister(counters.NewDerived("/mesh/cluster/running-jobs",
+		sumLoad(func(_, _, r float64) float64 { return r })))
+
+	// One watchdog per node over the sampled /mesh/node{...} series. The
+	// config's FlowFloor is an inflight floor refreshed per heartbeat, so
+	// per second it divides by the heartbeat interval — the same
+	// tasks-per-second form the node-local watchdogs use.
+	for _, n := range m.nodes.Nodes() {
+		m.watchdogs = append(m.watchdogs, telemetry.NewWatchdog(telemetry.WatchdogConfig{
+			Subject:     "node " + n.Name(),
+			IdleCounter: nodeCounter(n.Name(), "idle-rate"),
+			FlowCounter: nodeCounter(n.Name(), "tasks-cumulative"),
+			BusyCounter: nodeCounter(n.Name(), "inflight-tasks"),
+			Window:      cfg.WatchdogWindow,
+			FlowFloor:   cfg.FlowFloor / cfg.HeartbeatInterval.Seconds(),
+			Logf:        log.Printf,
+		}))
+	}
+	m.sampler = telemetry.NewSampler(m.reg, telemetry.Config{
+		Interval: cfg.TelemetryInterval,
+		Capacity: cfg.TelemetryRing,
+		OnSample: func(telemetry.Sample) {
+			for _, w := range m.watchdogs {
+				w.Evaluate(m.sampler.Ring())
+			}
+		},
+	})
 	return m, nil
 }
 
@@ -121,6 +205,7 @@ func (m *Mesh) Start() {
 	m.startTime = time.Now()
 	m.mu.Unlock()
 	m.nodes.Start()
+	m.sampler.Start()
 	m.reaperWG.Add(1)
 	go m.reapStale()
 }
@@ -130,6 +215,7 @@ func (m *Mesh) Start() {
 func (m *Mesh) Stop() {
 	m.stopOnce.Do(func() { close(m.stopReaper) })
 	m.reaperWG.Wait()
+	m.sampler.Stop()
 	m.nodes.Stop()
 }
 
@@ -158,6 +244,68 @@ func (m *Mesh) Counters() *counters.Registry { return m.reg }
 
 // NodeRegistry returns the node registry (for tests and embedding).
 func (m *Mesh) NodeRegistry() *Registry { return m.nodes }
+
+// Tracer returns the gateway's hop tracer.
+func (m *Mesh) Tracer() *trace.Tracer { return m.tracer }
+
+// Telemetry returns the gateway's counter sampler.
+func (m *Mesh) Telemetry() *telemetry.Sampler { return m.sampler }
+
+// Alerts snapshots every per-node watchdog verdict.
+func (m *Mesh) Alerts() []telemetry.Alert {
+	out := make([]telemetry.Alert, 0, len(m.watchdogs))
+	for _, w := range m.watchdogs {
+		out = append(out, w.Current())
+	}
+	return out
+}
+
+// lane returns a node's trace lane index (its position in the fixed node
+// set), or -1 for an unknown node.
+func (m *Mesh) lane(target *Node) int {
+	for i, n := range m.nodes.Nodes() {
+		if n == target {
+			return i
+		}
+	}
+	return -1
+}
+
+// traceHop records one routing hop on the target node's lane and counts it.
+func (m *Mesh) traceHop(kind trace.Kind, n *Node, job *meshJob) {
+	m.tracer.Record(trace.Event{
+		Kind:   kind,
+		TaskID: job.num,
+		Worker: m.lane(n),
+		TsNs:   m.traceNow(),
+	})
+	m.hopsC.Inc()
+}
+
+// traceSpan records a phase-span edge (begin on placement, end on terminal
+// observation) for a job on a node's lane; together with the hop instants,
+// WriteChromeJSON renders the job's cross-node path as one timeline, closing
+// spans a dead node never finished at the max observed timestamp.
+func (m *Mesh) traceSpan(kind trace.Kind, n *Node, job *meshJob) {
+	m.tracer.Record(trace.Event{
+		Kind:   kind,
+		TaskID: job.num,
+		Worker: m.lane(n),
+		TsNs:   m.traceNow(),
+	})
+}
+
+// traceNow stamps trace events with nanoseconds since gateway start (the
+// wall clock before Start, so pre-start events still order correctly).
+func (m *Mesh) traceNow() int64 {
+	m.mu.Lock()
+	start := m.startTime
+	m.mu.Unlock()
+	if start.IsZero() {
+		return time.Now().UnixNano()
+	}
+	return time.Since(start).Nanoseconds()
+}
 
 // Stats is the gateway-level status served by GET /v1/stats.
 type Stats struct {

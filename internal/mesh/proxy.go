@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"taskgrain/internal/trace"
 )
 
 // nodeResponse is one relayed node reply: the HTTP status, the decoded JSON
@@ -21,7 +23,9 @@ type nodeResponse struct {
 }
 
 // doJSON performs one request against a node and decodes the JSON reply.
-func (m *Mesh) doJSON(ctx context.Context, method, url string, body []byte) (nodeResponse, error) {
+// span, when valid, rides the Taskgrain-Trace header so the node stamps the
+// job with the cross-hop trace identity.
+func (m *Mesh) doJSON(ctx context.Context, method, url string, body []byte, span trace.SpanContext) (nodeResponse, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -32,6 +36,9 @@ func (m *Mesh) doJSON(ctx context.Context, method, url string, body []byte) (nod
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if span.Valid() {
+		req.Header.Set(trace.Header, span.String())
 	}
 	resp, err := m.client.Do(req)
 	if err != nil {
@@ -73,10 +80,13 @@ func parseRetryAfter(v string) time.Duration {
 }
 
 // submit admits one job into the mesh: parse the spec far enough to route
-// it, stamp an idempotency key, and run the spillover placement loop. It
-// returns the HTTP status, the response payload for the client, and the
-// Retry-After hint to relay when the whole mesh shed.
-func (m *Mesh) submit(raw []byte) (int, any, time.Duration) {
+// it, stamp an idempotency key, mint (or adopt) the job's trace context, and
+// run the spillover placement loop. parent is the client's incoming trace
+// context — when valid the job joins that trace as a child span, otherwise
+// the gateway roots a fresh one. It returns the HTTP status, the response
+// payload for the client, and the Retry-After hint to relay when the whole
+// mesh shed.
+func (m *Mesh) submit(raw []byte, parent trace.SpanContext) (int, any, time.Duration) {
 	var spec map[string]any
 	if err := json.Unmarshal(raw, &spec); err != nil {
 		return http.StatusBadRequest, errBody(fmt.Sprintf("bad job spec: %v", err)), 0
@@ -91,13 +101,17 @@ func (m *Mesh) submit(raw []byte) (int, any, time.Duration) {
 		key = fmt.Sprintf("mesh-%s-%s", m.id, job.id)
 	}
 	spec["idempotency_key"] = key
+	span := trace.NewSpanContext()
+	if parent.Valid() {
+		span = parent.Child()
+	}
 	body, err := json.Marshal(spec)
 	if err != nil {
 		m.jobs.remove(job.id)
 		return http.StatusBadRequest, errBody(fmt.Sprintf("bad job spec: %v", err)), 0
 	}
 	job.mu.Lock()
-	job.key, job.spec = key, body
+	job.key, job.spec, job.span = key, body, span
 	job.mu.Unlock()
 
 	resp, placed := m.placeJob(job, 0, false)
@@ -146,7 +160,10 @@ func (m *Mesh) placeJob(job *meshJob, fromEpoch int, isFailover bool) (nodeRespo
 			n := ranked[i]
 			attempts++
 			ctx, cancel := context.WithTimeout(context.Background(), m.cfg.RequestTimeout)
-			resp, err := m.doJSON(ctx, http.MethodPost, n.base+"/v1/jobs", job.spec)
+			// Each hop gets its own child span of the job's root context, so
+			// the node-side trace_context distinguishes retries of the same
+			// job while sharing one trace ID.
+			resp, err := m.doJSON(ctx, http.MethodPost, n.base+"/v1/jobs", job.spec, job.traceSpan().Child())
 			cancel()
 			switch {
 			case err != nil:
@@ -177,6 +194,12 @@ func (m *Mesh) placeJob(job *meshJob, fromEpoch int, isFailover bool) (nodeRespo
 					// this branch stays unreachable; it is kept as a guard.
 					return resp, true
 				}
+				hop := trace.Route
+				if isFailover {
+					hop = trace.FailoverHop
+				}
+				m.traceHop(hop, n, job)
+				m.traceSpan(trace.PhaseBegin, n, job)
 				n.routed.Inc()
 				return resp, true
 			case resp.status == http.StatusTooManyRequests || resp.status == http.StatusServiceUnavailable:
@@ -212,6 +235,7 @@ func (m *Mesh) placeJob(job *meshJob, fromEpoch int, isFailover bool) (nodeRespo
 func (m *Mesh) noteSpill(n *Node, job *meshJob) {
 	n.spills.Inc()
 	m.spillsC.Inc()
+	m.traceHop(trace.SpillHop, n, job)
 	job.mu.Lock()
 	job.spills++
 	job.mu.Unlock()
@@ -251,6 +275,7 @@ func (m *Mesh) relayStatus(job *meshJob, rawQuery string, waitTimeout time.Durat
 		case err == nil && resp.status == http.StatusOK:
 			if job.observe(resp.body) {
 				m.terminalC.Inc()
+				m.traceSpan(trace.PhaseEnd, n, job)
 			}
 			return http.StatusOK, m.augment(resp.body, job)
 		case err == nil && resp.status == http.StatusNotFound:
@@ -316,7 +341,7 @@ func (m *Mesh) hedgedGet(n *Node, url, nodeID string, waitTimeout time.Duration)
 	}
 	primary := make(chan result, 1)
 	go func() {
-		r, err := m.doJSON(ctx, http.MethodGet, url, nil)
+		r, err := m.doJSON(ctx, http.MethodGet, url, nil, trace.SpanContext{})
 		primary <- result{r, err}
 	}()
 
@@ -333,7 +358,7 @@ func (m *Mesh) hedgedGet(n *Node, url, nodeID string, waitTimeout time.Duration)
 			return r.resp, r.err
 		case <-hedge.C:
 			probeCtx, probeCancel := context.WithTimeout(context.Background(), m.cfg.RequestTimeout)
-			_, err := m.doJSON(probeCtx, http.MethodGet, n.base+"/v1/jobs/"+nodeID, nil)
+			_, err := m.doJSON(probeCtx, http.MethodGet, n.base+"/v1/jobs/"+nodeID, nil, trace.SpanContext{})
 			probeCancel()
 			if err != nil {
 				// The node is gone; abandon the long-poll now.
@@ -385,7 +410,7 @@ func (m *Mesh) relayCancel(job *meshJob) (int, any) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.RequestTimeout)
 	defer cancel()
-	resp, err := m.doJSON(ctx, http.MethodDelete, n.base+"/v1/jobs/"+nodeID, nil)
+	resp, err := m.doJSON(ctx, http.MethodDelete, n.base+"/v1/jobs/"+nodeID, nil, trace.SpanContext{})
 	if err != nil {
 		n.markUnreachable(m.cfg.DownAfter)
 		return http.StatusBadGateway, errBody(fmt.Sprintf("node %s unreachable: %v", n.name, err))
@@ -393,6 +418,7 @@ func (m *Mesh) relayCancel(job *meshJob) (int, any) {
 	if resp.status == http.StatusOK {
 		if job.observe(resp.body) {
 			m.terminalC.Inc()
+			m.traceSpan(trace.PhaseEnd, n, job)
 		}
 		return http.StatusOK, m.augment(resp.body, job)
 	}
@@ -404,8 +430,8 @@ func (m *Mesh) relayCancel(job *meshJob) (int, any) {
 
 // augment rewrites a node job view for the mesh client: the ID becomes the
 // mesh-scoped ID (node-local IDs collide across nodes), and a "mesh"
-// object surfaces the placement, the failover retry count, and the
-// submission spill count.
+// object surfaces the placement, the failover retry count, the submission
+// spill count, and the trace ID shared by every hop of the job.
 func (m *Mesh) augment(view map[string]any, job *meshJob) map[string]any {
 	node, retries, spills, _, _, _ := job.snapshot()
 	out := make(map[string]any, len(view)+2)
@@ -413,11 +439,15 @@ func (m *Mesh) augment(view map[string]any, job *meshJob) map[string]any {
 		out[k] = v
 	}
 	out["id"] = job.id
-	out["mesh"] = map[string]any{
+	meshView := map[string]any{
 		"node":    node,
 		"retries": retries,
 		"spills":  spills,
 	}
+	if span := job.traceSpan(); span.Valid() {
+		meshView["trace_id"] = fmt.Sprintf("%016x", span.TraceID)
+	}
+	out["mesh"] = meshView
 	return out
 }
 

@@ -58,6 +58,8 @@ type Node struct {
 	running  float64 // /server/jobs/running
 	fails    int     // consecutive heartbeat failures
 	lastSeen time.Time
+	snap     counters.Snapshot // full last-heartbeat counter snapshot
+	snapAt   time.Time         // when snap was taken (gateway clock)
 
 	// Routing outcomes, registered in the gateway's counter registry as
 	// /mesh/node{<name>}/... instances.
@@ -97,12 +99,15 @@ func (n *Node) markUnreachable(downAfter int) {
 	n.state = NodeDown
 }
 
-// observe applies one successful heartbeat reading.
+// observe applies one successful heartbeat reading. snap is the node's full
+// counter snapshot; the routing signals are plucked out, and the whole map
+// is retained for the gateway's /mesh/metrics aggregation.
 func (n *Node) observe(draining bool, snap map[string]float64) {
+	now := time.Now()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.fails = 0
-	n.lastSeen = time.Now()
+	n.lastSeen = now
 	if draining || snap["/server/draining"] > 0 {
 		n.state = NodeDraining
 	} else {
@@ -112,6 +117,18 @@ func (n *Node) observe(draining bool, snap map[string]float64) {
 	n.inflight = snap["/server/tasks/inflight"]
 	n.queued = snap["/server/jobs/queued"]
 	n.running = snap["/server/jobs/running"]
+	n.snap = counters.Snapshot(snap)
+	n.snapAt = now
+}
+
+// Snapshot returns the node's last full heartbeat counter snapshot and when
+// it was taken. The map is replaced wholesale on each heartbeat and never
+// mutated afterwards, so callers may read it without copying. Empty until
+// the first successful heartbeat.
+func (n *Node) Snapshot() (counters.Snapshot, time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.snap, n.snapAt
 }
 
 // observeFailure applies one failed heartbeat.
@@ -160,8 +177,9 @@ func (n *Node) Status() NodeStatus {
 
 // Registry tracks the health and load of every mesh node by heartbeating
 // each node's introspect surface: GET /healthz for liveness and drain state,
-// GET /debug/counters?prefix=/server for the idle-rate (Eq. 1), task
-// backlog, and job occupancy the router scores on.
+// GET /debug/counters for the full counter snapshot — the /server routing
+// signals (idle-rate Eq. 1, task backlog, job occupancy) plus everything
+// /mesh/metrics aggregates cluster-wide.
 type Registry struct {
 	client    *http.Client
 	interval  time.Duration
@@ -219,6 +237,19 @@ func newRegistry(cfg config.Mesh, client *http.Client, reg *counters.Registry) (
 		}))
 		reg.MustRegister(counters.NewDerived(nodeCounter(name, "state"), func() float64 {
 			return stateOrd(n.State())
+		}))
+		// The node's cumulative task count and live occupancy, mirrored from
+		// the heartbeat so the gateway's telemetry ring captures per-node
+		// series — task flow disambiguates the U-curve walls for the per-node
+		// watchdogs, and inflight gates them (a node with no work never
+		// alerts).
+		reg.MustRegister(counters.NewDerived(nodeCounter(name, "tasks-cumulative"), func() float64 {
+			snap, _ := n.Snapshot()
+			return snap.Get("/threads/count/cumulative")
+		}))
+		reg.MustRegister(counters.NewDerived(nodeCounter(name, "inflight-tasks"), func() float64 {
+			_, inflight, _, _ := n.load()
+			return inflight
 		}))
 		r.nodes = append(r.nodes, n)
 	}
@@ -310,7 +341,7 @@ func (r *Registry) heartbeat(n *Node) {
 		n.observeFailure(r.downAfter)
 		return
 	}
-	snap, err := r.serverCounters(ctx, n)
+	snap, err := r.nodeCounters(ctx, n)
 	if err != nil {
 		n.observeFailure(r.downAfter)
 		return
@@ -349,9 +380,12 @@ func (r *Registry) health(ctx context.Context, n *Node) (draining bool, err erro
 	return false, fmt.Errorf("mesh: %s /healthz: unrecognized body %q", n.name, raw)
 }
 
-// serverCounters GETs the node's /server counter namespace.
-func (r *Registry) serverCounters(ctx context.Context, n *Node) (map[string]float64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.base+"/debug/counters?prefix=/server", nil)
+// nodeCounters GETs the node's full counter snapshot. The registry used to
+// fetch only the /server prefix; the whole registry rides the same poll so
+// the gateway can aggregate scheduler counters cluster-wide without a
+// second request per heartbeat.
+func (r *Registry) nodeCounters(ctx context.Context, n *Node) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.base+"/debug/counters", nil)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"taskgrain/internal/trace"
 )
 
 // meshJob is one gateway-admitted submission: the mesh-scoped ID clients
@@ -13,7 +15,14 @@ type meshJob struct {
 	id   string
 	key  string
 	kind string
+	num  uint64 // numeric part of id; the trace TaskID for hop events
 	spec []byte // spec JSON as forwarded to nodes (includes the key)
+
+	// span is the job's root trace context: minted at submission (or
+	// adopted from the client's Taskgrain-Trace header), with a child span
+	// stamped onto every forwarded hop. Guarded by mu; read-only after
+	// submit assigns it.
+	span trace.SpanContext
 
 	// failoverMu serializes failover resubmissions: a poller re-placing the
 	// job holds it across the network round-trips so concurrent pollers
@@ -43,6 +52,14 @@ func (j *meshJob) touch() {
 	j.mu.Lock()
 	j.touched = time.Now()
 	j.mu.Unlock()
+}
+
+// traceSpan returns the job's root trace context (invalid until submit
+// assigns it).
+func (j *meshJob) traceSpan() trace.SpanContext {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.span
 }
 
 // placement returns the job's current node, node-local ID, and epoch.
@@ -137,6 +154,7 @@ func (st *meshStore) add(kind, key string, spec []byte) *meshJob {
 		id:        fmt.Sprintf("m-%d", st.nextID),
 		key:       key,
 		kind:      kind,
+		num:       st.nextID,
 		spec:      spec,
 		submitted: now,
 		touched:   now,

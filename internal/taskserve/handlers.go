@@ -1,6 +1,7 @@
 package taskserve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,8 @@ import (
 	"time"
 
 	"taskgrain/internal/introspect"
+	"taskgrain/internal/telemetry"
+	"taskgrain/internal/trace"
 )
 
 // maxBodyBytes bounds a job submission body; the spec is a handful of
@@ -32,6 +35,10 @@ const (
 //	                          or {"status":"draining"}, always 200 — the mesh
 //	                          registry reads the body to stop routing to a
 //	                          draining node before a submit bounces off 503)
+//	GET    /metrics           the live registry as OpenMetrics text
+//	GET    /telemetry/alerts  idle-rate watchdog verdict (JSON)
+//	GET    /telemetry/series  ring time series; ?name=/server/idle-rate
+//	                          [&n=60][&window=2s] adds a window delta/rate
 //	/debug/...                the introspect counter surface (live registry)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -49,8 +56,69 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.StatsSnapshot())
 	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /telemetry/alerts", s.handleAlerts)
+	mux.HandleFunc("GET /telemetry/series", s.handleSeries)
 	mux.Handle("/debug/", http.StripPrefix("/debug", introspect.NewHandler(s.rt.Counters())))
 	return mux
+}
+
+// handleMetrics renders every registered counter as OpenMetrics text, the
+// node's own listen address as the node label.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b bytes.Buffer
+	pts := telemetry.PointsFromRegistry(s.rt.Counters(), map[string]string{"node": s.cfg.Addr})
+	if err := telemetry.WriteOpenMetrics(&b, pts); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	_, _ = b.WriteTo(w)
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"alerts": []telemetry.Alert{s.watchdog.Current()},
+	})
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing ?name= counter path (e.g. /server/idle-rate)")
+		return
+	}
+	n := 60
+	if v := q.Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, "bad n "+strconv.Quote(v))
+			return
+		}
+		n = parsed
+	}
+	ring := s.sampler.Ring()
+	out := map[string]any{
+		"name":        name,
+		"interval_ns": s.sampler.Interval(),
+		"points":      ring.Series(name, n),
+	}
+	if v := q.Get("window"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "bad window "+strconv.Quote(v)+" (want a Go duration, e.g. 2s)")
+			return
+		}
+		if delta, elapsed, ok := ring.Delta(name, d); ok {
+			out["window_delta"] = delta
+			out["window_elapsed_ns"] = elapsed
+		}
+		if rate, ok := ring.Rate(name, d); ok {
+			out["window_rate_per_sec"] = rate
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -60,6 +128,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
 		return
+	}
+	// The Taskgrain-Trace header is the canonical carrier of the cross-hop
+	// trace identity (the gateway sets it on every forwarded hop); a valid
+	// header overrides any body-carried context. Malformed headers leave
+	// the job untraced rather than failing the submission.
+	if sc, ok := trace.ParseSpanContext(r.Header.Get(trace.Header)); ok {
+		spec.TraceContext = sc.String()
 	}
 	spec = spec.withDefaults()
 	if err := spec.Validate(s.cfg.MaxJobSize); err != nil {

@@ -196,6 +196,9 @@ type JobView struct {
 	DeadlineAt  *time.Time `json:"deadline_at,omitempty"`
 	Error       string     `json:"error,omitempty"`
 	Result      *JobResult `json:"result,omitempty"`
+	// TraceContext echoes the propagated cross-hop trace identity, so a
+	// client (or the mesh gateway) can stitch this job into its trace.
+	TraceContext string `json:"trace_context,omitempty"`
 }
 
 // View snapshots the job for serialization.
@@ -215,6 +218,8 @@ func (j *Job) View() JobView {
 		SubmittedAt: j.submitted,
 		Error:       j.errMsg,
 		Result:      j.result,
+
+		TraceContext: j.spec.TraceContext,
 	}
 	if !j.started.IsZero() {
 		t := j.started

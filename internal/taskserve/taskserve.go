@@ -14,6 +14,7 @@ package taskserve
 import (
 	"context"
 	"fmt"
+	"log"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,7 @@ import (
 	"taskgrain/internal/counters"
 	"taskgrain/internal/policyengine"
 	"taskgrain/internal/taskrt"
+	"taskgrain/internal/telemetry"
 )
 
 // Server is the task-execution service.
@@ -46,6 +48,12 @@ type Server struct {
 
 	startTime time.Time
 
+	// sampler feeds the telemetry ring behind GET /metrics and
+	// /telemetry/*; the watchdog re-judges the idle-rate tolerance
+	// threshold from its OnSample hook.
+	sampler  *telemetry.Sampler
+	watchdog *telemetry.Watchdog
+
 	// Service counters, registered in the runtime's registry so /debug and
 	// /metrics expose them next to the scheduler counters they react to.
 	submitted  *counters.Cumulative
@@ -53,6 +61,7 @@ type Server struct {
 	failed     *counters.Cumulative
 	cancelledC *counters.Cumulative
 	shed       *counters.Cumulative
+	traced     *counters.Cumulative
 }
 
 // New builds a server from the configuration. The runtime is owned by the
@@ -83,6 +92,7 @@ func New(cfg config.Server) (*Server, error) {
 		failed:     counters.NewCumulative("/server/jobs/failed"),
 		cancelledC: counters.NewCumulative("/server/jobs/cancelled"),
 		shed:       counters.NewCumulative("/server/jobs/shed"),
+		traced:     counters.NewCumulative("/server/trace/propagated"),
 	}
 	s.adm = newAdmission(cfg,
 		func() int { return len(s.queue) },
@@ -107,6 +117,7 @@ func New(cfg config.Server) (*Server, error) {
 	reg.MustRegister(s.failed)
 	reg.MustRegister(s.cancelledC)
 	reg.MustRegister(s.shed)
+	reg.MustRegister(s.traced)
 	reg.MustRegister(counters.NewDerived("/server/jobs/queued", func() float64 {
 		return float64(len(s.queue))
 	}))
@@ -129,6 +140,43 @@ func New(cfg config.Server) (*Server, error) {
 		}
 		return 0
 	}))
+	// Per-kind adaptive grain, exported as /server/grain{<kind>}/current so a
+	// mesh gateway's /mesh/metrics shows the cluster's grain distribution
+	// (taskgrain_server_grain_current{node=...,instance="<kind>"}) straight
+	// from the heartbeat snapshots.
+	for kind, ctl := range s.grains {
+		ctl := ctl
+		reg.MustRegister(counters.NewDerived(
+			fmt.Sprintf("/server/grain{%s}/current", kind),
+			func() float64 { return float64(ctl.Grain()) },
+		))
+	}
+
+	// The watchdog re-states the admission controller's wall disambiguation
+	// over the telemetry window: ShedMinTasks is an interval task floor, so
+	// dividing by the sample interval converts it to the tasks-per-second
+	// flow floor the window delta is compared against.
+	s.watchdog = telemetry.NewWatchdog(telemetry.WatchdogConfig{
+		Subject:     "taskgraind " + cfg.Addr,
+		IdleCounter: "/server/idle-rate",
+		FlowCounter: "/threads/count/cumulative",
+		BusyCounter: "/server/tasks/inflight",
+		HighIdle:    cfg.HighIdle,
+		Window:      cfg.WatchdogWindow,
+		FlowFloor:   cfg.ShedMinTasks / cfg.SampleInterval.Seconds(),
+		Logf:        log.Printf,
+	})
+	s.sampler = telemetry.NewSampler(reg, telemetry.Config{
+		Interval: cfg.TelemetryInterval,
+		Capacity: cfg.TelemetryRing,
+		OnSample: func(telemetry.Sample) { s.watchdog.Evaluate(s.sampler.Ring()) },
+	})
+	reg.MustRegister(counters.NewDerived("/telemetry/watchdog/active", func() float64 {
+		if s.watchdog.Current().Active {
+			return 1
+		}
+		return 0
+	}))
 
 	eng, err := policyengine.New(reg, workers, policyengine.Actuators{
 		ActiveWorkers: rt.ActiveWorkers,
@@ -144,6 +192,12 @@ func New(cfg config.Server) (*Server, error) {
 // Runtime returns the server's runtime (for tests and embedding).
 func (s *Server) Runtime() *taskrt.Runtime { return s.rt }
 
+// Telemetry returns the server's counter sampler (for tests and embedding).
+func (s *Server) Telemetry() *telemetry.Sampler { return s.sampler }
+
+// Watchdog returns the server's idle-rate watchdog.
+func (s *Server) Watchdog() *telemetry.Watchdog { return s.watchdog }
+
 // Config returns the effective configuration.
 func (s *Server) Config() config.Server { return s.cfg }
 
@@ -155,6 +209,7 @@ func (s *Server) Start() {
 	s.startTime = time.Now()
 	s.rt.Start()
 	s.eng.Run(s.cfg.SampleInterval)
+	s.sampler.Start()
 	for i := 0; i < s.cfg.MaxConcurrentJobs; i++ {
 		s.runnerWG.Add(1)
 		go s.runner()
@@ -222,6 +277,9 @@ func (s *Server) Submit(spec JobSpec) (*Job, *shedError) {
 		}
 	}
 	s.submitted.Inc()
+	if spec.TraceContext != "" {
+		s.traced.Inc()
+	}
 	return job, nil
 }
 
@@ -344,6 +402,7 @@ func (s *Server) Drain(ctx context.Context) (counters.Snapshot, error) {
 		return s.rt.Counters().Snapshot(), ctx.Err()
 	}
 	s.eng.Stop()
+	s.sampler.Stop()
 	return s.rt.Counters().Snapshot(), nil
 }
 

@@ -16,6 +16,7 @@ import (
 	simpkg "taskgrain/internal/sim"
 	"taskgrain/internal/taskbench"
 	"taskgrain/internal/taskrt"
+	"taskgrain/internal/trace"
 	"taskgrain/internal/workloads"
 )
 
@@ -69,6 +70,11 @@ type JobSpec struct {
 	// running the work twice. Mesh gateways set it so failover resubmission
 	// after a suspected node death stays exactly-once per node.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// TraceContext is the cross-hop trace identity ("%016x-%016x"
+	// trace-span hex) a mesh gateway propagates; it normally arrives in the
+	// Taskgrain-Trace header (which overrides the body) and is echoed in
+	// job views so every hop of one job shares a trace ID.
+	TraceContext string `json:"trace_context,omitempty"`
 }
 
 // maxIdempotencyKey bounds the key length; keys are routing metadata, not
@@ -166,6 +172,11 @@ func (s *JobSpec) Validate(maxSize int) error {
 	}
 	if len(s.IdempotencyKey) > maxIdempotencyKey {
 		return fmt.Errorf("taskserve: idempotency_key longer than %d bytes", maxIdempotencyKey)
+	}
+	if s.TraceContext != "" {
+		if _, ok := trace.ParseSpanContext(s.TraceContext); !ok {
+			return fmt.Errorf("taskserve: malformed trace_context %q", s.TraceContext)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"taskgrain/internal/counters"
+)
+
+func TestMapCounter(t *testing.T) {
+	cases := []struct {
+		path   string
+		base   map[string]string
+		family string
+		labels map[string]string
+	}{
+		{"/threads/idle-rate", nil, "taskgrain_threads_idle_rate", map[string]string{}},
+		{"/threads/time/average-overhead", nil, "taskgrain_threads_time_average_overhead", map[string]string{}},
+		{"/threads{worker-thread#3}/count/pending-accesses", nil,
+			"taskgrain_threads_count_pending_accesses", map[string]string{"worker": "3"}},
+		{"/mesh/node{127.0.0.1:8081}/routed-jobs", nil,
+			"taskgrain_mesh_node_routed_jobs", map[string]string{"node": "127.0.0.1:8081"}},
+		{"/threads/idle-rate", map[string]string{"node": "a:1"},
+			"taskgrain_threads_idle_rate", map[string]string{"node": "a:1"}},
+		// An instance-derived node label wins over a base node label.
+		{"/mesh/node{b:2}/spills", map[string]string{"node": "gateway"},
+			"taskgrain_mesh_node_spills", map[string]string{"node": "b:2"}},
+		{"/custom{thing}/x", nil, "taskgrain_custom_x", map[string]string{"instance": "thing"}},
+	}
+	for _, c := range cases {
+		fam, labels := MapCounter(c.path, c.base)
+		if fam != c.family {
+			t.Fatalf("MapCounter(%q) family = %q, want %q", c.path, fam, c.family)
+		}
+		if len(labels) != len(c.labels) {
+			t.Fatalf("MapCounter(%q) labels = %v, want %v", c.path, labels, c.labels)
+		}
+		for k, v := range c.labels {
+			if labels[k] != v {
+				t.Fatalf("MapCounter(%q) labels = %v, want %v", c.path, labels, c.labels)
+			}
+		}
+	}
+}
+
+func TestWriteOpenMetricsValidates(t *testing.T) {
+	reg := counters.NewRegistry()
+	reg.MustRegister(counters.NewCumulative("/threads/count/cumulative"))
+	reg.MustRegister(counters.NewDerived("/threads/idle-rate", func() float64 { return 0.42 }))
+	pw := counters.NewPerWorker("/threads/count/pending-accesses", 2)
+	reg.MustRegister(pw)
+	if err := reg.RegisterInstances(pw); err != nil {
+		t.Fatal(err)
+	}
+	pw.Add(0, 5)
+	pw.Add(1, 7)
+
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, PointsFromRegistry(reg, map[string]string{"node": "127.0.0.1:8080"})); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	n, err := ValidateOpenMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("self-validation failed: %v\n%s", err, text)
+	}
+	// cumulative + idle-rate + pending total + 2 worker instances
+	if n != 5 {
+		t.Fatalf("validated %d samples, want 5\n%s", n, text)
+	}
+
+	// Cumulative counters export as counter with the _total suffix.
+	if !strings.Contains(text, "# TYPE taskgrain_threads_count_cumulative counter") {
+		t.Fatalf("missing counter TYPE line:\n%s", text)
+	}
+	if !strings.Contains(text, `taskgrain_threads_count_cumulative_total{node="127.0.0.1:8080"} 0`) {
+		t.Fatalf("missing counter sample:\n%s", text)
+	}
+	// Derived ratios export as gauge, no suffix.
+	if !strings.Contains(text, "# TYPE taskgrain_threads_idle_rate gauge") ||
+		!strings.Contains(text, `taskgrain_threads_idle_rate{node="127.0.0.1:8080"} 0.42`) {
+		t.Fatalf("missing gauge family:\n%s", text)
+	}
+	// The per-worker instances join the PerWorker total's family as counter
+	// samples with a worker label — one family, one type.
+	if !strings.Contains(text, `taskgrain_threads_count_pending_accesses_total{node="127.0.0.1:8080","worker":"0"}`) &&
+		!strings.Contains(text, `taskgrain_threads_count_pending_accesses_total{node="127.0.0.1:8080",worker="0"} 5`) {
+		t.Fatalf("missing worker instance sample:\n%s", text)
+	}
+	if strings.Count(text, "# TYPE taskgrain_threads_count_pending_accesses ") != 1 {
+		t.Fatalf("pending-accesses family declared more than once:\n%s", text)
+	}
+}
+
+func TestPointsFromSnapshotAllGauges(t *testing.T) {
+	snap := counters.Snapshot{
+		"/threads/idle-rate":        0.1,
+		"/threads/count/cumulative": 42,
+	}
+	pts := PointsFromSnapshot(snap, map[string]string{"node": "n1:1"})
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Type != "gauge" {
+			t.Fatalf("snapshot point %s typed %q, want gauge", p.Family, p.Type)
+		}
+		if p.Labels["node"] != "n1:1" {
+			t.Fatalf("snapshot point %s labels = %v", p.Family, p.Labels)
+		}
+	}
+}
+
+func TestValidateOpenMetricsRejects(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"no EOF", "# TYPE a gauge\na 1\n"},
+		{"content after EOF", "# TYPE a gauge\na 1\n# EOF\nb 2\n"},
+		{"sample before family", "a 1\n# EOF\n"},
+		{"sample outside family", "# TYPE a gauge\nb 1\n# EOF\n"},
+		{"counter without _total", "# TYPE a counter\na 1\n# EOF\n"},
+		{"bad value", "# TYPE a gauge\na pony\n# EOF\n"},
+		{"unterminated labels", "# TYPE a gauge\na{x=\"1 2\n# EOF\n"},
+		{"duplicate family", "# TYPE a gauge\na 1\n# TYPE a gauge\na 2\n# EOF\n"},
+		{"blank line", "# TYPE a gauge\n\na 1\n# EOF\n"},
+	}
+	for _, c := range cases {
+		if _, err := ValidateOpenMetrics(strings.NewReader(c.text)); err == nil {
+			t.Fatalf("%s: accepted:\n%s", c.name, c.text)
+		}
+	}
+	// And the happy path with labels and a counter.
+	good := "# TYPE a counter\na_total{x=\"y\"} 3\n# TYPE b gauge\nb 0.5\n# EOF\n"
+	if n, err := ValidateOpenMetrics(strings.NewReader(good)); err != nil || n != 2 {
+		t.Fatalf("good exposition rejected: n=%d err=%v", n, err)
+	}
+}

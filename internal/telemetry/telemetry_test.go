@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"taskgrain/internal/counters"
+)
+
+// push appends a synthetic sample with the given offset from a fixed epoch.
+func push(r *Ring, at time.Duration, values counters.Snapshot) {
+	epoch := time.Unix(1_000_000, 0)
+	r.Push(Sample{At: epoch.Add(at), Values: values})
+}
+
+func TestRingCapacityAndOrder(t *testing.T) {
+	r := NewRing(3)
+	if r.Capacity() != 3 {
+		t.Fatalf("capacity = %d", r.Capacity())
+	}
+	for i := 1; i <= 5; i++ {
+		push(r, time.Duration(i)*time.Second, counters.Snapshot{"/x": float64(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (oldest overwritten)", r.Len())
+	}
+	last := r.Last(10)
+	if len(last) != 3 {
+		t.Fatalf("last = %d samples", len(last))
+	}
+	// Oldest first: 3, 4, 5 survive.
+	for i, want := range []float64{3, 4, 5} {
+		if got := last[i].Values.Get("/x"); got != want {
+			t.Fatalf("last[%d] = %v, want %v", i, got, want)
+		}
+	}
+	latest, ok := r.Latest()
+	if !ok || latest.Values.Get("/x") != 5 {
+		t.Fatalf("latest = %v ok=%v", latest.Values.Get("/x"), ok)
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(4)
+	if _, ok := r.Latest(); ok {
+		t.Fatal("latest on empty ring")
+	}
+	if got := r.Window(time.Minute); got != nil {
+		t.Fatalf("window on empty ring = %v", got)
+	}
+	if _, _, ok := r.Delta("/x", time.Minute); ok {
+		t.Fatal("delta on empty ring")
+	}
+	if _, ok := r.Rate("/x", time.Minute); ok {
+		t.Fatal("rate on empty ring")
+	}
+	if got := r.Series("/x", 5); len(got) != 0 {
+		t.Fatalf("series on empty ring = %v", got)
+	}
+}
+
+func TestRingWindowRelativeToNewest(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i <= 10; i++ {
+		push(r, time.Duration(i)*time.Second, counters.Snapshot{"/x": float64(i)})
+	}
+	// Window is measured from the newest sample stamp, not the wall clock:
+	// samples at t=8,9,10 fall inside a 2s window.
+	w := r.Window(2 * time.Second)
+	if len(w) != 3 {
+		t.Fatalf("window holds %d samples, want 3", len(w))
+	}
+	if w[0].Values.Get("/x") != 8 || w[2].Values.Get("/x") != 10 {
+		t.Fatalf("window bounds = %v..%v", w[0].Values.Get("/x"), w[2].Values.Get("/x"))
+	}
+}
+
+func TestRingRateUsesRealElapsedTime(t *testing.T) {
+	r := NewRing(16)
+	// Two samples 4s apart with a delta of 100: the rate must divide by the
+	// real 4s between stamps, not any assumed interval.
+	push(r, 0, counters.Snapshot{"/threads/count/cumulative": 50})
+	push(r, 4*time.Second, counters.Snapshot{"/threads/count/cumulative": 150})
+	delta, elapsed, ok := r.Delta("/threads/count/cumulative", 10*time.Second)
+	if !ok || delta != 100 || elapsed != 4*time.Second {
+		t.Fatalf("delta = %v over %v ok=%v", delta, elapsed, ok)
+	}
+	rate, ok := r.Rate("/threads/count/cumulative", 10*time.Second)
+	if !ok || rate != 25 {
+		t.Fatalf("rate = %v ok=%v, want 25/s", rate, ok)
+	}
+}
+
+func TestSamplerSamplesRegistry(t *testing.T) {
+	reg := counters.NewRegistry()
+	c := counters.NewCumulative("/test/n")
+	reg.MustRegister(c)
+
+	var mu sync.Mutex
+	var hooks int
+	s := NewSampler(reg, Config{
+		Interval: 10 * time.Millisecond,
+		Capacity: 8,
+		OnSample: func(Sample) { mu.Lock(); hooks++; mu.Unlock() },
+	})
+	c.Add(7)
+	s.Start()
+	defer s.Stop()
+	// Start takes an immediate synchronous sample.
+	if s.Ring().Len() < 1 {
+		t.Fatal("no immediate sample on Start")
+	}
+	latest, _ := s.Ring().Latest()
+	if latest.Values.Get("/test/n") != 7 {
+		t.Fatalf("sampled value = %v", latest.Values.Get("/test/n"))
+	}
+	c.Add(3)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if latest, ok := s.Ring().Latest(); ok && latest.Values.Get("/test/n") == 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampler never observed the update")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.Stop()
+	mu.Lock()
+	if hooks < 2 {
+		t.Fatalf("OnSample ran %d times", hooks)
+	}
+	mu.Unlock()
+}
+
+func TestSamplerSampleNow(t *testing.T) {
+	reg := counters.NewRegistry()
+	reg.MustRegister(counters.NewCumulative("/test/x"))
+	s := NewSampler(reg, Config{Capacity: 4})
+	before := s.Ring().Len()
+	s.SampleNow()
+	if s.Ring().Len() != before+1 {
+		t.Fatal("SampleNow did not land in the ring")
+	}
+}

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Walls of the paper's U-curve a pinned idle-rate can indicate, and the
+// grain direction that walks off each. The disambiguation is the same
+// task-flow floor the admission controller and the mesh router use: a high
+// idle-rate with real task flow means scheduling overhead dominates (tasks
+// too small — grow the grain); a high idle-rate with almost no flow means
+// the workers are starved (tasks too large or too few — shrink the grain
+// to expose parallelism).
+const (
+	WallOverhead   = "overhead"   // left wall: grain too small
+	WallStarvation = "starvation" // right wall: grain too large
+
+	SuggestGrowGrain   = "grow-grain"
+	SuggestShrinkGrain = "shrink-grain"
+)
+
+// Alert is the watchdog's current verdict for one subject.
+type Alert struct {
+	// Subject names what is being watched ("node 127.0.0.1:8081", or the
+	// daemon itself).
+	Subject string `json:"subject"`
+	// Active reports whether the alert is currently firing.
+	Active bool `json:"active"`
+	// Since is when the alert started firing (zero when never fired).
+	Since time.Time `json:"since,omitempty"`
+	// ClearedAt is when the last firing ended (zero while active or never
+	// fired).
+	ClearedAt time.Time `json:"cleared_at,omitempty"`
+	// IdleRate is the mean idle-rate over the evaluated window.
+	IdleRate float64 `json:"idle_rate"`
+	// FlowPerSec is the task throughput over the window (from the
+	// cumulative task counter against real elapsed time).
+	FlowPerSec float64 `json:"flow_per_sec"`
+	// Wall says which wall of the U-curve the subject is pinned against
+	// (WallOverhead or WallStarvation; empty when not firing).
+	Wall string `json:"wall,omitempty"`
+	// Suggestion is the grain direction that walks off the wall
+	// (SuggestGrowGrain or SuggestShrinkGrain; empty when not firing).
+	Suggestion string `json:"suggestion,omitempty"`
+	// Samples is how many ring samples the verdict was computed from.
+	Samples int `json:"samples"`
+}
+
+// WatchdogConfig parameterizes a Watchdog.
+type WatchdogConfig struct {
+	// Subject labels the alert.
+	Subject string
+	// IdleCounter is the idle-rate series to evaluate (an interval Eq. 1
+	// reading such as /server/idle-rate, already in [0,1]).
+	IdleCounter string
+	// FlowCounter is the cumulative task counter whose window delta
+	// disambiguates the U-curve walls (e.g. /threads/count/cumulative).
+	FlowCounter string
+	// BusyCounter, when set, is an occupancy gauge (e.g.
+	// /server/tasks/inflight): a window in which it never rises above zero
+	// is a subject with no work at all, and the watchdog stays quiet — an
+	// idle runtime's 100% idle-rate means capacity, not a U-curve wall,
+	// exactly the admission controller's empty-runtime rule.
+	BusyCounter string
+	// HighIdle is the tolerance threshold (the paper's ~30%; default 0.30).
+	HighIdle float64
+	// Window is the sliding window the idle-rate must be pinned for before
+	// the alert fires (default 5s).
+	Window time.Duration
+	// MinSamples is the least ring samples a window must hold to be judged
+	// at all (default 3) — a freshly started daemon never fires off one
+	// reading.
+	MinSamples int
+	// FlowFloor is the tasks-per-second floor below which a pinned
+	// idle-rate reads as starvation rather than overhead (default 1).
+	FlowFloor float64
+	// Logf, when set, receives one line per alert transition.
+	Logf func(format string, args ...any)
+}
+
+// Watchdog evaluates the idle-rate tolerance threshold over a sliding
+// window of ring samples: it fires when every sample in a full window is
+// above HighIdle — a node pinned against a wall of the U-curve, not a
+// transient — and clears as soon as one sample returns inside tolerance
+// (e.g. after a regrain). Evaluate is driven from the sampler's OnSample
+// hook; Current is safe to serve concurrently.
+type Watchdog struct {
+	cfg WatchdogConfig
+
+	mu    sync.Mutex
+	alert Alert
+}
+
+// NewWatchdog builds a watchdog; zero config fields get defaults.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.HighIdle <= 0 {
+		cfg.HighIdle = 0.30
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 5 * time.Second
+	}
+	if cfg.MinSamples < 2 {
+		cfg.MinSamples = 3
+	}
+	if cfg.FlowFloor <= 0 {
+		cfg.FlowFloor = 1
+	}
+	return &Watchdog{cfg: cfg, alert: Alert{Subject: cfg.Subject}}
+}
+
+// Current returns the latest verdict.
+func (w *Watchdog) Current() Alert {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.alert
+}
+
+// Evaluate re-judges the subject from the ring's current window and
+// returns the updated verdict. Transitions (fire, clear) are logged via
+// cfg.Logf.
+func (w *Watchdog) Evaluate(ring *Ring) Alert {
+	samples := ring.Window(w.cfg.Window)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.alert.Samples = len(samples)
+	if len(samples) < w.cfg.MinSamples {
+		// Not enough history to judge; keep the previous verdict.
+		return w.alert
+	}
+
+	var sum float64
+	pinned := true
+	busy := w.cfg.BusyCounter == "" // no occupancy gauge → judge on idle alone
+	for _, s := range samples {
+		idle := s.Values.Get(w.cfg.IdleCounter)
+		sum += idle
+		if idle <= w.cfg.HighIdle {
+			pinned = false
+		}
+		if !busy && s.Values.Get(w.cfg.BusyCounter) > 0 {
+			busy = true
+		}
+	}
+	if !busy {
+		// Nothing ran all window: idle capacity, not a wall. Treated as
+		// in-tolerance so an active alert clears when the work drains.
+		pinned = false
+	}
+	w.alert.IdleRate = sum / float64(len(samples))
+
+	first, last := samples[0], samples[len(samples)-1]
+	elapsed := last.At.Sub(first.At)
+	if elapsed > 0 {
+		w.alert.FlowPerSec = (last.Values.Get(w.cfg.FlowCounter) -
+			first.Values.Get(w.cfg.FlowCounter)) / elapsed.Seconds()
+	}
+
+	switch {
+	case pinned && !w.alert.Active:
+		w.alert.Active = true
+		w.alert.Since = last.At
+		w.alert.ClearedAt = time.Time{}
+		w.classifyLocked()
+		w.logf("telemetry: watchdog ALERT %s: idle-rate %.1f%% > %.0f%% for a full %v window, flow %.1f tasks/s → %s wall, suggest %s",
+			w.cfg.Subject, w.alert.IdleRate*100, w.cfg.HighIdle*100, w.cfg.Window,
+			w.alert.FlowPerSec, w.alert.Wall, w.alert.Suggestion)
+	case pinned && w.alert.Active:
+		// Still firing; refresh the wall verdict — flow can change while
+		// pinned (e.g. a starved node picking up small tasks).
+		w.classifyLocked()
+	case !pinned && w.alert.Active:
+		w.alert.Active = false
+		w.alert.ClearedAt = last.At
+		w.alert.Wall, w.alert.Suggestion = "", ""
+		w.logf("telemetry: watchdog cleared %s: idle-rate back inside %.0f%% tolerance (window mean %.1f%%)",
+			w.cfg.Subject, w.cfg.HighIdle*100, w.alert.IdleRate*100)
+	}
+	return w.alert
+}
+
+// classifyLocked sets the wall and grain suggestion from the current flow
+// reading. Caller holds w.mu.
+func (w *Watchdog) classifyLocked() {
+	if w.alert.FlowPerSec < w.cfg.FlowFloor {
+		w.alert.Wall = WallStarvation
+		w.alert.Suggestion = SuggestShrinkGrain
+	} else {
+		w.alert.Wall = WallOverhead
+		w.alert.Suggestion = SuggestGrowGrain
+	}
+}
+
+func (w *Watchdog) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"taskgrain/internal/counters"
+)
+
+// feed pushes a sequence of (idle, cumulative-tasks) samples one second
+// apart, starting at the given offset index.
+func feed(r *Ring, startSec int, readings [][2]float64) {
+	for i, rd := range readings {
+		push(r, time.Duration(startSec+i)*time.Second, counters.Snapshot{
+			"/server/idle-rate":         rd[0],
+			"/threads/count/cumulative": rd[1],
+		})
+	}
+}
+
+func newTestWatchdog(logs *[]string) *Watchdog {
+	return NewWatchdog(WatchdogConfig{
+		Subject:     "node test:1",
+		IdleCounter: "/server/idle-rate",
+		FlowCounter: "/threads/count/cumulative",
+		HighIdle:    0.30,
+		Window:      5 * time.Second,
+		MinSamples:  3,
+		FlowFloor:   10, // tasks/s
+		Logf: func(format string, args ...any) {
+			*logs = append(*logs, fmt.Sprintf(format, args...))
+		},
+	})
+}
+
+func TestWatchdogFiresAfterFullWindowAndClears(t *testing.T) {
+	var logs []string
+	w := newTestWatchdog(&logs)
+	r := NewRing(64)
+
+	// Healthy readings: idle well under the threshold.
+	feed(r, 0, [][2]float64{{0.05, 0}, {0.08, 1000}, {0.06, 2000}})
+	if a := w.Evaluate(r); a.Active {
+		t.Fatalf("fired on healthy window: %+v", a)
+	}
+
+	// One bad reading inside an otherwise-healthy window must NOT fire:
+	// the threshold has to hold for the full window.
+	feed(r, 3, [][2]float64{{0.55, 3000}})
+	if a := w.Evaluate(r); a.Active {
+		t.Fatalf("fired on a transient: %+v", a)
+	}
+
+	// Now pin the idle-rate above tolerance for a whole window with high
+	// task flow: overhead wall, suggestion is to grow the grain.
+	feed(r, 10, [][2]float64{{0.45, 10000}, {0.52, 20000}, {0.48, 30000}, {0.50, 40000}, {0.47, 50000}, {0.49, 60000}})
+	a := w.Evaluate(r)
+	if !a.Active {
+		t.Fatalf("did not fire on pinned window: %+v", a)
+	}
+	if a.Wall != WallOverhead || a.Suggestion != SuggestGrowGrain {
+		t.Fatalf("wall = %q suggestion = %q, want overhead/grow-grain (flow %.1f/s)", a.Wall, a.Suggestion, a.FlowPerSec)
+	}
+	if a.IdleRate < 0.30 {
+		t.Fatalf("reported window idle-rate %.2f below threshold", a.IdleRate)
+	}
+	if len(logs) != 1 || !strings.Contains(logs[0], "ALERT") {
+		t.Fatalf("logs = %v", logs)
+	}
+
+	// Re-evaluating while still pinned stays active without re-logging.
+	w.Evaluate(r)
+	if len(logs) != 1 {
+		t.Fatalf("duplicate alert logs: %v", logs)
+	}
+
+	// After a regrain the idle-rate returns inside tolerance: the alert
+	// clears on the first healthy reading.
+	feed(r, 16, [][2]float64{{0.10, 61000}, {0.09, 62000}, {0.08, 63000}})
+	a = w.Evaluate(r)
+	if a.Active {
+		t.Fatalf("did not clear: %+v", a)
+	}
+	if a.ClearedAt.IsZero() || a.Wall != "" || a.Suggestion != "" {
+		t.Fatalf("cleared alert kept stale verdict: %+v", a)
+	}
+	if len(logs) != 2 || !strings.Contains(logs[1], "cleared") {
+		t.Fatalf("logs = %v", logs)
+	}
+}
+
+func TestWatchdogStarvationWall(t *testing.T) {
+	var logs []string
+	w := newTestWatchdog(&logs)
+	r := NewRing(64)
+	// Pinned idle with nearly no task flow: the right wall — workers are
+	// starved, the grain is too large; suggest shrinking it.
+	feed(r, 0, [][2]float64{{0.60, 0}, {0.65, 5}, {0.62, 10}, {0.64, 15}, {0.61, 20}, {0.63, 25}})
+	a := w.Evaluate(r)
+	if !a.Active {
+		t.Fatalf("did not fire: %+v", a)
+	}
+	if a.Wall != WallStarvation || a.Suggestion != SuggestShrinkGrain {
+		t.Fatalf("wall = %q suggestion = %q (flow %.1f/s), want starvation/shrink-grain", a.Wall, a.Suggestion, a.FlowPerSec)
+	}
+}
+
+// TestWatchdogBusyGate: with an occupancy gauge configured, a subject with
+// no work all window never alerts — an idle runtime's 100% idle-rate is
+// capacity, not a U-curve wall — and an active alert clears when the work
+// drains.
+func TestWatchdogBusyGate(t *testing.T) {
+	var logs []string
+	w := NewWatchdog(WatchdogConfig{
+		Subject:     "node test:1",
+		IdleCounter: "/server/idle-rate",
+		FlowCounter: "/threads/count/cumulative",
+		BusyCounter: "/server/tasks/inflight",
+		Window:      5 * time.Second,
+		FlowFloor:   10,
+		Logf: func(format string, args ...any) {
+			logs = append(logs, fmt.Sprintf(format, args...))
+		},
+	})
+	r := NewRing(64)
+	pushBusy := func(sec int, idle, tasks, inflight float64) {
+		push(r, time.Duration(sec)*time.Second, counters.Snapshot{
+			"/server/idle-rate":         idle,
+			"/threads/count/cumulative": tasks,
+			"/server/tasks/inflight":    inflight,
+		})
+	}
+
+	// A freshly started, completely idle daemon: idle-rate pinned at 1.0
+	// for a full window, zero occupancy. Must stay quiet.
+	for i := 0; i < 6; i++ {
+		pushBusy(i, 1.0, 0, 0)
+	}
+	if a := w.Evaluate(r); a.Active {
+		t.Fatalf("fired on an empty runtime: %+v", a)
+	}
+
+	// The same pinned idle-rate with one giant task on board is the real
+	// starvation wall.
+	for i := 10; i < 16; i++ {
+		pushBusy(i, 0.9, 100, 1)
+	}
+	a := w.Evaluate(r)
+	if !a.Active || a.Wall != WallStarvation {
+		t.Fatalf("busy starved window did not fire: %+v", a)
+	}
+
+	// Work drains away while the idle-rate stays high: the alert clears —
+	// the wall is gone along with the work.
+	for i := 20; i < 26; i++ {
+		pushBusy(i, 1.0, 100, 0)
+	}
+	if a := w.Evaluate(r); a.Active {
+		t.Fatalf("did not clear after the work drained: %+v", a)
+	}
+	if len(logs) != 2 {
+		t.Fatalf("transitions logged = %v", logs)
+	}
+}
+
+func TestWatchdogNeedsMinSamples(t *testing.T) {
+	var logs []string
+	w := newTestWatchdog(&logs)
+	r := NewRing(8)
+	// Two pinned samples are not enough history to judge.
+	feed(r, 0, [][2]float64{{0.9, 0}, {0.9, 10000}})
+	if a := w.Evaluate(r); a.Active {
+		t.Fatalf("fired on %d samples below MinSamples: %+v", a.Samples, a)
+	}
+}
+
+func TestWatchdogCurrentConcurrent(t *testing.T) {
+	var logs []string
+	w := newTestWatchdog(&logs)
+	r := NewRing(64)
+	feed(r, 0, [][2]float64{{0.5, 0}, {0.5, 1000}, {0.5, 2000}, {0.5, 3000}})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			w.Evaluate(r)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		_ = w.Current()
+	}
+	<-done
+}

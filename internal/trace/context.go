@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Header is the HTTP header that carries a span context across mesh hops,
+// so one job's path — submit → route → spill → failover → complete —
+// renders as a single trace no matter how many nodes touched it. The value
+// is SpanContext.String ("<trace>-<span>", two 16-hex-digit fields).
+const Header = "Taskgrain-Trace"
+
+// SpanContext identifies one hop of one traced operation: TraceID is
+// shared by every hop of the operation, SpanID is unique per hop and
+// Parent links a hop to the hop that caused it. The zero value is "not
+// traced" (Valid reports false).
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Parent  uint64 // 0 for the root span
+}
+
+// idSource is a dedicated PRNG for span IDs; the global rand is left alone
+// so seeded experiments stay reproducible.
+var (
+	idMu     sync.Mutex
+	idSource = rand.New(rand.NewSource(rand.Int63()))
+)
+
+func newID() uint64 {
+	idMu.Lock()
+	defer idMu.Unlock()
+	// Avoid 0: it is the "unset" sentinel.
+	for {
+		if id := idSource.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// NewSpanContext mints a root span context with fresh trace and span IDs.
+func NewSpanContext() SpanContext {
+	return SpanContext{TraceID: newID(), SpanID: newID()}
+}
+
+// Valid reports whether the context identifies a trace.
+func (c SpanContext) Valid() bool { return c.TraceID != 0 && c.SpanID != 0 }
+
+// Child mints the context for a hop caused by c: same trace, fresh span,
+// parented to c's span.
+func (c SpanContext) Child() SpanContext {
+	return SpanContext{TraceID: c.TraceID, SpanID: newID(), Parent: c.SpanID}
+}
+
+// String renders the wire form carried in the Header: "<trace>-<span>"
+// as fixed-width lowercase hex. The parent link is gateway-local state and
+// does not travel.
+func (c SpanContext) String() string {
+	return fmt.Sprintf("%016x-%016x", c.TraceID, c.SpanID)
+}
+
+// ParseSpanContext parses the wire form. It reports ok=false (and a zero
+// context) for anything malformed — a bad header downgrades the request to
+// untraced rather than failing it.
+func ParseSpanContext(s string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 2 || len(parts[0]) != 16 || len(parts[1]) != 16 {
+		return SpanContext{}, false
+	}
+	tid, err := strconv.ParseUint(parts[0], 16, 64)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	sid, err := strconv.ParseUint(parts[1], 16, 64)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	c := SpanContext{TraceID: tid, SpanID: sid}
+	if !c.Valid() {
+		return SpanContext{}, false
+	}
+	return c, true
+}

@@ -1,0 +1,66 @@
+package trace
+
+import "testing"
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	c := NewSpanContext()
+	if !c.Valid() {
+		t.Fatal("fresh context invalid")
+	}
+	got, ok := ParseSpanContext(c.String())
+	if !ok {
+		t.Fatalf("round-trip parse failed for %q", c.String())
+	}
+	if got.TraceID != c.TraceID || got.SpanID != c.SpanID {
+		t.Fatalf("round-trip = %+v, want %+v", got, c)
+	}
+	// The parent link is local state; it must not survive the wire.
+	child := c.Child()
+	parsed, ok := ParseSpanContext(child.String())
+	if !ok || parsed.Parent != 0 {
+		t.Fatalf("parsed child = %+v ok=%v; parent must not travel", parsed, ok)
+	}
+}
+
+func TestSpanContextChild(t *testing.T) {
+	c := NewSpanContext()
+	k := c.Child()
+	if k.TraceID != c.TraceID {
+		t.Fatal("child changed trace ID")
+	}
+	if k.SpanID == c.SpanID || k.SpanID == 0 {
+		t.Fatalf("child span ID = %x", k.SpanID)
+	}
+	if k.Parent != c.SpanID {
+		t.Fatalf("child parent = %x, want %x", k.Parent, c.SpanID)
+	}
+}
+
+func TestParseSpanContextRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"deadbeef",                            // one field
+		"deadbeef-deadbeef",                   // fields too short
+		"00000000000000000-0000000000000001",  // wrong width
+		"000000000000000g-0000000000000001",   // non-hex
+		"0000000000000000-0000000000000000",   // zero IDs are "unset"
+		"0000000000000001-0000000000000001-1", // extra field
+	}
+	for _, s := range bad {
+		if _, ok := ParseSpanContext(s); ok {
+			t.Fatalf("ParseSpanContext(%q) accepted", s)
+		}
+	}
+	if _, ok := ParseSpanContext(" 0000000000000001-0000000000000002 "); !ok {
+		t.Fatal("surrounding whitespace should be tolerated")
+	}
+}
+
+func TestHopKindStrings(t *testing.T) {
+	cases := map[Kind]string{Route: "route", SpillHop: "spill", FailoverHop: "failover"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

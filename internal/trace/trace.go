@@ -35,6 +35,15 @@ const (
 	Resume
 	// Steal marks a task claimed from another worker's queue.
 	Steal
+	// Route marks a mesh gateway placing a job on a node (cross-hop trace;
+	// Worker carries the node's lane index, TaskID the mesh job number).
+	Route
+	// SpillHop marks a submission bouncing off a shedding or unreachable
+	// node during mesh spillover.
+	SpillHop
+	// FailoverHop marks a job resubmitted to another node after its owner
+	// died mid-flight.
+	FailoverHop
 )
 
 // String returns the kind name.
@@ -52,6 +61,12 @@ func (k Kind) String() string {
 		return "resume"
 	case Steal:
 		return "steal"
+	case Route:
+		return "route"
+	case SpillHop:
+		return "spill"
+	case FailoverHop:
+		return "failover"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -296,7 +311,7 @@ func (t *Tracer) RenderSummary() string {
 	if d := t.Drops(); d > 0 {
 		fmt.Fprintf(&b, "  dropped      %d (retention cap reached; totals under-report)\n", d)
 	}
-	kindNames := []Kind{Spawn, PhaseBegin, PhaseEnd, Suspend, Resume, Steal}
+	kindNames := []Kind{Spawn, PhaseBegin, PhaseEnd, Suspend, Resume, Steal, Route, SpillHop, FailoverHop}
 	for _, k := range kindNames {
 		if kinds[k] > 0 {
 			fmt.Fprintf(&b, "  %-12s %d\n", k, kinds[k])
