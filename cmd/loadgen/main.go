@@ -272,9 +272,24 @@ func (g *generator) oneJob() {
 				MetgFound bool    `json:"metg_found"`
 			} `json:"result"`
 		}
+		status := resp.StatusCode
 		err = json.NewDecoder(resp.Body).Decode(&v)
 		resp.Body.Close()
 		if err != nil {
+			if status == http.StatusOK {
+				// The server answered the poll but the payload arrived garbled
+				// (e.g. a body truncated mid-transfer). The job's fate is
+				// unknown, which for the report is a terminal failure — it must
+				// land in the latency and per-target breakdown, not vanish into
+				// the transport-error count as if the server were unreachable.
+				g.failed.Add(1)
+				g.mu.Lock()
+				g.latencies = append(g.latencies, time.Since(submitStart))
+				g.perTarget[idx].latencies = append(g.perTarget[idx].latencies, time.Since(submitStart))
+				g.perTarget[idx].terminal++
+				g.mu.Unlock()
+				return
+			}
 			g.errors.Add(1)
 			return
 		}

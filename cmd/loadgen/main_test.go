@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"taskgrain/internal/chaos"
 	"taskgrain/internal/config"
 	"taskgrain/internal/taskserve"
 )
@@ -192,6 +193,54 @@ func TestLoadgenMeshTargets(t *testing.T) {
 			t.Fatalf("round-robin skew: %s saw %v submissions, want 4",
 				ts.URL, snap["/server/jobs/submitted"])
 		}
+	}
+}
+
+// TestLoadgenTruncatedPollCountsAsFailure: a status poll that comes back 200
+// with a garbled (truncated) JSON body is a terminal failure for the report —
+// the job lands in the failed count and the latency breakdown — not a
+// transport error that silently drops it and fails the whole run (regression
+// for decode errors on 200 being lumped into the errors bucket).
+func TestLoadgenTruncatedPollCountsAsFailure(t *testing.T) {
+	cfg := config.DefaultServer()
+	cfg.Workers = 2
+	cfg.SampleInterval = 5 * time.Millisecond
+	cfg.ShedMinTasks = 1e12
+	s, err := taskserve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() { s.Close() })
+	// Truncate every status GET; submissions and the stats footer pass clean.
+	proxy := chaos.NewProxy(s.Handler(), chaos.ProxyConfig{
+		TruncateProb: 1,
+		Match: func(r *http.Request) bool {
+			return r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/")
+		},
+	})
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", front.URL,
+		"-jobs", "3", "-concurrency", "2",
+		"-kind", "fibonacci", "-size", "10", "-grain", "10",
+	}, &stdout, &stderr)
+	out := stdout.String()
+	if code != 0 {
+		t.Fatalf("garbled polls exit %d, want 0 (failures are terminal, not transport errors)\nstdout: %s\nstderr: %s",
+			code, out, stderr.String())
+	}
+	if !strings.Contains(out, "0 done, 3 failed, 0 cancelled, 0 errors") {
+		t.Fatalf("truncated polls not counted as terminal failures:\n%s", out)
+	}
+	if !strings.Contains(out, "(3 samples)") {
+		t.Fatalf("failed jobs missing from the latency breakdown:\n%s", out)
+	}
+	if got := proxy.Injected()["truncations"]; got < 3 {
+		t.Fatalf("proxy truncated %d responses, want >= 3", got)
 	}
 }
 

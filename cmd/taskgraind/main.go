@@ -24,6 +24,10 @@
 //	-telemetry-interval <dur> counter-ring sampling period (default 250ms)
 //	-telemetry-ring <n>     samples retained per counter (default 600)
 //	-watchdog-window <dur>  idle-rate watchdog sliding window (default 5s)
+//	-chaos-seed <n>         arm deterministic scheduler fault injection
+//	                        with this seed (0 = off; test/repro only —
+//	                        replays the interleavings a chaos scenario
+//	                        found, see internal/chaos)
 //
 // Precedence, lowest to highest: defaults, the -config file, TASKGRAIND_*
 // environment variables, explicit flags.

@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Hooks is the runtime-level fault surface taskrt consults when armed via
+// taskrt.WithChaosHooks. Every site in the runtime guards the call behind a
+// nil check, so a runtime built without hooks pays one pointer comparison
+// per site and nothing else.
+//
+// Implementations must be safe for concurrent use by every worker and
+// spawner; SchedHooks is the seeded reference implementation.
+type Hooks interface {
+	// PreWake runs on the targeted-wake path (Runtime.wakeOne) before the
+	// parked-worker scan for a task homed on queue home. Sleeping here
+	// delays the wake relative to the queue push that preceded it — which
+	// is exactly how wakes reorder against each other and against the park
+	// timeout backstop.
+	PreWake(home int)
+	// PreProbe runs at the top of every worker discovery sweep, before the
+	// policy's next(). Sleeping here stalls the worker mid-loop, the
+	// transient-straggler regime the Tiny-Tasks literature worries about.
+	PreProbe(worker int)
+	// PermuteVictims may reorder the victim scan order in place. The
+	// runtime passes a scratch copy, so a permutation perturbs one steal
+	// (or one wake scan) without corrupting the cached NUMA orders.
+	PermuteVictims(worker int, victims []int)
+}
+
+// SchedConfig parameterizes SchedHooks. Probabilities are per call site
+// visit; zero values disable the corresponding injection.
+type SchedConfig struct {
+	// Seed drives every random decision.
+	Seed int64
+	// WakeDelayProb is the probability a targeted wake is delayed by a
+	// uniform draw from [0, WakeDelayMax).
+	WakeDelayProb float64
+	WakeDelayMax  time.Duration
+	// WakeShuffleProb is the probability one wake's worker scan order is
+	// shuffled (the wake lands on a NUMA-remote worker first).
+	WakeShuffleProb float64
+	// StallProb is the probability one discovery sweep stalls its worker
+	// for a uniform draw from [0, StallMax).
+	StallProb float64
+	StallMax  time.Duration
+	// StallWorker restricts stalls to one worker index; -1 stalls any
+	// worker the probability selects.
+	StallWorker int
+	// StealShuffleProb is the probability one steal sweep probes its
+	// victims in a shuffled order instead of the Fig. 1 NUMA order.
+	StealShuffleProb float64
+}
+
+// DefaultSchedConfig is the moderate all-paths-armed configuration the
+// -chaos-seed flag and the canonical scenarios use: every injection class
+// is on, with delays short enough that a test-sized workload still
+// completes promptly.
+func DefaultSchedConfig(seed int64) SchedConfig {
+	return SchedConfig{
+		Seed:             seed,
+		WakeDelayProb:    0.10,
+		WakeDelayMax:     200 * time.Microsecond,
+		WakeShuffleProb:  0.25,
+		StallProb:        0.02,
+		StallMax:         300 * time.Microsecond,
+		StallWorker:      -1,
+		StealShuffleProb: 0.25,
+	}
+}
+
+// SchedHooks is the seeded Hooks implementation. All counters and draws
+// are lock-free; the struct is safe for concurrent use by every worker.
+type SchedHooks struct {
+	cfg SchedConfig
+	rng *Rand
+
+	wakeDelays   atomic.Int64
+	wakeShuffles atomic.Int64
+	stalls       atomic.Int64
+	stealShuffle atomic.Int64
+}
+
+// NewSchedHooks builds hooks from cfg, defaulting the delay bounds.
+func NewSchedHooks(cfg SchedConfig) *SchedHooks {
+	if cfg.WakeDelayMax <= 0 {
+		cfg.WakeDelayMax = 200 * time.Microsecond
+	}
+	if cfg.StallMax <= 0 {
+		cfg.StallMax = 300 * time.Microsecond
+	}
+	return &SchedHooks{cfg: cfg, rng: NewRand(cfg.Seed)}
+}
+
+// PreWake implements Hooks.
+func (h *SchedHooks) PreWake(home int) {
+	if h.cfg.WakeDelayProb > 0 && h.rng.Float64() < h.cfg.WakeDelayProb {
+		h.wakeDelays.Add(1)
+		time.Sleep(h.rng.Duration(h.cfg.WakeDelayMax))
+	}
+}
+
+// PreProbe implements Hooks.
+func (h *SchedHooks) PreProbe(worker int) {
+	if h.cfg.StallProb <= 0 {
+		return
+	}
+	if h.cfg.StallWorker >= 0 && worker != h.cfg.StallWorker {
+		return
+	}
+	if h.rng.Float64() < h.cfg.StallProb {
+		h.stalls.Add(1)
+		time.Sleep(h.rng.Duration(h.cfg.StallMax))
+	}
+}
+
+// PermuteVictims implements Hooks. The same hook serves both perturbation
+// points: steal sweeps (policy victim order) and wake scans (parker wake
+// order) — both are "which peer do I touch first" decisions the paper's
+// Fig. 1 ordering normally fixes.
+func (h *SchedHooks) PermuteVictims(worker int, victims []int) {
+	if len(victims) < 2 {
+		return
+	}
+	// The wake path passes the home worker itself at victims[0]; a shuffle
+	// covers both cases uniformly.
+	p := h.cfg.StealShuffleProb
+	if p < h.cfg.WakeShuffleProb {
+		p = h.cfg.WakeShuffleProb
+	}
+	if p > 0 && h.rng.Float64() < p {
+		h.stealShuffle.Add(1)
+		h.rng.Shuffle(victims)
+	}
+}
+
+// Injected reports how many times each injection class fired — scenarios
+// assert on these to prove the chaos actually engaged.
+func (h *SchedHooks) Injected() map[string]int64 {
+	return map[string]int64{
+		"wake-delays":     h.wakeDelays.Load(),
+		"victim-shuffles": h.stealShuffle.Load(),
+		"stalls":          h.stalls.Load(),
+	}
+}
+
+// InjectedTotal is the sum over every injection class.
+func (h *SchedHooks) InjectedTotal() int64 {
+	var t int64
+	for _, v := range h.Injected() {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,173 @@
+package chaos_test
+
+import (
+	"testing"
+	"time"
+
+	"taskgrain/internal/chaos"
+	"taskgrain/internal/taskrt"
+)
+
+// TestRandDeterministic: the whole harness's replay promise rests on the
+// PRNG being a pure function of its seed.
+func TestRandDeterministic(t *testing.T) {
+	a, b := chaos.NewRand(42), chaos.NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d diverged: %d vs %d", i, av, bv)
+		}
+	}
+	c := chaos.NewRand(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("adjacent seeds correlated: %d/100 identical draws", same)
+	}
+}
+
+func TestRandBounds(t *testing.T) {
+	r := chaos.NewRand(7)
+	for i := 0; i < 10_000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if n := r.Intn(5); n < 0 || n >= 5 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+		if d := r.Duration(time.Millisecond); d < 0 || d >= time.Millisecond {
+			t.Fatalf("Duration out of range: %v", d)
+		}
+	}
+	if d := r.Duration(0); d != 0 {
+		t.Fatalf("Duration(0) = %v", d)
+	}
+}
+
+func TestRandShuffleIsPermutation(t *testing.T) {
+	r := chaos.NewRand(3)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(xs)
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+// TestSchedHooksProbabilities: armed classes fire roughly per their
+// probability; disabled classes never fire.
+func TestSchedHooksProbabilities(t *testing.T) {
+	h := chaos.NewSchedHooks(chaos.SchedConfig{
+		Seed:             1,
+		WakeDelayProb:    1,
+		WakeDelayMax:     time.Microsecond,
+		StallProb:        0, // disabled
+		StealShuffleProb: 1,
+	})
+	for i := 0; i < 50; i++ {
+		h.PreWake(0)
+		h.PreProbe(i % 4)
+		h.PermuteVictims(0, []int{1, 2, 3})
+	}
+	inj := h.Injected()
+	if inj["wake-delays"] != 50 {
+		t.Fatalf("wake delays = %d, want 50", inj["wake-delays"])
+	}
+	if inj["victim-shuffles"] != 50 {
+		t.Fatalf("victim shuffles = %d, want 50", inj["victim-shuffles"])
+	}
+	if inj["stalls"] != 0 {
+		t.Fatalf("stalls fired while disabled: %d", inj["stalls"])
+	}
+	if h.InjectedTotal() != 100 {
+		t.Fatalf("injected total = %d, want 100", h.InjectedTotal())
+	}
+}
+
+// TestSchedHooksStallWorkerTargeting: StallWorker pins the stall class to
+// one chosen worker.
+func TestSchedHooksStallWorkerTargeting(t *testing.T) {
+	h := chaos.NewSchedHooks(chaos.SchedConfig{
+		Seed:        9,
+		StallProb:   1,
+		StallMax:    time.Microsecond,
+		StallWorker: 2,
+	})
+	for w := 0; w < 4; w++ {
+		h.PreProbe(w)
+	}
+	if got := h.Injected()["stalls"]; got != 1 {
+		t.Fatalf("stalls = %d, want exactly the chosen worker's 1", got)
+	}
+}
+
+// TestSchedHooksPermutePreservesVictims: a perturbed scan order must stay a
+// permutation — dropping or duplicating a victim would unbalance stealing.
+func TestSchedHooksPermutePreservesVictims(t *testing.T) {
+	h := chaos.NewSchedHooks(chaos.SchedConfig{Seed: 5, StealShuffleProb: 1})
+	victims := []int{3, 1, 4, 1, 5} // duplicates allowed in principle
+	h.PermuteVictims(0, victims)
+	counts := map[int]int{}
+	for _, v := range victims {
+		counts[v]++
+	}
+	if counts[3] != 1 || counts[1] != 2 || counts[4] != 1 || counts[5] != 1 {
+		t.Fatalf("permutation corrupted victims: %v", victims)
+	}
+}
+
+// TestRuntimeWithChaosHooksCompletesAllWork: the wiring test — a runtime
+// with every injection class armed must still run every task exactly once
+// and drain to zero inflight, across Spawn, SpawnBatch, and steal paths.
+func TestRuntimeWithChaosHooksCompletesAllWork(t *testing.T) {
+	h := chaos.NewSchedHooks(chaos.SchedConfig{
+		Seed:             11,
+		WakeDelayProb:    0.3,
+		WakeDelayMax:     50 * time.Microsecond,
+		WakeShuffleProb:  0.5,
+		StallProb:        0.05,
+		StallMax:         100 * time.Microsecond,
+		StallWorker:      -1,
+		StealShuffleProb: 0.5,
+	})
+	rt := taskrt.New(
+		taskrt.WithWorkers(4),
+		taskrt.WithNUMADomains(2),
+		taskrt.WithChaosHooks(h),
+		taskrt.WithParkTimeout(100*time.Microsecond),
+	)
+	rt.Start()
+	defer rt.Shutdown()
+
+	const rounds, perRound = 5, 200
+	var ran [rounds * perRound]int32
+	for r := 0; r < rounds; r++ {
+		fns := make([]func(*taskrt.Context), perRound)
+		for i := 0; i < perRound; i++ {
+			idx := r*perRound + i
+			fns[i] = func(*taskrt.Context) { ran[idx]++ }
+		}
+		rt.SpawnBatch(fns)
+		rt.WaitIdle()
+	}
+	if got := rt.Inflight(); got != 0 {
+		t.Fatalf("inflight after WaitIdle = %d", got)
+	}
+	for i, n := range ran {
+		if n != 1 {
+			t.Fatalf("task %d ran %d times", i, n)
+		}
+	}
+	if got := rt.TasksExecuted(); got != rounds*perRound {
+		t.Fatalf("tasks executed = %d, want %d", got, rounds*perRound)
+	}
+	if h.InjectedTotal() == 0 {
+		t.Fatal("chaos hooks armed but nothing injected")
+	}
+}

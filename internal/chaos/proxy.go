@@ -1,0 +1,231 @@
+package chaos
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Flap is an up/down square-wave schedule: the proxy serves normally for
+// Up, then refuses everything for Down, repeating from the proxy's start
+// instant. A flapping node is the registry's worst case — it keeps
+// re-entering and leaving the routing set while jobs are in flight.
+type Flap struct {
+	Up   time.Duration
+	Down time.Duration
+}
+
+// ProxyConfig parameterizes a Proxy. Probabilities are per matching
+// request; zero values disable the corresponding injection.
+type ProxyConfig struct {
+	// Seed drives every random decision.
+	Seed int64
+	// Match limits probabilistic injection to matching requests (nil
+	// matches everything). Health/heartbeat surfaces are typically excluded
+	// so the fault targets the data path, not the node's liveness — the
+	// down switch and Flap schedule ignore Match: a dead node is dead on
+	// every path.
+	Match func(*http.Request) bool
+
+	// Latency adds a fixed delay plus a uniform draw from [0, LatencyJitter)
+	// to matching requests, with probability LatencyProb (default 1 when a
+	// latency is configured).
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	LatencyProb   float64
+
+	// ResetProb cuts the connection without a response — the client sees a
+	// transport error (EOF / connection reset), exactly a node dying
+	// mid-request.
+	ResetProb float64
+
+	// TruncateProb serves the inner handler's status and headers but only a
+	// prefix of the body (TruncateBytes bytes, default 12, always strictly
+	// shorter than the full body). The response is well-formed HTTP carrying
+	// a syntactically broken payload — the "truncated JSON on a 200" case.
+	TruncateProb  float64
+	TruncateBytes int
+
+	// Err5xxProb short-circuits with a 500 without reaching the inner
+	// handler.
+	Err5xxProb float64
+
+	// HangProb wedges the request — the proxy holds the connection without
+	// answering until the client gives up — the hung-node long-poll case.
+	HangProb float64
+
+	// Flap, when set, overlays the square-wave refusal schedule.
+	Flap *Flap
+}
+
+// Proxy is a fault-injecting http.Handler wrapper, placed in front of any
+// taskserve node (or scriptable stand-in) in tests:
+//
+//	front := httptest.NewServer(chaos.NewProxy(srv.Handler(), cfg))
+//
+// Besides the seeded probabilistic injections it has two deterministic
+// controls: SetDown (a manual kill switch — every request is refused with a
+// connection abort until revived) and Burst5xx (the next n matching
+// requests answer 500). Injection counts are exposed via Injected so tests
+// can assert the chaos engaged.
+type Proxy struct {
+	inner http.Handler
+	cfg   ProxyConfig
+	rng   *Rand
+	start time.Time
+
+	down  atomic.Bool
+	burst atomic.Int64
+
+	requests    atomic.Int64
+	refusals    atomic.Int64
+	resets      atomic.Int64
+	truncations atomic.Int64
+	latencies   atomic.Int64
+	errs5xx     atomic.Int64
+	hangs       atomic.Int64
+}
+
+// NewProxy wraps inner with the configured fault injections.
+func NewProxy(inner http.Handler, cfg ProxyConfig) *Proxy {
+	if cfg.TruncateBytes <= 0 {
+		cfg.TruncateBytes = 12
+	}
+	if cfg.LatencyProb <= 0 && (cfg.Latency > 0 || cfg.LatencyJitter > 0) {
+		cfg.LatencyProb = 1
+	}
+	return &Proxy{
+		inner: inner,
+		cfg:   cfg,
+		rng:   NewRand(cfg.Seed),
+		start: time.Now(),
+	}
+}
+
+// SetDown flips the manual kill switch: while down, every request (matching
+// or not) is refused with a connection abort, indistinguishable from the
+// node's listener dying. SetDown(false) revives it.
+func (p *Proxy) SetDown(down bool) { p.down.Store(down) }
+
+// Down reports the kill switch state.
+func (p *Proxy) Down() bool { return p.down.Load() }
+
+// Burst5xx makes the next n matching requests answer 500 — a deterministic
+// error burst on top of the probabilistic Err5xxProb.
+func (p *Proxy) Burst5xx(n int) { p.burst.Store(int64(n)) }
+
+// Injected reports per-class injection counts.
+func (p *Proxy) Injected() map[string]int64 {
+	return map[string]int64{
+		"requests":    p.requests.Load(),
+		"refusals":    p.refusals.Load(),
+		"resets":      p.resets.Load(),
+		"truncations": p.truncations.Load(),
+		"latencies":   p.latencies.Load(),
+		"5xx":         p.errs5xx.Load(),
+		"hangs":       p.hangs.Load(),
+	}
+}
+
+// flapDown reports whether the square-wave schedule has the node down now.
+func (p *Proxy) flapDown() bool {
+	f := p.cfg.Flap
+	if f == nil || f.Down <= 0 {
+		return false
+	}
+	period := f.Up + f.Down
+	if period <= 0 {
+		return false
+	}
+	return time.Since(p.start)%period >= f.Up
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.requests.Add(1)
+	if p.down.Load() || p.flapDown() {
+		p.refusals.Add(1)
+		// net/http recognizes ErrAbortHandler: the connection is dropped
+		// without a reply and without a logged stack trace. The client sees
+		// a transport error, the same as a dead listener.
+		panic(http.ErrAbortHandler)
+	}
+	if p.cfg.Match != nil && !p.cfg.Match(r) {
+		p.inner.ServeHTTP(w, r)
+		return
+	}
+	if p.cfg.HangProb > 0 && p.rng.Float64() < p.cfg.HangProb {
+		p.hangs.Add(1)
+		<-r.Context().Done() // wedge until the caller gives up
+		panic(http.ErrAbortHandler)
+	}
+	if p.cfg.ResetProb > 0 && p.rng.Float64() < p.cfg.ResetProb {
+		p.resets.Add(1)
+		panic(http.ErrAbortHandler)
+	}
+	if p.burst.Load() > 0 && p.burst.Add(-1) >= 0 {
+		p.errs5xx.Add(1)
+		http.Error(w, "chaos: injected burst error", http.StatusInternalServerError)
+		return
+	}
+	if p.cfg.Err5xxProb > 0 && p.rng.Float64() < p.cfg.Err5xxProb {
+		p.errs5xx.Add(1)
+		http.Error(w, "chaos: injected error", http.StatusInternalServerError)
+		return
+	}
+	if p.cfg.LatencyProb > 0 && p.rng.Float64() < p.cfg.LatencyProb {
+		if d := p.cfg.Latency + p.rng.Duration(p.cfg.LatencyJitter); d > 0 {
+			p.latencies.Add(1)
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+				panic(http.ErrAbortHandler)
+			}
+		}
+	}
+	if p.cfg.TruncateProb > 0 && p.rng.Float64() < p.cfg.TruncateProb {
+		rec := &recorder{header: make(http.Header), status: http.StatusOK}
+		p.inner.ServeHTTP(rec, r)
+		keep := p.cfg.TruncateBytes
+		if half := len(rec.body) / 2; keep > half {
+			// Always cut strictly inside the body so the truncation is real
+			// even for short payloads.
+			keep = half
+		}
+		p.truncations.Add(1)
+		for k, vs := range rec.header {
+			// Dropping Content-Length makes the prefix a *complete* HTTP
+			// response with a broken payload — the client's JSON decoder, not
+			// its transport, must catch it.
+			if k == "Content-Length" {
+				continue
+			}
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(rec.status)
+		w.Write(rec.body[:keep])
+		return
+	}
+	p.inner.ServeHTTP(w, r)
+}
+
+// recorder is the minimal in-memory ResponseWriter the truncation path
+// captures the inner response with.
+type recorder struct {
+	header http.Header
+	status int
+	body   []byte
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(status int) { r.status = status }
+
+func (r *recorder) Write(b []byte) (int, error) {
+	r.body = append(r.body, b...)
+	return len(b), nil
+}

@@ -1,0 +1,280 @@
+package chaos_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"taskgrain/internal/chaos"
+)
+
+// okHandler answers every request with a small JSON body.
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"path":%q,"state":"done","padding":"0123456789abcdef"}`, r.URL.Path)
+	})
+}
+
+func startProxy(t *testing.T, cfg chaos.ProxyConfig) (*chaos.Proxy, *httptest.Server) {
+	t.Helper()
+	p := chaos.NewProxy(okHandler(), cfg)
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	return p, ts
+}
+
+func TestProxyPassthrough(t *testing.T) {
+	p, ts := startProxy(t, chaos.ProxyConfig{Seed: 1})
+	resp, err := http.Get(ts.URL + "/v1/jobs/abc")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var v map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if v["path"] != "/v1/jobs/abc" {
+		t.Fatalf("inner handler not reached: %v", v)
+	}
+	if got := p.Injected()["requests"]; got != 1 {
+		t.Fatalf("requests = %d", got)
+	}
+}
+
+func TestProxySetDownRefusesEverything(t *testing.T) {
+	p, ts := startProxy(t, chaos.ProxyConfig{
+		Seed: 1,
+		// Match excludes everything — down must still refuse.
+		Match: func(*http.Request) bool { return false },
+	})
+	p.SetDown(true)
+	if !p.Down() {
+		t.Fatal("Down() = false after SetDown(true)")
+	}
+	if _, err := http.Get(ts.URL + "/healthz"); err == nil {
+		t.Fatal("request to a down node succeeded")
+	}
+	p.SetDown(false)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("revived node unreachable: %v", err)
+	}
+	resp.Body.Close()
+	if got := p.Injected()["refusals"]; got != 1 {
+		t.Fatalf("refusals = %d, want 1", got)
+	}
+}
+
+func TestProxyResetIsTransportError(t *testing.T) {
+	p, ts := startProxy(t, chaos.ProxyConfig{Seed: 2, ResetProb: 1})
+	if _, err := http.Get(ts.URL + "/v1/jobs"); err == nil {
+		t.Fatal("reset surfaced as a clean response, want transport error")
+	}
+	if got := p.Injected()["resets"]; got != 1 {
+		t.Fatalf("resets = %d", got)
+	}
+}
+
+// TestProxyTruncationBreaksBodyNotTransport: truncation must deliver a
+// complete HTTP response (status + headers) whose payload fails the JSON
+// decoder — the exact shape of the loadgen poll-path bug.
+func TestProxyTruncationBreaksBodyNotTransport(t *testing.T) {
+	p, ts := startProxy(t, chaos.ProxyConfig{Seed: 3, TruncateProb: 1, TruncateBytes: 12})
+	resp, err := http.Get(ts.URL + "/v1/jobs/x")
+	if err != nil {
+		t.Fatalf("truncation broke transport: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("headers lost in truncation: Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(body) != 12 {
+		t.Fatalf("body length = %d, want TruncateBytes 12", len(body))
+	}
+	var v map[string]any
+	if err := json.Unmarshal(body, &v); err == nil {
+		t.Fatalf("truncated body still parses: %q", body)
+	}
+	if got := p.Injected()["truncations"]; got != 1 {
+		t.Fatalf("truncations = %d", got)
+	}
+}
+
+// TestProxyTruncationShortBody: for tiny payloads the cut must land strictly
+// inside the body so the truncation is never a no-op.
+func TestProxyTruncationShortBody(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"a":1}`) // 7 bytes < TruncateBytes
+	})
+	p := chaos.NewProxy(inner, chaos.ProxyConfig{Seed: 3, TruncateProb: 1, TruncateBytes: 64})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) >= 7 {
+		t.Fatalf("short body not truncated: %q", body)
+	}
+}
+
+func TestProxyBurst5xx(t *testing.T) {
+	p, ts := startProxy(t, chaos.ProxyConfig{Seed: 4})
+	p.Burst5xx(2)
+	statuses := make([]int, 0, 3)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/")
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		statuses = append(statuses, resp.StatusCode)
+	}
+	want := []int{500, 500, 200}
+	for i := range want {
+		if statuses[i] != want[i] {
+			t.Fatalf("burst statuses = %v, want %v", statuses, want)
+		}
+	}
+	if got := p.Injected()["5xx"]; got != 2 {
+		t.Fatalf("5xx = %d", got)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	p, ts := startProxy(t, chaos.ProxyConfig{Seed: 5, Latency: 50 * time.Millisecond})
+	begin := time.Now()
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(begin); elapsed < 50*time.Millisecond {
+		t.Fatalf("request returned in %v, want >= 50ms", elapsed)
+	}
+	if got := p.Injected()["latencies"]; got != 1 {
+		t.Fatalf("latencies = %d", got)
+	}
+}
+
+// TestProxyHangHoldsUntilClientTimeout: a hang must pin the request until
+// the client's own deadline fires, then surface as a transport error — the
+// hung-node long-poll shape the mesh hedges around.
+func TestProxyHangHoldsUntilClientTimeout(t *testing.T) {
+	p, ts := startProxy(t, chaos.ProxyConfig{Seed: 6, HangProb: 1})
+	client := &http.Client{Timeout: 80 * time.Millisecond}
+	begin := time.Now()
+	_, err := client.Get(ts.URL + "/")
+	if err == nil {
+		t.Fatal("hang answered, want client timeout")
+	}
+	if elapsed := time.Since(begin); elapsed < 70*time.Millisecond {
+		t.Fatalf("gave up after %v, want the full client timeout", elapsed)
+	}
+	if got := p.Injected()["hangs"]; got != 1 {
+		t.Fatalf("hangs = %d", got)
+	}
+}
+
+// TestProxyMatchScopesInjection: probabilistic faults must respect Match so
+// tests can break the data path while keeping heartbeats alive.
+func TestProxyMatchScopesInjection(t *testing.T) {
+	p, ts := startProxy(t, chaos.ProxyConfig{
+		Seed:      7,
+		ResetProb: 1,
+		Match:     func(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/v1/jobs") },
+	})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("non-matching path hit by fault: %v", err)
+	}
+	resp.Body.Close()
+	if _, err := http.Get(ts.URL + "/v1/jobs/abc"); err == nil {
+		t.Fatal("matching path escaped the fault")
+	}
+	inj := p.Injected()
+	if inj["resets"] != 1 || inj["requests"] != 2 {
+		t.Fatalf("injected = %v, want 1 reset over 2 requests", inj)
+	}
+}
+
+// TestProxyFlapSchedule: the square wave must refuse during Down windows and
+// serve during Up windows, with no Match exemption.
+func TestProxyFlapSchedule(t *testing.T) {
+	_, ts := startProxy(t, chaos.ProxyConfig{
+		Seed: 8,
+		Flap: &chaos.Flap{Up: 60 * time.Millisecond, Down: 60 * time.Millisecond},
+	})
+	// Sample across one full period; both outcomes must occur.
+	var ok, refused int
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/")
+		if err != nil {
+			refused++
+		} else {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ok++
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ok == 0 || refused == 0 {
+		t.Fatalf("flap never alternated: %d ok, %d refused", ok, refused)
+	}
+}
+
+// TestProxyDeterministicSequence: two proxies with the same seed and config
+// must inject the identical fault pattern over the same request sequence.
+func TestProxyDeterministicSequence(t *testing.T) {
+	cfg := chaos.ProxyConfig{Seed: 99, ResetProb: 0.3, Err5xxProb: 0.3}
+	run := func() []string {
+		p := chaos.NewProxy(okHandler(), cfg)
+		ts := httptest.NewServer(p)
+		defer ts.Close()
+		var got []string
+		for i := 0; i < 40; i++ {
+			resp, err := http.Get(ts.URL + "/")
+			switch {
+			case err != nil:
+				got = append(got, "reset")
+			case resp.StatusCode >= 500:
+				got = append(got, "5xx")
+			default:
+				got = append(got, "ok")
+			}
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return got
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault pattern diverged at request %d: %v vs %v", i, a, b)
+		}
+	}
+}

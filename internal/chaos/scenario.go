@@ -1,0 +1,57 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scenario is one composed fault-injection run: a name (the TestChaos
+// subtest it runs under) and a body that builds its cluster, injects its
+// faults from the seed, and records invariant violations on the verifier.
+// Run returns a non-nil error only for infrastructure failures (a cluster
+// that would not start); invariant violations go on v.
+type Scenario struct {
+	Name string
+	Run  func(seed int64, v *Verifier) error
+}
+
+// DefaultSeeds is the seed matrix scenarios run under when no -chaos.seed
+// override is given. One seed keeps the tier-1 `go test ./...` wall time
+// bounded; CI's chaos-smoke job sweeps seeds 1..3, one matrix entry each.
+var DefaultSeeds = []int64{1}
+
+// Seeds resolves the seed list for a run: the -chaos.seed override when
+// non-zero, DefaultSeeds otherwise.
+func Seeds(flagSeed int64) []int64 {
+	if flagSeed != 0 {
+		return []int64{flagSeed}
+	}
+	return DefaultSeeds
+}
+
+// ReplayLine is the command that reproduces one scenario at one seed.
+func ReplayLine(scenario string, seed int64) string {
+	return fmt.Sprintf("go test -race -run 'TestChaos/%s' ./internal/chaos -chaos.seed=%d", scenario, seed)
+}
+
+// RunSeeds executes the scenario once per seed with a fresh verifier each
+// time. The first failing seed aborts the sweep: the returned error carries
+// every violation and the exact replay command line. logf (optional)
+// receives one line per passing seed.
+func (s Scenario) RunSeeds(seeds []int64, logf func(format string, args ...any)) error {
+	for _, seed := range seeds {
+		v := NewVerifier()
+		if err := s.Run(seed, v); err != nil {
+			return fmt.Errorf("chaos scenario %s seed %d: %v\nreplay: %s",
+				s.Name, seed, err, ReplayLine(s.Name, seed))
+		}
+		if !v.OK() {
+			return fmt.Errorf("chaos scenario %s seed %d violated invariants:\n  %s\nreplay: %s",
+				s.Name, seed, strings.Join(v.Failures(), "\n  "), ReplayLine(s.Name, seed))
+		}
+		if logf != nil {
+			logf("chaos: scenario %s seed %d: all invariants held", s.Name, seed)
+		}
+	}
+	return nil
+}

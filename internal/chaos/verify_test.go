@@ -1,0 +1,208 @@
+package chaos_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"taskgrain/internal/chaos"
+	"taskgrain/internal/counters"
+	"taskgrain/internal/telemetry"
+	"taskgrain/internal/trace"
+)
+
+func mustFail(t *testing.T, v *chaos.Verifier, substr string) {
+	t.Helper()
+	if v.OK() {
+		t.Fatalf("verifier passed, want a violation mentioning %q", substr)
+	}
+	for _, f := range v.Failures() {
+		if strings.Contains(f, substr) {
+			return
+		}
+	}
+	t.Fatalf("no violation mentions %q: %v", substr, v.Failures())
+}
+
+func TestMonotonicNamesClassification(t *testing.T) {
+	reg := counters.NewRegistry()
+	reg.MustRegister(counters.NewCumulative("/jobs/done/cumulative"))
+	reg.MustRegister(counters.NewGauge("/jobs/inflight/instant"))
+	pw := counters.NewPerWorker("/threads/count/cumulative", 2)
+	reg.MustRegister(pw)
+	reg.MustRegister(counters.NewDerived("/idle-rate/value", func() float64 { return 0 }))
+
+	names := chaos.MonotonicNames(reg)
+	want := map[string]bool{"/jobs/done/cumulative": true, "/threads/count/cumulative": true}
+	if len(names) != len(want) {
+		t.Fatalf("monotonic names = %v, want the 2 cumulative kinds", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("non-monotonic counter %s classified as monotonic", n)
+		}
+	}
+}
+
+func TestCheckMonotonic(t *testing.T) {
+	prev := counters.Snapshot{"/a/cumulative": 5, "/b/cumulative": 3}
+	cur := counters.Snapshot{"/a/cumulative": 7, "/b/cumulative": 3}
+	v := chaos.NewVerifier()
+	v.CheckMonotonic("ok", prev, cur, []string{"/a/cumulative", "/b/cumulative"})
+	if !v.OK() {
+		t.Fatalf("monotonic snapshots flagged: %v", v.Failures())
+	}
+
+	v = chaos.NewVerifier()
+	v.CheckMonotonic("regress", cur, prev, []string{"/a/cumulative"})
+	mustFail(t, v, "ran backwards")
+}
+
+func TestCheckSeriesMonotonic(t *testing.T) {
+	ring := telemetry.NewRing(4)
+	at := time.Unix(0, 0)
+	for _, val := range []float64{1, 2, 5, 5} {
+		ring.Push(telemetry.Sample{At: at, Values: counters.Snapshot{"/x/cumulative": val}})
+		at = at.Add(time.Second)
+	}
+	v := chaos.NewVerifier()
+	v.CheckSeriesMonotonic("ok", ring, "/x/cumulative")
+	if !v.OK() {
+		t.Fatalf("monotonic series flagged: %v", v.Failures())
+	}
+
+	ring.Push(telemetry.Sample{At: at, Values: counters.Snapshot{"/x/cumulative": 2}})
+	v = chaos.NewVerifier()
+	v.CheckSeriesMonotonic("regress", ring, "/x/cumulative")
+	mustFail(t, v, "ran backwards")
+}
+
+func TestCheckConservation(t *testing.T) {
+	snap := counters.Snapshot{"/spawned": 10, "/done": 7, "/failed": 2, "/shed": 1}
+	v := chaos.NewVerifier()
+	v.CheckConservation("ok", snap, "/spawned", 0, "/done", "/failed", "/shed")
+	if !v.OK() {
+		t.Fatalf("conserved snapshot flagged: %v", v.Failures())
+	}
+
+	snap["/shed"] = 0 // one job vanished
+	v = chaos.NewVerifier()
+	v.CheckConservation("lost", snap, "/spawned", 0.5, "/done", "/failed", "/shed")
+	mustFail(t, v, "conservation broken")
+}
+
+func TestCheckZero(t *testing.T) {
+	v := chaos.NewVerifier()
+	v.CheckZero("ok", "inflight", 0)
+	if !v.OK() {
+		t.Fatalf("zero flagged: %v", v.Failures())
+	}
+	v.CheckZero("stuck", "inflight", 3)
+	mustFail(t, v, "inflight = 3")
+}
+
+func TestCheckSpanBalance(t *testing.T) {
+	ev := func(k trace.Kind) trace.Event { return trace.Event{Kind: k} }
+	balanced := []trace.Event{ev(trace.PhaseBegin), ev(trace.PhaseEnd), ev(trace.PhaseBegin), ev(trace.PhaseEnd)}
+	v := chaos.NewVerifier()
+	v.CheckSpanBalance("ok", balanced, 0)
+	if !v.OK() {
+		t.Fatalf("balanced trace flagged: %v", v.Failures())
+	}
+
+	oneOpen := append(balanced, ev(trace.PhaseBegin))
+	v = chaos.NewVerifier()
+	v.CheckSpanBalance("failover", oneOpen, 1) // one failover lane may stay open
+	if !v.OK() {
+		t.Fatalf("allowed open span flagged: %v", v.Failures())
+	}
+	v = chaos.NewVerifier()
+	v.CheckSpanBalance("leak", oneOpen, 0)
+	mustFail(t, v, "left open")
+
+	extraEnd := append(balanced, ev(trace.PhaseEnd))
+	v = chaos.NewVerifier()
+	v.CheckSpanBalance("phantom", extraEnd, 5)
+	mustFail(t, v, "more spans than it opened")
+}
+
+func TestLedgerCleanRun(t *testing.T) {
+	l := chaos.NewLedger()
+	for _, id := range []string{"a", "b", "c"} {
+		l.Admitted(id)
+	}
+	l.Terminal("a", "done")
+	l.Terminal("b", "done")
+	l.Terminal("b", "done") // idempotent re-observation is fine
+	l.Terminal("c", "failed")
+	v := chaos.NewVerifier()
+	l.Verify(v, "clean")
+	if !v.OK() {
+		t.Fatalf("clean ledger flagged: %v", v.Failures())
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	states := l.States()
+	if states["done"] != 2 || states["failed"] != 1 {
+		t.Fatalf("states = %v", states)
+	}
+}
+
+func TestLedgerLostJob(t *testing.T) {
+	l := chaos.NewLedger()
+	l.Admitted("a")
+	v := chaos.NewVerifier()
+	l.Verify(v, "lost")
+	mustFail(t, v, "lost")
+}
+
+func TestLedgerDuplicateAdmission(t *testing.T) {
+	l := chaos.NewLedger()
+	l.Admitted("a")
+	l.Admitted("a")
+	l.Terminal("a", "done")
+	v := chaos.NewVerifier()
+	l.Verify(v, "dup")
+	mustFail(t, v, "admitted twice")
+}
+
+func TestLedgerConflictingTerminal(t *testing.T) {
+	l := chaos.NewLedger()
+	l.Admitted("a")
+	l.Terminal("a", "done")
+	l.Terminal("a", "failed") // the duplicated-execution signature
+	v := chaos.NewVerifier()
+	l.Verify(v, "conflict")
+	mustFail(t, v, "done+failed")
+}
+
+func TestScenarioRunSeedsReportsReplayLine(t *testing.T) {
+	s := chaos.Scenario{
+		Name: "always-breaks",
+		Run: func(seed int64, v *chaos.Verifier) error {
+			v.Failf("invariant x broken under seed %d", seed)
+			return nil
+		},
+	}
+	err := s.RunSeeds([]int64{7}, t.Logf)
+	if err == nil {
+		t.Fatal("violating scenario returned nil error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "invariant x broken under seed 7") {
+		t.Fatalf("error lacks the violation: %v", msg)
+	}
+	if !strings.Contains(msg, chaos.ReplayLine("always-breaks", 7)) {
+		t.Fatalf("error lacks the replay line: %v", msg)
+	}
+}
+
+func TestSeedsFlagOverride(t *testing.T) {
+	if got := chaos.Seeds(0); len(got) != len(chaos.DefaultSeeds) {
+		t.Fatalf("Seeds(0) = %v, want defaults %v", got, chaos.DefaultSeeds)
+	}
+	if got := chaos.Seeds(42); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("Seeds(42) = %v", got)
+	}
+}

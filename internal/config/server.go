@@ -62,6 +62,12 @@ type Server struct {
 	// HighIdle for before the watchdog raises a /telemetry/alerts
 	// condition.
 	WatchdogWindow time.Duration `json:"watchdog_window_ns"`
+
+	// ChaosSeed, when non-zero, arms deterministic scheduler fault
+	// injection (internal/chaos) with that seed: wake delays, worker
+	// stalls, and steal-order perturbation on the runtime. Strictly a
+	// test/repro facility — never set it in production.
+	ChaosSeed int64 `json:"chaos_seed,omitempty"`
 }
 
 // DefaultServer returns the taskgraind defaults.
@@ -201,6 +207,7 @@ func (s *Server) ApplyEnv(lookup func(string) (string, bool)) error {
 		func() error { return dur("TASKGRAIND_TELEMETRY_INTERVAL", &s.TelemetryInterval) },
 		func() error { return num("TASKGRAIND_TELEMETRY_RING", func(n int64) { s.TelemetryRing = int(n) }) },
 		func() error { return dur("TASKGRAIND_WATCHDOG_WINDOW", &s.WatchdogWindow) },
+		func() error { return num("TASKGRAIND_CHAOS_SEED", func(n int64) { s.ChaosSeed = n }) },
 	}
 	for _, step := range steps {
 		if err := step(); err != nil {
@@ -228,6 +235,7 @@ func (s *Server) Flags(fs *flag.FlagSet) {
 	fs.DurationVar(&s.TelemetryInterval, "telemetry-interval", s.TelemetryInterval, "telemetry ring sampling period")
 	fs.IntVar(&s.TelemetryRing, "telemetry-ring", s.TelemetryRing, "telemetry ring capacity (samples)")
 	fs.DurationVar(&s.WatchdogWindow, "watchdog-window", s.WatchdogWindow, "idle-rate watchdog sliding window")
+	fs.Int64Var(&s.ChaosSeed, "chaos-seed", s.ChaosSeed, "arm deterministic chaos fault injection with this seed (0 = off; test/repro only)")
 }
 
 // LoadServer decodes a server configuration from JSON over the defaults,

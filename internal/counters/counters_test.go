@@ -368,3 +368,113 @@ func TestSubResetMarker(t *testing.T) {
 		t.Fatal("Resets nonempty without resets")
 	}
 }
+
+// TestSubUnderConcurrentWriters: Snapshot/Sub is the chaos verifier's (and
+// the telemetry sampler's) read path, taken while workers are still writing.
+// Differencing two live snapshots must be race-free and every delta of a
+// monotonic counter must be non-negative — a snapshot may lag the writers but
+// can never run backwards.
+func TestSubUnderConcurrentWriters(t *testing.T) {
+	reg := NewRegistry()
+	cum := NewCumulative("/stress/cumulative")
+	pw := NewPerWorker("/stress/per-worker", 4)
+	reg.MustRegister(cum)
+	reg.MustRegister(pw)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					cum.Inc()
+					pw.Add(w, 2)
+				}
+			}
+		}(w)
+	}
+
+	prev := reg.Snapshot()
+	for i := 0; i < 200; i++ {
+		cur := reg.Snapshot()
+		d := cur.Sub(prev)
+		for _, name := range []string{"/stress/cumulative", "/stress/per-worker"} {
+			if d.Get(name) < 0 {
+				t.Errorf("iteration %d: %s delta = %v, ran backwards", i, name, d.Get(name))
+			}
+		}
+		if _, ok := d[ResetMarker]; ok {
+			t.Errorf("iteration %d: reset marker on a live registry: %v", i, d)
+		}
+		prev = cur
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSubAcrossRegistrySwapUnderWriters: the discontinuity case under load —
+// a snapshot from a torn-down registry differenced against a snapshot of its
+// replacement (fresh counters, different names) while writers hammer both.
+// Sub must flag every vanished counter with the reset marker and an explicit
+// zero delta, never a negative one, and Resets must name them sorted.
+func TestSubAcrossRegistrySwapUnderWriters(t *testing.T) {
+	oldReg := NewRegistry()
+	oldCum := NewCumulative("/swap/old-only")
+	shared := NewCumulative("/swap/shared")
+	oldReg.MustRegister(oldCum)
+	oldReg.MustRegister(shared)
+
+	newReg := NewRegistry()
+	// The replacement registry restarts /swap/shared from zero and grows a
+	// new counter; /swap/old-only is gone.
+	shared2 := NewCumulative("/swap/shared")
+	newCum := NewCumulative("/swap/new-only")
+	newReg.MustRegister(shared2)
+	newReg.MustRegister(newCum)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, c := range []*Cumulative{oldCum, shared, shared2, newCum} {
+		wg.Add(1)
+		go func(c *Cumulative) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+				}
+			}
+		}(c)
+	}
+
+	for i := 0; i < 200; i++ {
+		prev := oldReg.Snapshot()
+		cur := newReg.Snapshot()
+		d := cur.Sub(prev)
+		if d.Get(ResetMarker) != 1 {
+			t.Fatalf("iteration %d: reset marker = %v, want 1 (/swap/old-only vanished)", i, d.Get(ResetMarker))
+		}
+		if v, ok := d["/swap/old-only"]; !ok || v != 0 {
+			t.Fatalf("iteration %d: vanished counter delta = %v ok=%v, want explicit 0", i, v, ok)
+		}
+		if resets := cur.Resets(prev); len(resets) != 1 || resets[0] != "/swap/old-only" {
+			t.Fatalf("iteration %d: resets = %v", i, resets)
+		}
+		// The restarted shared counter may difference negative across the
+		// swap — that is exactly why the marker exists; a consumer that
+		// checked it knows to discard the interval. The new-only counter,
+		// absent from prev, reads as its full value.
+		if d.Get("/swap/new-only") < 0 {
+			t.Fatalf("iteration %d: new counter delta = %v", i, d.Get("/swap/new-only"))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

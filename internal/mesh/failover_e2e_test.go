@@ -5,12 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"taskgrain/internal/chaos"
 	"taskgrain/internal/config"
 )
 
@@ -69,14 +69,14 @@ func pollTerminal(t *testing.T, gw, id string, budget time.Duration) jobView {
 // resubmissions surfaced in the per-job retry counts and the gateway's
 // counters.
 func TestMeshFailoverZeroLostJobsOnNodeDeath(t *testing.T) {
-	fronts := make([]*httptest.Server, 3)
+	proxies := make([]*chaos.Proxy, 3)
 	urls := make([]string, 3)
-	for i := range fronts {
-		_, ts := startServeNode(t, func(cfg *config.Server) {
+	for i := range proxies {
+		_, p, front := startProxiedServeNode(t, chaos.ProxyConfig{}, func(cfg *config.Server) {
 			cfg.MaxConcurrentJobs = 2 // keep per-node queues busy at kill time
 		})
-		fronts[i] = ts
-		urls[i] = ts.URL
+		proxies[i] = p
+		urls[i] = front.URL
 	}
 	cfg := testMeshConfig(urls...)
 	cfg.RoutePolicy = config.MeshPolicyRoundRobin // even spread → victim surely owns jobs
@@ -115,11 +115,11 @@ func TestMeshFailoverZeroLostJobsOnNodeDeath(t *testing.T) {
 		t.FailNow()
 	}
 
-	// Kill node 0 mid-burst: drop its live connections and close its
-	// listener. The taskserve behind it keeps running — from the mesh's view
-	// this is a node dying with admitted jobs on board.
-	fronts[0].CloseClientConnections()
-	fronts[0].Close()
+	// Kill node 0 mid-burst: the chaos proxy's kill switch aborts every
+	// connection from here on, indistinguishable from the listener dying. The
+	// taskserve behind it keeps running — from the mesh's view this is a node
+	// dying with admitted jobs on board.
+	proxies[0].SetDown(true)
 
 	states := make([]jobView, jobs)
 	for i, id := range ids {
@@ -161,13 +161,18 @@ func TestMeshFailoverZeroLostJobsOnNodeDeath(t *testing.T) {
 // the client's full timeout. The hedge probe detects the hang within
 // HedgeDelay + RequestTimeout and fails the job over to a live node.
 func TestMeshHedgeFailsOverHungNodeDuringLongPoll(t *testing.T) {
-	hung := newFakeNode(t)
+	// The chaos proxy wedges every status GET (submits and heartbeats pass
+	// through, so the node is admitted and routable) — the shared harness's
+	// hung-node fault instead of a bespoke handler shim.
+	hung, _ := newProxiedNode(t, chaos.ProxyConfig{
+		HangProb: 1,
+		Match: func(r *http.Request) bool {
+			return r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/")
+		},
+	})
 	taker := newFakeNode(t)
 	hung.set(func(f *fakeNode) {
 		f.counters = map[string]float64{"/server/jobs/queued": 0}
-		f.statusFn = func(w http.ResponseWriter, r *http.Request, id string) {
-			<-r.Context().Done() // wedge until the caller gives up
-		}
 	})
 	taker.set(func(f *fakeNode) {
 		f.counters = map[string]float64{"/server/jobs/queued": 5}

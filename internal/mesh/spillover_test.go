@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"taskgrain/internal/chaos"
 	"taskgrain/internal/config"
 )
 
@@ -164,9 +165,11 @@ func TestMeshSubmitRelaysSpecRejection(t *testing.T) {
 // spin in backoff forever, which would wedge the client's POST (and, via
 // failover, the job's failoverMu).
 func TestMeshSubmitNoRoutableNodes(t *testing.T) {
-	dead := newFakeNode(t)
+	// The dead node's network face is killed by the chaos proxy switch —
+	// every heartbeat aborts, so the registry never routes to it.
+	dead, deadProxy := newProxiedNode(t, chaos.ProxyConfig{})
+	deadProxy.SetDown(true)
 	draining := newFakeNode(t)
-	dead.set(func(f *fakeNode) { f.dead = true })
 	draining.set(func(f *fakeNode) { f.draining = true })
 
 	m, gw := startMesh(t, testMeshConfig(dead.ts.URL, draining.ts.URL))

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"taskgrain/internal/chaos"
 	"taskgrain/internal/config"
 	"taskgrain/internal/taskserve"
 )
@@ -29,8 +30,6 @@ type fakeNode struct {
 
 	// submitFn handles POST /v1/jobs. Defaults to accepting with a fresh ID.
 	submitFn func(w http.ResponseWriter, r *http.Request)
-	// statusFn handles GET /v1/jobs/{id}. Defaults to a "done" view.
-	statusFn func(w http.ResponseWriter, r *http.Request, id string)
 }
 
 func newFakeNode(t *testing.T) *fakeNode {
@@ -41,6 +40,18 @@ func newFakeNode(t *testing.T) *fakeNode {
 	return f
 }
 
+// newProxiedNode is a fakeNode fronted by a chaos.Proxy: network-level
+// faults (hangs, resets, truncation, kill switch) come from the shared
+// chaos harness instead of bespoke per-test handler shims.
+func newProxiedNode(t *testing.T, pcfg chaos.ProxyConfig) (*fakeNode, *chaos.Proxy) {
+	t.Helper()
+	f := &fakeNode{counters: map[string]float64{}}
+	p := chaos.NewProxy(http.HandlerFunc(f.serve), pcfg)
+	f.ts = httptest.NewServer(p)
+	t.Cleanup(f.ts.Close)
+	return f, p
+}
+
 func (f *fakeNode) serve(w http.ResponseWriter, r *http.Request) {
 	f.mu.Lock()
 	dead, draining := f.dead, f.draining
@@ -48,7 +59,7 @@ func (f *fakeNode) serve(w http.ResponseWriter, r *http.Request) {
 	for k, v := range f.counters {
 		snap[k] = v
 	}
-	submitFn, statusFn := f.submitFn, f.statusFn
+	submitFn := f.submitFn
 	f.mu.Unlock()
 	if dead {
 		http.Error(w, "sick", http.StatusInternalServerError)
@@ -74,10 +85,6 @@ func (f *fakeNode) serve(w http.ResponseWriter, r *http.Request) {
 		})
 	case strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
 		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
-		if statusFn != nil {
-			statusFn(w, r, id)
-			return
-		}
 		writeJSON(w, http.StatusOK, map[string]any{"id": id, "state": "done"})
 	default:
 		http.NotFound(w, r)
@@ -128,11 +135,8 @@ func startMesh(t *testing.T, cfg config.Mesh) (*Mesh, *httptest.Server) {
 	return m, gw
 }
 
-// startServeNode runs a real in-process taskserve node and returns it with
-// its HTTP front. The front is returned separately so tests can kill the
-// network face while the server itself stays up (a node death as the mesh
-// sees one).
-func startServeNode(t *testing.T, mutate func(*config.Server)) (*taskserve.Server, *httptest.Server) {
+// buildServeNode starts a real in-process taskserve node (no HTTP front).
+func buildServeNode(t *testing.T, mutate func(*config.Server)) *taskserve.Server {
 	t.Helper()
 	cfg := config.DefaultServer()
 	cfg.Workers = 2
@@ -146,12 +150,32 @@ func startServeNode(t *testing.T, mutate func(*config.Server)) (*taskserve.Serve
 		t.Fatal(err)
 	}
 	s.Start()
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// startServeNode runs a real in-process taskserve node and returns it with
+// its HTTP front. The front is returned separately so tests can kill the
+// network face while the server itself stays up (a node death as the mesh
+// sees one).
+func startServeNode(t *testing.T, mutate func(*config.Server)) (*taskserve.Server, *httptest.Server) {
+	t.Helper()
+	s := buildServeNode(t, mutate)
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(func() {
-		ts.Close()
-		s.Close()
-	})
+	t.Cleanup(ts.Close)
 	return s, ts
+}
+
+// startProxiedServeNode is startServeNode with a chaos.Proxy front: the
+// proxy's kill switch and fault injections model the node's network face
+// dying or degrading while the taskserve behind it keeps running.
+func startProxiedServeNode(t *testing.T, pcfg chaos.ProxyConfig, mutate func(*config.Server)) (*taskserve.Server, *chaos.Proxy, *httptest.Server) {
+	t.Helper()
+	s := buildServeNode(t, mutate)
+	p := chaos.NewProxy(s.Handler(), pcfg)
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+	return s, p, front
 }
 
 // waitFor polls cond until it holds or the deadline passes.

@@ -115,7 +115,16 @@ func (rt *Runtime) wakeOne(home int) {
 	if home < 0 || home >= len(order) {
 		home = int(rt.wakeRR.Add(1)-1) % len(order)
 	}
-	for _, w := range order[home] {
+	scan := order[home]
+	if h := rt.cfg.Hooks; h != nil {
+		// Chaos injection: delay this wake and/or perturb which worker it
+		// lands on. The scan order is copied so a permutation perturbs one
+		// wake without corrupting the cached Fig. 1 order.
+		h.PreWake(home)
+		scan = append([]int(nil), scan...)
+		h.PermuteVictims(home, scan)
+	}
+	for _, w := range scan {
 		if rt.parkers[w].unpark() {
 			rt.wakeSignals.Inc(w)
 			return

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 
+	"taskgrain/internal/chaos"
 	"taskgrain/internal/counters"
 	"taskgrain/internal/queue"
 	"taskgrain/internal/topology"
@@ -145,6 +146,7 @@ type priorityLocal struct {
 	topo        *topology.Topology
 	pc          *policyCounters
 	stagedBatch int
+	hooks       chaos.Hooks // nil outside chaos tests
 
 	pending []*queue.MSQueue[*Task] // per worker
 	staged  []*queue.MSQueue[*Task] // per worker
@@ -162,7 +164,7 @@ type priorityLocal struct {
 	remoteVictims [][]int
 }
 
-func newPriorityLocal(topo *topology.Topology, pc *policyCounters, highQueues, stagedBatch int) *priorityLocal {
+func newPriorityLocal(topo *topology.Topology, pc *policyCounters, highQueues, stagedBatch int, hooks chaos.Hooks) *priorityLocal {
 	n := topo.Workers()
 	if highQueues < 1 {
 		highQueues = 1
@@ -177,6 +179,7 @@ func newPriorityLocal(topo *topology.Topology, pc *policyCounters, highQueues, s
 		topo:        topo,
 		pc:          pc,
 		stagedBatch: stagedBatch,
+		hooks:       hooks,
 		pending:     make([]*queue.MSQueue[*Task], n),
 		staged:      make([]*queue.MSQueue[*Task], n),
 		hpPending:   make([]*queue.MSQueue[*Task], highQueues),
@@ -342,6 +345,13 @@ func (p *priorityLocal) next(w int) *Task {
 // stealFrom probes victims' staged queues first, then pending queues,
 // following the paper's discovery order within one NUMA tier.
 func (p *priorityLocal) stealFrom(w int, victims []int) *Task {
+	if h := p.hooks; h != nil && len(victims) > 1 {
+		// Chaos injection: probe this sweep's victims in a perturbed order.
+		// The cached NUMA order is copied so the perturbation is per sweep.
+		scan := append([]int(nil), victims...)
+		h.PermuteVictims(w, scan)
+		victims = scan
+	}
 	for _, v := range victims {
 		if t := p.popStaged(v); t != nil {
 			t.transition(Staged, Pending)

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"taskgrain/internal/chaos"
 	"taskgrain/internal/counters"
 	"taskgrain/internal/topology"
 	"taskgrain/internal/trace"
@@ -47,6 +48,11 @@ type Config struct {
 	// times out runs a single probe sweep and re-parks, doubling its wait up
 	// to 16× ParkTimeout until a signal or work arrives. Defaults to 200µs.
 	ParkTimeout time.Duration
+	// Hooks, when set, is a chaos fault-injection surface consulted on the
+	// wake, discovery, and steal paths (see internal/chaos). Nil — the
+	// default, and the only sane production value — costs one pointer
+	// comparison per site.
+	Hooks chaos.Hooks
 }
 
 // Option mutates a Config during New.
@@ -83,6 +89,11 @@ func WithParkAfter(n int) Option { return func(c *Config) { c.ParkAfter = n } }
 
 // WithParkTimeout sets the base parked-wait bound (the liveness backstop).
 func WithParkTimeout(d time.Duration) Option { return func(c *Config) { c.ParkTimeout = d } }
+
+// WithChaosHooks arms deterministic fault injection on the scheduler's
+// wake, discovery, and steal paths. Test-only: the hooks sleep inside the
+// hot paths by design.
+func WithChaosHooks(h chaos.Hooks) Option { return func(c *Config) { c.Hooks = h } }
 
 // Runtime is a task scheduler instance. Create with New, then Start; spawn
 // work with Spawn (or the future package's Async/Dataflow); wait for
@@ -204,7 +215,7 @@ func New(opts ...Option) *Runtime {
 
 	switch cfg.Policy {
 	case PriorityLocalFIFO:
-		rt.policy = newPriorityLocal(topo, rt.pc, cfg.HighPriorityQueues, cfg.StagedBatch)
+		rt.policy = newPriorityLocal(topo, rt.pc, cfg.HighPriorityQueues, cfg.StagedBatch, cfg.Hooks)
 	case StaticRoundRobin:
 		rt.policy = newStaticRR(topo.Workers(), rt.pc)
 	case WorkStealingLIFO:
@@ -564,6 +575,9 @@ func (rt *Runtime) workerLoop(w int) {
 			emptySweeps = 0
 			parkWait = rt.cfg.ParkTimeout
 			continue
+		}
+		if h := rt.cfg.Hooks; h != nil {
+			h.PreProbe(w)
 		}
 		t := rt.policy.next(w)
 		if t != nil {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"taskgrain/internal/adaptive"
+	"taskgrain/internal/chaos"
 	"taskgrain/internal/config"
 	"taskgrain/internal/counters"
 	"taskgrain/internal/policyengine"
@@ -78,7 +79,13 @@ func New(cfg config.Server) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := taskrt.New(taskrt.WithWorkers(workers), taskrt.WithPolicy(pol))
+	rtOpts := []taskrt.Option{taskrt.WithWorkers(workers), taskrt.WithPolicy(pol)}
+	if cfg.ChaosSeed != 0 {
+		rtOpts = append(rtOpts,
+			taskrt.WithChaosHooks(chaos.NewSchedHooks(chaos.DefaultSchedConfig(cfg.ChaosSeed))))
+		log.Printf("taskserve: chaos fault injection ARMED (seed %d) — wake delays, worker stalls, steal perturbation; not for production", cfg.ChaosSeed)
+	}
+	rt := taskrt.New(rtOpts...)
 
 	s := &Server{
 		cfg:        cfg,

@@ -193,3 +193,65 @@ func TestWatchdogCurrentConcurrent(t *testing.T) {
 	}
 	<-done
 }
+
+// TestWatchdogRefireAcrossRingWraparound: fire → clear → refire, with the
+// ring small enough that the refire window has wrapped past (overwritten)
+// the healthy sample that cleared the alert. The second firing must be a
+// fresh transition — new Since, ClearedAt zeroed, a second ALERT log — not
+// a stale continuation of the first.
+func TestWatchdogRefireAcrossRingWraparound(t *testing.T) {
+	var logs []string
+	w := newTestWatchdog(&logs)
+	r := NewRing(4) // smaller than the 5s window: old samples fall off fast
+	epoch := time.Unix(1_000_000, 0)
+
+	// Pinned above tolerance for the full (short) history: fires.
+	feed(r, 0, [][2]float64{{0.60, 0}, {0.62, 10000}, {0.61, 20000}})
+	a := w.Evaluate(r)
+	if !a.Active {
+		t.Fatalf("did not fire on pinned window: %+v", a)
+	}
+	firstSince := a.Since
+	if !firstSince.Equal(epoch.Add(2 * time.Second)) {
+		t.Fatalf("Since = %v, want newest pinned sample stamp", firstSince)
+	}
+
+	// One healthy reading (a regrain landing): clears.
+	feed(r, 3, [][2]float64{{0.10, 30000}})
+	a = w.Evaluate(r)
+	if a.Active {
+		t.Fatalf("did not clear on in-tolerance sample: %+v", a)
+	}
+	if !a.ClearedAt.Equal(epoch.Add(3 * time.Second)) {
+		t.Fatalf("ClearedAt = %v, want the clearing sample's stamp", a.ClearedAt)
+	}
+
+	// Idle pins again for four more samples. With capacity 4 the ring has
+	// wrapped: the healthy sec-3 sample is overwritten, so every retained
+	// sample inside the window is above tolerance again.
+	feed(r, 4, [][2]float64{{0.55, 40000}, {0.58, 50000}, {0.57, 60000}, {0.56, 70000}})
+	if got := r.Len(); got != 4 {
+		t.Fatalf("ring len = %d, want 4 (wrapped)", got)
+	}
+	a = w.Evaluate(r)
+	if !a.Active {
+		t.Fatalf("did not refire after wraparound: %+v", a)
+	}
+	if !a.Since.Equal(epoch.Add(7*time.Second)) || a.Since.Equal(firstSince) {
+		t.Fatalf("refire Since = %v, want a fresh transition stamp (first was %v)", a.Since, firstSince)
+	}
+	if !a.ClearedAt.IsZero() {
+		t.Fatalf("refire kept stale ClearedAt %v", a.ClearedAt)
+	}
+	if a.Wall != WallOverhead || a.Suggestion != SuggestGrowGrain {
+		t.Fatalf("refire verdict: wall %q suggestion %q (flow %.1f/s)", a.Wall, a.Suggestion, a.FlowPerSec)
+	}
+
+	// Exactly three transitions: ALERT, cleared, ALERT.
+	if len(logs) != 3 ||
+		!strings.Contains(logs[0], "ALERT") ||
+		!strings.Contains(logs[1], "cleared") ||
+		!strings.Contains(logs[2], "ALERT") {
+		t.Fatalf("transition logs = %v", logs)
+	}
+}
