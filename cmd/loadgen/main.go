@@ -26,6 +26,14 @@
 //	-wait-timeout <dur>  long-poll timeout per status request (default 30s)
 //	-max-backoff <dur>   cap on honouring Retry-After after a shed (default 1s)
 //	-max-retries <n>     submits abandoned after n sheds (0 = retry forever)
+//	-id-log <file>       append each admitted job ID to this file (one per
+//	                     line) — feed it to a later -expect-recovered run
+//	-expect-recovered <file>
+//	                     recovery assertion mode: submit nothing; poll every
+//	                     job ID listed in the file (as written by -id-log
+//	                     before a crash) to a terminal state against the
+//	                     restarted target, exiting 1 if any ID is missing or
+//	                     never terminates — the journal lost it
 //
 // Each worker POSTs a job; on 429/503 it honours the Retry-After hint
 // (capped by -max-backoff) and retries, counting the shed. Admitted jobs are
@@ -76,6 +84,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	waitTimeout := fs.Duration("wait-timeout", 30*time.Second, "long-poll timeout per status request")
 	maxBackoff := fs.Duration("max-backoff", time.Second, "cap on honouring Retry-After")
 	maxRetries := fs.Int("max-retries", 0, "abandon a submit after this many sheds (0 = retry forever)")
+	idLog := fs.String("id-log", "", "append each admitted job ID to this file")
+	expectRecovered := fs.String("expect-recovered", "", "poll the job IDs in this file to terminal instead of submitting")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -102,6 +112,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(targets) == 0 {
 		fmt.Fprintln(stderr, "loadgen: -mesh lists no usable targets")
 		return 1
+	}
+	if *expectRecovered != "" {
+		return verifyRecovered(*expectRecovered, targets, *concurrency, *waitTimeout,
+			&http.Client{Timeout: *waitTimeout + 15*time.Second}, stdout, stderr)
 	}
 	spec := map[string]any{"kind": *kind, "size": *size}
 	if *kind == "stencil1d" || *kind == "taskbench" {
@@ -140,10 +154,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		waitTimeout: *waitTimeout,
 		maxBackoff:  *maxBackoff,
 		maxRetries:  *maxRetries,
+		stderr:      stderr,
 		// One shared client for every worker: the timeout covers a full
 		// long-poll plus slack for connection setup and response transfer, so
 		// a wedged server fails the request instead of leaking a goroutine.
 		client: &http.Client{Timeout: *waitTimeout + 15*time.Second},
+	}
+	if *idLog != "" {
+		f, err := os.OpenFile(*idLog, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(stderr, "loadgen:", err)
+			return 1
+		}
+		defer f.Close()
+		g.idLog = f
 	}
 	wallStart := time.Now()
 	var next atomic.Int64
@@ -189,6 +213,8 @@ type generator struct {
 	maxRetries  int
 	client      *http.Client
 	rr          atomic.Uint64
+	idLog       io.Writer // when set, admitted job IDs are appended line-wise
+	stderr      io.Writer
 
 	mu        sync.Mutex
 	latencies []time.Duration
@@ -237,6 +263,19 @@ func (g *generator) oneJob() {
 				return
 			}
 			id = v.ID
+			if g.idLog != nil {
+				// The log is the pre-crash half of a recovery assertion: an ID
+				// that cannot be persisted must fail the run *now*, or the
+				// later -expect-recovered pass silently checks fewer jobs.
+				g.mu.Lock()
+				_, err := fmt.Fprintln(g.idLog, id)
+				g.mu.Unlock()
+				if err != nil {
+					fmt.Fprintln(g.stderr, "loadgen: id-log:", err)
+					g.errors.Add(1)
+					return
+				}
+			}
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			g.sheds.Add(1)
 			g.mu.Lock()
@@ -398,6 +437,100 @@ func (g *generator) report(w io.Writer, jobs int, wall time.Duration) {
 		}
 		fmt.Fprintf(w, "grains     %s (jobs×grain)\n", strings.Join(parts, ", "))
 	}
+}
+
+// verifyRecovered is the -expect-recovered mode: every job ID in the file —
+// written by a pre-crash -id-log run — must still resolve on the restarted
+// target(s) and reach a terminal state. An ID answering 404 or stuck
+// non-terminal means the journal lost an acknowledged job; the run exits 1
+// and names it.
+func verifyRecovered(path string, targets []string, concurrency int, waitTimeout time.Duration, client *http.Client, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return 1
+	}
+	var ids []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if s := strings.TrimSpace(line); s != "" {
+			ids = append(ids, s)
+		}
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(stderr, "loadgen: -expect-recovered file lists no job IDs")
+		return 1
+	}
+
+	var mu sync.Mutex
+	states := map[string]int{}
+	var lost []string
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				id := ids[i]
+				state, reason := pollRecovered(client, targets[i%len(targets)], id, waitTimeout)
+				mu.Lock()
+				if state == "" {
+					lost = append(lost, fmt.Sprintf("%s (%s)", id, reason))
+				} else {
+					states[state]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	fmt.Fprintf(stdout, "recovered  %d/%d jobs reached a terminal state (%d done, %d failed, %d cancelled)\n",
+		len(ids)-len(lost), len(ids), states["done"], states["failed"], states["cancelled"])
+	if len(lost) > 0 {
+		sort.Strings(lost)
+		for _, l := range lost {
+			fmt.Fprintf(stderr, "loadgen: lost across restart: %s\n", l)
+		}
+		return 1
+	}
+	return 0
+}
+
+// pollRecovered follows one recovered job to a terminal state. It returns the
+// state, or "" with a reason when the job is missing (404 — the journal
+// forgot an acknowledged job) or runs out its poll budget non-terminal.
+func pollRecovered(client *http.Client, base, id string, waitTimeout time.Duration) (state, reason string) {
+	deadline := time.Now().Add(2*waitTimeout + 30*time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(fmt.Sprintf("%s/v1/jobs/%s?wait=true&timeout=%s", base, id, waitTimeout))
+		if err != nil {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		var v struct {
+			State string `json:"state"`
+		}
+		status := resp.StatusCode
+		decErr := json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if status == http.StatusNotFound {
+			return "", "404 not found"
+		}
+		if status != http.StatusOK || decErr != nil {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		switch v.State {
+		case "done", "failed", "cancelled":
+			return v.State, ""
+		}
+	}
+	return "", "never reached a terminal state"
 }
 
 // fetchStats pulls a target's adaptive grain map for the report footer.

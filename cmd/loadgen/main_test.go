@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -264,5 +265,83 @@ func TestLoadgenUnreachableServer(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "2 errors") {
 		t.Fatalf("errors not counted:\n%s", stdout.String())
+	}
+}
+
+// TestLoadgenIDLogAndExpectRecovered drives the full recovery-assertion
+// workflow: a journaled server takes a -id-log run, crashes without draining,
+// and a restarted process over the same journal dir must satisfy a
+// -expect-recovered pass over the logged IDs.
+func TestLoadgenIDLogAndExpectRecovered(t *testing.T) {
+	journalDir := t.TempDir()
+	mutate := func(cfg *config.Server) {
+		cfg.JournalDir = journalDir
+		cfg.JournalFsyncInterval = time.Millisecond
+	}
+	cfg := config.DefaultServer()
+	cfg.Workers = 2
+	cfg.SampleInterval = 5 * time.Millisecond
+	cfg.ShedMinTasks = 1e12
+	mutate(&cfg)
+	a, err := taskserve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	frontA := httptest.NewServer(a.Handler())
+
+	idFile := t.TempDir() + "/ids.log"
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", frontA.URL, "-id-log", idFile,
+		"-jobs", "8", "-concurrency", "4",
+		"-kind", "fibonacci", "-size", "14",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("id-log run exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	frontA.Close()
+	a.Crash()
+
+	b, err := taskserve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	frontB := httptest.NewServer(b.Handler())
+	t.Cleanup(func() {
+		frontB.Close()
+		b.Close()
+	})
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{
+		"-addr", frontB.URL, "-expect-recovered", idFile, "-concurrency", "4",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("expect-recovered exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "recovered  8/8 jobs reached a terminal state") {
+		t.Fatalf("recovery summary missing:\n%s", stdout.String())
+	}
+}
+
+// TestLoadgenExpectRecoveredLostJob: an ID the restarted server does not know
+// fails the assertion run and is named on stderr.
+func TestLoadgenExpectRecoveredLostJob(t *testing.T) {
+	ts := newBackend(t, nil)
+	idFile := t.TempDir() + "/ids.log"
+	if err := os.WriteFile(idFile, []byte("j-424242\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL, "-expect-recovered", idFile, "-concurrency", "1",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("lost-job assertion exit %d, want 1\nstdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "lost across restart: j-424242 (404 not found)") {
+		t.Fatalf("lost job not named:\n%s", stderr.String())
 	}
 }

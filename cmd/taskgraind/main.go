@@ -24,6 +24,17 @@
 //	-telemetry-interval <dur> counter-ring sampling period (default 250ms)
 //	-telemetry-ring <n>     samples retained per counter (default 600)
 //	-watchdog-window <dur>  idle-rate watchdog sliding window (default 5s)
+//	-journal-dir <path>     write-ahead job journal directory ("" = off):
+//	                        every admitted job is logged before its 202 and
+//	                        replayed on restart
+//	-journal-fsync <name>   journal durability: always | interval | none
+//	                        (default interval — group commit)
+//	-journal-segment-bytes <n> journal segment rotation size (default 4MiB)
+//	-journal-fsync-interval <dur> group-commit fsync period (default 2ms)
+//	-journal-recovery <name> requeue recovered non-terminal jobs, or fail
+//	                        them lost-on-crash (requeue | fail)
+//	-terminal-ttl <dur>     evict terminal jobs this long after finishing,
+//	                        compacting the journal to match (0 = keep)
 //	-chaos-seed <n>         arm deterministic scheduler fault injection
 //	                        with this seed (0 = off; test/repro only —
 //	                        replays the interleavings a chaos scenario

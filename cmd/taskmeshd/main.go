@@ -21,13 +21,22 @@
 //	-telemetry-interval <dur> counter-ring sampling period (default 250ms)
 //	-telemetry-ring <n>       samples retained per counter (default 600)
 //	-watchdog-window <dur>    per-node idle watchdog window (default 5s)
+//	-journal-dir <path>       placement journal directory ("" = off): node
+//	                          placements and terminal observations are
+//	                          logged and replayed on gateway restart
+//	-journal-fsync <name>     journal durability: always | interval | none
+//	                          (default interval — group commit)
+//	-journal-segment-bytes <n> journal segment rotation size (default 4MiB)
+//	-journal-fsync-interval <dur> group-commit fsync period (default 2ms)
 //
 // Precedence, lowest to highest: defaults, the -config file, TASKMESHD_*
 // environment variables, explicit flags.
 //
 // On SIGTERM or SIGINT the gateway stops heartbeating, flushes its routing
-// counters to stdout, and exits 0. It holds no job state worth draining —
-// admitted jobs live on the nodes and survive a gateway restart.
+// counters to stdout, and exits 0. Admitted jobs live on the nodes; with
+// -journal-dir set, the gateway-side placement map (which node holds which
+// mesh job, at which epoch) survives a restart too, so recovered jobs keep
+// polling and failing over under their original mesh IDs.
 package main
 
 import (

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -580,6 +581,119 @@ func scenarioSchedulerSoak() chaos.Scenario {
 	}
 }
 
+// scenarioCrashRestartJournal: a journaled node dies SIGKILL-style mid-burst
+// (HTTP front torn down, journal frozen at its durable state, no drain) and a
+// fresh process restarts over the same journal directory. Every job the
+// client saw a 202 for must reach a terminal state exactly once across the
+// two process lifetimes — the PR 7 ledger invariant stretched over a crash.
+func scenarioCrashRestartJournal() chaos.Scenario {
+	return chaos.Scenario{
+		Name: "crash-restart-journal",
+		Run: func(seed int64, v *chaos.Verifier) error {
+			dir, err := os.MkdirTemp("", "chaos-journal-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			newServer := func() (*taskserve.Server, *httptest.Server, error) {
+				cfg := config.DefaultServer()
+				cfg.Workers = 2
+				cfg.SampleInterval = 5 * time.Millisecond
+				cfg.ShedMinTasks = 1e12
+				cfg.MaxConcurrentJobs = 2
+				cfg.JournalDir = dir
+				cfg.JournalFsyncInterval = time.Millisecond
+				srv, err := taskserve.New(cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				srv.Start()
+				return srv, httptest.NewServer(srv.Handler()), nil
+			}
+			srvA, frontA, err := newServer()
+			if err != nil {
+				return err
+			}
+
+			spec := func(i int) string {
+				return fmt.Sprintf(`{"kind":"fibonacci","size":14,"idempotency_key":"crash-%d-%d"}`, seed, i)
+			}
+			l := chaos.NewLedger()
+			var mu sync.Mutex
+			idBySubmit := map[int]string{}
+			accepted := 0
+			const burst = 24
+			var wg sync.WaitGroup
+			var crashOnce sync.Once
+			crash := func() {
+				frontA.Close() // waits out in-flight requests, like the OS reaping sockets
+				srvA.Crash()
+			}
+			const lanes = 4
+			for lane := 0; lane < lanes; lane++ {
+				wg.Add(1)
+				go func(lane int) {
+					defer wg.Done()
+					for i := lane; i < burst; i += lanes {
+						res := submit(frontA.URL, spec(i))
+						mu.Lock()
+						if res.err == nil && res.status == http.StatusAccepted && res.id != "" {
+							accepted++
+							l.Admitted(res.id)
+							idBySubmit[i] = res.id
+						}
+						half := accepted >= burst/2
+						mu.Unlock()
+						if half {
+							crashOnce.Do(crash)
+						}
+					}
+				}(lane)
+			}
+			wg.Wait()
+			crashOnce.Do(crash)
+			if accepted == 0 {
+				return fmt.Errorf("no job was accepted before the crash")
+			}
+
+			srvB, frontB, err := newServer()
+			if err != nil {
+				return err
+			}
+			defer func() {
+				frontB.Close()
+				srvB.Close()
+			}()
+			recovered := srvB.Telemetry().SampleNow().Values.Get("/journal/recovered-jobs")
+			if recovered < float64(accepted) {
+				v.Failf("node: /journal/recovered-jobs = %v after restart, want ≥ %d (every 202 was journaled first)", recovered, accepted)
+			}
+			// An idempotent resubmission against the restarted process must
+			// resolve to the recovered job, not admit a second run.
+			for i, id := range idBySubmit {
+				res := submit(frontB.URL, spec(i))
+				if res.err != nil || res.id != id {
+					v.Failf("node: idempotent resubmit of job %d returned id %q err %v, want recovered %s", i, res.id, res.err, id)
+				}
+				break
+			}
+			for _, id := range idBySubmit {
+				state, err := pollTerminal(frontB.URL, id, 60*time.Second)
+				if err != nil {
+					v.Failf("poll after restart: %v", err)
+					continue
+				}
+				l.Terminal(id, state)
+				if state != "done" {
+					v.Failf("node: recovered job %s ended %q, want done under the requeue policy", id, state)
+				}
+			}
+			l.Verify(v, "ledger")
+			return nil
+		},
+	}
+}
+
 // scenarios is the canonical suite; CI's chaos-smoke job sweeps it across a
 // seed matrix and the README's chaos table documents each row.
 func scenarios() []chaos.Scenario {
@@ -592,6 +706,7 @@ func scenarios() []chaos.Scenario {
 		scenarioLatencySpikes(),
 		scenarioSubmitStormAccounting(),
 		scenarioSchedulerSoak(),
+		scenarioCrashRestartJournal(),
 	}
 }
 

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"taskgrain/internal/journal"
 )
 
 // Mesh routing policy names. The list is the contract between this package
@@ -67,23 +69,38 @@ type Mesh struct {
 	// WatchdogWindow is the sliding window a node's idle-rate must stay
 	// above tolerance for before its /telemetry/alerts condition fires.
 	WatchdogWindow time.Duration `json:"watchdog_window_ns"`
+
+	// JournalDir, when non-empty, enables the gateway placement journal
+	// (internal/journal) rooted at that directory: placement epochs and
+	// terminal observations are logged so a gateway restart doesn't orphan
+	// in-flight failovers. Empty disables it.
+	JournalDir string `json:"journal_dir,omitempty"`
+	// JournalFsync picks the journal fsync policy (always, interval, none).
+	JournalFsync string `json:"journal_fsync,omitempty"`
+	// JournalSegmentBytes is the segment-rotation threshold.
+	JournalSegmentBytes int64 `json:"journal_segment_bytes,omitempty"`
+	// JournalFsyncInterval is the group-commit window under "interval".
+	JournalFsyncInterval time.Duration `json:"journal_fsync_interval_ns,omitempty"`
 }
 
 // DefaultMesh returns the taskmeshd defaults.
 func DefaultMesh() Mesh {
 	return Mesh{
-		Addr:              ":8090",
-		HeartbeatInterval: 250 * time.Millisecond,
-		DownAfter:         3,
-		RoutePolicy:       MeshPolicyLeastIdleRate,
-		MaxSubmitAttempts: 8,
-		MaxBackoff:        time.Second,
-		HedgeDelay:        2 * time.Second,
-		FlowFloor:         1,
-		RequestTimeout:    5 * time.Second,
-		TelemetryInterval: 250 * time.Millisecond,
-		TelemetryRing:     600,
-		WatchdogWindow:    5 * time.Second,
+		Addr:                 ":8090",
+		HeartbeatInterval:    250 * time.Millisecond,
+		DownAfter:            3,
+		RoutePolicy:          MeshPolicyLeastIdleRate,
+		MaxSubmitAttempts:    8,
+		MaxBackoff:           time.Second,
+		HedgeDelay:           2 * time.Second,
+		FlowFloor:            1,
+		RequestTimeout:       5 * time.Second,
+		TelemetryInterval:    250 * time.Millisecond,
+		TelemetryRing:        600,
+		WatchdogWindow:       5 * time.Second,
+		JournalFsync:         "interval",
+		JournalSegmentBytes:  4 << 20,
+		JournalFsyncInterval: 2 * time.Millisecond,
 	}
 }
 
@@ -114,6 +131,13 @@ func (m *Mesh) Validate() error {
 		return fmt.Errorf("config: telemetry_ring = %d (need at least 2 samples for interval queries)", m.TelemetryRing)
 	case m.WatchdogWindow <= 0:
 		return fmt.Errorf("config: watchdog_window = %v", m.WatchdogWindow)
+	case m.JournalSegmentBytes < 1024:
+		return fmt.Errorf("config: journal_segment_bytes = %d (need at least 1KiB)", m.JournalSegmentBytes)
+	case m.JournalFsyncInterval <= 0:
+		return fmt.Errorf("config: journal_fsync_interval = %v", m.JournalFsyncInterval)
+	}
+	if _, err := journal.ParseFsyncPolicy(m.journalFsyncName()); err != nil {
+		return fmt.Errorf("config: journal_fsync: %w", err)
 	}
 	for _, n := range m.Nodes {
 		if strings.TrimSpace(n) == "" {
@@ -127,6 +151,18 @@ func (m *Mesh) Validate() error {
 	}
 	return fmt.Errorf("config: unknown route_policy %q (want %s)",
 		m.RoutePolicy, strings.Join(MeshPolicies, ", "))
+}
+
+func (m *Mesh) journalFsyncName() string {
+	if m.JournalFsync == "" {
+		return "interval"
+	}
+	return m.JournalFsync
+}
+
+// JournalFsyncPolicy returns the parsed fsync policy.
+func (m *Mesh) JournalFsyncPolicy() (journal.FsyncPolicy, error) {
+	return journal.ParseFsyncPolicy(m.journalFsyncName())
 }
 
 // ApplyEnv overlays TASKMESHD_* environment variables onto the
@@ -166,6 +202,19 @@ func (m *Mesh) ApplyEnv(lookup func(string) (string, bool)) error {
 		}
 		m.TelemetryRing = n
 	}
+	if v, ok := lookup("TASKMESHD_JOURNAL_DIR"); ok {
+		m.JournalDir = v
+	}
+	if v, ok := lookup("TASKMESHD_JOURNAL_FSYNC"); ok {
+		m.JournalFsync = v
+	}
+	if v, ok := lookup("TASKMESHD_JOURNAL_SEGMENT_BYTES"); ok {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("config: TASKMESHD_JOURNAL_SEGMENT_BYTES=%q: %w", v, err)
+		}
+		m.JournalSegmentBytes = n
+	}
 	if v, ok := lookup("TASKMESHD_FLOW_FLOOR"); ok {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil {
@@ -183,6 +232,7 @@ func (m *Mesh) ApplyEnv(lookup func(string) (string, bool)) error {
 		{"TASKMESHD_REQUEST_TIMEOUT", &m.RequestTimeout},
 		{"TASKMESHD_TELEMETRY_INTERVAL", &m.TelemetryInterval},
 		{"TASKMESHD_WATCHDOG_WINDOW", &m.WatchdogWindow},
+		{"TASKMESHD_JOURNAL_FSYNC_INTERVAL", &m.JournalFsyncInterval},
 	}
 	for _, e := range durs {
 		v, ok := lookup(e.key)
@@ -242,6 +292,10 @@ func (m *Mesh) Flags(fs *flag.FlagSet) {
 	fs.DurationVar(&m.TelemetryInterval, "telemetry-interval", m.TelemetryInterval, "telemetry ring sampling period")
 	fs.IntVar(&m.TelemetryRing, "telemetry-ring", m.TelemetryRing, "telemetry ring capacity (samples)")
 	fs.DurationVar(&m.WatchdogWindow, "watchdog-window", m.WatchdogWindow, "per-node idle-rate watchdog sliding window")
+	fs.StringVar(&m.JournalDir, "journal-dir", m.JournalDir, "placement journal directory (empty disables durability)")
+	fs.StringVar(&m.JournalFsync, "journal-fsync", m.journalFsyncName(), "journal fsync policy (always, interval, none)")
+	fs.Int64Var(&m.JournalSegmentBytes, "journal-segment-bytes", m.JournalSegmentBytes, "journal segment rotation size")
+	fs.DurationVar(&m.JournalFsyncInterval, "journal-fsync-interval", m.JournalFsyncInterval, "group-commit window under the interval policy")
 }
 
 // LoadMesh decodes a mesh configuration from JSON over the defaults,

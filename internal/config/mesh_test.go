@@ -40,6 +40,9 @@ func TestMeshValidateRejections(t *testing.T) {
 		func(m *Mesh) { m.TelemetryInterval = 0 },
 		func(m *Mesh) { m.TelemetryRing = 1 },
 		func(m *Mesh) { m.WatchdogWindow = 0 },
+		func(m *Mesh) { m.JournalFsync = "sometimes" },
+		func(m *Mesh) { m.JournalSegmentBytes = 100 },
+		func(m *Mesh) { m.JournalFsyncInterval = -time.Millisecond },
 	}
 	for i, mutate := range cases {
 		m := validMesh()
@@ -90,6 +93,37 @@ func TestMeshApplyEnv(t *testing.T) {
 		return "", false
 	}); err == nil {
 		t.Fatal("bad duration env silently accepted")
+	}
+}
+
+func TestMeshJournalKnobs(t *testing.T) {
+	m := validMesh()
+	if m.JournalDir != "" {
+		t.Fatalf("mesh journal enabled by default (dir %q)", m.JournalDir)
+	}
+	env := map[string]string{
+		"TASKMESHD_JOURNAL_DIR":            "/tmp/mesh-wal",
+		"TASKMESHD_JOURNAL_FSYNC":          "none",
+		"TASKMESHD_JOURNAL_SEGMENT_BYTES":  "131072",
+		"TASKMESHD_JOURNAL_FSYNC_INTERVAL": "7ms",
+	}
+	if err := m.ApplyEnv(func(k string) (string, bool) { v, ok := env[k]; return v, ok }); err != nil {
+		t.Fatal(err)
+	}
+	if m.JournalDir != "/tmp/mesh-wal" || m.JournalFsync != "none" ||
+		m.JournalSegmentBytes != 131072 || m.JournalFsyncInterval != 7*time.Millisecond {
+		t.Fatalf("journal env overlay not applied: %+v", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	m.Flags(fs)
+	if err := fs.Parse([]string{"-journal-dir", "/tmp/mesh-wal2", "-journal-fsync", "always"}); err != nil {
+		t.Fatal(err)
+	}
+	if m.JournalDir != "/tmp/mesh-wal2" || m.JournalFsync != "always" {
+		t.Fatalf("journal flags not bound: %+v", m)
 	}
 }
 

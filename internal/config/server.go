@@ -7,10 +7,26 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
+	"taskgrain/internal/journal"
 	"taskgrain/internal/taskrt"
 )
+
+// Recovery policies for journaled jobs found non-terminal after a restart.
+const (
+	// JournalRecoveryRequeue re-queues recovered non-terminal jobs for
+	// execution (falling back to a lost-on-crash failure if the queue
+	// overflows during replay).
+	JournalRecoveryRequeue = "requeue"
+	// JournalRecoveryFail marks recovered non-terminal jobs failed with a
+	// lost-on-crash error so clients learn their fate without re-execution.
+	JournalRecoveryFail = "fail"
+)
+
+// JournalRecoveryPolicies lists the valid journal_recovery values.
+var JournalRecoveryPolicies = []string{JournalRecoveryRequeue, JournalRecoveryFail}
 
 // Server is the serializable configuration of the taskserve daemon
 // (cmd/taskgraind). Precedence, lowest to highest: defaults, a JSON file
@@ -63,6 +79,31 @@ type Server struct {
 	// condition.
 	WatchdogWindow time.Duration `json:"watchdog_window_ns"`
 
+	// JournalDir, when non-empty, enables the write-ahead job journal
+	// (internal/journal) rooted at that directory: every lifecycle
+	// transition is logged and replayed on boot so admitted jobs survive a
+	// crash. Empty disables durability entirely.
+	JournalDir string `json:"journal_dir,omitempty"`
+	// JournalFsync picks the fsync policy: "always" (one fsync per record),
+	// "interval" (group commit batching on JournalFsyncInterval), or "none"
+	// (OS page cache only).
+	JournalFsync string `json:"journal_fsync,omitempty"`
+	// JournalSegmentBytes is the segment-rotation threshold.
+	JournalSegmentBytes int64 `json:"journal_segment_bytes,omitempty"`
+	// JournalFsyncInterval is the group-commit window under the "interval"
+	// policy — the durability analogue of grain size: all records appended
+	// within one window share a single fsync.
+	JournalFsyncInterval time.Duration `json:"journal_fsync_interval_ns,omitempty"`
+	// JournalRecovery decides what happens to journaled jobs recovered
+	// non-terminal after a restart: "requeue" re-runs them, "fail" marks
+	// them lost-on-crash.
+	JournalRecovery string `json:"journal_recovery,omitempty"`
+	// TerminalTTL evicts terminal jobs from the in-memory store after this
+	// long, triggering a journal compaction snapshot when anything was
+	// evicted (0 disables TTL eviction; the count-bound retention still
+	// applies).
+	TerminalTTL time.Duration `json:"terminal_ttl_ns,omitempty"`
+
 	// ChaosSeed, when non-zero, arms deterministic scheduler fault
 	// injection (internal/chaos) with that seed: wake delays, worker
 	// stalls, and steal-order perturbation on the runtime. Strictly a
@@ -73,19 +114,24 @@ type Server struct {
 // DefaultServer returns the taskgraind defaults.
 func DefaultServer() Server {
 	return Server{
-		Addr:              ":8080",
-		Policy:            "priority-local-fifo",
-		MaxQueuedJobs:     64,
-		MaxConcurrentJobs: 4,
-		MaxInflightTasks:  100_000,
-		HighIdle:          0.30,
-		ShedMinTasks:      256,
-		RetryAfter:        time.Second,
-		SampleInterval:    50 * time.Millisecond,
-		MaxJobSize:        50_000_000,
-		TelemetryInterval: 250 * time.Millisecond,
-		TelemetryRing:     600,
-		WatchdogWindow:    5 * time.Second,
+		Addr:                 ":8080",
+		Policy:               "priority-local-fifo",
+		MaxQueuedJobs:        64,
+		MaxConcurrentJobs:    4,
+		MaxInflightTasks:     100_000,
+		HighIdle:             0.30,
+		ShedMinTasks:         256,
+		RetryAfter:           time.Second,
+		SampleInterval:       50 * time.Millisecond,
+		MaxJobSize:           50_000_000,
+		JournalFsync:         "interval",
+		JournalSegmentBytes:  4 << 20,
+		JournalFsyncInterval: 2 * time.Millisecond,
+		JournalRecovery:      JournalRecoveryRequeue,
+		TerminalTTL:          10 * time.Minute,
+		TelemetryInterval:    250 * time.Millisecond,
+		TelemetryRing:        600,
+		WatchdogWindow:       5 * time.Second,
 	}
 }
 
@@ -120,11 +166,51 @@ func (s *Server) Validate() error {
 		return fmt.Errorf("config: telemetry_ring = %d (need at least 2 samples for interval queries)", s.TelemetryRing)
 	case s.WatchdogWindow <= 0:
 		return fmt.Errorf("config: watchdog_window = %v", s.WatchdogWindow)
+	case s.JournalSegmentBytes < 1024:
+		return fmt.Errorf("config: journal_segment_bytes = %d (need at least 1KiB)", s.JournalSegmentBytes)
+	case s.JournalFsyncInterval <= 0:
+		return fmt.Errorf("config: journal_fsync_interval = %v", s.JournalFsyncInterval)
+	case s.TerminalTTL < 0:
+		return fmt.Errorf("config: terminal_ttl = %v", s.TerminalTTL)
+	}
+	if _, err := journal.ParseFsyncPolicy(s.journalFsyncName()); err != nil {
+		return fmt.Errorf("config: journal_fsync: %w", err)
+	}
+	switch s.journalRecoveryName() {
+	case JournalRecoveryRequeue, JournalRecoveryFail:
+	default:
+		return fmt.Errorf("config: unknown journal_recovery %q (want %s)",
+			s.JournalRecovery, strings.Join(JournalRecoveryPolicies, ", "))
 	}
 	if _, err := taskrt.ParsePolicy(s.policyName()); err != nil {
 		return fmt.Errorf("config: %w", err)
 	}
 	return nil
+}
+
+func (s *Server) journalFsyncName() string {
+	if s.JournalFsync == "" {
+		return "interval"
+	}
+	return s.JournalFsync
+}
+
+func (s *Server) journalRecoveryName() string {
+	if s.JournalRecovery == "" {
+		return JournalRecoveryRequeue
+	}
+	return s.JournalRecovery
+}
+
+// JournalFsyncPolicy returns the parsed fsync policy.
+func (s *Server) JournalFsyncPolicy() (journal.FsyncPolicy, error) {
+	return journal.ParseFsyncPolicy(s.journalFsyncName())
+}
+
+// RecoveryRequeues reports whether recovered non-terminal jobs re-queue
+// (true) or fail lost-on-crash (false).
+func (s *Server) RecoveryRequeues() bool {
+	return s.journalRecoveryName() == JournalRecoveryRequeue
 }
 
 func (s *Server) policyName() string {
@@ -207,6 +293,14 @@ func (s *Server) ApplyEnv(lookup func(string) (string, bool)) error {
 		func() error { return dur("TASKGRAIND_TELEMETRY_INTERVAL", &s.TelemetryInterval) },
 		func() error { return num("TASKGRAIND_TELEMETRY_RING", func(n int64) { s.TelemetryRing = int(n) }) },
 		func() error { return dur("TASKGRAIND_WATCHDOG_WINDOW", &s.WatchdogWindow) },
+		func() error { return str("TASKGRAIND_JOURNAL_DIR", &s.JournalDir) },
+		func() error { return str("TASKGRAIND_JOURNAL_FSYNC", &s.JournalFsync) },
+		func() error {
+			return num("TASKGRAIND_JOURNAL_SEGMENT_BYTES", func(n int64) { s.JournalSegmentBytes = n })
+		},
+		func() error { return dur("TASKGRAIND_JOURNAL_FSYNC_INTERVAL", &s.JournalFsyncInterval) },
+		func() error { return str("TASKGRAIND_JOURNAL_RECOVERY", &s.JournalRecovery) },
+		func() error { return dur("TASKGRAIND_TERMINAL_TTL", &s.TerminalTTL) },
 		func() error { return num("TASKGRAIND_CHAOS_SEED", func(n int64) { s.ChaosSeed = n }) },
 	}
 	for _, step := range steps {
@@ -235,6 +329,13 @@ func (s *Server) Flags(fs *flag.FlagSet) {
 	fs.DurationVar(&s.TelemetryInterval, "telemetry-interval", s.TelemetryInterval, "telemetry ring sampling period")
 	fs.IntVar(&s.TelemetryRing, "telemetry-ring", s.TelemetryRing, "telemetry ring capacity (samples)")
 	fs.DurationVar(&s.WatchdogWindow, "watchdog-window", s.WatchdogWindow, "idle-rate watchdog sliding window")
+	fs.StringVar(&s.JournalDir, "journal-dir", s.JournalDir, "write-ahead journal directory (empty disables durability)")
+	fs.StringVar(&s.JournalFsync, "journal-fsync", s.journalFsyncName(), "journal fsync policy (always, interval, none)")
+	fs.Int64Var(&s.JournalSegmentBytes, "journal-segment-bytes", s.JournalSegmentBytes, "journal segment rotation size")
+	fs.DurationVar(&s.JournalFsyncInterval, "journal-fsync-interval", s.JournalFsyncInterval, "group-commit window under the interval policy")
+	fs.StringVar(&s.JournalRecovery, "journal-recovery", s.journalRecoveryName(),
+		"recovered non-terminal job policy ("+strings.Join(JournalRecoveryPolicies, ", ")+")")
+	fs.DurationVar(&s.TerminalTTL, "terminal-ttl", s.TerminalTTL, "terminal job retention before TTL eviction (0 = count-bound only)")
 	fs.Int64Var(&s.ChaosSeed, "chaos-seed", s.ChaosSeed, "arm deterministic chaos fault injection with this seed (0 = off; test/repro only)")
 }
 

@@ -31,6 +31,11 @@ func TestServerValidateRejects(t *testing.T) {
 		func(s *Server) { s.TelemetryInterval = 0 },
 		func(s *Server) { s.TelemetryRing = 1 },
 		func(s *Server) { s.WatchdogWindow = -time.Second },
+		func(s *Server) { s.JournalFsync = "sometimes" },
+		func(s *Server) { s.JournalSegmentBytes = 512 },
+		func(s *Server) { s.JournalFsyncInterval = -time.Millisecond },
+		func(s *Server) { s.JournalRecovery = "resurrect" },
+		func(s *Server) { s.TerminalTTL = -time.Minute },
 	}
 	for i, mutate := range cases {
 		s := DefaultServer()
@@ -101,6 +106,49 @@ func TestServerFlagsOverride(t *testing.T) {
 	}
 	if s.TelemetryInterval != 75*time.Millisecond || s.TelemetryRing != 42 || s.WatchdogWindow != 11*time.Second {
 		t.Fatalf("telemetry flags not bound: %+v", s)
+	}
+}
+
+func TestServerJournalKnobs(t *testing.T) {
+	s := DefaultServer()
+	if s.JournalDir != "" {
+		t.Fatalf("journal enabled by default (dir %q)", s.JournalDir)
+	}
+	if !s.RecoveryRequeues() {
+		t.Fatal("default recovery policy is not requeue")
+	}
+	env := map[string]string{
+		"TASKGRAIND_JOURNAL_DIR":            "/tmp/wal",
+		"TASKGRAIND_JOURNAL_FSYNC":          "always",
+		"TASKGRAIND_JOURNAL_SEGMENT_BYTES":  "65536",
+		"TASKGRAIND_JOURNAL_FSYNC_INTERVAL": "5ms",
+		"TASKGRAIND_JOURNAL_RECOVERY":       "fail",
+		"TASKGRAIND_TERMINAL_TTL":           "3m",
+	}
+	if err := s.ApplyEnv(func(k string) (string, bool) { v, ok := env[k]; return v, ok }); err != nil {
+		t.Fatal(err)
+	}
+	if s.JournalDir != "/tmp/wal" || s.JournalFsync != "always" ||
+		s.JournalSegmentBytes != 65536 || s.JournalFsyncInterval != 5*time.Millisecond ||
+		s.JournalRecovery != "fail" || s.TerminalTTL != 3*time.Minute {
+		t.Fatalf("journal env overlay not applied: %+v", s)
+	}
+	if s.RecoveryRequeues() {
+		t.Fatal("RecoveryRequeues true after TASKGRAIND_JOURNAL_RECOVERY=fail")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	s.Flags(fs)
+	if err := fs.Parse([]string{"-journal-dir", "/tmp/wal2", "-journal-fsync", "none",
+		"-journal-recovery", "requeue", "-terminal-ttl", "90s"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.JournalDir != "/tmp/wal2" || s.JournalFsync != "none" ||
+		!s.RecoveryRequeues() || s.TerminalTTL != 90*time.Second {
+		t.Fatalf("journal flags not bound: %+v", s)
 	}
 }
 

@@ -1,0 +1,536 @@
+// Package journal is a durable write-ahead log for job-lifecycle records:
+// length+CRC32C framed records in segmented append-only files, monotonic
+// LSNs, snapshot compaction, and crash recovery that tolerates a torn final
+// record.
+//
+// The fsync policy is the durability edition of the paper's granularity
+// trade-off (Eq. 1): an fsync per record is the "tiny task" regime — the
+// per-record overhead (a device flush) swamps the payload and throughput
+// collapses. The interval policy batches every record appended inside one
+// commit window into a single fsync (group commit), exactly the way
+// SpawnBatch amortizes one wake over a batch of spawns: the overhead is paid
+// once per group, not once per record.
+//
+//	always    fsync inside every Append; durable on return
+//	interval  Append returns after the buffered write; a group-commit
+//	          syncer fsyncs every FsyncInterval, covering every record
+//	          appended since the previous flush (bounded-loss window)
+//	none      never fsync (the OS flushes); for benchmarking the floor
+//	          and for tests on tmpfs
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FsyncPolicy selects when appends are flushed to stable storage.
+type FsyncPolicy string
+
+// The three fsync policies.
+const (
+	FsyncAlways   FsyncPolicy = "always"
+	FsyncInterval FsyncPolicy = "interval"
+	FsyncNone     FsyncPolicy = "none"
+)
+
+// ParseFsyncPolicy validates a policy name.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case FsyncAlways, FsyncInterval, FsyncNone:
+		return FsyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("journal: unknown fsync policy %q (want always, interval, none)", s)
+}
+
+// LSN is a log sequence number: 1-based, monotonic, gapless. A record's LSN
+// is implicit in its position — segment files are named by the LSN of their
+// first record, so replay reconstructs every LSN without storing them.
+type LSN uint64
+
+// Record framing: a 4-byte little-endian payload length, a 4-byte CRC32C
+// (Castagnoli) of the payload, then the payload. maxRecordBytes bounds a
+// single record so a garbage length field cannot drive a giant allocation
+// during recovery.
+const (
+	headerBytes    = 8
+	maxRecordBytes = 16 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrKilled is returned by appends and syncs after Kill — the test-only
+// crash switch that freezes the journal's durable state mid-run.
+var ErrKilled = errors.New("journal: killed (simulated crash)")
+
+// ErrClosed is returned by operations on a closed journal.
+var ErrClosed = errors.New("journal: closed")
+
+// Options parameterizes Open.
+type Options struct {
+	// SegmentBytes rotates to a fresh segment file once the current one
+	// reaches this size (default 4 MiB). Sealed segments are fsynced at
+	// rotation (except under FsyncNone), so only the tail segment can ever
+	// be torn.
+	SegmentBytes int64
+	// Fsync is the durability policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// FsyncInterval is the group-commit window of the interval policy
+	// (default 2ms): every record appended within one window shares one
+	// fsync.
+	FsyncInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.Fsync == "" {
+		o.Fsync = FsyncInterval
+	}
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 2 * time.Millisecond
+	}
+	return o
+}
+
+// Journal is an open write-ahead log. All methods are safe for concurrent
+// use.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // tail segment
+	segStart LSN      // first LSN of the tail segment
+	segSize  int64
+	next     LSN // next LSN to assign
+	appended LSN // last appended LSN
+	durable  LSN // last LSN covered by an fsync
+	snapLSN  LSN // LSN of the newest snapshot on disk
+	closed   bool
+
+	killed atomic.Bool
+
+	stopSync chan struct{}
+	syncWG   sync.WaitGroup
+
+	// Stats, exported for telemetry counters.
+	appends   atomic.Int64
+	fsyncs    atomic.Int64
+	lastGroup atomic.Int64 // records covered by the most recent group commit
+	torn      atomic.Int64 // torn-tail truncations performed at Open
+}
+
+// Open creates or resumes a journal in dir. An existing log is scanned to
+// the last valid record (a torn tail is truncated and counted) and appends
+// continue from there; recovery of the *contents* is Recover's job and
+// should run before Open.
+func Open(dir string, opts Options) (*Journal, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	st, err := scanDir(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{
+		dir:      dir,
+		opts:     opts,
+		next:     st.lastLSN + 1,
+		appended: st.lastLSN,
+		durable:  st.lastLSN,
+		snapLSN:  st.snapLSN,
+		stopSync: make(chan struct{}),
+	}
+	j.torn.Store(int64(st.tornTruncations))
+	if len(st.segments) == 0 {
+		if err := j.openSegmentLocked(j.next); err != nil {
+			return nil, err
+		}
+	} else {
+		tail := st.segments[len(st.segments)-1]
+		f, err := os.OpenFile(filepath.Join(dir, tail.name), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		j.f = f
+		j.segStart = tail.firstLSN
+		j.segSize = tail.validBytes
+	}
+	if opts.Fsync == FsyncInterval {
+		j.syncWG.Add(1)
+		go j.syncLoop()
+	}
+	return j, nil
+}
+
+// openSegmentLocked creates the segment whose first record will carry
+// firstLSN. Caller holds j.mu (or is in Open before the journal escapes).
+func (j *Journal) openSegmentLocked(firstLSN LSN) error {
+	f, err := os.OpenFile(filepath.Join(j.dir, segmentName(firstLSN)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	j.segStart = firstLSN
+	j.segSize = 0
+	return syncDir(j.dir)
+}
+
+// Append writes one framed record and returns its LSN. Durability on return
+// follows the fsync policy: guaranteed under always, within FsyncInterval
+// under interval, at the OS's leisure under none.
+func (j *Journal) Append(payload []byte) (LSN, error) {
+	if len(payload) == 0 || len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("journal: record size %d out of (0,%d]", len(payload), maxRecordBytes)
+	}
+	if j.killed.Load() {
+		return 0, ErrKilled
+	}
+	frame := EncodeRecord(payload)
+
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if j.killed.Load() { // re-check under the lock; Kill wins races
+		j.mu.Unlock()
+		return 0, ErrKilled
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		j.mu.Unlock()
+		return 0, fmt.Errorf("journal: %w", err)
+	}
+	lsn := j.next
+	j.next++
+	j.appended = lsn
+	j.segSize += int64(len(frame))
+	j.appends.Add(1)
+
+	if j.opts.Fsync == FsyncAlways {
+		if err := j.f.Sync(); err != nil {
+			j.mu.Unlock()
+			return 0, fmt.Errorf("journal: %w", err)
+		}
+		j.fsyncs.Add(1)
+		j.lastGroup.Store(int64(lsn - j.durable))
+		j.durable = lsn
+	}
+	var rotateErr error
+	if j.segSize >= j.opts.SegmentBytes {
+		rotateErr = j.rotateLocked()
+	}
+	j.mu.Unlock()
+	if rotateErr != nil {
+		return lsn, rotateErr
+	}
+	return lsn, nil
+}
+
+// rotateLocked seals the tail segment (fsync unless policy none) and opens a
+// fresh one. Caller holds j.mu.
+func (j *Journal) rotateLocked() error {
+	if j.opts.Fsync != FsyncNone {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: seal: %w", err)
+		}
+		j.fsyncs.Add(1)
+		if j.appended > j.durable {
+			j.lastGroup.Store(int64(j.appended - j.durable))
+			j.durable = j.appended
+		}
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("journal: seal: %w", err)
+	}
+	return j.openSegmentLocked(j.next)
+}
+
+// syncLoop is the interval policy's group-commit syncer: one fsync per
+// window covers every record appended since the last one.
+func (j *Journal) syncLoop() {
+	defer j.syncWG.Done()
+	tick := time.NewTicker(j.opts.FsyncInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-j.stopSync:
+			return
+		case <-tick.C:
+			j.mu.Lock()
+			if !j.closed && !j.killed.Load() && j.appended > j.durable {
+				if err := j.f.Sync(); err == nil {
+					j.fsyncs.Add(1)
+					j.lastGroup.Store(int64(j.appended - j.durable))
+					j.durable = j.appended
+				}
+			}
+			j.mu.Unlock()
+		}
+	}
+}
+
+// Sync forces an fsync of the tail segment regardless of policy — the drain
+// path calls it so a graceful shutdown leaves nothing in the page cache.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if j.killed.Load() {
+		return ErrKilled
+	}
+	if j.closed {
+		return ErrClosed
+	}
+	if j.appended > j.durable {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		j.fsyncs.Add(1)
+		j.lastGroup.Store(int64(j.appended - j.durable))
+		j.durable = j.appended
+	}
+	return nil
+}
+
+// Snapshot durably writes a full-state snapshot covering every record
+// appended so far, then deletes segments (and older snapshots) wholly below
+// it. Replay after a snapshot starts from its payload and applies only
+// records with greater LSNs, so replaying a record the snapshot already
+// includes must be idempotent for the caller.
+func (j *Journal) Snapshot(state []byte) error {
+	if len(state) > maxRecordBytes {
+		return fmt.Errorf("journal: snapshot size %d exceeds %d", len(state), maxRecordBytes)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.killed.Load() {
+		return ErrKilled
+	}
+	if j.closed {
+		return ErrClosed
+	}
+	// The tail must be durable before the snapshot claims to cover it —
+	// otherwise a crash could leave a snapshot at LSN n with records ≤ n
+	// torn away beneath it.
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	cur := j.appended
+	if err := writeSnapshotFile(j.dir, cur, state); err != nil {
+		return err
+	}
+	j.snapLSN = cur
+	j.compactLocked()
+	return nil
+}
+
+// SnapshotLSN returns the LSN of the newest snapshot on disk (0 if none).
+func (j *Journal) SnapshotLSN() LSN {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapLSN
+}
+
+// compactLocked deletes snapshots older than the newest and segments whose
+// every record is covered by it. The tail segment always survives. Caller
+// holds j.mu.
+func (j *Journal) compactLocked() {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return
+	}
+	var segs []segmentMeta
+	for _, e := range entries {
+		if lsn, ok := parseSnapshotName(e.Name()); ok && lsn < j.snapLSN {
+			_ = os.Remove(filepath.Join(j.dir, e.Name()))
+		}
+		if lsn, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, segmentMeta{name: e.Name(), firstLSN: lsn})
+		}
+	}
+	sortSegments(segs)
+	// Segment i covers [firstLSN_i, firstLSN_{i+1}-1]; deletable when that
+	// whole range is ≤ snapLSN.
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].firstLSN-1 <= j.snapLSN && segs[i].name != segmentName(j.segStart) {
+			_ = os.Remove(filepath.Join(j.dir, segs[i].name))
+		}
+	}
+	_ = syncDir(j.dir)
+}
+
+// Kill simulates a crash for tests: every later append, sync, and snapshot
+// fails with ErrKilled, freezing the on-disk state at this instant — the
+// moment the SIGKILL landed. Unlike Close it never flushes.
+func (j *Journal) Kill() {
+	if !j.killed.CompareAndSwap(false, true) {
+		return
+	}
+	close(j.stopSync)
+	j.syncWG.Wait()
+	j.mu.Lock()
+	if !j.closed {
+		j.closed = true
+		_ = j.f.Close()
+	}
+	j.mu.Unlock()
+}
+
+// Killed reports whether the crash switch fired.
+func (j *Journal) Killed() bool { return j.killed.Load() }
+
+// Close flushes and closes the journal.
+func (j *Journal) Close() error {
+	if j.killed.Load() {
+		return ErrKilled
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.mu.Unlock()
+	if j.opts.Fsync == FsyncInterval {
+		close(j.stopSync)
+		j.syncWG.Wait()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	err := j.syncLocked()
+	j.closed = true
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LastLSN returns the most recently appended LSN.
+func (j *Journal) LastLSN() LSN {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// Appends returns how many records have been appended.
+func (j *Journal) Appends() int64 { return j.appends.Load() }
+
+// Fsyncs returns how many fsyncs have been issued.
+func (j *Journal) Fsyncs() int64 { return j.fsyncs.Load() }
+
+// LastGroupSize returns how many records the most recent group commit
+// covered — the durability edition of the batch size that amortizes Eq. 1
+// overhead.
+func (j *Journal) LastGroupSize() int64 { return j.lastGroup.Load() }
+
+// TornTruncations returns how many torn tails Open truncated.
+func (j *Journal) TornTruncations() int64 { return j.torn.Load() }
+
+// EncodeRecord frames one payload: length, CRC32C, payload.
+func EncodeRecord(payload []byte) []byte {
+	frame := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[headerBytes:], payload)
+	return frame
+}
+
+// DecodeRecord parses one frame from the front of b, returning the payload
+// and the bytes consumed. A short, oversized, or CRC-mismatched frame
+// returns an error — during recovery that marks the torn tail.
+func DecodeRecord(b []byte) (payload []byte, n int, err error) {
+	if len(b) < headerBytes {
+		return nil, 0, errors.New("journal: short header")
+	}
+	size := binary.LittleEndian.Uint32(b[0:4])
+	if size == 0 || size > maxRecordBytes {
+		return nil, 0, fmt.Errorf("journal: record length %d out of (0,%d]", size, maxRecordBytes)
+	}
+	if len(b) < headerBytes+int(size) {
+		return nil, 0, errors.New("journal: short payload")
+	}
+	payload = b[headerBytes : headerBytes+int(size)]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(b[4:8]) {
+		return nil, 0, errors.New("journal: CRC mismatch")
+	}
+	return payload, headerBytes + int(size), nil
+}
+
+// segmentName renders the file name of the segment whose first record
+// carries lsn.
+func segmentName(lsn LSN) string { return fmt.Sprintf("wal-%020d.log", lsn) }
+
+// snapshotName renders the file name of the snapshot covering lsn.
+func snapshotName(lsn LSN) string { return fmt.Sprintf("snap-%020d.snap", lsn) }
+
+func parseSegmentName(name string) (LSN, bool) {
+	var n uint64
+	if _, err := fmt.Sscanf(name, "wal-%020d.log", &n); err != nil || segmentName(LSN(n)) != name {
+		return 0, false
+	}
+	return LSN(n), true
+}
+
+func parseSnapshotName(name string) (LSN, bool) {
+	var n uint64
+	if _, err := fmt.Sscanf(name, "snap-%020d.snap", &n); err != nil || snapshotName(LSN(n)) != name {
+		return 0, false
+	}
+	return LSN(n), true
+}
+
+// writeSnapshotFile durably writes one framed snapshot: temp file, fsync,
+// atomic rename, directory fsync.
+func writeSnapshotFile(dir string, lsn LSN, state []byte) error {
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { _ = tmp.Close(); _ = os.Remove(tmpName) }
+	if _, err := tmp.Write(EncodeRecord(state)); err != nil {
+		cleanup()
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, snapshotName(lsn))); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil // best effort; some filesystems refuse directory opens
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,176 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Record is one replayable log entry.
+type Record struct {
+	LSN     LSN
+	Payload []byte
+}
+
+// Recovery is the replayable state of a journal directory: the newest valid
+// snapshot (if any) plus every record after it, in LSN order. Restart
+// recovery loads Snapshot first, then applies Records — which may overlap
+// the snapshot's contents by one in-flight transition, so application must
+// be idempotent.
+type Recovery struct {
+	// SnapshotLSN is the LSN the snapshot covers (0 when Snapshot is nil).
+	SnapshotLSN LSN
+	// Snapshot is the newest valid snapshot payload, nil if none exists.
+	Snapshot []byte
+	// Records are the log entries with LSN > SnapshotLSN, in order.
+	Records []Record
+	// LastLSN is the LSN of the final valid record (or SnapshotLSN when the
+	// tail holds nothing newer).
+	LastLSN LSN
+	// TornTruncations counts torn final records truncated during the scan
+	// — at most one per recovery, on the tail segment only.
+	TornTruncations int
+}
+
+// Recover scans a journal directory, truncates a torn final record at the
+// last valid CRC, and returns the snapshot+tail replay set. A missing or
+// empty directory recovers to an empty state. Corruption anywhere but the
+// tail of the final segment is a hard error: a sealed segment is fsynced at
+// rotation, so damage there is not a crash artifact.
+func Recover(dir string) (*Recovery, error) {
+	st, err := scanDir(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recovery{
+		SnapshotLSN:     st.snapLSN,
+		Snapshot:        st.snapshot,
+		LastLSN:         st.lastLSN,
+		TornTruncations: st.tornTruncations,
+	}
+	if rec.LastLSN < rec.SnapshotLSN {
+		// A snapshot may cover records whose segments were compacted away.
+		rec.LastLSN = rec.SnapshotLSN
+	}
+	for _, seg := range st.segments {
+		lsn := seg.firstLSN
+		for _, payload := range seg.payloads {
+			if lsn > st.snapLSN {
+				rec.Records = append(rec.Records, Record{LSN: lsn, Payload: payload})
+			}
+			lsn++
+		}
+	}
+	return rec, nil
+}
+
+// segmentMeta is one scanned segment file.
+type segmentMeta struct {
+	name       string
+	firstLSN   LSN
+	payloads   [][]byte // valid record payloads, in order (nil when metadata-only)
+	validBytes int64    // bytes up to and including the last valid record
+}
+
+// dirState is the outcome of one directory scan.
+type dirState struct {
+	segments        []segmentMeta
+	snapLSN         LSN
+	snapshot        []byte
+	lastLSN         LSN
+	tornTruncations int
+}
+
+func sortSegments(segs []segmentMeta) {
+	sort.Slice(segs, func(i, k int) bool { return segs[i].firstLSN < segs[k].firstLSN })
+}
+
+// scanDir reads every snapshot and segment in dir. When truncateTorn is
+// set, a torn tail on the final segment is truncated in place so a
+// subsequent Open appends after the last valid record.
+func scanDir(dir string, truncateTorn bool) (*dirState, error) {
+	st := &dirState{}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var snaps []LSN
+	for _, e := range entries {
+		if lsn, ok := parseSnapshotName(e.Name()); ok {
+			snaps = append(snaps, lsn)
+		}
+		if lsn, ok := parseSegmentName(e.Name()); ok {
+			st.segments = append(st.segments, segmentMeta{name: e.Name(), firstLSN: lsn})
+		}
+	}
+	sortSegments(st.segments)
+	sort.Slice(snaps, func(i, k int) bool { return snaps[i] > snaps[k] })
+
+	// Newest decodable snapshot wins; a corrupt one (crash mid-rename on a
+	// filesystem without atomic rename) falls back to the next older.
+	for _, lsn := range snaps {
+		raw, err := os.ReadFile(filepath.Join(dir, snapshotName(lsn)))
+		if err != nil {
+			continue
+		}
+		payload, n, err := DecodeRecord(raw)
+		if err != nil || n != len(raw) {
+			continue
+		}
+		st.snapLSN = lsn
+		st.snapshot = append([]byte(nil), payload...)
+		break
+	}
+
+	for i := range st.segments {
+		seg := &st.segments[i]
+		isTail := i == len(st.segments)-1
+		raw, err := os.ReadFile(filepath.Join(dir, seg.name))
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		off := 0
+		for off < len(raw) {
+			payload, n, err := DecodeRecord(raw[off:])
+			if err != nil {
+				if !isTail {
+					return nil, fmt.Errorf("journal: segment %s corrupt at offset %d (not the tail): %v",
+						seg.name, off, err)
+				}
+				st.tornTruncations++
+				if truncateTorn {
+					if terr := os.Truncate(filepath.Join(dir, seg.name), int64(off)); terr != nil {
+						return nil, fmt.Errorf("journal: truncating torn tail of %s: %w", seg.name, terr)
+					}
+				}
+				break
+			}
+			seg.payloads = append(seg.payloads, append([]byte(nil), payload...))
+			off += n
+		}
+		seg.validBytes = int64(off)
+		// Gapless chain check: this segment's first LSN must follow the
+		// previous segment's last record exactly.
+		if i > 0 {
+			prev := st.segments[i-1]
+			want := prev.firstLSN + LSN(len(prev.payloads))
+			if seg.firstLSN != want {
+				return nil, fmt.Errorf("journal: segment %s starts at LSN %d, want %d (gap or overlap)",
+					seg.name, seg.firstLSN, want)
+			}
+		}
+		if n := len(seg.payloads); n > 0 {
+			st.lastLSN = seg.firstLSN + LSN(n) - 1
+		} else if seg.firstLSN > 0 {
+			st.lastLSN = seg.firstLSN - 1
+		}
+	}
+	if st.lastLSN < st.snapLSN {
+		st.lastLSN = st.snapLSN
+	}
+	return st, nil
+}

@@ -1,0 +1,176 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTornFixture builds a journal of n records and returns the directory
+// and the tail segment's path plus the byte offset where the final record's
+// frame begins.
+func writeTornFixture(t *testing.T, n int) (dir, tailPath string, finalOff int64) {
+	t.Helper()
+	dir = t.TempDir()
+	j, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []int
+	for i := 0; i < n; i++ {
+		p := []byte(fmt.Sprintf("torn-matrix-%03d", i))
+		frames = append(frames, headerBytes+len(p))
+		if _, err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) != 1 {
+		t.Fatalf("fixture spread over %d segments, want 1", len(segs))
+	}
+	tailPath = segs[0]
+	total := int64(0)
+	for _, f := range frames[:n-1] {
+		total += int64(f)
+	}
+	return dir, tailPath, total
+}
+
+// TestTornWriteMatrix truncates the tail at every byte offset inside the
+// final record's frame and asserts recovery stops exactly at the last valid
+// LSN — the record before the torn one — counting one truncation each time.
+func TestTornWriteMatrix(t *testing.T) {
+	const n = 8
+	refDir, refTail, finalOff := writeTornFixture(t, n)
+	full, err := os.ReadFile(refTail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = refDir
+	frameLen := int64(len(full)) - finalOff
+	if frameLen <= 0 {
+		t.Fatalf("final frame length %d", frameLen)
+	}
+
+	for cut := int64(0); cut < frameLen; cut++ {
+		cut := cut
+		t.Run(fmt.Sprintf("cut-%02d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			tail := filepath.Join(dir, filepath.Base(refTail))
+			if err := os.WriteFile(tail, full[:finalOff+cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rec, err := Recover(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.LastLSN != n-1 {
+				t.Fatalf("LastLSN = %d, want %d (torn final record must be dropped)", rec.LastLSN, n-1)
+			}
+			if len(rec.Records) != n-1 {
+				t.Fatalf("recovered %d records, want %d", len(rec.Records), n-1)
+			}
+			if cut > 0 && rec.TornTruncations != 1 {
+				t.Fatalf("TornTruncations = %d, want 1", rec.TornTruncations)
+			}
+			// Recovery must have truncated the file so a reopened journal
+			// appends after the last valid record — and the next append's
+			// LSN proves it.
+			j, err := Open(dir, Options{Fsync: FsyncNone})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lsn, err := j.Append([]byte("after-truncate"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lsn != n {
+				t.Fatalf("post-truncate append lsn = %d, want %d", lsn, n)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTornWriteFlippedCRC corrupts the final record's CRC (length intact,
+// payload intact) and asserts recovery treats it as torn.
+func TestTornWriteFlippedCRC(t *testing.T) {
+	const n = 8
+	_, refTail, finalOff := writeTornFixture(t, n)
+	full, err := os.ReadFile(refTail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tampered := append([]byte(nil), full...)
+	// Bytes 4..8 of the frame are the CRC32C.
+	binary.LittleEndian.PutUint32(tampered[finalOff+4:finalOff+8],
+		binary.LittleEndian.Uint32(tampered[finalOff+4:finalOff+8])^0xdeadbeef)
+	tail := filepath.Join(dir, filepath.Base(refTail))
+	if err := os.WriteFile(tail, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LastLSN != n-1 || len(rec.Records) != n-1 {
+		t.Fatalf("LastLSN = %d with %d records, want %d with %d",
+			rec.LastLSN, len(rec.Records), n-1, n-1)
+	}
+	if rec.TornTruncations != 1 {
+		t.Fatalf("TornTruncations = %d, want 1", rec.TornTruncations)
+	}
+	// The flipped-CRC bytes must be gone from disk after truncation.
+	raw, err := os.ReadFile(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(raw)) != finalOff {
+		t.Fatalf("tail is %d bytes after truncation, want %d", len(raw), finalOff)
+	}
+}
+
+// FuzzDecodeRecord throws arbitrary bytes at the frame decoder: it must
+// never panic, never over-consume, and must round-trip every payload
+// EncodeRecord produces.
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(EncodeRecord([]byte("seed")))
+	f.Add(EncodeRecord([]byte{0xff}))
+	f.Add(append(EncodeRecord([]byte("two")), EncodeRecord([]byte("frames"))...))
+	huge := make([]byte, headerBytes)
+	binary.LittleEndian.PutUint32(huge, 1<<31-1)
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, n, err := DecodeRecord(data)
+		if err == nil {
+			if n < headerBytes || n > len(data) {
+				t.Fatalf("consumed %d of %d bytes", n, len(data))
+			}
+			if len(payload) != n-headerBytes {
+				t.Fatalf("payload %d bytes from a %d-byte frame", len(payload), n)
+			}
+			// A frame the decoder accepts must re-encode to identical bytes.
+			if !bytes.Equal(EncodeRecord(payload), data[:n]) {
+				t.Fatal("decode/encode round trip changed the frame")
+			}
+		}
+		// Arbitrary payloads round-trip through the encoder.
+		if len(data) > 0 && len(data) <= maxRecordBytes {
+			back, n2, err := DecodeRecord(EncodeRecord(data))
+			if err != nil || n2 != headerBytes+len(data) || !bytes.Equal(back, data) {
+				t.Fatalf("round trip failed: n=%d err=%v", n2, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,257 @@
+package mesh
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"taskgrain/internal/counters"
+	"taskgrain/internal/journal"
+)
+
+// Gateway journal record kinds: place (a node admitted the job at a new
+// placement epoch — the spec rides along so a restarted gateway can fail the
+// job over again) and term (a terminal node state was observed).
+const (
+	meshWalPlace = "place"
+	meshWalTerm  = "term"
+)
+
+// meshWalRecord is one journaled placement-epoch transition.
+type meshWalRecord struct {
+	T         string          `json:"t"`
+	ID        string          `json:"id"`
+	Key       string          `json:"key,omitempty"`
+	Kind      string          `json:"kind,omitempty"`
+	Spec      json.RawMessage `json:"spec,omitempty"`
+	Node      string          `json:"node,omitempty"`
+	NodeJobID string          `json:"node_job_id,omitempty"`
+	Epoch     int             `json:"epoch,omitempty"`
+	State     string          `json:"state,omitempty"`
+}
+
+// meshSnapJob is one job inside a gateway compaction snapshot.
+type meshSnapJob struct {
+	ID        string          `json:"id"`
+	Key       string          `json:"key,omitempty"`
+	Kind      string          `json:"kind,omitempty"`
+	Spec      json.RawMessage `json:"spec,omitempty"`
+	Node      string          `json:"node,omitempty"`
+	NodeJobID string          `json:"node_job_id,omitempty"`
+	Epoch     int             `json:"epoch"`
+	Terminal  bool            `json:"terminal,omitempty"`
+	State     string          `json:"state,omitempty"`
+}
+
+// meshSnapshot is the full-store state a gateway compaction writes.
+type meshSnapshot struct {
+	NextID uint64        `json:"next_id"`
+	Jobs   []meshSnapJob `json:"jobs"`
+}
+
+// setupJournal recovers the placement journal into the mesh store and opens
+// it for appending. Recovered non-terminal jobs keep their last placement:
+// the next client poll relays to that node (whose own journal preserved the
+// node-local ID), and the normal failover path re-places the job if the node
+// is really gone — so a gateway restart doesn't orphan in-flight failovers.
+func (m *Mesh) setupJournal() error {
+	rec, err := journal.Recover(m.cfg.JournalDir)
+	if err != nil {
+		return fmt.Errorf("mesh: journal recovery: %w", err)
+	}
+
+	type recJob struct {
+		id, key, kind   string
+		spec            json.RawMessage
+		node, nodeJobID string
+		epoch           int
+		terminal        bool
+		state           string
+	}
+	byID := make(map[string]*recJob)
+	var order []string
+	var snapNextID uint64
+	if rec.Snapshot != nil {
+		var snap meshSnapshot
+		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+			return fmt.Errorf("mesh: journal snapshot: %w", err)
+		}
+		snapNextID = snap.NextID
+		for _, sj := range snap.Jobs {
+			byID[sj.ID] = &recJob{
+				id: sj.ID, key: sj.Key, kind: sj.Kind, spec: sj.Spec,
+				node: sj.Node, nodeJobID: sj.NodeJobID, epoch: sj.Epoch,
+				terminal: sj.Terminal, state: sj.State,
+			}
+			order = append(order, sj.ID)
+		}
+	}
+	for _, r := range rec.Records {
+		var w meshWalRecord
+		if err := json.Unmarshal(r.Payload, &w); err != nil {
+			return fmt.Errorf("mesh: journal record at LSN %d: %w", r.LSN, err)
+		}
+		switch w.T {
+		case meshWalPlace:
+			rj, ok := byID[w.ID]
+			if !ok {
+				rj = &recJob{id: w.ID}
+				byID[w.ID] = rj
+				order = append(order, w.ID)
+			}
+			rj.key, rj.kind, rj.spec = w.Key, w.Kind, w.Spec
+			rj.node, rj.nodeJobID, rj.epoch = w.Node, w.NodeJobID, w.Epoch
+		case meshWalTerm:
+			if rj, ok := byID[w.ID]; ok && !rj.terminal {
+				rj.terminal = true
+				rj.state = w.State
+			}
+		}
+	}
+
+	now := time.Now()
+	for _, id := range order {
+		rj := byID[id]
+		num, _ := strconv.ParseUint(strings.TrimPrefix(rj.id, "m-"), 10, 64)
+		j := &meshJob{
+			id:        rj.id,
+			key:       rj.key,
+			kind:      rj.kind,
+			num:       num,
+			spec:      rj.spec,
+			nodeJobID: rj.nodeJobID,
+			epoch:     rj.epoch,
+			terminal:  rj.terminal,
+			state:     rj.state,
+			submitted: now,
+			touched:   now,
+		}
+		// Re-bind the placement to the registry's node object by name; a node
+		// no longer configured leaves the placement empty and the job polls
+		// as unplaced until a failover re-places it.
+		for _, n := range m.nodes.Nodes() {
+			if n.name == rj.node {
+				j.node = n
+				break
+			}
+		}
+		if rj.terminal {
+			// A synthetic last view keeps cachedView serving the verdict even
+			// though the full node response died with the old process.
+			j.lastView = map[string]any{"id": rj.nodeJobID, "state": rj.state}
+		}
+		m.jobs.restore(j)
+	}
+	if snapNextID > 0 {
+		m.jobs.mu.Lock()
+		if snapNextID > m.jobs.nextID {
+			m.jobs.nextID = snapNextID
+		}
+		m.jobs.mu.Unlock()
+	}
+
+	pol, err := m.cfg.JournalFsyncPolicy()
+	if err != nil {
+		return err
+	}
+	w, err := journal.Open(m.cfg.JournalDir, journal.Options{
+		SegmentBytes:  m.cfg.JournalSegmentBytes,
+		Fsync:         pol,
+		FsyncInterval: m.cfg.JournalFsyncInterval,
+	})
+	if err != nil {
+		return fmt.Errorf("mesh: journal open: %w", err)
+	}
+	m.wal = w
+	m.recoveredC.Add(int64(len(order)))
+	m.tornC.Add(int64(rec.TornTruncations))
+	if n := len(order); n > 0 || rec.TornTruncations > 0 {
+		log.Printf("mesh: journal recovered %d jobs (%d torn-tail truncations)", n, rec.TornTruncations)
+	}
+	return nil
+}
+
+// registerJournalCounters exposes the gateway journal on /mesh/metrics.
+func (m *Mesh) registerJournalCounters() {
+	m.recoveredC = counters.NewCumulative("/journal/recovered-jobs")
+	m.tornC = counters.NewCumulative("/journal/torn-tail-truncations")
+	m.reg.MustRegister(m.recoveredC)
+	m.reg.MustRegister(m.tornC)
+	m.reg.MustRegister(counters.NewDerived("/journal/appends", func() float64 {
+		return float64(m.wal.Appends())
+	}))
+	m.reg.MustRegister(counters.NewDerived("/journal/fsyncs", func() float64 {
+		return float64(m.wal.Fsyncs())
+	}))
+	m.reg.MustRegister(counters.NewDerived("/journal/group-commit-size", func() float64 {
+		return float64(m.wal.LastGroupSize())
+	}))
+}
+
+// journalAppend marshals and appends one gateway record, best-effort: a
+// failed append costs replay fidelity after the *next* restart, never a live
+// request.
+func (m *Mesh) journalAppend(rec meshWalRecord) {
+	b, err := json.Marshal(rec)
+	if err == nil {
+		_, err = m.wal.Append(b)
+	}
+	if err != nil && err != journal.ErrKilled {
+		log.Printf("mesh: journal %s %s: %v", rec.T, rec.ID, err)
+	}
+}
+
+// journalPlace records a successful placement epoch.
+func (m *Mesh) journalPlace(job *meshJob) {
+	job.mu.Lock()
+	rec := meshWalRecord{
+		T: meshWalPlace, ID: job.id, Key: job.key, Kind: job.kind,
+		Spec: json.RawMessage(job.spec), NodeJobID: job.nodeJobID, Epoch: job.epoch,
+	}
+	if job.node != nil {
+		rec.Node = job.node.name
+	}
+	job.mu.Unlock()
+	m.journalAppend(rec)
+}
+
+// journalTerm records the first observed terminal state.
+func (m *Mesh) journalTerm(job *meshJob) {
+	job.mu.Lock()
+	rec := meshWalRecord{T: meshWalTerm, ID: job.id, State: job.state}
+	job.mu.Unlock()
+	m.journalAppend(rec)
+}
+
+// journalCompact writes a full-store snapshot so the journal forgets what
+// the store forgot (stale-reaped and count-evicted jobs).
+func (m *Mesh) journalCompact() {
+	jobs := m.jobs.list()
+	m.jobs.mu.Lock()
+	nextID := m.jobs.nextID
+	m.jobs.mu.Unlock()
+	snap := meshSnapshot{NextID: nextID, Jobs: make([]meshSnapJob, 0, len(jobs))}
+	for _, j := range jobs {
+		j.mu.Lock()
+		sj := meshSnapJob{
+			ID: j.id, Key: j.key, Kind: j.kind, Spec: json.RawMessage(j.spec),
+			NodeJobID: j.nodeJobID, Epoch: j.epoch, Terminal: j.terminal, State: j.state,
+		}
+		if j.node != nil {
+			sj.Node = j.node.name
+		}
+		j.mu.Unlock()
+		snap.Jobs = append(snap.Jobs, sj)
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		log.Printf("mesh: journal snapshot marshal: %v", err)
+		return
+	}
+	if err := m.wal.Snapshot(b); err != nil && err != journal.ErrKilled {
+		log.Printf("mesh: journal snapshot: %v", err)
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"taskgrain/internal/config"
 	"taskgrain/internal/counters"
+	"taskgrain/internal/journal"
 	"taskgrain/internal/telemetry"
 	"taskgrain/internal/trace"
 )
@@ -57,6 +58,14 @@ type Mesh struct {
 	stopReaper chan struct{} // closed by Stop; ends the stale-job reaper
 	stopOnce   sync.Once
 	reaperWG   sync.WaitGroup
+
+	// wal journals placement epochs and terminal observations when
+	// cfg.JournalDir is set, so a restarted gateway still knows where every
+	// in-flight job lives instead of orphaning its failover state.
+	wal        *journal.Journal
+	recoveredC *counters.Cumulative
+	tornC      *counters.Cumulative
+	walFinal   sync.Once
 
 	// tracer records every routing hop (Route/SpillHop/FailoverHop) on the
 	// target node's lane, plus a phase span per placement, so one job's
@@ -122,6 +131,13 @@ func New(cfg config.Mesh) (*Mesh, error) {
 		return nil, err
 	}
 	m.router = newRouter(m.nodes, policy, cfg.FlowFloor)
+	if cfg.JournalDir != "" {
+		m.registerJournalCounters()
+		if err := m.setupJournal(); err != nil {
+			m.nodes.Stop()
+			return nil, err
+		}
+	}
 	m.reg.MustRegister(counters.NewDerived("/mesh/nodes/routable", func() float64 {
 		return float64(len(m.nodes.Routable()))
 	}))
@@ -217,6 +233,22 @@ func (m *Mesh) Stop() {
 	m.reaperWG.Wait()
 	m.sampler.Stop()
 	m.nodes.Stop()
+	if m.wal != nil && !m.wal.Killed() {
+		m.walFinal.Do(func() {
+			m.journalCompact()
+			m.wal.Close()
+		})
+	}
+}
+
+// Crash simulates a gateway process death for tests: the journal freezes at
+// its current durable state (no final compaction, no flush) and the rest of
+// the gateway shuts down normally.
+func (m *Mesh) Crash() {
+	if m.wal != nil {
+		m.wal.Kill()
+	}
+	m.Stop()
 }
 
 // reapStale periodically evicts non-terminal jobs no client has touched for
@@ -234,6 +266,11 @@ func (m *Mesh) reapStale() {
 		case <-tick.C:
 			if n := m.jobs.evictStale(staleJobAge); n > 0 {
 				m.staleC.Add(int64(n))
+				if m.wal != nil {
+					// Mirror the eviction so the journal forgets the reaped
+					// jobs instead of resurrecting them at the next restart.
+					m.journalCompact()
+				}
 			}
 		}
 	}

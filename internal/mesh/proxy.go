@@ -194,6 +194,9 @@ func (m *Mesh) placeJob(job *meshJob, fromEpoch int, isFailover bool) (nodeRespo
 					// this branch stays unreachable; it is kept as a guard.
 					return resp, true
 				}
+				if m.wal != nil {
+					m.journalPlace(job)
+				}
 				hop := trace.Route
 				if isFailover {
 					hop = trace.FailoverHop
@@ -276,6 +279,9 @@ func (m *Mesh) relayStatus(job *meshJob, rawQuery string, waitTimeout time.Durat
 			if job.observe(resp.body) {
 				m.terminalC.Inc()
 				m.traceSpan(trace.PhaseEnd, n, job)
+				if m.wal != nil {
+					m.journalTerm(job)
+				}
 			}
 			return http.StatusOK, m.augment(resp.body, job)
 		case err == nil && resp.status == http.StatusNotFound:
@@ -419,6 +425,9 @@ func (m *Mesh) relayCancel(job *meshJob) (int, any) {
 		if job.observe(resp.body) {
 			m.terminalC.Inc()
 			m.traceSpan(trace.PhaseEnd, n, job)
+			if m.wal != nil {
+				m.journalTerm(job)
+			}
 		}
 		return http.StatusOK, m.augment(resp.body, job)
 	}

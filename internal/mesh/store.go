@@ -165,6 +165,21 @@ func (st *meshStore) add(kind, key string, spec []byte) *meshJob {
 	return j
 }
 
+// restore inserts a journal-recovered job under its original ID, advancing
+// nextID past it so fresh submissions never collide with recovered ones.
+func (st *meshStore) restore(j *meshJob) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.jobs[j.id]; ok {
+		return
+	}
+	st.jobs[j.id] = j
+	st.order = append(st.order, j.id)
+	if j.num >= st.nextID {
+		st.nextID = j.num
+	}
+}
+
 // remove deletes a job whose submission never landed anywhere.
 func (st *meshStore) remove(id string) {
 	st.mu.Lock()

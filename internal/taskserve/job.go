@@ -2,7 +2,10 @@ package taskserve
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -77,6 +80,10 @@ type Job struct {
 	cancelToState   JobState
 
 	done chan struct{} // closed on any terminal transition
+
+	// terminalLogged guards the once-per-job terminal accounting (outcome
+	// counter + journal record) against the runner/cancel race.
+	terminalLogged atomic.Bool
 }
 
 func newJob(id string, spec JobSpec, deadline time.Time) *Job {
@@ -89,6 +96,24 @@ func newJob(id string, spec JobSpec, deadline time.Time) *Job {
 		cancelRequested: make(chan struct{}),
 		done:            make(chan struct{}),
 	}
+}
+
+// newRecoveredJob rebuilds a job from its journaled lifecycle under its
+// original ID. A job recovered terminal arrives fully settled (done closed,
+// terminal accounting already spent — its outcome counters belong to the
+// previous process); a non-terminal one arrives queued, ready for the
+// recovery policy to requeue or fail it.
+func newRecoveredJob(id string, spec JobSpec, deadline time.Time, state JobState, errMsg string, grain int) *Job {
+	j := newJob(id, spec, deadline)
+	j.grain = grain
+	if state.Terminal() {
+		j.state = state
+		j.errMsg = errMsg
+		j.finished = time.Now()
+		j.terminalLogged.Store(true)
+		close(j.done)
+	}
+	return j
 }
 
 // ID returns the job's identifier.
@@ -169,6 +194,21 @@ func (j *Job) finish(res *JobResult, runErr error) {
 		j.result = res
 	}
 	close(j.done)
+}
+
+// journalState snapshots the fields a journal record or snapshot needs.
+func (j *Job) journalState() (spec JobSpec, deadline time.Time, state JobState, errMsg string, grain int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.spec, j.deadline, j.state, j.errMsg, j.grain
+}
+
+// finishedAt returns when the job reached a terminal state (zero if it
+// hasn't).
+func (j *Job) finishedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished
 }
 
 // setDecision records the adaptive tuner's verdict on the job's grain.
@@ -283,6 +323,42 @@ func (st *jobStore) add(spec JobSpec, deadline time.Time) (j *Job, dup bool) {
 	st.order = append(st.order, id)
 	st.evictLocked()
 	return j, false
+}
+
+// restore inserts a recovered job under its original ID, re-registering its
+// idempotency key and advancing nextID past the recovered numeric suffix so
+// fresh admissions never collide with replayed ones.
+func (st *jobStore) restore(j *Job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.jobs[j.id] = j
+	if j.spec.IdempotencyKey != "" {
+		st.keys[j.spec.IdempotencyKey] = j.id
+	}
+	st.order = append(st.order, j.id)
+	if n, err := strconv.ParseUint(strings.TrimPrefix(j.id, "j-"), 10, 64); err == nil && n > st.nextID {
+		st.nextID = n
+	}
+}
+
+// evictTerminalOlderThan drops terminal jobs that finished before cutoff,
+// returning how many were evicted. Non-terminal jobs are never touched.
+func (st *jobStore) evictTerminalOlderThan(cutoff time.Time) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	evicted := 0
+	kept := st.order[:0]
+	for _, id := range st.order {
+		j := st.jobs[id]
+		if fin := j.finishedAt(); j.State().Terminal() && !fin.IsZero() && fin.Before(cutoff) {
+			st.dropLocked(id)
+			evicted++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	st.order = kept
+	return evicted
 }
 
 // remove deletes a job that was never run (admission race loser).

@@ -24,6 +24,7 @@ import (
 	"taskgrain/internal/chaos"
 	"taskgrain/internal/config"
 	"taskgrain/internal/counters"
+	"taskgrain/internal/journal"
 	"taskgrain/internal/policyengine"
 	"taskgrain/internal/taskrt"
 	"taskgrain/internal/telemetry"
@@ -63,6 +64,17 @@ type Server struct {
 	cancelledC *counters.Cumulative
 	shed       *counters.Cumulative
 	traced     *counters.Cumulative
+
+	// wal is the write-ahead job journal (nil when journal_dir is unset):
+	// admissions are journaled before their 202 is issued, so every
+	// acknowledged job survives a crash-restart of the daemon.
+	wal        *journal.Journal
+	recoveredC *counters.Cumulative
+	tornC      *counters.Cumulative
+	stopSweep  chan struct{}
+	sweepOnce  sync.Once
+	sweepWG    sync.WaitGroup
+	walFinal   sync.Once
 }
 
 // New builds a server from the configuration. The runtime is owned by the
@@ -100,6 +112,7 @@ func New(cfg config.Server) (*Server, error) {
 		cancelledC: counters.NewCumulative("/server/jobs/cancelled"),
 		shed:       counters.NewCumulative("/server/jobs/shed"),
 		traced:     counters.NewCumulative("/server/trace/propagated"),
+		stopSweep:  make(chan struct{}),
 	}
 	s.adm = newAdmission(cfg,
 		func() int { return len(s.queue) },
@@ -185,6 +198,15 @@ func New(cfg config.Server) (*Server, error) {
 		return 0
 	}))
 
+	// Journal recovery runs before Start: replayed non-terminal jobs land in
+	// the queue and wait there until the runners launch.
+	if cfg.JournalDir != "" {
+		s.registerJournalCounters(reg)
+		if err := s.setupJournal(); err != nil {
+			return nil, err
+		}
+	}
+
 	eng, err := policyengine.New(reg, workers, policyengine.Actuators{
 		ActiveWorkers: rt.ActiveWorkers,
 	})
@@ -220,6 +242,10 @@ func (s *Server) Start() {
 	for i := 0; i < s.cfg.MaxConcurrentJobs; i++ {
 		s.runnerWG.Add(1)
 		go s.runner()
+	}
+	if s.cfg.TerminalTTL > 0 {
+		s.sweepWG.Add(1)
+		go s.sweeper()
 	}
 }
 
@@ -260,6 +286,17 @@ func (s *Server) Submit(spec JobSpec) (*Job, *shedError) {
 		return job, nil
 	}
 
+	// The admit record must be durable-bound before the 202 goes out: an
+	// acknowledged job that the journal never saw would vanish in a crash,
+	// which is precisely the ledger violation the journal exists to prevent.
+	if s.wal != nil {
+		if err := s.journalAdmit(job); err != nil {
+			s.store.remove(job.ID())
+			s.shed.Inc()
+			return nil, &shedError{status: 503, reason: "journal unavailable", retryAfter: s.cfg.RetryAfter}
+		}
+	}
+
 	// The admission check and this send race against concurrent submitters
 	// and Drain; the mutex-guarded non-blocking send is the backstop that
 	// keeps the queue bound exact and never blocks a request handler.
@@ -267,6 +304,9 @@ func (s *Server) Submit(spec JobSpec) (*Job, *shedError) {
 	if s.draining.Load() {
 		s.queueMu.Unlock()
 		s.store.remove(job.ID())
+		if s.wal != nil {
+			s.journalDrop(job.ID())
+		}
 		s.shed.Inc()
 		return nil, &shedError{status: 503, reason: "draining", retryAfter: s.cfg.RetryAfter}
 	}
@@ -276,6 +316,9 @@ func (s *Server) Submit(spec JobSpec) (*Job, *shedError) {
 	default:
 		s.queueMu.Unlock()
 		s.store.remove(job.ID())
+		if s.wal != nil {
+			s.journalDrop(job.ID())
+		}
 		s.shed.Inc()
 		return nil, &shedError{
 			status:     429,
@@ -326,7 +369,7 @@ func (s *Server) runJob(job *Job) {
 	}
 	if !job.deadline.IsZero() && time.Now().After(job.deadline) {
 		job.requestAbort("deadline exceeded before start", JobFailed)
-		s.failed.Inc()
+		s.accountTerminal(job)
 		return
 	}
 
@@ -341,6 +384,9 @@ func (s *Server) runJob(job *Job) {
 	if !job.startRunning(grain, source) {
 		s.accountTerminal(job)
 		return
+	}
+	if s.wal != nil {
+		s.journalStart(job)
 	}
 
 	var timer *time.Timer
@@ -374,15 +420,23 @@ func (s *Server) runJob(job *Job) {
 }
 
 // accountTerminal bumps the outcome counter matching the job's terminal
-// state. No-op for non-terminal states.
+// state and journals the verdict, exactly once per job (the runner and an
+// abort can both get here). No-op for non-terminal states.
 func (s *Server) accountTerminal(job *Job) {
-	switch job.State() {
+	state := job.State()
+	if !state.Terminal() || !job.terminalLogged.CompareAndSwap(false, true) {
+		return
+	}
+	switch state {
 	case JobDone:
 		s.completed.Inc()
 	case JobCancelled:
 		s.cancelledC.Inc()
 	case JobFailed:
 		s.failed.Inc()
+	}
+	if s.wal != nil {
+		s.journalTerm(job)
 	}
 }
 
@@ -410,7 +464,34 @@ func (s *Server) Drain(ctx context.Context) (counters.Snapshot, error) {
 	}
 	s.eng.Stop()
 	s.sampler.Stop()
+	s.sweepOnce.Do(func() { close(s.stopSweep) })
+	s.sweepWG.Wait()
+	// Flush durability last: with every runner finished the store is all
+	// terminal, so the compaction snapshot + fsync leaves a journal that
+	// recovers to an empty non-terminal set. Skipped after Crash — a killed
+	// journal must stay frozen at the kill instant.
+	if s.wal != nil && !s.wal.Killed() {
+		s.walFinal.Do(func() {
+			s.journalCompact()
+			if err := s.wal.Close(); err != nil {
+				log.Printf("taskserve: journal close: %v", err)
+			}
+		})
+	}
 	return s.rt.Counters().Snapshot(), nil
+}
+
+// Crash simulates a SIGKILL for crash-restart testing: the journal's durable
+// state freezes at this instant (later appends, syncs, and snapshots fail
+// with ErrKilled), then the server tears down its goroutines and runtime.
+// Unlike Drain, nothing that happens after the kill reaches disk — a
+// restarted server on the same journal dir sees exactly what a power loss
+// would have left.
+func (s *Server) Crash() {
+	if s.wal != nil {
+		s.wal.Kill()
+	}
+	_ = s.Close()
 }
 
 // Close drains (unbounded) and shuts the runtime down. After Close the
