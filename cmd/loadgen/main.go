@@ -13,6 +13,11 @@
 //	                     more than one target the report adds a per-target
 //	                     breakdown: p50/p99 latency and shed count per node.
 //	-jobs <n>            total jobs to submit (default 100)
+//	-batch <n>           submit jobs in batches of this size via
+//	                     POST /v1/jobs/batch (default 1 = single-job path);
+//	                     shed items are retried with backoff, and the report
+//	                     adds per-batch submit round-trip percentiles next to
+//	                     the per-item submit→terminal ones
 //	-concurrency <n>     concurrent client workers (default 4)
 //	-kind <name>         stencil1d | fibonacci | irregular | taskbench
 //	-size <n>            problem size / taskbench grid width (default 100000)
@@ -23,6 +28,11 @@
 //	-kernel <name>       taskbench per-task kernel (busywork or memwalk)
 //	-metg                taskbench: also request a per-job METG(50%) search
 //	-deadline <dur>      per-job deadline (0 = server default)
+//	-submit-only         measure the admission path alone: submit every job
+//	                     (single or batched) but never poll it to a terminal
+//	                     state. The report switches to admission figures —
+//	                     jobs/s through POST and per-item ack percentiles —
+//	                     isolating the per-request wall from execution cost
 //	-wait-timeout <dur>  long-poll timeout per status request (default 30s)
 //	-max-backoff <dur>   cap on honouring Retry-After after a shed (default 1s)
 //	-max-retries <n>     submits abandoned after n sheds (0 = retry forever)
@@ -71,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
 	meshTargets := fs.String("mesh", "", "comma-separated target URLs; jobs spread round-robin (overrides -addr)")
 	jobs := fs.Int("jobs", 100, "total jobs to submit")
+	batch := fs.Int("batch", 1, "submit jobs in batches of this size via POST /v1/jobs/batch (1 = single-job path)")
 	concurrency := fs.Int("concurrency", 4, "concurrent client workers")
 	kind := fs.String("kind", "stencil1d", "job kind")
 	size := fs.Int("size", 100_000, "problem size")
@@ -81,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	kernel := fs.String("kernel", "", "taskbench per-task kernel")
 	metg := fs.Bool("metg", false, "taskbench: request per-job METG search")
 	deadline := fs.Duration("deadline", 0, "per-job deadline (0 = server default)")
+	submitOnly := fs.Bool("submit-only", false, "submit without polling to terminal; report admission throughput and ack percentiles")
 	waitTimeout := fs.Duration("wait-timeout", 30*time.Second, "long-poll timeout per status request")
 	maxBackoff := fs.Duration("max-backoff", time.Second, "cap on honouring Retry-After")
 	maxRetries := fs.Int("max-retries", 0, "abandon a submit after this many sheds (0 = retry forever)")
@@ -91,6 +103,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *jobs < 1 || *concurrency < 1 {
 		fmt.Fprintln(stderr, "loadgen: -jobs and -concurrency must be positive")
+		return 1
+	}
+	if *batch < 1 {
+		fmt.Fprintln(stderr, "loadgen: -batch must be positive")
 		return 1
 	}
 
@@ -151,6 +167,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		targets:     targets,
 		perTarget:   make([]targetAgg, len(targets)),
 		body:        body,
+		batchSize:   *batch,
+		submitOnly:  *submitOnly,
 		waitTimeout: *waitTimeout,
 		maxBackoff:  *maxBackoff,
 		maxRetries:  *maxRetries,
@@ -177,10 +195,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		go func() {
 			defer wg.Done()
 			for {
-				if int(next.Add(1)) > *jobs {
+				// Claim the next chunk of the job budget: one job on the
+				// single path, up to -batch jobs on the batch path (the last
+				// chunk may run short).
+				first := int(next.Add(int64(*batch))) - *batch
+				if first >= *jobs {
 					return
 				}
-				g.oneJob()
+				n := *batch
+				if first+n > *jobs {
+					n = *jobs - first
+				}
+				if *batch == 1 {
+					g.oneJob()
+				} else {
+					g.oneBatch(n)
+				}
 			}
 		}()
 	}
@@ -208,6 +238,8 @@ type generator struct {
 	targets     []string    // submission targets, picked round-robin per job
 	perTarget   []targetAgg // index-aligned per-target accumulators (under mu)
 	body        []byte
+	batchSize   int  // -batch: jobs per POST /v1/jobs/batch (1 = single path)
+	submitOnly  bool // -submit-only: stop at admission, never poll to terminal
 	waitTimeout time.Duration
 	maxBackoff  time.Duration
 	maxRetries  int
@@ -218,14 +250,18 @@ type generator struct {
 
 	mu        sync.Mutex
 	latencies []time.Duration
-	grains    map[int]int // grain → jobs that ran with it
-	metgNs    []float64   // METG figures from taskbench jobs that found one
+	batchLats []time.Duration // per-batch submit round-trips (batch mode)
+	grains    map[int]int     // grain → jobs that ran with it
+	metgNs    []float64       // METG figures from taskbench jobs that found one
 
-	done      atomic.Int64
-	failed    atomic.Int64
-	cancelled atomic.Int64
-	sheds     atomic.Int64
-	errors    atomic.Int64
+	done         atomic.Int64
+	admitted     atomic.Int64 // submit-only mode: jobs acknowledged 202
+	failed       atomic.Int64
+	cancelled    atomic.Int64
+	sheds        atomic.Int64
+	errors       atomic.Int64
+	batches      atomic.Int64 // batch POSTs issued
+	partialSheds atomic.Int64 // batch POSTs that admitted some items and shed others
 }
 
 // targetAgg is one -mesh target's slice of the run, reported separately when
@@ -263,18 +299,8 @@ func (g *generator) oneJob() {
 				return
 			}
 			id = v.ID
-			if g.idLog != nil {
-				// The log is the pre-crash half of a recovery assertion: an ID
-				// that cannot be persisted must fail the run *now*, or the
-				// later -expect-recovered pass silently checks fewer jobs.
-				g.mu.Lock()
-				_, err := fmt.Fprintln(g.idLog, id)
-				g.mu.Unlock()
-				if err != nil {
-					fmt.Fprintln(g.stderr, "loadgen: id-log:", err)
-					g.errors.Add(1)
-					return
-				}
+			if !g.logAdmitted(id) {
+				return
 			}
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			g.sheds.Add(1)
@@ -296,7 +322,51 @@ func (g *generator) oneJob() {
 		}
 		break
 	}
+	if g.submitOnly {
+		g.recordAck(idx, 1, time.Since(submitStart))
+		return
+	}
+	g.followJob(idx, base, id, submitStart)
+}
 
+// recordAck accounts n admitted jobs in submit-only mode: the ack latency —
+// submit start to the 202 that admitted them, shed retries included — stands
+// in for the submit→terminal sample, once per job so batch percentiles weigh
+// each item.
+func (g *generator) recordAck(idx, n int, ack time.Duration) {
+	g.admitted.Add(int64(n))
+	g.mu.Lock()
+	for i := 0; i < n; i++ {
+		g.latencies = append(g.latencies, ack)
+		g.perTarget[idx].latencies = append(g.perTarget[idx].latencies, ack)
+	}
+	g.perTarget[idx].terminal += n
+	g.mu.Unlock()
+}
+
+// logAdmitted appends an admitted job ID to the -id-log file. The log is the
+// pre-crash half of a recovery assertion: an ID that cannot be persisted must
+// fail the run *now*, or the later -expect-recovered pass silently checks
+// fewer jobs. Reports false when the run must abandon the job.
+func (g *generator) logAdmitted(id string) bool {
+	if g.idLog == nil {
+		return true
+	}
+	g.mu.Lock()
+	_, err := fmt.Fprintln(g.idLog, id)
+	g.mu.Unlock()
+	if err != nil {
+		fmt.Fprintln(g.stderr, "loadgen: id-log:", err)
+		g.errors.Add(1)
+		return false
+	}
+	return true
+}
+
+// followJob long-polls one admitted job to a terminal state, feeding the
+// latency, grain, and METG accumulators. submitStart anchors the
+// submit→terminal latency sample.
+func (g *generator) followJob(idx int, base, id string, submitStart time.Time) {
 	for {
 		resp, err := g.client.Get(fmt.Sprintf("%s/v1/jobs/%s?wait=true&timeout=%s", base, id, g.waitTimeout))
 		if err != nil {
@@ -358,6 +428,111 @@ func (g *generator) oneJob() {
 	}
 }
 
+// oneBatch submits n copies of the job spec as one POST /v1/jobs/batch,
+// retrying shed items in ever-smaller batches with backoff, then follows
+// every admitted job to a terminal state concurrently (so one slow job does
+// not serialize the observation of its batch-mates). The batch is pinned to
+// one target like a single job would be.
+func (g *generator) oneBatch(n int) {
+	idx := int(g.rr.Add(1)-1) % len(g.targets)
+	base := g.targets[idx]
+	submitStart := time.Now()
+	var ids []string
+	remaining := n
+	retries := 0
+	for remaining > 0 {
+		t0 := time.Now()
+		resp, err := g.client.Post(base+"/v1/jobs/batch", "application/json",
+			bytes.NewReader(batchBody(g.body, remaining)))
+		if err != nil {
+			g.errors.Add(int64(remaining))
+			remaining = 0
+			break
+		}
+		g.batches.Add(1)
+		var v struct {
+			Results []struct {
+				Status int `json:"status"`
+				Job    *struct {
+					ID string `json:"id"`
+				} `json:"job"`
+			} `json:"results"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		g.mu.Lock()
+		g.batchLats = append(g.batchLats, time.Since(t0))
+		g.mu.Unlock()
+		if decErr != nil || len(v.Results) != remaining {
+			g.errors.Add(int64(remaining))
+			remaining = 0
+			break
+		}
+		admitted, shed := 0, 0
+		for _, res := range v.Results {
+			switch {
+			case res.Status == http.StatusAccepted && res.Job != nil && res.Job.ID != "":
+				if !g.logAdmitted(res.Job.ID) {
+					continue
+				}
+				ids = append(ids, res.Job.ID)
+				admitted++
+			case res.Status == http.StatusTooManyRequests || res.Status == http.StatusServiceUnavailable:
+				shed++
+			default:
+				g.errors.Add(1)
+			}
+		}
+		g.sheds.Add(int64(shed))
+		g.mu.Lock()
+		g.perTarget[idx].sheds += shed
+		g.mu.Unlock()
+		if admitted > 0 && shed > 0 {
+			g.partialSheds.Add(1)
+		}
+		remaining = shed
+		if shed > 0 {
+			retries++
+			if g.maxRetries > 0 && retries >= g.maxRetries {
+				g.errors.Add(int64(shed))
+				break
+			}
+			time.Sleep(g.backoff(resp.Header.Get("Retry-After")))
+		}
+	}
+
+	if g.submitOnly {
+		if len(ids) > 0 {
+			g.recordAck(idx, len(ids), time.Since(submitStart))
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			g.followJob(idx, base, id, submitStart)
+		}(id)
+	}
+	wg.Wait()
+}
+
+// batchBody renders {"jobs":[spec × n]} from one marshaled spec.
+func batchBody(spec []byte, n int) []byte {
+	var b bytes.Buffer
+	b.Grow(len(spec)*n + n + 16)
+	b.WriteString(`{"jobs":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.Write(spec)
+	}
+	b.WriteString(`]}`)
+	return b.Bytes()
+}
+
 // backoff converts a Retry-After header to a sleep, capped by -max-backoff.
 func (g *generator) backoff(header string) time.Duration {
 	d := time.Second
@@ -384,6 +559,10 @@ func (g *generator) report(w io.Writer, jobs int, wall time.Duration) {
 		grains[k] = v
 	}
 	metg := append([]float64(nil), g.metgNs...)
+	batchMs := make([]float64, len(g.batchLats))
+	for i, d := range g.batchLats {
+		batchMs[i] = float64(d) / float64(time.Millisecond)
+	}
 	perTarget := make([]targetAgg, len(g.perTarget))
 	for i, agg := range g.perTarget {
 		perTarget[i] = targetAgg{
@@ -395,18 +574,40 @@ func (g *generator) report(w io.Writer, jobs int, wall time.Duration) {
 	g.mu.Unlock()
 
 	done := g.done.Load()
-	fmt.Fprintf(w, "jobs       %d submitted, %d done, %d failed, %d cancelled, %d errors\n",
-		jobs, done, g.failed.Load(), g.cancelled.Load(), g.errors.Load())
-	fmt.Fprintf(w, "sheds      %d (429/503 retried with backoff)\n", g.sheds.Load())
-	fmt.Fprintf(w, "wall       %.3f s\n", wall.Seconds())
-	if wall > 0 {
-		fmt.Fprintf(w, "throughput %.1f jobs/s\n", float64(done)/wall.Seconds())
+	if g.submitOnly {
+		fmt.Fprintf(w, "jobs       %d submitted, %d admitted, %d errors (submit-only)\n",
+			jobs, g.admitted.Load(), g.errors.Load())
+	} else {
+		fmt.Fprintf(w, "jobs       %d submitted, %d done, %d failed, %d cancelled, %d errors\n",
+			jobs, done, g.failed.Load(), g.cancelled.Load(), g.errors.Load())
 	}
-	// stats.Percentile returns 0 on an empty set, so the line is printed
-	// unconditionally: all-shed runs read "p50 0.0 ms" rather than crashing.
-	fmt.Fprintf(w, "latency    p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms (%d samples)\n",
-		stats.Percentile(latMs, 50), stats.Percentile(latMs, 95),
-		stats.Percentile(latMs, 99), stats.Percentile(latMs, 100), len(latMs))
+	fmt.Fprintf(w, "sheds      %d (429/503 retried with backoff)\n", g.sheds.Load())
+	if g.batchSize > 1 {
+		fmt.Fprintf(w, "batches    %d submitted (size %d), %d partially shed\n",
+			g.batches.Load(), g.batchSize, g.partialSheds.Load())
+		fmt.Fprintf(w, "batch-rtt  p50 %.1f ms, p99 %.1f ms (%d submit round-trips)\n",
+			stats.Percentile(batchMs, 50), stats.Percentile(batchMs, 99), len(batchMs))
+	}
+	fmt.Fprintf(w, "wall       %.3f s\n", wall.Seconds())
+	// stats.Percentile returns 0 on an empty set, so the percentile lines
+	// print unconditionally: all-shed runs read "p50 0.0 ms" rather than
+	// crashing.
+	if g.submitOnly {
+		if wall > 0 {
+			fmt.Fprintf(w, "submit     %.1f jobs/s admitted (admission path only)\n",
+				float64(g.admitted.Load())/wall.Seconds())
+		}
+		fmt.Fprintf(w, "ack        p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms (%d per-item admission acks)\n",
+			stats.Percentile(latMs, 50), stats.Percentile(latMs, 95),
+			stats.Percentile(latMs, 99), stats.Percentile(latMs, 100), len(latMs))
+	} else {
+		if wall > 0 {
+			fmt.Fprintf(w, "throughput %.1f jobs/s\n", float64(done)/wall.Seconds())
+		}
+		fmt.Fprintf(w, "latency    p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms (%d samples)\n",
+			stats.Percentile(latMs, 50), stats.Percentile(latMs, 95),
+			stats.Percentile(latMs, 99), stats.Percentile(latMs, 100), len(latMs))
+	}
 	// Per-target breakdown, only when the run actually spread: a skewed mesh
 	// shows up as one target's p99 or shed count diverging from the rest.
 	if len(g.targets) > 1 {

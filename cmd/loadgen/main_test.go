@@ -145,6 +145,46 @@ func TestLoadgenAllShedReportIsEmptySafe(t *testing.T) {
 	}
 }
 
+// TestLoadgenSubmitOnly: -submit-only stops at admission on both submit
+// paths — the report switches to admitted counts, submit jobs/s, and per-item
+// ack percentiles, and never prints the submit→terminal figures (the jobs may
+// well still be queued when the run exits).
+func TestLoadgenSubmitOnly(t *testing.T) {
+	ts := newBackend(t, func(cfg *config.Server) {
+		cfg.MaxBatchJobs = 64
+		cfg.MaxQueuedJobs = 256
+	})
+	for _, batch := range []string{"1", "8"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{
+			"-addr", ts.URL,
+			"-jobs", "16", "-concurrency", "4", "-batch", batch,
+			"-kind", "fibonacci", "-size", "10",
+			"-submit-only",
+		}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("batch=%s exit %d\nstdout: %s\nstderr: %s",
+				batch, code, stdout.String(), stderr.String())
+		}
+		out := stdout.String()
+		if !strings.Contains(out, "16 admitted") || !strings.Contains(out, "(submit-only)") {
+			t.Fatalf("batch=%s report missing admitted count:\n%s", batch, out)
+		}
+		if !strings.Contains(out, "jobs/s admitted") || !strings.Contains(out, "ack        p50") {
+			t.Fatalf("batch=%s report missing admission figures:\n%s", batch, out)
+		}
+		if !strings.Contains(out, "(16 per-item admission acks)") {
+			t.Fatalf("batch=%s ack percentiles must weigh each item once:\n%s", batch, out)
+		}
+		if strings.Contains(out, "throughput ") || strings.Contains(out, "latency    p50") {
+			t.Fatalf("batch=%s submit-only run leaked submit→terminal figures:\n%s", batch, out)
+		}
+		if batch != "1" && !strings.Contains(out, "batch-rtt  p50") {
+			t.Fatalf("batch=%s report lost the per-batch round-trips:\n%s", batch, out)
+		}
+	}
+}
+
 // TestLoadgenMeshTargets: -mesh spreads jobs round-robin across several
 // backends; every target must see submissions and every job must complete.
 func TestLoadgenMeshTargets(t *testing.T) {

@@ -105,7 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		s.Close()
 		return fail(stderr, err)
 	}
-	srv := &http.Server{Handler: s.Handler()}
+	srv := newHTTPServer(s.Handler())
 	fmt.Fprintf(stdout, "taskgraind listening on %s (workers %d, policy %s, queue %d, high-idle %.0f%%)\n",
 		ln.Addr(), s.Config().Workers, cfg.Policy, cfg.MaxQueuedJobs, cfg.HighIdle*100)
 
@@ -140,6 +140,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "taskgraind: drained cleanly")
 	return 0
+}
+
+// newHTTPServer wraps the daemon handler with the connection bounds a
+// network-facing listener needs. No ReadTimeout/WriteTimeout: status
+// long-polls legitimately hold a response open for minutes. Header reads and
+// idle keep-alives still get bounded so stalled clients cannot pin
+// connections forever.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // fail prints the error and returns a non-zero exit code.

@@ -128,6 +128,25 @@ func TestDaemonServesAndDrainsOnSIGTERM(t *testing.T) {
 	}
 }
 
+// TestHTTPServerConnectionBounds guards the listener against slow-header and
+// idle-connection pinning: a client that opens a socket and never finishes
+// its request headers must not hold a connection slot forever. ReadTimeout
+// and WriteTimeout stay zero on purpose — status long-polls legitimately hold
+// a response open for minutes.
+func TestHTTPServerConnectionBounds(t *testing.T) {
+	srv := newHTTPServer(http.NotFoundHandler())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Fatal("ReadHeaderTimeout unset: a stalled client can pin a connection through header read forever")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Fatal("IdleTimeout unset: idle keep-alive connections are never reclaimed")
+	}
+	if srv.ReadTimeout != 0 || srv.WriteTimeout != 0 {
+		t.Fatalf("ReadTimeout/WriteTimeout set (%v/%v): long-poll status requests would be cut off",
+			srv.ReadTimeout, srv.WriteTimeout)
+	}
+}
+
 func TestDaemonConfigPrecedence(t *testing.T) {
 	// File sets workers=1 and queue=11; env overrides workers to 3; a flag
 	// overrides the queue bound to 13. Expect env > file and flag > file.

@@ -694,6 +694,99 @@ func scenarioCrashRestartJournal() chaos.Scenario {
 	}
 }
 
+// scenarioBatchSubmitSpread: batches stream through the gateway's vectored
+// submission path while one node's network face dies mid-run — per-item
+// spillover must land every admitted item on a live node exactly once, and
+// the per-item mesh accounting (submitted and terminal counters, ledger
+// integrity) must balance exactly as on the single-job path.
+func scenarioBatchSubmitSpread() chaos.Scenario {
+	return chaos.Scenario{
+		Name: "batch-submit-spread",
+		Run: func(seed int64, v *chaos.Verifier) error {
+			c, err := startCluster(clusterOpts{
+				nodes:    3,
+				proxyCfg: func(i int) chaos.ProxyConfig { return chaos.ProxyConfig{Seed: seed} },
+				meshCfg:  func(cfg *config.Mesh) { cfg.RoutePolicy = config.MeshPolicyRoundRobin },
+			})
+			if err != nil {
+				return err
+			}
+			defer c.close()
+			prev := c.mesh.Counters().Snapshot()
+			l := chaos.NewLedger()
+
+			const batches, perBatch = 6, 4
+			accepted := 0
+			var ids []string
+			for b := 0; b < batches; b++ {
+				if b == batches/2 {
+					c.nodes[0].proxy.SetDown(true)
+				}
+				specs := make([]string, perBatch)
+				for k := range specs {
+					specs[k] = smallStencil
+				}
+				body := fmt.Sprintf(`{"jobs":[%s]}`, strings.Join(specs, ","))
+				resp, err := http.Post(c.gw.URL+"/v1/jobs/batch", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					v.Failf("batch %d: %v", b, err)
+					continue
+				}
+				var out struct {
+					Results []struct {
+						Status int `json:"status"`
+						Job    *struct {
+							ID string `json:"id"`
+						} `json:"job"`
+					} `json:"results"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if decErr != nil {
+					v.Failf("batch %d: undecodable reply: %v", b, decErr)
+					continue
+				}
+				if len(out.Results) != perBatch {
+					v.Failf("batch %d: %d results for %d items (per-item stitching broke)", b, len(out.Results), perBatch)
+					continue
+				}
+				for _, res := range out.Results {
+					if res.Status == http.StatusAccepted && res.Job != nil && res.Job.ID != "" {
+						accepted++
+						l.Admitted(res.Job.ID)
+						ids = append(ids, res.Job.ID)
+					}
+				}
+			}
+			if accepted == 0 {
+				return fmt.Errorf("no batch item was accepted")
+			}
+
+			var wg sync.WaitGroup
+			for _, id := range ids {
+				wg.Add(1)
+				go func(id string) {
+					defer wg.Done()
+					state, err := pollTerminal(c.gw.URL, id, 60*time.Second)
+					if err != nil {
+						v.Failf("poll: %v", err)
+						return
+					}
+					l.Terminal(id, state)
+				}(id)
+			}
+			wg.Wait()
+
+			checkMeshInvariants(v, c, l, prev, accepted)
+			snap := c.mesh.Counters().Snapshot()
+			if got := snap.Get("/mesh/batch/forwarded"); got < float64(batches) {
+				v.Failf("mesh: /mesh/batch/forwarded = %v, want ≥ %d (one per per-node sub-batch)", got, batches)
+			}
+			return nil
+		},
+	}
+}
+
 // scenarios is the canonical suite; CI's chaos-smoke job sweeps it across a
 // seed matrix and the README's chaos table documents each row.
 func scenarios() []chaos.Scenario {
@@ -707,6 +800,7 @@ func scenarios() []chaos.Scenario {
 		scenarioSubmitStormAccounting(),
 		scenarioSchedulerSoak(),
 		scenarioCrashRestartJournal(),
+		scenarioBatchSubmitSpread(),
 	}
 }
 

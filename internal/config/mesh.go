@@ -46,6 +46,9 @@ type Mesh struct {
 	// MaxSubmitAttempts bounds the per-submission node tries across all
 	// spillover passes before the gateway itself sheds with 503.
 	MaxSubmitAttempts int `json:"max_submit_attempts"`
+	// MaxBatchJobs bounds how many specs one POST /v1/jobs/batch may carry;
+	// it also caps the size of the per-node sub-batches the gateway forwards.
+	MaxBatchJobs int `json:"max_batch_jobs"`
 	// MaxBackoff caps how long one spillover pass honours a node's
 	// Retry-After hint before re-ranking and retrying.
 	MaxBackoff time.Duration `json:"max_backoff_ns"`
@@ -91,6 +94,7 @@ func DefaultMesh() Mesh {
 		DownAfter:            3,
 		RoutePolicy:          MeshPolicyLeastIdleRate,
 		MaxSubmitAttempts:    8,
+		MaxBatchJobs:         256,
 		MaxBackoff:           time.Second,
 		HedgeDelay:           2 * time.Second,
 		FlowFloor:            1,
@@ -117,6 +121,8 @@ func (m *Mesh) Validate() error {
 		return fmt.Errorf("config: down_after = %d", m.DownAfter)
 	case m.MaxSubmitAttempts < 1:
 		return fmt.Errorf("config: max_submit_attempts = %d", m.MaxSubmitAttempts)
+	case m.MaxBatchJobs < 1:
+		return fmt.Errorf("config: max_batch_jobs = %d", m.MaxBatchJobs)
 	case m.MaxBackoff <= 0:
 		return fmt.Errorf("config: max_backoff = %v", m.MaxBackoff)
 	case m.HedgeDelay < 0:
@@ -194,6 +200,13 @@ func (m *Mesh) ApplyEnv(lookup func(string) (string, bool)) error {
 			return fmt.Errorf("config: TASKMESHD_MAX_SUBMIT_ATTEMPTS=%q: %w", v, err)
 		}
 		m.MaxSubmitAttempts = n
+	}
+	if v, ok := lookup("TASKMESHD_MAX_BATCH_JOBS"); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("config: TASKMESHD_MAX_BATCH_JOBS=%q: %w", v, err)
+		}
+		m.MaxBatchJobs = n
 	}
 	if v, ok := lookup("TASKMESHD_TELEMETRY_RING"); ok {
 		n, err := strconv.Atoi(v)
@@ -285,6 +298,7 @@ func (m *Mesh) Flags(fs *flag.FlagSet) {
 	fs.StringVar(&m.RoutePolicy, "route-policy", m.RoutePolicy,
 		"routing policy ("+strings.Join(MeshPolicies, ", ")+")")
 	fs.IntVar(&m.MaxSubmitAttempts, "max-submit-attempts", m.MaxSubmitAttempts, "node tries per submission before the gateway sheds")
+	fs.IntVar(&m.MaxBatchJobs, "max-batch-jobs", m.MaxBatchJobs, "largest accepted batch submission (specs per POST /v1/jobs/batch)")
 	fs.DurationVar(&m.MaxBackoff, "max-backoff", m.MaxBackoff, "cap on honouring Retry-After between spillover passes")
 	fs.DurationVar(&m.HedgeDelay, "hedge-delay", m.HedgeDelay, "status long-poll hedge delay (0 disables)")
 	fs.Float64Var(&m.FlowFloor, "flow-floor", m.FlowFloor, "inflight-task floor below which a node reads as empty")

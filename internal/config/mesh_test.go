@@ -33,6 +33,7 @@ func TestMeshValidateRejections(t *testing.T) {
 		func(m *Mesh) { m.DownAfter = 0 },
 		func(m *Mesh) { m.RoutePolicy = "fastest-wins" },
 		func(m *Mesh) { m.MaxSubmitAttempts = 0 },
+		func(m *Mesh) { m.MaxBatchJobs = 0 },
 		func(m *Mesh) { m.MaxBackoff = 0 },
 		func(m *Mesh) { m.HedgeDelay = -time.Second },
 		func(m *Mesh) { m.FlowFloor = -1 },
@@ -59,6 +60,7 @@ func TestMeshApplyEnv(t *testing.T) {
 		"TASKMESHD_NODES":              "http://a:1, http://b:2 ,",
 		"TASKMESHD_ROUTE_POLICY":       MeshPolicyLeastInflight,
 		"TASKMESHD_DOWN_AFTER":         "5",
+		"TASKMESHD_MAX_BATCH_JOBS":     "17",
 		"TASKMESHD_HEARTBEAT_INTERVAL": "100ms",
 		"TASKMESHD_MAX_BACKOFF":        "2s",
 		"TASKMESHD_HEDGE_DELAY":        "250ms",
@@ -72,7 +74,7 @@ func TestMeshApplyEnv(t *testing.T) {
 	if err := m.ApplyEnv(func(k string) (string, bool) { v, ok := env[k]; return v, ok }); err != nil {
 		t.Fatal(err)
 	}
-	if m.Addr != ":9999" || m.RoutePolicy != MeshPolicyLeastInflight || m.DownAfter != 5 {
+	if m.Addr != ":9999" || m.RoutePolicy != MeshPolicyLeastInflight || m.DownAfter != 5 || m.MaxBatchJobs != 17 {
 		t.Fatalf("env not applied: %+v", m)
 	}
 	if len(m.Nodes) != 2 || m.Nodes[0] != "http://a:1" || m.Nodes[1] != "http://b:2" {

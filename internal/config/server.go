@@ -48,6 +48,9 @@ type Server struct {
 	// MaxInflightTasks sheds submissions while the runtime backlog
 	// (staged+pending+active+suspended tasks) exceeds it.
 	MaxInflightTasks int64 `json:"max_inflight_tasks"`
+	// MaxBatchJobs bounds how many specs one POST /v1/jobs/batch may carry;
+	// larger batches are rejected with 400 before any admission work.
+	MaxBatchJobs int `json:"max_batch_jobs"`
 	// HighIdle is the idle-rate admission threshold (Eq. 1; the paper
 	// demonstrates ~0.30): intervals above it with real task flow mark the
 	// runtime overhead-bound and shed new work.
@@ -119,6 +122,7 @@ func DefaultServer() Server {
 		MaxQueuedJobs:        64,
 		MaxConcurrentJobs:    4,
 		MaxInflightTasks:     100_000,
+		MaxBatchJobs:         256,
 		HighIdle:             0.30,
 		ShedMinTasks:         256,
 		RetryAfter:           time.Second,
@@ -148,6 +152,8 @@ func (s *Server) Validate() error {
 		return fmt.Errorf("config: max_concurrent_jobs = %d", s.MaxConcurrentJobs)
 	case s.MaxInflightTasks < 1:
 		return fmt.Errorf("config: max_inflight_tasks = %d", s.MaxInflightTasks)
+	case s.MaxBatchJobs < 1:
+		return fmt.Errorf("config: max_batch_jobs = %d", s.MaxBatchJobs)
 	case s.HighIdle <= 0 || s.HighIdle >= 1:
 		return fmt.Errorf("config: high_idle = %v not in (0,1)", s.HighIdle)
 	case s.ShedMinTasks < 0:
@@ -284,6 +290,7 @@ func (s *Server) ApplyEnv(lookup func(string) (string, bool)) error {
 			return num("TASKGRAIND_MAX_CONCURRENT_JOBS", func(n int64) { s.MaxConcurrentJobs = int(n) })
 		},
 		func() error { return num("TASKGRAIND_MAX_INFLIGHT_TASKS", func(n int64) { s.MaxInflightTasks = n }) },
+		func() error { return num("TASKGRAIND_MAX_BATCH_JOBS", func(n int64) { s.MaxBatchJobs = int(n) }) },
 		func() error { return flt("TASKGRAIND_HIGH_IDLE", &s.HighIdle) },
 		func() error { return flt("TASKGRAIND_SHED_MIN_TASKS", &s.ShedMinTasks) },
 		func() error { return dur("TASKGRAIND_RETRY_AFTER", &s.RetryAfter) },
@@ -320,6 +327,7 @@ func (s *Server) Flags(fs *flag.FlagSet) {
 	fs.IntVar(&s.MaxQueuedJobs, "max-queued-jobs", s.MaxQueuedJobs, "admission bound on queued jobs")
 	fs.IntVar(&s.MaxConcurrentJobs, "max-concurrent-jobs", s.MaxConcurrentJobs, "jobs running concurrently")
 	fs.Int64Var(&s.MaxInflightTasks, "max-inflight-tasks", s.MaxInflightTasks, "admission bound on runtime task backlog")
+	fs.IntVar(&s.MaxBatchJobs, "max-batch-jobs", s.MaxBatchJobs, "largest accepted batch submission (specs per POST /v1/jobs/batch)")
 	fs.Float64Var(&s.HighIdle, "high-idle", s.HighIdle, "idle-rate shedding threshold (Eq. 1)")
 	fs.Float64Var(&s.ShedMinTasks, "shed-min-tasks", s.ShedMinTasks, "interval task floor before idle-rate sheds")
 	fs.DurationVar(&s.RetryAfter, "retry-after", s.RetryAfter, "Retry-After hint on shed responses")

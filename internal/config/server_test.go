@@ -36,6 +36,7 @@ func TestServerValidateRejects(t *testing.T) {
 		func(s *Server) { s.JournalFsyncInterval = -time.Millisecond },
 		func(s *Server) { s.JournalRecovery = "resurrect" },
 		func(s *Server) { s.TerminalTTL = -time.Minute },
+		func(s *Server) { s.MaxBatchJobs = 0 },
 	}
 	for i, mutate := range cases {
 		s := DefaultServer()
@@ -53,6 +54,7 @@ func TestServerApplyEnv(t *testing.T) {
 		"TASKGRAIND_MAX_QUEUED_JOBS":     "7",
 		"TASKGRAIND_MAX_CONCURRENT_JOBS": "2",
 		"TASKGRAIND_MAX_INFLIGHT_TASKS":  "12345",
+		"TASKGRAIND_MAX_BATCH_JOBS":      "33",
 		"TASKGRAIND_HIGH_IDLE":           "0.45",
 		"TASKGRAIND_RETRY_AFTER":         "2500ms",
 		"TASKGRAIND_SAMPLE_INTERVAL":     "25ms",
@@ -66,7 +68,7 @@ func TestServerApplyEnv(t *testing.T) {
 		t.Fatal(err)
 	}
 	if s.Addr != "127.0.0.1:9999" || s.Workers != 3 || s.MaxQueuedJobs != 7 ||
-		s.MaxConcurrentJobs != 2 || s.MaxInflightTasks != 12345 || s.HighIdle != 0.45 ||
+		s.MaxConcurrentJobs != 2 || s.MaxInflightTasks != 12345 || s.MaxBatchJobs != 33 || s.HighIdle != 0.45 ||
 		s.RetryAfter != 2500*time.Millisecond || s.SampleInterval != 25*time.Millisecond ||
 		s.DefaultDeadline != 30*time.Second {
 		t.Fatalf("env overlay not applied: %+v", s)

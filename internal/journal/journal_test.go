@@ -61,6 +61,92 @@ func TestAppendRecoverRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAppendBatchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{Fsync: FsyncNone})
+	var want [][]byte
+	batch := make([][]byte, 0, 8)
+	for i := 0; i < 24; i++ {
+		p := []byte(fmt.Sprintf("batched-%03d", i))
+		batch = append(batch, p)
+		want = append(want, p)
+		if len(batch) == 8 {
+			first, err := j.AppendBatch(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantFirst := LSN(i + 1 - 7); first != wantFirst {
+				t.Fatalf("batch first LSN = %d, want %d", first, wantFirst)
+			}
+			batch = batch[:0]
+		}
+	}
+	if got := j.AppendsBatched(); got != 24 {
+		t.Fatalf("AppendsBatched = %d, want 24", got)
+	}
+	if got := j.Appends(); got != 24 {
+		t.Fatalf("Appends = %d, want 24", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), len(want))
+	}
+	for i, r := range rec.Records {
+		if r.LSN != LSN(i+1) || !bytes.Equal(r.Payload, want[i]) {
+			t.Fatalf("record %d: lsn %d payload %q, want lsn %d payload %q",
+				i, r.LSN, r.Payload, i+1, want[i])
+		}
+	}
+}
+
+func TestAppendBatchFsyncAlwaysGroupsOneFsync(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{Fsync: FsyncAlways})
+	batch := make([][]byte, 64)
+	for i := range batch {
+		batch[i] = []byte(fmt.Sprintf("grouped-%02d", i))
+	}
+	before := j.Fsyncs()
+	if _, err := j.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Fsyncs() - before; got != 1 {
+		t.Fatalf("batch of 64 under always issued %d fsyncs, want 1", got)
+	}
+	if got := j.LastGroupSize(); got != 64 {
+		t.Fatalf("LastGroupSize = %d, want 64 (the whole batch in one group)", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendBatchRejectsBadBatches(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{Fsync: FsyncNone})
+	defer j.Close()
+	if _, err := j.AppendBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := j.AppendBatch([][]byte{[]byte("ok"), nil}); err == nil {
+		t.Fatal("batch with an empty record accepted")
+	}
+	// A rejected batch must not burn LSNs or count appends.
+	if got := j.Appends(); got != 0 {
+		t.Fatalf("Appends = %d after rejected batches, want 0", got)
+	}
+	if lsn, err := j.Append([]byte("after")); err != nil || lsn != 1 {
+		t.Fatalf("append after rejected batches: lsn %d err %v, want 1 nil", lsn, err)
+	}
+}
+
 func TestReopenContinuesLSNs(t *testing.T) {
 	dir := t.TempDir()
 	j := openT(t, dir, Options{Fsync: FsyncNone})

@@ -1,0 +1,384 @@
+// Gateway batch forwarding: POST /v1/jobs/batch splits an incoming batch by
+// the routing policy into per-node sub-batches, forwards each sub-batch as
+// ONE upstream batch call, and stitches the per-item results back together in
+// request order. The amortization composes across layers — the client pays
+// one gateway round-trip for N jobs, each node pays one admission check and
+// one journal group commit per sub-batch — so the fixed network cost per job
+// shrinks by the split factor at every hop.
+//
+// Spillover stays per-item: a node that sheds part of a sub-batch only sends
+// those items on to the next-best node, bounded by the same MaxSubmitAttempts
+// budget the single-job path uses.
+package mesh
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"taskgrain/internal/trace"
+)
+
+// batchSubItem tracks one batch item through the placement passes.
+type batchSubItem struct {
+	idx      int            // position in the client's jobs array
+	job      *meshJob       // gateway job, minted before placement
+	spec     map[string]any // parsed spec; trace_context is injected per hop
+	tried    map[*Node]bool // nodes tried since the last backoff reset
+	attempts int            // node tries consumed (bounded by MaxSubmitAttempts)
+	refusal  nodeResponse   // last refusal; relayed if the item never lands
+	done     bool           // resolved (placed, rejected, or exhausted)
+}
+
+// submitBatch admits a batch of jobs through the mesh. Per item the semantics
+// match submit exactly — mesh ID, idempotency key, trace span, spillover,
+// journaled placement — but forwarding is vectored: each pass groups the
+// still-unplaced items by their best untried node and sends one upstream
+// batch call per node. Returns the HTTP status, the response payload, and the
+// Retry-After hint when nothing at all was admitted.
+func (m *Mesh) submitBatch(ctx context.Context, raw []byte, parent trace.SpanContext) (int, any, time.Duration) {
+	var req struct {
+		Jobs []map[string]any `json:"jobs"`
+	}
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return http.StatusBadRequest, errBody(fmt.Sprintf("bad batch: %v", err)), 0
+	}
+	if len(req.Jobs) == 0 {
+		return http.StatusBadRequest, errBody(`empty batch (want {"jobs":[spec,...]})`), 0
+	}
+	if len(req.Jobs) > m.cfg.MaxBatchJobs {
+		return http.StatusBadRequest,
+			errBody(fmt.Sprintf("batch of %d exceeds max_batch_jobs %d", len(req.Jobs), m.cfg.MaxBatchJobs)), 0
+	}
+
+	results := make([]map[string]any, len(req.Jobs))
+	pending := make([]*batchSubItem, 0, len(req.Jobs))
+	for i, spec := range req.Jobs {
+		if spec == nil {
+			results[i] = map[string]any{"status": http.StatusBadRequest, "error": "null job spec"}
+			continue
+		}
+		kind, _ := spec["kind"].(string)
+		key, _ := spec["idempotency_key"].(string)
+		job := m.jobs.add(kind, key, nil)
+		if key == "" {
+			key = fmt.Sprintf("mesh-%s-%s", m.id, job.id)
+		}
+		spec["idempotency_key"] = key
+		span := trace.NewSpanContext()
+		if parent.Valid() {
+			span = parent.Child()
+		}
+		// job.spec is the hop-independent replay form (key included, no
+		// trace_context): failover re-sends it with a fresh child span.
+		body, err := json.Marshal(spec)
+		if err != nil {
+			m.jobs.remove(job.id)
+			results[i] = map[string]any{"status": http.StatusBadRequest, "error": fmt.Sprintf("bad job spec: %v", err)}
+			continue
+		}
+		job.mu.Lock()
+		job.key, job.spec, job.span = key, body, span
+		job.mu.Unlock()
+		pending = append(pending, &batchSubItem{
+			idx: i, job: job, spec: spec, tried: make(map[*Node]bool),
+			refusal: nodeResponse{status: http.StatusServiceUnavailable, body: errBody("no routable mesh nodes")},
+		})
+	}
+
+	admitted, shedCount := 0, 0
+	var lastHint time.Duration
+	shed := func(it *batchSubItem, resp nodeResponse) {
+		it.done = true
+		m.jobs.remove(it.job.id)
+		m.rejected.Inc()
+		res := map[string]any{"status": resp.status}
+		if msg, ok := resp.body["error"].(string); ok {
+			res["error"] = msg
+		}
+		if resp.status == http.StatusTooManyRequests || resp.status == http.StatusServiceUnavailable {
+			shedCount++
+			res["retry_after_s"] = retrySeconds(maxDuration(resp.retryAfter, time.Second))
+		}
+		results[it.idx] = res
+	}
+	place := func(it *batchSubItem, n *Node, view map[string]any) {
+		id, _ := view["id"].(string)
+		it.job.place(n, id, 0, false)
+		if m.wal != nil {
+			m.journalPlace(it.job)
+		}
+		m.traceHop(trace.Route, n, it.job)
+		m.traceSpan(trace.PhaseBegin, n, it.job)
+		n.routed.Inc()
+		m.submitted.Inc()
+		it.done = true
+		results[it.idx] = map[string]any{"status": http.StatusAccepted, "job": m.augment(view, it.job)}
+		admitted++
+	}
+
+	firstPass := true
+	for len(pending) > 0 {
+		// Resolve items whose attempt budget ran out.
+		still := pending[:0]
+		for _, it := range pending {
+			if it.attempts >= m.cfg.MaxSubmitAttempts {
+				it.refusal.retryAfter = maxDuration(lastHint, time.Second)
+				shed(it, it.refusal)
+			} else {
+				still = append(still, it)
+			}
+		}
+		pending = still
+		if len(pending) == 0 {
+			break
+		}
+
+		// Group the pending items by each one's best untried routable node.
+		// Items of different kinds may rank different best nodes, so one
+		// client batch fans out into one sub-batch per target.
+		hint := time.Duration(0)
+		groups := make(map[*Node][]*batchSubItem)
+		var order []*Node
+		for _, it := range pending {
+			for _, n := range m.router.rank(it.job.kind) {
+				if !it.tried[n] {
+					if groups[n] == nil {
+						order = append(order, n)
+					}
+					groups[n] = append(groups[n], it)
+					break
+				}
+			}
+		}
+		if firstPass {
+			m.batchSplit.Store(int64(len(order)))
+			firstPass = false
+		}
+		if len(order) == 0 {
+			// Every pending item has tried every routable node (or none is
+			// routable). The empty round still consumes an attempt per item —
+			// the same bound-preserving rule as the single path — and the
+			// tried sets reset so a node revived by heartbeats gets retried.
+			for _, it := range pending {
+				it.attempts++
+				it.tried = make(map[*Node]bool)
+			}
+			if !m.backoff(ctx, lastHint) {
+				for _, it := range pending {
+					it.refusal.retryAfter = maxDuration(lastHint, time.Second)
+					shed(it, it.refusal)
+				}
+				break
+			}
+			continue
+		}
+
+		canceled := false
+		for _, n := range order {
+			group := groups[n]
+			h, ok := m.forwardSubBatch(ctx, n, group, shed, place)
+			if h > 0 && (hint == 0 || h < hint) {
+				hint = h
+			}
+			if !ok {
+				canceled = true
+				break
+			}
+		}
+		if hint > 0 {
+			lastHint = hint
+		}
+
+		still = pending[:0]
+		for _, it := range pending {
+			if !it.done {
+				still = append(still, it)
+			}
+		}
+		pending = still
+		if canceled {
+			for _, it := range pending {
+				it.refusal.retryAfter = maxDuration(lastHint, time.Second)
+				shed(it, it.refusal)
+			}
+			break
+		}
+
+		// Intra-pass spillover is free of delay, like the single path trying
+		// ranked nodes in order; only when every pending item has exhausted
+		// the current routable set does the loop back off and re-rank.
+		allTried := true
+	scan:
+		for _, it := range pending {
+			for _, n := range m.router.rank(it.job.kind) {
+				if !it.tried[n] {
+					allTried = false
+					break scan
+				}
+			}
+		}
+		if allTried && len(pending) > 0 {
+			for _, it := range pending {
+				it.tried = make(map[*Node]bool)
+			}
+			if !m.backoff(ctx, hint) {
+				for _, it := range pending {
+					it.refusal.retryAfter = maxDuration(lastHint, time.Second)
+					shed(it, it.refusal)
+				}
+				break
+			}
+		}
+	}
+
+	status := http.StatusAccepted
+	var retryAfter time.Duration
+	if admitted == 0 {
+		status = http.StatusBadRequest
+		for _, res := range results {
+			if s, _ := res["status"].(int); s == http.StatusTooManyRequests || s == http.StatusServiceUnavailable {
+				status = s
+				retryAfter = maxDuration(lastHint, time.Second)
+				break
+			}
+		}
+	}
+	return status, map[string]any{"admitted": admitted, "shed": shedCount, "results": results}, retryAfter
+}
+
+// forwardSubBatch sends one per-node sub-batch upstream and applies each
+// item's verdict: admitted items are placed, shed items stay pending with
+// their node marked tried, and spec-level rejections are relayed verbatim
+// (no other node would answer differently). Returns the smallest Retry-After
+// hint seen (0 for none) and false when the client context was canceled.
+func (m *Mesh) forwardSubBatch(ctx context.Context, n *Node, group []*batchSubItem,
+	shed func(*batchSubItem, nodeResponse), place func(*batchSubItem, *Node, map[string]any)) (time.Duration, bool) {
+	specs := make([]map[string]any, len(group))
+	for k, it := range group {
+		it.attempts++
+		it.tried[n] = true
+		// One HTTP request carries many items, so the per-hop child span
+		// rides in each spec body instead of the Taskgrain-Trace header.
+		it.spec["trace_context"] = it.job.traceSpan().Child().String()
+		specs[k] = it.spec
+	}
+	body, err := json.Marshal(map[string]any{"jobs": specs})
+	if err != nil {
+		for _, it := range group {
+			shed(it, nodeResponse{status: http.StatusBadRequest, body: errBody(fmt.Sprintf("bad job spec: %v", err))})
+		}
+		return 0, true
+	}
+
+	tryCtx, cancel := context.WithTimeout(ctx, m.cfg.RequestTimeout)
+	resp, err := m.doJSON(tryCtx, http.MethodPost, n.base+"/v1/jobs/batch", body, trace.SpanContext{})
+	cancel()
+	m.batchForwarded.Inc()
+
+	hint := time.Duration(0)
+	switch {
+	case err != nil:
+		if ctx.Err() != nil {
+			// Client hung up mid-batch: the node is fine, stop forwarding.
+			return 0, false
+		}
+		n.markUnreachable(m.cfg.DownAfter)
+		for _, it := range group {
+			m.noteSpill(n, it.job)
+			it.refusal = nodeResponse{
+				status: http.StatusServiceUnavailable,
+				body:   errBody(fmt.Sprintf("node %s unreachable", n.name)),
+			}
+		}
+	case itemResults(resp) != nil && len(itemResults(resp)) == len(group):
+		for k, it := range group {
+			rm, _ := itemResults(resp)[k].(map[string]any)
+			st := int(asFloat(rm["status"]))
+			switch {
+			case st == http.StatusAccepted:
+				view, _ := rm["job"].(map[string]any)
+				if id, _ := view["id"].(string); id == "" {
+					// Admitted but no decodable ID: surface the anomaly. The
+					// idempotency key turns any client retry into a replay on
+					// that node, never a second run.
+					shed(it, nodeResponse{
+						status: http.StatusBadGateway,
+						body:   errBody(fmt.Sprintf("node %s admitted the job but returned no id", n.name)),
+					})
+					continue
+				}
+				place(it, n, view)
+			case st == http.StatusTooManyRequests || st == http.StatusServiceUnavailable:
+				m.noteSpill(n, it.job)
+				if ra := time.Duration(asFloat(rm["retry_after_s"])) * time.Second; ra > 0 && (hint == 0 || ra < hint) {
+					hint = ra
+				}
+				it.refusal = nodeResponse{
+					status: http.StatusServiceUnavailable,
+					body:   errBody(fmt.Sprintf("all mesh nodes shed (last: %s with %d)", n.name, st)),
+				}
+			default:
+				msg, _ := rm["error"].(string)
+				if msg == "" {
+					msg = fmt.Sprintf("node %s refused with %d", n.name, st)
+				}
+				shed(it, nodeResponse{status: st, body: errBody(msg)})
+			}
+		}
+	case resp.status == http.StatusTooManyRequests || resp.status == http.StatusServiceUnavailable:
+		for _, it := range group {
+			m.noteSpill(n, it.job)
+			if resp.retryAfter > 0 && (hint == 0 || resp.retryAfter < hint) {
+				hint = resp.retryAfter
+			}
+			it.refusal = nodeResponse{
+				status: http.StatusServiceUnavailable,
+				body:   errBody(fmt.Sprintf("all mesh nodes shed (last: %s with %d)", n.name, resp.status)),
+			}
+		}
+	default:
+		// A reply without index-aligned per-item results: relay it to every
+		// item — retrying elsewhere cannot fix a spec- or protocol-level
+		// refusal, and a mangled 2xx reads as a gateway-level anomaly.
+		ref := resp
+		if ref.status < http.StatusBadRequest || ref.body == nil {
+			ref = nodeResponse{
+				status: http.StatusBadGateway,
+				body:   errBody(fmt.Sprintf("node %s returned an undecodable batch reply (%d)", n.name, resp.status)),
+			}
+		}
+		for _, it := range group {
+			shed(it, ref)
+		}
+	}
+	return hint, true
+}
+
+// itemResults extracts the per-item results array from a node batch reply,
+// nil when absent or not an array.
+func itemResults(resp nodeResponse) []any {
+	if resp.body == nil {
+		return nil
+	}
+	items, _ := resp.body["results"].([]any)
+	return items
+}
+
+// asFloat reads a decoded JSON number (float64 under encoding/json), 0 for
+// anything else.
+func asFloat(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}
+
+// retrySeconds renders a Retry-After duration as whole seconds, minimum 1.
+func retrySeconds(d time.Duration) int {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

@@ -15,7 +15,10 @@ import (
 )
 
 const (
-	maxSubmitBody      = 1 << 16
+	maxSubmitBody = 1 << 16
+	// maxBatchBody bounds a batch submission: max_batch_jobs specs of a few
+	// hundred bytes each fit comfortably in 1 MiB.
+	maxBatchBody       = 1 << 20
 	waitTimeoutDefault = 30 * time.Second
 	waitTimeoutMax     = 5 * time.Minute
 )
@@ -33,6 +36,9 @@ func (m *Mesh) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("/v1/jobs", m.handleJobs)
+	// The exact pattern outranks the /v1/jobs/ subtree, so batch submissions
+	// never read as a job ID named "batch".
+	mux.HandleFunc("/v1/jobs/batch", m.handleBatch)
 	mux.HandleFunc("/v1/jobs/", m.handleJob)
 	mux.HandleFunc("/v1/nodes", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -130,13 +136,9 @@ func (m *Mesh) handleJobs(w http.ResponseWriter, r *http.Request) {
 		// client's span; a malformed one is ignored (the job is traced under
 		// a fresh root), mirroring the node-side leniency.
 		parent, _ := trace.ParseSpanContext(r.Header.Get(trace.Header))
-		status, body, retryAfter := m.submit(raw, parent)
+		status, body, retryAfter := m.submit(r.Context(), raw, parent)
 		if retryAfter > 0 {
-			secs := int(retryAfter / time.Second)
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(retryAfter)))
 		}
 		writeJSON(w, status, body)
 	case http.MethodGet:
@@ -157,6 +159,27 @@ func (m *Mesh) handleJobs(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "use POST or GET")
 	}
+}
+
+// handleBatch serves POST /v1/jobs/batch: split the batch by the routing
+// policy into per-node sub-batches, forward each as one upstream batch call,
+// and stitch the per-item results back in request order.
+func (m *Mesh) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "unreadable body")
+		return
+	}
+	parent, _ := trace.ParseSpanContext(r.Header.Get(trace.Header))
+	status, body, retryAfter := m.submitBatch(r.Context(), raw, parent)
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(retryAfter)))
+	}
+	writeJSON(w, status, body)
 }
 
 // handleJob serves GET /v1/jobs/{id} (status relay, with ?wait=true&timeout=

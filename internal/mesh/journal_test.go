@@ -1,6 +1,7 @@
 package mesh
 
 import (
+	"context"
 	"net/http"
 	"testing"
 	"time"
@@ -30,7 +31,7 @@ func TestMeshJournalGatewayRestart(t *testing.T) {
 	})
 	var ids []string
 	for i := 0; i < 3; i++ {
-		status, body, _ := m1.submit([]byte(`{"kind":"fibonacci","size":10}`), trace.SpanContext{})
+		status, body, _ := m1.submit(context.Background(), []byte(`{"kind":"fibonacci","size":10}`), trace.SpanContext{})
 		if status != http.StatusAccepted {
 			t.Fatalf("submit %d: status %d (%v)", i, status, body)
 		}
@@ -119,7 +120,7 @@ func TestMeshJournalUnknownNodePlacement(t *testing.T) {
 	waitFor(t, 5*time.Second, "node routable", func() bool {
 		return len(m1.nodes.Routable()) == 1
 	})
-	status, body, _ := m1.submit([]byte(`{"kind":"fibonacci","size":10}`), trace.SpanContext{})
+	status, body, _ := m1.submit(context.Background(), []byte(`{"kind":"fibonacci","size":10}`), trace.SpanContext{})
 	if status != http.StatusAccepted {
 		t.Fatalf("submit: status %d (%v)", status, body)
 	}

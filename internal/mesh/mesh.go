@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"taskgrain/internal/config"
@@ -39,6 +40,31 @@ import (
 // the trace output reports rather than hides).
 const traceEventLimit = 100_000
 
+// lockedRand is the gateway's own mutex-guarded PRNG, used for backoff
+// jitter and instance-tag minting. A mesh-local source keeps the jitter
+// stream off the global math/rand mutex on the submission hot path and
+// independent of any other rand consumer in the process.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newLockedRand() *lockedRand {
+	return &lockedRand{r: rand.New(rand.NewSource(time.Now().UnixNano()))}
+}
+
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Int63n(n)
+}
+
+func (l *lockedRand) Uint32() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Uint32()
+}
+
 // Mesh is the cluster dispatch gateway.
 type Mesh struct {
 	cfg    config.Mesh
@@ -51,6 +77,7 @@ type Mesh struct {
 	jobs   *meshStore
 
 	id        string // gateway instance tag, prefixed onto idempotency keys
+	rng       *lockedRand
 	startTime time.Time
 	started   bool
 	mu        sync.Mutex
@@ -84,6 +111,9 @@ type Mesh struct {
 	terminalC *counters.Cumulative // terminal states observed
 	staleC    *counters.Cumulative // abandoned non-terminal jobs reaped
 	hopsC     *counters.Cumulative // trace hops recorded (route+spill+failover)
+
+	batchForwarded *counters.Cumulative // per-node sub-batches forwarded upstream
+	batchSplit     atomic.Int64         // node groups the most recent batch split into
 }
 
 // New builds a gateway from the configuration. Start launches the
@@ -96,6 +126,7 @@ func New(cfg config.Mesh) (*Mesh, error) {
 	if err != nil {
 		return nil, err
 	}
+	rng := newLockedRand()
 	m := &Mesh{
 		cfg:    cfg,
 		policy: policy,
@@ -105,18 +136,20 @@ func New(cfg config.Mesh) (*Mesh, error) {
 				IdleConnTimeout:     90 * time.Second,
 			},
 		},
-		reg:        counters.NewRegistry(),
-		jobs:       newMeshStore(),
-		id:         fmt.Sprintf("%08x", rand.Uint32()),
-		stopReaper: make(chan struct{}),
-		tracer:     trace.New(traceEventLimit),
-		submitted:  counters.NewCumulative("/mesh/jobs/submitted"),
-		rejected:   counters.NewCumulative("/mesh/jobs/rejected"),
-		spillsC:    counters.NewCumulative("/mesh/jobs/spills"),
-		failovers:  counters.NewCumulative("/mesh/jobs/failovers"),
-		terminalC:  counters.NewCumulative("/mesh/jobs/terminal"),
-		staleC:     counters.NewCumulative("/mesh/jobs/evicted-stale"),
-		hopsC:      counters.NewCumulative("/mesh/trace/hops"),
+		reg:            counters.NewRegistry(),
+		jobs:           newMeshStore(),
+		id:             fmt.Sprintf("%08x", rng.Uint32()),
+		rng:            rng,
+		stopReaper:     make(chan struct{}),
+		tracer:         trace.New(traceEventLimit),
+		submitted:      counters.NewCumulative("/mesh/jobs/submitted"),
+		rejected:       counters.NewCumulative("/mesh/jobs/rejected"),
+		spillsC:        counters.NewCumulative("/mesh/jobs/spills"),
+		failovers:      counters.NewCumulative("/mesh/jobs/failovers"),
+		terminalC:      counters.NewCumulative("/mesh/jobs/terminal"),
+		staleC:         counters.NewCumulative("/mesh/jobs/evicted-stale"),
+		hopsC:          counters.NewCumulative("/mesh/trace/hops"),
+		batchForwarded: counters.NewCumulative("/mesh/batch/forwarded"),
 	}
 	m.reg.MustRegister(m.submitted)
 	m.reg.MustRegister(m.rejected)
@@ -125,6 +158,10 @@ func New(cfg config.Mesh) (*Mesh, error) {
 	m.reg.MustRegister(m.terminalC)
 	m.reg.MustRegister(m.staleC)
 	m.reg.MustRegister(m.hopsC)
+	m.reg.MustRegister(m.batchForwarded)
+	m.reg.MustRegister(counters.NewDerived("/mesh/batch/split-factor", func() float64 {
+		return float64(m.batchSplit.Load())
+	}))
 
 	m.nodes, err = newRegistry(cfg, m.client, m.reg)
 	if err != nil {

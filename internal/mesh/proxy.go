@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
@@ -83,10 +82,11 @@ func parseRetryAfter(v string) time.Duration {
 // it, stamp an idempotency key, mint (or adopt) the job's trace context, and
 // run the spillover placement loop. parent is the client's incoming trace
 // context — when valid the job joins that trace as a child span, otherwise
-// the gateway roots a fresh one. It returns the HTTP status, the response
-// payload for the client, and the Retry-After hint to relay when the whole
-// mesh shed.
-func (m *Mesh) submit(raw []byte, parent trace.SpanContext) (int, any, time.Duration) {
+// the gateway roots a fresh one. ctx is the client request's context: a
+// client that hangs up mid-placement unwinds the loop instead of serving out
+// the remaining backoff. It returns the HTTP status, the response payload for
+// the client, and the Retry-After hint to relay when the whole mesh shed.
+func (m *Mesh) submit(ctx context.Context, raw []byte, parent trace.SpanContext) (int, any, time.Duration) {
 	var spec map[string]any
 	if err := json.Unmarshal(raw, &spec); err != nil {
 		return http.StatusBadRequest, errBody(fmt.Sprintf("bad job spec: %v", err)), 0
@@ -114,7 +114,7 @@ func (m *Mesh) submit(raw []byte, parent trace.SpanContext) (int, any, time.Dura
 	job.key, job.spec, job.span = key, body, span
 	job.mu.Unlock()
 
-	resp, placed := m.placeJob(job, 0, false)
+	resp, placed := m.placeJob(ctx, job, 0, false)
 	if !placed {
 		m.jobs.remove(job.id)
 		m.rejected.Inc()
@@ -133,8 +133,10 @@ func (m *Mesh) submit(raw []byte, parent trace.SpanContext) (int, any, time.Dura
 // node admitted the job; when false the response describes the terminal
 // refusal for the client (mesh-level 503, or a node's own 4xx relayed
 // verbatim, which also ends the loop — a spec rejection will not get better
-// on another node).
-func (m *Mesh) placeJob(job *meshJob, fromEpoch int, isFailover bool) (nodeResponse, bool) {
+// on another node). A canceled ctx ends the loop early with the last refusal;
+// failover passes context.Background() because a poller hanging up must never
+// abort the re-placement of a job that is already admitted.
+func (m *Mesh) placeJob(ctx context.Context, job *meshJob, fromEpoch int, isFailover bool) (nodeResponse, bool) {
 	attempts := 0
 	lastRefusal := nodeResponse{
 		status: http.StatusServiceUnavailable,
@@ -159,14 +161,22 @@ func (m *Mesh) placeJob(job *meshJob, fromEpoch int, isFailover bool) (nodeRespo
 		for i := 0; i < len(ranked) && attempts < m.cfg.MaxSubmitAttempts; {
 			n := ranked[i]
 			attempts++
-			ctx, cancel := context.WithTimeout(context.Background(), m.cfg.RequestTimeout)
+			tryCtx, cancel := context.WithTimeout(ctx, m.cfg.RequestTimeout)
 			// Each hop gets its own child span of the job's root context, so
 			// the node-side trace_context distinguishes retries of the same
 			// job while sharing one trace ID.
-			resp, err := m.doJSON(ctx, http.MethodPost, n.base+"/v1/jobs", job.spec, job.traceSpan().Child())
+			resp, err := m.doJSON(tryCtx, http.MethodPost, n.base+"/v1/jobs", job.spec, job.traceSpan().Child())
 			cancel()
 			switch {
 			case err != nil:
+				if ctx.Err() != nil {
+					// The client hung up: the failure is ours, not the
+					// node's, so it is not marked unreachable. Unwind with
+					// the last refusal rather than burning the remaining
+					// attempts against a context every try will fail.
+					lastRefusal.retryAfter = maxDuration(hint, time.Second)
+					return lastRefusal, false
+				}
 				n.markUnreachable(m.cfg.DownAfter)
 				m.noteSpill(n, job)
 				i++
@@ -230,7 +240,10 @@ func (m *Mesh) placeJob(job *meshJob, fromEpoch int, isFailover bool) (nodeRespo
 			lastRefusal.retryAfter = maxDuration(hint, time.Second)
 			return lastRefusal, false
 		}
-		m.backoff(hint)
+		if !m.backoff(ctx, hint) {
+			lastRefusal.retryAfter = maxDuration(hint, time.Second)
+			return lastRefusal, false
+		}
 	}
 }
 
@@ -244,10 +257,12 @@ func (m *Mesh) noteSpill(n *Node, job *meshJob) {
 	job.mu.Unlock()
 }
 
-// backoff sleeps between spillover passes: the Retry-After hint (default
+// backoff waits between spillover passes: the Retry-After hint (default
 // 100ms when nodes gave none), capped by MaxBackoff, jittered into
-// [1/2, 1)× so synchronized retries from many clients decorrelate.
-func (m *Mesh) backoff(hint time.Duration) {
+// [1/2, 1)× so synchronized retries from many clients decorrelate. The wait
+// ends early when ctx does — a client that hung up must unwind promptly, not
+// after the full backoff — reported as false so the caller can stop.
+func (m *Mesh) backoff(ctx context.Context, hint time.Duration) bool {
 	base := hint
 	if base <= 0 {
 		base = 100 * time.Millisecond
@@ -255,8 +270,15 @@ func (m *Mesh) backoff(hint time.Duration) {
 	if base > m.cfg.MaxBackoff {
 		base = m.cfg.MaxBackoff
 	}
-	d := base/2 + time.Duration(rand.Int63n(int64(base/2)+1))
-	time.Sleep(d)
+	d := base/2 + time.Duration(m.rng.Int63n(int64(base/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // relayStatus forwards one status poll to the job's current node, hedging
@@ -396,7 +418,7 @@ func (m *Mesh) failover(job *meshJob, fromEpoch int) bool {
 	if old != nil {
 		old.markUnreachable(m.cfg.DownAfter)
 	}
-	resp, placed := m.placeJob(job, fromEpoch, true)
+	resp, placed := m.placeJob(context.Background(), job, fromEpoch, true)
 	_ = resp
 	if !placed {
 		return false

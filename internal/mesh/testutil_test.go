@@ -1,6 +1,7 @@
 package mesh
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -22,6 +23,7 @@ import (
 type fakeNode struct {
 	ts      *httptest.Server
 	submits atomic.Int64
+	batches atomic.Int64
 
 	mu       sync.Mutex
 	counters map[string]float64
@@ -30,6 +32,8 @@ type fakeNode struct {
 
 	// submitFn handles POST /v1/jobs. Defaults to accepting with a fresh ID.
 	submitFn func(w http.ResponseWriter, r *http.Request)
+	// batchFn handles POST /v1/jobs/batch. Defaults to admitting every item.
+	batchFn func(w http.ResponseWriter, r *http.Request)
 }
 
 func newFakeNode(t *testing.T) *fakeNode {
@@ -60,6 +64,7 @@ func (f *fakeNode) serve(w http.ResponseWriter, r *http.Request) {
 		snap[k] = v
 	}
 	submitFn := f.submitFn
+	batchFn := f.batchFn
 	f.mu.Unlock()
 	if dead {
 		http.Error(w, "sick", http.StatusInternalServerError)
@@ -82,6 +87,26 @@ func (f *fakeNode) serve(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusAccepted, map[string]any{
 			"id": "n-" + strconv.FormatInt(f.submits.Load(), 10), "state": "queued",
+		})
+	case r.URL.Path == "/v1/jobs/batch" && r.Method == http.MethodPost:
+		f.batches.Add(1)
+		if batchFn != nil {
+			batchFn(w, r)
+			return
+		}
+		var req struct {
+			Jobs []map[string]any `json:"jobs"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		results := make([]map[string]any, len(req.Jobs))
+		for i := range req.Jobs {
+			results[i] = map[string]any{"status": http.StatusAccepted, "job": map[string]any{
+				"id":    "b-" + strconv.FormatInt(f.batches.Load(), 10) + "-" + strconv.Itoa(i),
+				"state": "queued",
+			}}
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"admitted": len(req.Jobs), "shed": 0, "results": results,
 		})
 	case strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
 		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")

@@ -18,6 +18,10 @@ import (
 // scalars, so anything bigger is a client bug or abuse.
 const maxBodyBytes = 1 << 16
 
+// maxBatchBodyBytes bounds a batch submission body: max_batch_jobs specs of
+// a few hundred bytes each fit comfortably in 1 MiB.
+const maxBatchBodyBytes = 1 << 20
+
 // waitTimeoutDefault and waitTimeoutMax bound GET ?wait=true long-polls.
 const (
 	waitTimeoutDefault = 30 * time.Second
@@ -27,6 +31,11 @@ const (
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/jobs           submit a job (202, or 429/503 + Retry-After)
+//	POST   /v1/jobs/batch     submit up to max_batch_jobs specs as one batch
+//	                          ({"jobs":[spec,...]}); one admission check and
+//	                          one journal group commit cover the batch, with
+//	                          partial admission — per-item 202/429 results,
+//	                          202 overall when anything was admitted
 //	GET    /v1/jobs           list retained jobs
 //	GET    /v1/jobs/{id}      job status; ?wait=true[&timeout=30s] long-polls
 //	DELETE /v1/jobs/{id}      request cancellation
@@ -50,6 +59,7 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": status})
 	})
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs/batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -148,6 +158,101 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.View())
+}
+
+// batchItemView is one per-item result of POST /v1/jobs/batch, index-aligned
+// with the request's jobs array.
+type batchItemView struct {
+	Status     int      `json:"status"`
+	Job        *JobView `json:"job,omitempty"`
+	Error      string   `json:"error,omitempty"`
+	RetryAfter int      `json:"retry_after_s,omitempty"`
+}
+
+// handleSubmitBatch serves POST /v1/jobs/batch: decode {"jobs":[spec,...]},
+// admit the batch through one SubmitBatch call, and render per-item results.
+// A spec that fails validation gets a per-item 400 without failing the rest
+// of the batch. The overall status is 202 when at least one item was
+// admitted; otherwise the first shed's status with its Retry-After relayed,
+// so a batch-oblivious client's backoff logic still works.
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Jobs []JobSpec `json:"jobs"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad batch: %v", err))
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch (want {\"jobs\":[spec,...]})")
+		return
+	}
+	if len(req.Jobs) > s.cfg.MaxBatchJobs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds max_batch_jobs %d", len(req.Jobs), s.cfg.MaxBatchJobs))
+		return
+	}
+
+	// The trace header covers items that carry no body trace_context of
+	// their own — a gateway forwarding a batch embeds per-item contexts in
+	// the specs, while a plain client's single header traces the whole batch.
+	headerSC, headerOK := trace.ParseSpanContext(r.Header.Get(trace.Header))
+
+	items := make([]batchItemView, len(req.Jobs))
+	valid := make([]int, 0, len(req.Jobs))
+	specs := make([]JobSpec, 0, len(req.Jobs))
+	for i := range req.Jobs {
+		spec := req.Jobs[i]
+		if headerOK && spec.TraceContext == "" {
+			spec.TraceContext = headerSC.String()
+		}
+		spec = spec.withDefaults()
+		if err := spec.Validate(s.cfg.MaxJobSize); err != nil {
+			items[i] = batchItemView{Status: http.StatusBadRequest, Error: err.Error()}
+			continue
+		}
+		valid = append(valid, i)
+		specs = append(specs, spec)
+	}
+
+	admitted, shedCount := 0, 0
+	if len(specs) > 0 {
+		for k, res := range s.SubmitBatch(specs) {
+			i := valid[k]
+			switch {
+			case res.job != nil:
+				view := res.job.View()
+				items[i] = batchItemView{Status: http.StatusAccepted, Job: &view}
+				admitted++
+			default:
+				items[i] = batchItemView{
+					Status:     res.shed.status,
+					Error:      res.shed.reason,
+					RetryAfter: retryAfterSeconds(res.shed.retryAfter),
+				}
+				shedCount++
+			}
+		}
+	}
+
+	status := http.StatusAccepted
+	if admitted == 0 {
+		status = http.StatusBadRequest
+		for _, it := range items {
+			if it.Status == http.StatusTooManyRequests || it.Status == http.StatusServiceUnavailable {
+				status = it.Status
+				w.Header().Set("Retry-After", strconv.Itoa(it.RetryAfter))
+				break
+			}
+		}
+	}
+	writeJSON(w, status, map[string]any{
+		"admitted": admitted,
+		"shed":     shedCount,
+		"results":  items,
+	})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

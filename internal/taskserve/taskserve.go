@@ -65,6 +65,12 @@ type Server struct {
 	shed       *counters.Cumulative
 	traced     *counters.Cumulative
 
+	// Batch-path counters: batches that admitted work, jobs admitted through
+	// the batch path, and batches that were partially shed at the queue cut.
+	batchSubmitted *counters.Cumulative
+	batchJobs      *counters.Cumulative
+	batchSheds     *counters.Cumulative
+
 	// wal is the write-ahead job journal (nil when journal_dir is unset):
 	// admissions are journaled before their 202 is issued, so every
 	// acknowledged job survives a crash-restart of the daemon.
@@ -113,6 +119,10 @@ func New(cfg config.Server) (*Server, error) {
 		shed:       counters.NewCumulative("/server/jobs/shed"),
 		traced:     counters.NewCumulative("/server/trace/propagated"),
 		stopSweep:  make(chan struct{}),
+
+		batchSubmitted: counters.NewCumulative("/server/batch/submitted"),
+		batchJobs:      counters.NewCumulative("/server/batch/jobs"),
+		batchSheds:     counters.NewCumulative("/server/batch/partial-sheds"),
 	}
 	s.adm = newAdmission(cfg,
 		func() int { return len(s.queue) },
@@ -138,6 +148,9 @@ func New(cfg config.Server) (*Server, error) {
 	reg.MustRegister(s.cancelledC)
 	reg.MustRegister(s.shed)
 	reg.MustRegister(s.traced)
+	reg.MustRegister(s.batchSubmitted)
+	reg.MustRegister(s.batchJobs)
+	reg.MustRegister(s.batchSheds)
 	reg.MustRegister(counters.NewDerived("/server/jobs/queued", func() float64 {
 		return float64(len(s.queue))
 	}))
