@@ -18,6 +18,9 @@
 //	-shed-min-tasks <f>     interval task floor before idle-rate sheds
 //	-retry-after <dur>      Retry-After hint on shed responses
 //	-sample-interval <dur>  policy-engine sampling period
+//	-control-mode <name>    control plane mode: actuate applies policy
+//	                        verdicts and grain hints, advisory only logs
+//	                        them at /control/decisions (default actuate)
 //	-max-job-size <n>       largest accepted job size
 //	-default-deadline <dur> deadline for jobs that set none (0 = none)
 //	-drain-timeout <dur>    bound on the SIGTERM drain (default 1m)

@@ -18,6 +18,9 @@
 //	-hedge-delay <dur>        long-poll liveness-probe delay
 //	-flow-floor <f>           inflight-task floor for idle-rate scoring
 //	-request-timeout <dur>    per-node request timeout
+//	-control-mode <name>      control plane mode: actuate pushes cluster
+//	                          grain-consensus hints to rejoining nodes,
+//	                          advisory only logs them (default actuate)
 //	-telemetry-interval <dur> counter-ring sampling period (default 250ms)
 //	-telemetry-ring <n>       samples retained per counter (default 600)
 //	-watchdog-window <dur>    per-node idle watchdog window (default 5s)

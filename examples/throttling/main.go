@@ -25,9 +25,13 @@ func main() {
 	rt.Start()
 	defer rt.Shutdown()
 
-	engine, err := policyengine.New(rt.Counters(), *workers, policyengine.Actuators{
-		SetActiveWorkers: rt.SetActiveWorkers,
-		ActiveWorkers:    rt.ActiveWorkers,
+	engine, err := policyengine.New(policyengine.Options{
+		Registry:   rt.Counters(),
+		MaxWorkers: *workers,
+		Actuators: policyengine.Actuators{
+			SetActiveWorkers: rt.SetActiveWorkers,
+			ActiveWorkers:    rt.ActiveWorkers,
+		},
 	})
 	if err != nil {
 		fmt.Println("throttling:", err)

@@ -101,9 +101,13 @@ func TestKitchenSinkNativeRuntime(t *testing.T) {
 	rt.Start()
 	defer rt.Shutdown()
 
-	engine, err := policyengine.New(rt.Counters(), 2, policyengine.Actuators{
-		SetActiveWorkers: rt.SetActiveWorkers,
-		ActiveWorkers:    rt.ActiveWorkers,
+	engine, err := policyengine.New(policyengine.Options{
+		Registry:   rt.Counters(),
+		MaxWorkers: 2,
+		Actuators: policyengine.Actuators{
+			SetActiveWorkers: rt.SetActiveWorkers,
+			ActiveWorkers:    rt.ActiveWorkers,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -63,6 +63,29 @@ func (c *Controller) Observe(obs Observation) (int, Decision) {
 	return c.grain, dec
 }
 
+// SetGrain forces the recommended grain, clamped to the configured bounds,
+// and returns the grain actually adopted. This is the external-actuation
+// entry point (control-plane hints, watchdog verdicts); observations made
+// afterwards steer from the new value.
+func (c *Controller) SetGrain(g int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.grain = clamp(g, c.tuner.cfg.MinPartition, c.tuner.cfg.MaxPartition)
+	return c.grain
+}
+
+// Observations reports how many observations the controller has consumed.
+func (c *Controller) Observations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.observations
+}
+
+// Bounds reports the clamp interval the controller steers within.
+func (c *Controller) Bounds() (min, max int) {
+	return c.tuner.cfg.MinPartition, c.tuner.cfg.MaxPartition
+}
+
 // Stats reports how many observations the controller has consumed and how
 // often it kept, grew, and shrank the grain.
 func (c *Controller) Stats() (observations, kept, grown, shrunk int) {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"taskgrain/internal/journal"
+	"taskgrain/internal/policyengine"
 )
 
 // Mesh routing policy names. The list is the contract between this package
@@ -63,6 +64,10 @@ type Mesh struct {
 	// RequestTimeout bounds each forwarded non-long-poll request
 	// (submissions, probes, cancels, heartbeats).
 	RequestTimeout time.Duration `json:"request_timeout_ns"`
+	// ControlMode selects whether the gateway's control plane actuates its
+	// decisions — pushing cluster grain-consensus hints to joining nodes —
+	// ("actuate", the default) or only records them ("advisory").
+	ControlMode string `json:"control_mode,omitempty"`
 
 	// TelemetryInterval is the gateway's counter-sampling period for the
 	// telemetry ring behind /mesh/metrics and the per-node watchdogs.
@@ -99,6 +104,7 @@ func DefaultMesh() Mesh {
 		HedgeDelay:           2 * time.Second,
 		FlowFloor:            1,
 		RequestTimeout:       5 * time.Second,
+		ControlMode:          string(policyengine.ModeActuate),
 		TelemetryInterval:    250 * time.Millisecond,
 		TelemetryRing:        600,
 		WatchdogWindow:       5 * time.Second,
@@ -145,6 +151,9 @@ func (m *Mesh) Validate() error {
 	if _, err := journal.ParseFsyncPolicy(m.journalFsyncName()); err != nil {
 		return fmt.Errorf("config: journal_fsync: %w", err)
 	}
+	if _, err := policyengine.ParseMode(m.ControlMode); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
 	for _, n := range m.Nodes {
 		if strings.TrimSpace(n) == "" {
 			return fmt.Errorf("config: empty mesh node entry")
@@ -171,6 +180,18 @@ func (m *Mesh) JournalFsyncPolicy() (journal.FsyncPolicy, error) {
 	return journal.ParseFsyncPolicy(m.journalFsyncName())
 }
 
+func (m *Mesh) controlModeName() string {
+	if m.ControlMode == "" {
+		return string(policyengine.ModeActuate)
+	}
+	return m.ControlMode
+}
+
+// ControlModeKind returns the parsed control-plane mode.
+func (m *Mesh) ControlModeKind() (policyengine.Mode, error) {
+	return policyengine.ParseMode(m.ControlMode)
+}
+
 // ApplyEnv overlays TASKMESHD_* environment variables onto the
 // configuration. lookup is os.LookupEnv in production; injected for tests.
 // TASKMESHD_NODES is a comma-separated URL list.
@@ -186,6 +207,9 @@ func (m *Mesh) ApplyEnv(lookup func(string) (string, bool)) error {
 	}
 	if v, ok := lookup("TASKMESHD_ROUTE_POLICY"); ok {
 		m.RoutePolicy = v
+	}
+	if v, ok := lookup("TASKMESHD_CONTROL_MODE"); ok {
+		m.ControlMode = v
 	}
 	if v, ok := lookup("TASKMESHD_DOWN_AFTER"); ok {
 		n, err := strconv.Atoi(v)
@@ -303,6 +327,7 @@ func (m *Mesh) Flags(fs *flag.FlagSet) {
 	fs.DurationVar(&m.HedgeDelay, "hedge-delay", m.HedgeDelay, "status long-poll hedge delay (0 disables)")
 	fs.Float64Var(&m.FlowFloor, "flow-floor", m.FlowFloor, "inflight-task floor below which a node reads as empty")
 	fs.DurationVar(&m.RequestTimeout, "request-timeout", m.RequestTimeout, "per forwarded request ceiling")
+	fs.StringVar(&m.ControlMode, "control-mode", m.controlModeName(), "control plane mode (advisory, actuate)")
 	fs.DurationVar(&m.TelemetryInterval, "telemetry-interval", m.TelemetryInterval, "telemetry ring sampling period")
 	fs.IntVar(&m.TelemetryRing, "telemetry-ring", m.TelemetryRing, "telemetry ring capacity (samples)")
 	fs.DurationVar(&m.WatchdogWindow, "watchdog-window", m.WatchdogWindow, "per-node idle-rate watchdog sliding window")

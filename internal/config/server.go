@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"taskgrain/internal/journal"
+	"taskgrain/internal/policyengine"
 	"taskgrain/internal/taskrt"
 )
 
@@ -65,6 +66,10 @@ type Server struct {
 	// SampleInterval is the policy-engine sampling period driving admission
 	// and adaptive grain selection.
 	SampleInterval time.Duration `json:"sample_interval_ns"`
+	// ControlMode selects whether the control plane actuates its decisions
+	// ("actuate", the default) or only records them ("advisory" — the
+	// pre-control-plane alert-only behaviour).
+	ControlMode string `json:"control_mode,omitempty"`
 	// MaxJobSize rejects single jobs larger than this many points (400).
 	MaxJobSize int `json:"max_job_size"`
 	// DefaultDeadline bounds jobs that do not set one (0 = none).
@@ -127,6 +132,7 @@ func DefaultServer() Server {
 		ShedMinTasks:         256,
 		RetryAfter:           time.Second,
 		SampleInterval:       50 * time.Millisecond,
+		ControlMode:          string(policyengine.ModeActuate),
 		MaxJobSize:           50_000_000,
 		JournalFsync:         "interval",
 		JournalSegmentBytes:  4 << 20,
@@ -191,7 +197,22 @@ func (s *Server) Validate() error {
 	if _, err := taskrt.ParsePolicy(s.policyName()); err != nil {
 		return fmt.Errorf("config: %w", err)
 	}
+	if _, err := policyengine.ParseMode(s.ControlMode); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
 	return nil
+}
+
+func (s *Server) controlModeName() string {
+	if s.ControlMode == "" {
+		return string(policyengine.ModeActuate)
+	}
+	return s.ControlMode
+}
+
+// ControlModeKind returns the parsed control-plane mode.
+func (s *Server) ControlModeKind() (policyengine.Mode, error) {
+	return policyengine.ParseMode(s.ControlMode)
 }
 
 func (s *Server) journalFsyncName() string {
@@ -295,6 +316,7 @@ func (s *Server) ApplyEnv(lookup func(string) (string, bool)) error {
 		func() error { return flt("TASKGRAIND_SHED_MIN_TASKS", &s.ShedMinTasks) },
 		func() error { return dur("TASKGRAIND_RETRY_AFTER", &s.RetryAfter) },
 		func() error { return dur("TASKGRAIND_SAMPLE_INTERVAL", &s.SampleInterval) },
+		func() error { return str("TASKGRAIND_CONTROL_MODE", &s.ControlMode) },
 		func() error { return num("TASKGRAIND_MAX_JOB_SIZE", func(n int64) { s.MaxJobSize = int(n) }) },
 		func() error { return dur("TASKGRAIND_DEFAULT_DEADLINE", &s.DefaultDeadline) },
 		func() error { return dur("TASKGRAIND_TELEMETRY_INTERVAL", &s.TelemetryInterval) },
@@ -332,6 +354,7 @@ func (s *Server) Flags(fs *flag.FlagSet) {
 	fs.Float64Var(&s.ShedMinTasks, "shed-min-tasks", s.ShedMinTasks, "interval task floor before idle-rate sheds")
 	fs.DurationVar(&s.RetryAfter, "retry-after", s.RetryAfter, "Retry-After hint on shed responses")
 	fs.DurationVar(&s.SampleInterval, "sample-interval", s.SampleInterval, "policy-engine sampling period")
+	fs.StringVar(&s.ControlMode, "control-mode", s.controlModeName(), "control plane mode (advisory, actuate)")
 	fs.IntVar(&s.MaxJobSize, "max-job-size", s.MaxJobSize, "largest accepted job size (points)")
 	fs.DurationVar(&s.DefaultDeadline, "default-deadline", s.DefaultDeadline, "deadline for jobs that set none (0 = none)")
 	fs.DurationVar(&s.TelemetryInterval, "telemetry-interval", s.TelemetryInterval, "telemetry ring sampling period")

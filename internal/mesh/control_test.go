@@ -1,0 +1,188 @@
+package mesh
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"taskgrain/internal/chaos"
+	"taskgrain/internal/policyengine"
+	"taskgrain/internal/taskserve"
+)
+
+// TestMeshGrainConsensus: the consensus hint is the per-kind median over the
+// answering nodes' /server/grain{kind}/current readings, with the skipped
+// node's own reading excluded and unreadable kinds omitted.
+func TestMeshGrainConsensus(t *testing.T) {
+	a, b, c := newFakeNode(t), newFakeNode(t), newFakeNode(t)
+	for _, f := range []*fakeNode{a, b, c} {
+		f.set(func(f *fakeNode) {
+			f.counters["/server/grain{stencil1d}/current"] = 4096
+			f.counters["/server/grain{fibonacci}/current"] = 8
+		})
+	}
+	b.set(func(f *fakeNode) {
+		f.counters["/server/grain{stencil1d}/current"] = 2048
+		f.counters["/server/grain{irregular}/current"] = 0 // no reading yet: omitted
+	})
+
+	m, err := New(testMeshConfig(a.ts.URL, b.ts.URL, c.ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	m.NodeRegistry().Sweep()
+
+	hints := m.GrainConsensus(nil)
+	if hints["stencil1d"] != 4096 {
+		t.Errorf("stencil1d consensus = %d, want median 4096", hints["stencil1d"])
+	}
+	if hints["fibonacci"] != 8 {
+		t.Errorf("fibonacci consensus = %d, want 8", hints["fibonacci"])
+	}
+	if _, ok := hints["irregular"]; ok {
+		t.Errorf("irregular got a consensus from zero readings: %v", hints["irregular"])
+	}
+
+	// Excluding a node drops its vote: without b, stencil1d is unanimous.
+	var skip *Node
+	for _, n := range m.NodeRegistry().Nodes() {
+		if n.Name() == b.name() {
+			skip = n
+		}
+	}
+	if skip == nil {
+		t.Fatal("node b not found in registry")
+	}
+	if got := m.GrainConsensus(skip)["stencil1d"]; got != 4096 {
+		t.Errorf("stencil1d consensus without b = %d, want 4096", got)
+	}
+}
+
+// TestMeshRestartedNodeInheritsGrainHint is the control plane's cluster
+// half, end to end: a real taskserve node dies (network face killed), the
+// cluster's surviving nodes hold a converged stencil grain, and when the
+// node comes back its first heartbeat exchange pushes the consensus hint —
+// so the restarted node starts at the cluster's grain instead of re-walking
+// the U-curve from its configured start.
+func TestMeshRestartedNodeInheritsGrainHint(t *testing.T) {
+	const converged = 4096
+
+	peer1, peer2 := newFakeNode(t), newFakeNode(t)
+	for _, f := range []*fakeNode{peer1, peer2} {
+		f.set(func(f *fakeNode) {
+			f.counters["/server/grain{stencil1d}/current"] = converged
+		})
+	}
+
+	srv, proxy, front := startProxiedServeNode(t, chaos.ProxyConfig{}, nil)
+	proxy.SetDown(true) // the node is dark when the mesh comes up
+
+	cfg := testMeshConfig(peer1.ts.URL, peer2.ts.URL, front.URL)
+	m, _ := startMesh(t, cfg)
+
+	// The dark node must be judged down before it can "rejoin".
+	var dark *Node
+	for _, n := range m.NodeRegistry().Nodes() {
+		if n.Base() == front.URL {
+			dark = n
+		}
+	}
+	if dark == nil {
+		t.Fatal("proxied node not found in registry")
+	}
+	waitFor(t, 5*time.Second, "node down", func() bool { return dark.State() == NodeDown })
+
+	// Its controller still sits at the configured start, not the cluster's.
+	if g := srv.StatsSnapshot().AdaptiveGrains[taskserve.KindStencil]; g == converged {
+		t.Fatalf("stencil grain already %d before the hint", g)
+	}
+
+	// Revive the network face: the down → healthy heartbeat fires the join
+	// hook, which pushes the consensus hint to the node's /control/hint.
+	proxy.SetDown(false)
+	waitFor(t, 5*time.Second, "grain hint inherited", func() bool {
+		return srv.StatsSnapshot().AdaptiveGrains[taskserve.KindStencil] == converged
+	})
+
+	// The gateway logged the push as an actuated mesh-consensus decision.
+	waitFor(t, 5*time.Second, "actuated decision logged", func() bool {
+		for _, d := range m.ControlDecisions() {
+			if d.Policy == "mesh-consensus" && d.Mode == policyengine.DecisionActuated {
+				return true
+			}
+		}
+		return false
+	})
+	if got := m.Counters().Snapshot().Get("/mesh/control/hints-pushed"); got < 1 {
+		t.Errorf("/mesh/control/hints-pushed = %v, want >= 1", got)
+	}
+
+	// The node's own decision log shows the hint arriving from the mesh.
+	resp, err := http.Get(front.URL + "/control/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Mode      string                  `json:"mode"`
+		Decisions []policyengine.Decision `json:"decisions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range doc.Decisions {
+		if d.Policy == "hint" && d.Mode == policyengine.DecisionActuated &&
+			strings.Contains(d.Action, "mesh-consensus") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("node decision log lacks the actuated mesh-consensus hint: %+v", doc.Decisions)
+	}
+}
+
+// TestMeshAdvisoryModeHoldsHints: under control_mode=advisory the gateway
+// records what it would have pushed but never POSTs, and the rejoining node
+// keeps its own grain.
+func TestMeshAdvisoryModeHoldsHints(t *testing.T) {
+	peer := newFakeNode(t)
+	peer.set(func(f *fakeNode) {
+		f.counters["/server/grain{stencil1d}/current"] = 4096
+	})
+
+	srv, proxy, front := startProxiedServeNode(t, chaos.ProxyConfig{}, nil)
+	proxy.SetDown(true)
+
+	cfg := testMeshConfig(peer.ts.URL, front.URL)
+	cfg.ControlMode = string(policyengine.ModeAdvisory)
+	m, _ := startMesh(t, cfg)
+
+	var dark *Node
+	for _, n := range m.NodeRegistry().Nodes() {
+		if n.Base() == front.URL {
+			dark = n
+		}
+	}
+	waitFor(t, 5*time.Second, "node down", func() bool { return dark.State() == NodeDown })
+	before := srv.StatsSnapshot().AdaptiveGrains[taskserve.KindStencil]
+
+	proxy.SetDown(false)
+	waitFor(t, 5*time.Second, "advisory decision logged", func() bool {
+		for _, d := range m.ControlDecisions() {
+			if d.Policy == "mesh-consensus" && d.Mode == policyengine.DecisionAdvisory {
+				return true
+			}
+		}
+		return false
+	})
+	if got := srv.StatsSnapshot().AdaptiveGrains[taskserve.KindStencil]; got != before {
+		t.Errorf("advisory mode still moved the grain: %d -> %d", before, got)
+	}
+	if got := m.Counters().Snapshot().Get("/mesh/control/hints-pushed"); got != 0 {
+		t.Errorf("/mesh/control/hints-pushed = %v under advisory, want 0", got)
+	}
+}

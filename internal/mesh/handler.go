@@ -28,8 +28,9 @@ const (
 // node and stats views, the telemetry exports (/metrics for the gateway's
 // own counters, /mesh/metrics for the cluster rollup plus every member
 // node's last heartbeat snapshot, /telemetry/alerts for the per-node idle
-// watchdogs, /mesh/trace for the cross-hop Chrome trace), and the
-// introspect /debug namespace.
+// watchdogs, /mesh/trace for the cross-hop Chrome trace), the control-plane
+// decision log (/control/decisions: grain-consensus hints pushed, held
+// advisory, or vetoed), and the introspect /debug namespace.
 func (m *Mesh) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -67,6 +68,16 @@ func (m *Mesh) Handler() http.Handler {
 			return
 		}
 		m.serveMetrics(w, m.clusterPoints())
+	})
+	mux.HandleFunc("/control/decisions", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"mode":      string(m.mode),
+			"decisions": m.rec.Log(),
+		})
 	})
 	mux.HandleFunc("/telemetry/alerts", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {

@@ -20,10 +20,15 @@
 package mesh
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +36,7 @@ import (
 	"taskgrain/internal/config"
 	"taskgrain/internal/counters"
 	"taskgrain/internal/journal"
+	"taskgrain/internal/policyengine"
 	"taskgrain/internal/telemetry"
 	"taskgrain/internal/trace"
 )
@@ -70,6 +76,12 @@ type Mesh struct {
 	cfg    config.Mesh
 	policy Policy
 	client *http.Client
+
+	// mode gates the gateway's half of the control plane: grain-consensus
+	// hints are pushed to rejoining nodes only under actuate; advisory
+	// records what would have been pushed and stops there.
+	mode policyengine.Mode
+	rec  *policyengine.Recorder
 
 	reg    *counters.Registry
 	nodes  *Registry
@@ -114,6 +126,8 @@ type Mesh struct {
 
 	batchForwarded *counters.Cumulative // per-node sub-batches forwarded upstream
 	batchSplit     atomic.Int64         // node groups the most recent batch split into
+
+	hintsPushed *counters.Cumulative // grain-consensus hints delivered to rejoining nodes
 }
 
 // New builds a gateway from the configuration. Start launches the
@@ -126,10 +140,15 @@ func New(cfg config.Mesh) (*Mesh, error) {
 	if err != nil {
 		return nil, err
 	}
+	mode, err := cfg.ControlModeKind()
+	if err != nil {
+		return nil, err
+	}
 	rng := newLockedRand()
 	m := &Mesh{
 		cfg:    cfg,
 		policy: policy,
+		mode:   mode,
 		client: &http.Client{
 			Transport: &http.Transport{
 				MaxIdleConnsPerHost: 64,
@@ -150,7 +169,10 @@ func New(cfg config.Mesh) (*Mesh, error) {
 		staleC:         counters.NewCumulative("/mesh/jobs/evicted-stale"),
 		hopsC:          counters.NewCumulative("/mesh/trace/hops"),
 		batchForwarded: counters.NewCumulative("/mesh/batch/forwarded"),
+		hintsPushed:    counters.NewCumulative("/mesh/control/hints-pushed"),
 	}
+	m.rec = policyengine.NewRecorder(m.reg, 0)
+	m.reg.MustRegister(m.hintsPushed)
 	m.reg.MustRegister(m.submitted)
 	m.reg.MustRegister(m.rejected)
 	m.reg.MustRegister(m.spillsC)
@@ -167,6 +189,10 @@ func New(cfg config.Mesh) (*Mesh, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A node rejoining the routing set (restart, partition heal, first sweep)
+	// inherits the cluster's converged grains instead of re-walking the
+	// U-curve from its configured floor.
+	m.nodes.OnJoin(m.pushGrainHint)
 	m.router = newRouter(m.nodes, policy, cfg.FlowFloor)
 	if cfg.JournalDir != "" {
 		m.registerJournalCounters()
@@ -332,6 +358,132 @@ func (m *Mesh) Alerts() []telemetry.Alert {
 		out = append(out, w.Current())
 	}
 	return out
+}
+
+// ControlMode returns the gateway's control-plane mode.
+func (m *Mesh) ControlMode() policyengine.Mode { return m.mode }
+
+// ControlDecisions returns the gateway's control-plane decision log, oldest
+// first.
+func (m *Mesh) ControlDecisions() []policyengine.Decision { return m.rec.Log() }
+
+// The per-kind grain counter names every node exports, from which the
+// gateway reads each node's current adaptive grain off the heartbeat
+// snapshot: "/server/grain{<kind>}/current".
+const (
+	grainCounterPrefix = "/server/grain{"
+	grainCounterSuffix = "}/current"
+)
+
+// GrainConsensus computes the cluster's per-kind grain hint: the median of
+// every answering node's current adaptive grain, excluding skip (the node
+// about to receive the hint — its own stale reading must not vote). Kinds
+// with no reading above zero are omitted; an empty map means the cluster has
+// no opinion yet.
+func (m *Mesh) GrainConsensus(skip *Node) map[string]int {
+	byKind := map[string][]int{}
+	for _, n := range m.nodes.Nodes() {
+		if n == skip {
+			continue
+		}
+		if s := n.State(); s != NodeHealthy && s != NodeDraining {
+			continue
+		}
+		snap, _ := n.Snapshot()
+		for name, v := range snap {
+			if !strings.HasPrefix(name, grainCounterPrefix) || !strings.HasSuffix(name, grainCounterSuffix) {
+				continue
+			}
+			kind := name[len(grainCounterPrefix) : len(name)-len(grainCounterSuffix)]
+			if kind == "" || v < 1 {
+				continue
+			}
+			byKind[kind] = append(byKind[kind], int(v))
+		}
+	}
+	out := make(map[string]int, len(byKind))
+	for kind, vals := range byKind {
+		sort.Ints(vals)
+		out[kind] = vals[len(vals)/2]
+	}
+	return out
+}
+
+// pushGrainHint delivers the cluster grain consensus to a node that just
+// (re)joined the routing set, so it starts at the converged grains instead
+// of the configured floor. Under advisory mode the hint is recorded but not
+// sent; the node's own guardrail (ApplyHint) still vetoes hints once it has
+// walked its own observations. Runs on the joining node's heartbeat
+// goroutine.
+func (m *Mesh) pushGrainHint(n *Node) {
+	hints := m.GrainConsensus(n)
+	if len(hints) == 0 {
+		return
+	}
+	kinds := make([]string, 0, len(hints))
+	for k := range hints {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, hints[k]))
+	}
+	desc := fmt.Sprintf("grain hint -> %s: %s", n.Name(), strings.Join(parts, " "))
+	if m.mode != policyengine.ModeActuate {
+		m.rec.Record(policyengine.Decision{
+			At:     time.Now(),
+			Policy: "mesh-consensus",
+			Action: desc,
+			Mode:   policyengine.DecisionAdvisory,
+			Veto:   "control_mode=advisory",
+		})
+		return
+	}
+	if err := m.postGrainHint(n, hints); err != nil {
+		m.rec.Record(policyengine.Decision{
+			At:     time.Now(),
+			Policy: "mesh-consensus",
+			Action: desc,
+			Mode:   policyengine.DecisionVetoed,
+			Veto:   "push failed: " + err.Error(),
+		})
+		return
+	}
+	m.hintsPushed.Inc()
+	m.rec.Record(policyengine.Decision{
+		At:     time.Now(),
+		Policy: "mesh-consensus",
+		Action: desc,
+		Mode:   policyengine.DecisionActuated,
+	})
+}
+
+// postGrainHint POSTs the hint set to the node's /control/hint endpoint.
+func (m *Mesh) postGrainHint(n *Node, hints map[string]int) error {
+	body, err := json.Marshal(map[string]any{
+		"grains": hints,
+		"source": "mesh-consensus",
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.Base()+"/control/hint", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("mesh: %s /control/hint: %d", n.Name(), resp.StatusCode)
+	}
+	return nil
 }
 
 // lane returns a node's trace lane index (its position in the fixed node

@@ -56,6 +56,7 @@ type Node struct {
 	inflight float64 // /server/tasks/inflight: runtime task backlog
 	queued   float64 // /server/jobs/queued
 	running  float64 // /server/jobs/running
+	alert    bool    // /telemetry/watchdog/active: node's own idle watchdog firing
 	fails    int     // consecutive heartbeat failures
 	lastSeen time.Time
 	snap     counters.Snapshot // full last-heartbeat counter snapshot
@@ -88,6 +89,15 @@ func (n *Node) load() (idleRate, inflight, queued, running float64) {
 	return n.idleRate, n.inflight, n.queued, n.running
 }
 
+// alerted reports whether the node's own idle watchdog was firing at the
+// last heartbeat — the node itself judged its idle-rate pathological, a
+// stronger signal than the gateway's remote reading.
+func (n *Node) alerted() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alert
+}
+
 // markUnreachable records a transport-level failure observed by the proxy
 // (connection refused, reset): the node leaves the routing set immediately
 // instead of waiting out DownAfter heartbeats. The heartbeat loop revives it
@@ -117,6 +127,7 @@ func (n *Node) observe(draining bool, snap map[string]float64) {
 	n.inflight = snap["/server/tasks/inflight"]
 	n.queued = snap["/server/jobs/queued"]
 	n.running = snap["/server/jobs/running"]
+	n.alert = snap["/telemetry/watchdog/active"] > 0
 	n.snap = counters.Snapshot(snap)
 	n.snapAt = now
 }
@@ -186,6 +197,11 @@ type Registry struct {
 	downAfter int
 	timeout   time.Duration
 	nodes     []*Node
+
+	// onJoin, when set, fires after a heartbeat moves a node from down or
+	// unknown to healthy — the moment a restarted (or newly reachable) node
+	// rejoins the routing set. The gateway hangs its grain-hint push here.
+	onJoin func(*Node)
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -263,6 +279,10 @@ func nodeCounter(name, leaf string) string {
 	return fmt.Sprintf("/mesh/node{%s}/%s", name, leaf)
 }
 
+// OnJoin registers the join hook. Must be called before Start; the hook runs
+// synchronously on the joining node's heartbeat goroutine.
+func (r *Registry) OnJoin(fn func(*Node)) { r.onJoin = fn }
+
 // Nodes returns the full node set (fixed at construction).
 func (r *Registry) Nodes() []*Node { return r.nodes }
 
@@ -331,11 +351,13 @@ func (r *Registry) Sweep() {
 }
 
 // heartbeat polls one node: /healthz for liveness + drain state, then the
-// /server counter namespace for load signals.
+// /server counter namespace for load signals. A down/unknown → healthy
+// transition fires the registry's join hook.
 func (r *Registry) heartbeat(n *Node) {
 	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
 	defer cancel()
 
+	old := n.State()
 	draining, err := r.health(ctx, n)
 	if err != nil {
 		n.observeFailure(r.downAfter)
@@ -347,6 +369,9 @@ func (r *Registry) heartbeat(n *Node) {
 		return
 	}
 	n.observe(draining, snap)
+	if r.onJoin != nil && (old == NodeDown || old == NodeUnknown) && n.State() == NodeHealthy {
+		r.onJoin(n)
+	}
 }
 
 // health GETs /healthz and reports the drain state. A legacy plain-text "ok"

@@ -79,7 +79,14 @@ func (ro *router) score(n *Node) float64 {
 			// best possible target — not an overloaded one.
 			return 0
 		}
-		return idleBucket(idle)
+		s := idleBucket(idle)
+		if n.alerted() {
+			// The node's own watchdog has judged its idle-rate pathological
+			// (sustained, with task flow) — worse than any instantaneous
+			// bucket, so push it past the 0..20 bucket range.
+			s += 20
+		}
+		return s
 	default:
 		return 0
 	}

@@ -2,8 +2,11 @@ package policyengine
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"taskgrain/internal/adaptive"
+	"taskgrain/internal/telemetry"
 )
 
 // GrainPolicy drives the adaptive grain tuner from engine samples — the
@@ -42,6 +45,91 @@ func (g *GrainPolicy) Evaluate(s Sample) []Action {
 		SetGrain: next,
 		Note:     fmt.Sprintf("grain: %s %d -> %d (idle %.0f%%)", dec, s.Grain, next, s.IdleRate*100),
 	}}
+}
+
+// WatchdogPolicy closes the loop the telemetry watchdog used to dead-end:
+// it evaluates the watchdog over the telemetry ring on every engine sample,
+// and when the alert is active it turns the grow/shrink verdict (the
+// paper's two U-curve walls, disambiguated by the task-flow floor) into
+// per-kind grain Actions. Hysteresis comes from the watchdog itself — the
+// alert only fires after a full window above HighIdle — plus a Cooldown
+// between emitted moves so one sustained alert cannot multiply the grain
+// once per sampling interval. Guardrails (clamping to each controller's
+// bounds) are applied at actuation.
+type WatchdogPolicy struct {
+	// Watchdog is the alert state machine to evaluate (required).
+	Watchdog *telemetry.Watchdog
+	// Ring supplies the telemetry ring the watchdog inspects (required).
+	Ring func() *telemetry.Ring
+	// Growth is the grain multiplier per move (default 2).
+	Growth int
+	// Cooldown is the minimum spacing between emitted moves (default the
+	// watchdog's window).
+	Cooldown time.Duration
+
+	lastFire time.Time
+}
+
+// Name implements Policy.
+func (w *WatchdogPolicy) Name() string { return "watchdog" }
+
+// Evaluate implements Policy.
+func (w *WatchdogPolicy) Evaluate(s Sample) []Action {
+	if w.Watchdog == nil || w.Ring == nil {
+		return nil
+	}
+	alert := w.Watchdog.Evaluate(w.Ring())
+	if !alert.Active || len(s.Grains) == 0 {
+		return nil
+	}
+	cooldown := w.Cooldown
+	if cooldown <= 0 {
+		cooldown = w.Watchdog.Config().Window
+	}
+	if !w.lastFire.IsZero() && s.At.Sub(w.lastFire) < cooldown {
+		return nil
+	}
+	growth := w.Growth
+	if growth < 2 {
+		growth = 2
+	}
+	kinds := make([]string, 0, len(s.Grains))
+	for k := range s.Grains {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var acts []Action
+	for _, kind := range kinds {
+		cur := s.Grains[kind]
+		if cur < 1 {
+			continue
+		}
+		var next int
+		switch alert.Suggestion {
+		case telemetry.SuggestGrowGrain:
+			next = cur * growth
+		case telemetry.SuggestShrinkGrain:
+			next = cur / growth
+			if next < 1 {
+				next = 1
+			}
+		default:
+			continue
+		}
+		if next == cur {
+			continue
+		}
+		acts = append(acts, Action{
+			SetGrain:  next,
+			GrainKind: kind,
+			Note: fmt.Sprintf("watchdog: %s %s %d -> %d (%s, idle %.0f%%)",
+				alert.Suggestion, kind, cur, next, alert.Wall, alert.IdleRate*100),
+		})
+	}
+	if len(acts) > 0 {
+		w.lastFire = s.At
+	}
+	return acts
 }
 
 // ThrottleConfig parameterizes ThrottlePolicy.

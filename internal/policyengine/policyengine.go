@@ -1,25 +1,61 @@
 // Package policyengine implements the runtime-adaptivity loop the paper's
 // conclusion points at (Sec. VI): an APEX-prototype-style engine that
-// periodically samples the performance counters, evaluates registered
-// policies against the interval metrics, and drives actuators — adapting
-// task grain size (this study's contribution) and throttling worker threads
+// consumes performance-counter samples, evaluates registered policies
+// against the interval metrics, and drives actuators — adapting task grain
+// size (this study's contribution) and throttling worker threads
 // (Porterfield et al. [19], integrated with HPX per Sec. V).
 //
-// The engine is deliberately synchronous and deterministic at its core:
-// Step() performs exactly one sample→decide→actuate cycle, so policies are
-// unit-testable; Run() wraps Step in a ticker for live use.
+// The engine is the single control plane: samples arrive from the telemetry
+// Sampler (one sampling path, real timestamps), policies decide, and the
+// engine actuates — or, under ModeAdvisory, records what it would have done.
+// Every decision lands in the Recorder, so the whole loop is observable at
+// /control/decisions and the /control/{decisions,actuations,vetoes}
+// counters. The core is deliberately synchronous and deterministic:
+// ObserveSample performs exactly one sample→decide→actuate cycle, so
+// policies are unit-testable; Step wraps it over a fresh registry snapshot
+// for callers without a sampler.
 package policyengine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"taskgrain/internal/adaptive"
 	"taskgrain/internal/counters"
+	"taskgrain/internal/telemetry"
 )
+
+// Mode selects whether the engine applies decisions or only records them.
+type Mode string
+
+const (
+	// ModeActuate applies every decision to its actuator (the default).
+	ModeActuate Mode = "actuate"
+	// ModeAdvisory records decisions without applying them — the
+	// pre-control-plane alert-only behaviour.
+	ModeAdvisory Mode = "advisory"
+)
+
+// ParseMode parses a control-mode name; the empty string means ModeActuate.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", string(ModeActuate):
+		return ModeActuate, nil
+	case string(ModeAdvisory):
+		return ModeAdvisory, nil
+	}
+	return "", fmt.Errorf("policyengine: unknown control mode %q (want advisory, actuate)", s)
+}
+
+// String returns the mode's config-file spelling.
+func (m Mode) String() string { return string(m) }
 
 // Sample is one interval's worth of derived metrics handed to policies.
 type Sample struct {
+	// At is the sample timestamp (the telemetry sampler's clock).
+	At time.Time
 	// IdleRate is Eq. 1 recomputed over the interval.
 	IdleRate float64
 	// Tasks is the number of task first-phases executed in the interval.
@@ -32,16 +68,21 @@ type Sample struct {
 	ActiveWorkers int
 	// MaxWorkers is the machine ceiling.
 	MaxWorkers int
-	// Grain is the current grain the grain actuator reports (0 if none).
+	// Grain is the current grain the scalar grain actuator reports (0 if none).
 	Grain int
+	// Grains is the current grain per registered kind (nil if none).
+	Grains map[string]int
 	// Elapsed is the interval length.
 	Elapsed time.Duration
 }
 
 // Action is one adjustment a policy requests.
 type Action struct {
-	// SetGrain, when > 0, asks the grain actuator for a new grain.
+	// SetGrain, when > 0, asks a grain actuator for a new grain.
 	SetGrain int
+	// GrainKind routes SetGrain to a registered per-kind controller; empty
+	// means the scalar Actuators.SetGrain knob.
+	GrainKind string
 	// SetActiveWorkers, when > 0, asks the throttle actuator for a level.
 	SetActiveWorkers int
 	// Note explains the decision in reports.
@@ -81,36 +122,80 @@ type Actuators struct {
 	ActiveWorkers func() int
 }
 
-// Engine samples a counter registry and runs policies.
+// Options configures New.
+type Options struct {
+	// Registry is the counter registry samples derive from (required). The
+	// Recorder registers its /control counters here.
+	Registry *counters.Registry
+	// MaxWorkers is the machine worker ceiling (required, >= 1).
+	MaxWorkers int
+	// Mode selects actuate (default) or advisory operation.
+	Mode Mode
+	// Actuators are the runtime knobs; nil members disable that action kind.
+	Actuators Actuators
+	// LogCapacity bounds the Recorder's decision log (default 128).
+	LogCapacity int
+}
+
+// hintMaxObservations is the guardrail on externally pushed grain hints: a
+// controller that has already consumed this many local observations has live
+// evidence of its own and vetoes the hint.
+const hintMaxObservations = 3
+
+// Engine is the control plane core: it turns counter samples into interval
+// metrics, runs policies over them, and routes the resulting actions to
+// actuators — the runtime's worker throttle, a scalar grain knob, and any
+// number of registered per-kind adaptive grain controllers.
 type Engine struct {
 	mu         sync.Mutex
 	reg        *counters.Registry
 	maxWorkers int
+	mode       Mode
 	act        Actuators
 	policies   []Policy
+	grains     map[string]*adaptive.Controller
+	rec        *Recorder
 
 	prev     counters.Snapshot
 	prevTime time.Time
-
-	stop chan struct{}
-	done chan struct{}
+	steps    uint64
 }
 
 // New builds an engine over the registry of a running runtime.
-func New(reg *counters.Registry, maxWorkers int, act Actuators) (*Engine, error) {
-	if reg == nil {
+func New(opts Options) (*Engine, error) {
+	if opts.Registry == nil {
 		return nil, fmt.Errorf("policyengine: nil registry")
 	}
-	if maxWorkers < 1 {
-		return nil, fmt.Errorf("policyengine: maxWorkers = %d", maxWorkers)
+	if opts.MaxWorkers < 1 {
+		return nil, fmt.Errorf("policyengine: maxWorkers = %d", opts.MaxWorkers)
+	}
+	mode, err := ParseMode(string(opts.Mode))
+	if err != nil {
+		return nil, err
 	}
 	return &Engine{
-		reg:        reg,
-		maxWorkers: maxWorkers,
-		act:        act,
-		prev:       reg.Snapshot(),
+		reg:        opts.Registry,
+		maxWorkers: opts.MaxWorkers,
+		mode:       mode,
+		act:        opts.Actuators,
+		grains:     map[string]*adaptive.Controller{},
+		rec:        NewRecorder(opts.Registry, opts.LogCapacity),
+		prev:       opts.Registry.Snapshot(),
 		prevTime:   time.Now(),
 	}, nil
+}
+
+// Mode reports whether the engine actuates or only advises.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// Decisions returns a copy of the decision log, oldest first.
+func (e *Engine) Decisions() []Decision { return e.rec.Log() }
+
+// Steps reports how many samples the engine has consumed.
+func (e *Engine) Steps() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.steps
 }
 
 // AddPolicy registers a policy; policies run in registration order and
@@ -121,15 +206,139 @@ func (e *Engine) AddPolicy(p Policy) {
 	e.mu.Unlock()
 }
 
-// sample derives the interval metrics since the previous Step.
-func (e *Engine) sample() Sample {
-	cur := e.reg.Snapshot()
-	now := time.Now()
-	d := cur.Sub(e.prev)
-	elapsed := now.Sub(e.prevTime)
-	e.prev, e.prevTime = cur, now
+// RegisterGrain hands a per-kind adaptive grain controller to the engine;
+// the engine becomes its owner, policies see its grain in Sample.Grains,
+// and actions carrying GrainKind actuate it.
+func (e *Engine) RegisterGrain(kind string, ctl *adaptive.Controller) {
+	e.mu.Lock()
+	e.grains[kind] = ctl
+	e.mu.Unlock()
+}
+
+// Grain returns the registered controller's current grain, or 0 if the kind
+// is unknown.
+func (e *Engine) Grain(kind string) int {
+	e.mu.Lock()
+	ctl := e.grains[kind]
+	e.mu.Unlock()
+	if ctl == nil {
+		return 0
+	}
+	return ctl.Grain()
+}
+
+// Grains returns the current grain of every registered kind.
+func (e *Engine) Grains() map[string]int {
+	e.mu.Lock()
+	ctls := make(map[string]*adaptive.Controller, len(e.grains))
+	for k, c := range e.grains {
+		ctls[k] = c
+	}
+	e.mu.Unlock()
+	out := make(map[string]int, len(ctls))
+	for k, c := range ctls {
+		out[k] = c.Grain()
+	}
+	return out
+}
+
+// GrainKinds returns the registered kinds, sorted.
+func (e *Engine) GrainKinds() []string {
+	e.mu.Lock()
+	kinds := make([]string, 0, len(e.grains))
+	for k := range e.grains {
+		kinds = append(kinds, k)
+	}
+	e.mu.Unlock()
+	sort.Strings(kinds)
+	return kinds
+}
+
+// GrainStats reports the registered controller's observation and decision
+// counts; ok is false for unknown kinds.
+func (e *Engine) GrainStats(kind string) (observations, kept, grown, shrunk int, ok bool) {
+	e.mu.Lock()
+	ctl := e.grains[kind]
+	e.mu.Unlock()
+	if ctl == nil {
+		return 0, 0, 0, 0, false
+	}
+	observations, kept, grown, shrunk = ctl.Stats()
+	return observations, kept, grown, shrunk, true
+}
+
+// ObserveGrain feeds one per-job observation into the kind's controller and
+// returns the new grain and the decision taken. This is the fast per-job
+// feedback edge of the loop; it actuates in both modes because it is the
+// controller's own convergence walk, not an external override. Grow/shrink
+// moves are recorded in the decision log.
+func (e *Engine) ObserveGrain(kind string, obs adaptive.Observation) (int, adaptive.Decision) {
+	e.mu.Lock()
+	ctl := e.grains[kind]
+	e.mu.Unlock()
+	if ctl == nil {
+		return 0, adaptive.Keep
+	}
+	grain, dec := ctl.Observe(obs)
+	if dec != adaptive.Keep {
+		e.rec.Record(Decision{
+			At:     time.Now(),
+			Policy: "adaptive",
+			Action: fmt.Sprintf("grain[%s] %s %d -> %d (idle %.0f%%)", kind, dec, obs.PartitionSize, grain, obs.IdleRate*100),
+			Mode:   DecisionActuated,
+		})
+	}
+	return grain, dec
+}
+
+// ApplyHint applies an externally pushed grain (a mesh consensus hint) to
+// the kind's controller, guarded so remote advice never overrides live local
+// evidence: the hint is vetoed when the controller has already consumed
+// hintMaxObservations observations, and merely recorded under ModeAdvisory.
+// It returns whether the hint actuated and, if not, why.
+func (e *Engine) ApplyHint(kind string, grain int, source string) (bool, string) {
+	e.mu.Lock()
+	ctl := e.grains[kind]
+	mode := e.mode
+	e.mu.Unlock()
+	desc := fmt.Sprintf("hint[%s] grain -> %d (%s)", kind, grain, source)
+	record := func(m, veto string) {
+		e.rec.Record(Decision{At: time.Now(), Policy: "hint", Action: desc, Mode: m, Veto: veto})
+	}
+	switch {
+	case ctl == nil:
+		record(DecisionVetoed, "unknown grain kind")
+		return false, "unknown grain kind"
+	case grain < 1:
+		record(DecisionVetoed, "invalid grain")
+		return false, "invalid grain"
+	case mode != ModeActuate:
+		record(DecisionAdvisory, "")
+		return false, "control_mode=advisory"
+	}
+	if n := ctl.Observations(); n >= hintMaxObservations {
+		reason := fmt.Sprintf("local controller already steering (%d observations)", n)
+		record(DecisionVetoed, reason)
+		return false, reason
+	}
+	applied := ctl.SetGrain(grain)
+	e.rec.Record(Decision{
+		At:     time.Now(),
+		Policy: "hint",
+		Action: fmt.Sprintf("hint[%s] grain -> %d (%s, clamped %d)", kind, grain, source, applied),
+		Mode:   DecisionActuated,
+	})
+	return true, ""
+}
+
+// sample derives the interval metrics between the previous sample and ts.
+func (e *Engine) sample(ts telemetry.Sample) Sample {
+	d := ts.Values.Sub(e.prev)
+	elapsed := ts.At.Sub(e.prevTime)
+	e.prev, e.prevTime = ts.Values, ts.At
 
 	s := Sample{
+		At:         ts.At,
 		Tasks:      d.Get(counters.CountCumulative),
 		Phases:     d.Get(counters.CountCumulativePhases),
 		MaxWorkers: e.maxWorkers,
@@ -156,70 +365,78 @@ func (e *Engine) sample() Sample {
 	if e.act.Grain != nil {
 		s.Grain = e.act.Grain()
 	}
+	if len(e.grains) > 0 {
+		s.Grains = make(map[string]int, len(e.grains))
+		for k, c := range e.grains {
+			s.Grains[k] = c.Grain()
+		}
+	}
 	return s
 }
 
-// Step performs one sample→decide→actuate cycle and returns the sample and
-// the actions applied.
-func (e *Engine) Step() (Sample, []Action) {
+// ObserveSample consumes one telemetry sample: it derives the interval
+// metrics since the previous sample, evaluates every policy, and applies
+// (ModeActuate) or records (ModeAdvisory) the resulting actions. This is
+// the single sample→decide→actuate path; wire it to a telemetry.Sampler's
+// OnSample hook for live use.
+func (e *Engine) ObserveSample(ts telemetry.Sample) (Sample, []Action) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	s := e.sample()
+	s := e.sample(ts)
+	e.steps++
 	var applied []Action
 	for _, p := range e.policies {
 		for _, a := range p.Evaluate(s) {
-			if a.SetGrain > 0 && e.act.SetGrain != nil {
-				e.act.SetGrain(a.SetGrain)
-			}
-			if a.SetActiveWorkers > 0 && e.act.SetActiveWorkers != nil {
-				e.act.SetActiveWorkers(a.SetActiveWorkers)
-			}
+			e.applyLocked(s.At, p.Name(), a)
 			applied = append(applied, a)
 		}
 	}
 	return s, applied
 }
 
-// Run steps the engine every interval until Stop. It returns immediately;
-// call Stop to terminate the background loop.
-func (e *Engine) Run(interval time.Duration) {
-	if interval <= 0 {
-		interval = 10 * time.Millisecond
-	}
-	e.mu.Lock()
-	if e.stop != nil {
-		e.mu.Unlock()
-		return // already running
-	}
-	e.stop = make(chan struct{})
-	e.done = make(chan struct{})
-	stop, done := e.stop, e.done
-	e.mu.Unlock()
-	go func() {
-		defer close(done)
-		tick := time.NewTicker(interval)
-		defer tick.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-tick.C:
-				e.Step()
-			}
+// applyLocked routes one action to its actuator under the engine mode,
+// recording the outcome. Callers hold e.mu.
+func (e *Engine) applyLocked(at time.Time, policy string, a Action) {
+	record := func(mode, veto string) {
+		desc := a.Note
+		if desc == "" {
+			desc = fmt.Sprintf("grain=%d workers=%d", a.SetGrain, a.SetActiveWorkers)
 		}
-	}()
+		e.rec.Record(Decision{At: at, Policy: policy, Action: desc, Mode: mode, Veto: veto})
+	}
+	if a.SetGrain > 0 {
+		switch {
+		case e.mode != ModeActuate:
+			record(DecisionAdvisory, "")
+		case a.GrainKind != "":
+			if ctl := e.grains[a.GrainKind]; ctl != nil {
+				ctl.SetGrain(a.SetGrain)
+				record(DecisionActuated, "")
+			} else {
+				record(DecisionVetoed, "unknown grain kind "+a.GrainKind)
+			}
+		case e.act.SetGrain != nil:
+			e.act.SetGrain(a.SetGrain)
+			record(DecisionActuated, "")
+		default:
+			record(DecisionVetoed, "no grain actuator")
+		}
+	}
+	if a.SetActiveWorkers > 0 {
+		switch {
+		case e.mode != ModeActuate:
+			record(DecisionAdvisory, "")
+		case e.act.SetActiveWorkers != nil:
+			e.act.SetActiveWorkers(a.SetActiveWorkers)
+			record(DecisionActuated, "")
+		default:
+			record(DecisionVetoed, "no throttle actuator")
+		}
+	}
 }
 
-// Stop terminates a Run loop and waits for it to exit. Safe to call when
-// not running.
-func (e *Engine) Stop() {
-	e.mu.Lock()
-	stop, done := e.stop, e.done
-	e.stop, e.done = nil, nil
-	e.mu.Unlock()
-	if stop == nil {
-		return
-	}
-	close(stop)
-	<-done
+// Step performs one cycle over a fresh registry snapshot — the synchronous
+// entry point for tests, examples, and callers without a telemetry sampler.
+func (e *Engine) Step() (Sample, []Action) {
+	return e.ObserveSample(telemetry.Sample{At: time.Now(), Values: e.reg.Snapshot()})
 }

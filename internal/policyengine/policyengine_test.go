@@ -1,6 +1,7 @@
 package policyengine
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"taskgrain/internal/adaptive"
 	"taskgrain/internal/counters"
 	"taskgrain/internal/taskrt"
+	"taskgrain/internal/telemetry"
 )
 
 // fakeRegistry builds a registry with settable raw counters.
@@ -47,11 +49,26 @@ func (f *fakeCounters) interval(idle float64, tasks int64) {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(nil, 4, Actuators{}); err == nil {
+	if _, err := New(Options{MaxWorkers: 4}); err == nil {
 		t.Error("nil registry accepted")
 	}
-	if _, err := New(counters.NewRegistry(), 0, Actuators{}); err == nil {
+	if _, err := New(Options{Registry: counters.NewRegistry()}); err == nil {
 		t.Error("0 workers accepted")
+	}
+	if _, err := New(Options{Registry: counters.NewRegistry(), MaxWorkers: 4, Mode: "bogus"}); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]Mode{"": ModeActuate, "actuate": ModeActuate, "advisory": ModeAdvisory} {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseMode("passive"); err == nil {
+		t.Error("unknown mode accepted")
 	}
 }
 
@@ -59,10 +76,10 @@ func TestSampleDerivation(t *testing.T) {
 	f := newFake(t)
 	var active atomic.Int64
 	active.Store(4)
-	e, err := New(f.reg, 8, Actuators{
+	e, err := New(Options{Registry: f.reg, MaxWorkers: 8, Actuators: Actuators{
 		ActiveWorkers: func() int { return int(active.Load()) },
 		Grain:         func() int { return 1234 },
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,10 +100,48 @@ func TestSampleDerivation(t *testing.T) {
 	if s.ActiveWorkers != 4 || s.MaxWorkers != 8 || s.Grain != 1234 {
 		t.Errorf("sample = %+v", s)
 	}
+	if s.At.IsZero() {
+		t.Error("sample has no timestamp")
+	}
 	// Second step over an empty interval: zero tasks, zero idle.
 	s2, _ := e.Step()
 	if s2.Tasks != 0 || s2.IdleRate != 0 {
 		t.Errorf("empty interval sample = %+v", s2)
+	}
+}
+
+// TestEngineObservesSamplerSamples drives the engine the way the daemons
+// do: from the telemetry sampler's OnSample hook, so the telemetry ring and
+// the policy loop share one sampling path and one set of timestamps.
+func TestEngineObservesSamplerSamples(t *testing.T) {
+	f := newFake(t)
+	e, err := New(Options{Registry: f.reg, MaxWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last atomic.Value // Sample
+	e.AddPolicy(PolicyFunc{PolicyName: "probe", Fn: func(s Sample) []Action {
+		last.Store(s)
+		return nil
+	}})
+	sampler := telemetry.NewSampler(f.reg, telemetry.Config{
+		Interval: time.Hour, // manual SampleNow only
+		OnSample: func(ts telemetry.Sample) { e.ObserveSample(ts) },
+	})
+	f.interval(0.50, 40)
+	sampler.SampleNow()
+	s, ok := last.Load().(Sample)
+	if !ok {
+		t.Fatal("policy never saw a sample")
+	}
+	if s.Tasks != 40 || s.IdleRate < 0.49 || s.IdleRate > 0.51 {
+		t.Fatalf("sampler-sourced sample = %+v", s)
+	}
+	if got, ok := sampler.Ring().Latest(); !ok || !s.At.Equal(got.At) {
+		t.Fatalf("engine timestamp %v != ring timestamp %v (ok=%v)", s.At, got.At, ok)
+	}
+	if e.Steps() != 1 {
+		t.Fatalf("steps = %d", e.Steps())
 	}
 }
 
@@ -154,12 +209,12 @@ func TestEngineAppliesActions(t *testing.T) {
 	grain.Store(1000)
 	var workers atomic.Int64
 	workers.Store(8)
-	e, err := New(f.reg, 8, Actuators{
+	e, err := New(Options{Registry: f.reg, MaxWorkers: 8, Actuators: Actuators{
 		SetGrain:         func(g int) { grain.Store(int64(g)) },
 		Grain:            func() int { return int(grain.Load()) },
 		SetActiveWorkers: func(n int) { workers.Store(int64(n)) },
 		ActiveWorkers:    func() int { return int(workers.Load()) },
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,36 +240,226 @@ func TestEngineAppliesActions(t *testing.T) {
 			t.Error("action without note")
 		}
 	}
+	// Both decisions actuated and landed in the log and counters.
+	log := e.Decisions()
+	if len(log) != 2 {
+		t.Fatalf("decision log = %+v", log)
+	}
+	for _, d := range log {
+		if d.Mode != DecisionActuated || d.At.IsZero() {
+			t.Errorf("decision = %+v", d)
+		}
+	}
+	snap := f.reg.Snapshot()
+	if snap.Get(ControlDecisions) != 2 || snap.Get(ControlActuations) != 2 || snap.Get(ControlVetoes) != 0 {
+		t.Fatalf("control counters = %v/%v/%v",
+			snap.Get(ControlDecisions), snap.Get(ControlActuations), snap.Get(ControlVetoes))
+	}
 }
 
-func TestEngineRunStop(t *testing.T) {
+// TestModeAdvisoryRecordsWithoutActuating pins the control_mode=advisory
+// contract: decisions are logged and counted but no actuator moves.
+func TestModeAdvisoryRecordsWithoutActuating(t *testing.T) {
 	f := newFake(t)
-	e, err := New(f.reg, 4, Actuators{})
+	var workers atomic.Int64
+	workers.Store(8)
+	e, err := New(Options{Registry: f.reg, MaxWorkers: 8, Mode: ModeAdvisory, Actuators: Actuators{
+		SetActiveWorkers: func(n int) { workers.Store(int64(n)) },
+		ActiveWorkers:    func() int { return int(workers.Load()) },
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var steps atomic.Int64
-	e.AddPolicy(PolicyFunc{PolicyName: "count", Fn: func(Sample) []Action {
-		steps.Add(1)
-		return nil
-	}})
-	e.Run(time.Millisecond)
-	e.Run(time.Millisecond) // double Run is a no-op
-	deadline := time.After(2 * time.Second)
-	for steps.Load() < 3 {
-		select {
-		case <-deadline:
-			t.Fatal("engine did not step")
-		default:
-			time.Sleep(time.Millisecond)
-		}
+	e.AddPolicy(&ThrottlePolicy{})
+	f.interval(0.9, 10000)
+	_, acts := e.Step()
+	if len(acts) != 1 {
+		t.Fatalf("actions = %+v", acts)
 	}
-	e.Stop()
-	e.Stop() // double Stop is safe
-	after := steps.Load()
-	time.Sleep(10 * time.Millisecond)
-	if steps.Load() != after {
-		t.Fatal("engine stepped after Stop")
+	if workers.Load() != 8 {
+		t.Fatalf("advisory mode actuated: workers = %d", workers.Load())
+	}
+	log := e.Decisions()
+	if len(log) != 1 || log[0].Mode != DecisionAdvisory {
+		t.Fatalf("decision log = %+v", log)
+	}
+	snap := f.reg.Snapshot()
+	if snap.Get(ControlDecisions) != 1 || snap.Get(ControlActuations) != 0 {
+		t.Fatalf("control counters = %v/%v", snap.Get(ControlDecisions), snap.Get(ControlActuations))
+	}
+}
+
+// TestEngineGrainControllers covers the engine-owned per-kind controllers:
+// registration, per-job observation feedback, and hint guardrails.
+func TestEngineGrainControllers(t *testing.T) {
+	f := newFake(t)
+	e, err := New(Options{Registry: f.reg, MaxWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := adaptive.NewController(adaptive.Config{MinPartition: 64, MaxPartition: 1 << 20}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RegisterGrain("stencil1d", ctl)
+
+	if g := e.Grain("stencil1d"); g != 10000 {
+		t.Fatalf("grain = %d", g)
+	}
+	if g := e.Grain("nope"); g != 0 {
+		t.Fatalf("unknown kind grain = %d", g)
+	}
+	if kinds := e.GrainKinds(); len(kinds) != 1 || kinds[0] != "stencil1d" {
+		t.Fatalf("kinds = %v", kinds)
+	}
+
+	// A fresh controller accepts a hint, clamped to its bounds.
+	applied, reason := e.ApplyHint("stencil1d", 4096, "test")
+	if !applied || reason != "" {
+		t.Fatalf("hint rejected: %v %q", applied, reason)
+	}
+	if g := e.Grain("stencil1d"); g != 4096 {
+		t.Fatalf("grain after hint = %d", g)
+	}
+	if applied, _ = e.ApplyHint("stencil1d", 1, "test"); !applied {
+		t.Fatal("clamping hint rejected")
+	}
+	if g := e.Grain("stencil1d"); g != 64 {
+		t.Fatalf("grain not clamped to MinPartition: %d", g)
+	}
+	if applied, _ = e.ApplyHint("bogus", 100, "test"); applied {
+		t.Fatal("unknown kind hint applied")
+	}
+
+	// Per-job observations steer and are recorded; after enough of them the
+	// controller has live evidence and vetoes further hints.
+	for i := 0; i < hintMaxObservations; i++ {
+		e.ObserveGrain("stencil1d", adaptive.Observation{
+			PartitionSize: e.Grain("stencil1d"), IdleRate: 0.9, Tasks: 10000, Cores: 8,
+		})
+	}
+	obs, _, grown, _, ok := e.GrainStats("stencil1d")
+	if !ok || obs != hintMaxObservations || grown == 0 {
+		t.Fatalf("stats = obs %d grown %d ok %v", obs, grown, ok)
+	}
+	applied, reason = e.ApplyHint("stencil1d", 512, "test")
+	if applied || !strings.Contains(reason, "observations") {
+		t.Fatalf("hint not vetoed after local convergence: %v %q", applied, reason)
+	}
+	snap := f.reg.Snapshot()
+	if snap.Get(ControlVetoes) < 2 { // unknown-kind + stale-hint vetoes
+		t.Fatalf("vetoes = %v", snap.Get(ControlVetoes))
+	}
+}
+
+// TestWatchdogPolicyEmitsGrainActions pins the watchdog→engine edge: a
+// pinned idle-rate with task flow becomes per-kind grow actions, a pinned
+// idle-rate without flow becomes shrink actions, and the cooldown spaces
+// successive moves.
+func TestWatchdogPolicyEmitsGrainActions(t *testing.T) {
+	mk := func(flowPerSample float64) (*WatchdogPolicy, *telemetry.Ring, time.Time) {
+		ring := telemetry.NewRing(16)
+		base := time.Now()
+		var flow float64
+		for i := 0; i < 5; i++ {
+			flow += flowPerSample
+			ring.Push(telemetry.Sample{
+				At: base.Add(time.Duration(i) * time.Second),
+				Values: counters.Snapshot{
+					"/server/idle-rate":         0.95,
+					"/server/tasks/inflight":    1,
+					"/threads/count/cumulative": flow,
+				},
+			})
+		}
+		w := telemetry.NewWatchdog(telemetry.WatchdogConfig{
+			Subject:     "test",
+			IdleCounter: "/server/idle-rate",
+			FlowCounter: "/threads/count/cumulative",
+			BusyCounter: "/server/tasks/inflight",
+			Window:      10 * time.Second,
+			FlowFloor:   10,
+		})
+		p := &WatchdogPolicy{Watchdog: w, Ring: func() *telemetry.Ring { return ring }, Cooldown: 10 * time.Second}
+		return p, ring, base.Add(4 * time.Second)
+	}
+
+	// High flow → overhead wall → grow every kind, sorted.
+	p, _, at := mk(1000)
+	acts := p.Evaluate(Sample{At: at, Grains: map[string]int{"fibonacci": 20, "stencil1d": 1000}})
+	if len(acts) != 2 {
+		t.Fatalf("actions = %+v", acts)
+	}
+	if acts[0].GrainKind != "fibonacci" || acts[0].SetGrain != 40 ||
+		acts[1].GrainKind != "stencil1d" || acts[1].SetGrain != 2000 {
+		t.Fatalf("grow actions = %+v", acts)
+	}
+	// Cooldown: the same pinned alert must not fire again immediately.
+	if again := p.Evaluate(Sample{At: at.Add(time.Second), Grains: map[string]int{"stencil1d": 2000}}); len(again) != 0 {
+		t.Fatalf("cooldown violated: %+v", again)
+	}
+	// After the cooldown it may move again.
+	if later := p.Evaluate(Sample{At: at.Add(11 * time.Second), Grains: map[string]int{"stencil1d": 2000}}); len(later) != 1 || later[0].SetGrain != 4000 {
+		t.Fatalf("post-cooldown actions = %+v", later)
+	}
+
+	// Near-zero flow → starvation wall → shrink.
+	p2, _, at2 := mk(0.5)
+	acts = p2.Evaluate(Sample{At: at2, Grains: map[string]int{"stencil1d": 1000}})
+	if len(acts) != 1 || acts[0].SetGrain != 500 {
+		t.Fatalf("shrink actions = %+v", acts)
+	}
+
+	// Grain floor: a shrink at 1 emits nothing rather than a no-op.
+	p3, _, at3 := mk(0.5)
+	if acts = p3.Evaluate(Sample{At: at3, Grains: map[string]int{"fibonacci": 1}}); len(acts) != 0 {
+		t.Fatalf("floor actions = %+v", acts)
+	}
+}
+
+// TestEngineWatchdogActuatesGrain wires watchdog, engine, and a registered
+// controller together: the alert's grow verdict must move the controller's
+// grain through the one engine path.
+func TestEngineWatchdogActuatesGrain(t *testing.T) {
+	f := newFake(t)
+	e, err := New(Options{Registry: f.reg, MaxWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, _ := adaptive.NewController(adaptive.Config{MinPartition: 64, MaxPartition: 1 << 20}, 1000)
+	e.RegisterGrain("stencil1d", ctl)
+
+	ring := telemetry.NewRing(16)
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		ring.Push(telemetry.Sample{
+			At: base.Add(time.Duration(i) * time.Second),
+			Values: counters.Snapshot{
+				"/server/idle-rate":         0.95,
+				"/server/tasks/inflight":    1,
+				"/threads/count/cumulative": float64(i) * 1000,
+			},
+		})
+	}
+	w := telemetry.NewWatchdog(telemetry.WatchdogConfig{
+		Subject:     "test",
+		IdleCounter: "/server/idle-rate",
+		FlowCounter: "/threads/count/cumulative",
+		BusyCounter: "/server/tasks/inflight",
+		Window:      10 * time.Second,
+	})
+	e.AddPolicy(&WatchdogPolicy{Watchdog: w, Ring: func() *telemetry.Ring { return ring }})
+
+	_, acts := e.ObserveSample(telemetry.Sample{At: base.Add(4 * time.Second), Values: f.reg.Snapshot()})
+	if len(acts) != 1 {
+		t.Fatalf("actions = %+v", acts)
+	}
+	if g := e.Grain("stencil1d"); g != 2000 {
+		t.Fatalf("watchdog verdict did not actuate: grain = %d", g)
+	}
+	log := e.Decisions()
+	if len(log) != 1 || log[0].Policy != "watchdog" || log[0].Mode != DecisionActuated {
+		t.Fatalf("decision log = %+v", log)
 	}
 }
 
@@ -224,10 +469,10 @@ func TestEngineWithLiveRuntimeThrottles(t *testing.T) {
 	rt := taskrt.New(taskrt.WithWorkers(4))
 	rt.Start()
 	defer rt.Shutdown()
-	e, err := New(rt.Counters(), 4, Actuators{
+	e, err := New(Options{Registry: rt.Counters(), MaxWorkers: 4, Actuators: Actuators{
 		SetActiveWorkers: rt.SetActiveWorkers,
 		ActiveWorkers:    rt.ActiveWorkers,
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}

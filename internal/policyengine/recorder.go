@@ -1,0 +1,99 @@
+package policyengine
+
+import (
+	"sync"
+	"time"
+
+	"taskgrain/internal/counters"
+)
+
+// Decision outcome labels, exported in the decision log's "mode" field.
+const (
+	// DecisionActuated means the action was applied to its actuator.
+	DecisionActuated = "actuated"
+	// DecisionAdvisory means control_mode=advisory held the action back.
+	DecisionAdvisory = "advisory"
+	// DecisionVetoed means a guardrail rejected the action; Veto says why.
+	DecisionVetoed = "vetoed"
+)
+
+// Control-plane counter names registered by the Recorder.
+const (
+	// ControlDecisions counts every decision the control plane took.
+	ControlDecisions = "/control/decisions"
+	// ControlActuations counts decisions that actuated a knob.
+	ControlActuations = "/control/actuations"
+	// ControlVetoes counts decisions a guardrail rejected.
+	ControlVetoes = "/control/vetoes"
+)
+
+// Decision is one control-plane verdict: which policy asked for what, and
+// whether it actuated, stayed advisory, or was vetoed.
+type Decision struct {
+	At     time.Time `json:"at"`
+	Policy string    `json:"policy"`
+	Action string    `json:"action"`
+	Mode   string    `json:"mode"`
+	Veto   string    `json:"veto,omitempty"`
+}
+
+// Recorder keeps a bounded log of control-plane decisions and exports the
+// /control/{decisions,actuations,vetoes} counters. Both the engine and the
+// mesh gateway embed one, so every layer's steering is inspectable the same
+// way.
+type Recorder struct {
+	mu  sync.Mutex
+	cap int
+	log []Decision
+
+	decisions  *counters.Cumulative
+	actuations *counters.Cumulative
+	vetoes     *counters.Cumulative
+}
+
+// NewRecorder builds a recorder with the given log capacity (default 128)
+// and registers its counters on reg (skipped when reg is nil).
+func NewRecorder(reg *counters.Registry, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	r := &Recorder{
+		cap:        capacity,
+		decisions:  counters.NewCumulative(ControlDecisions),
+		actuations: counters.NewCumulative(ControlActuations),
+		vetoes:     counters.NewCumulative(ControlVetoes),
+	}
+	if reg != nil {
+		reg.MustRegister(r.decisions)
+		reg.MustRegister(r.actuations)
+		reg.MustRegister(r.vetoes)
+	}
+	return r
+}
+
+// Record appends one decision, bumping the counters and evicting the oldest
+// entry once the log is full.
+func (r *Recorder) Record(d Decision) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.decisions.Inc()
+	switch d.Mode {
+	case DecisionActuated:
+		r.actuations.Inc()
+	case DecisionVetoed:
+		r.vetoes.Inc()
+	}
+	r.log = append(r.log, d)
+	if len(r.log) > r.cap {
+		r.log = r.log[len(r.log)-r.cap:]
+	}
+}
+
+// Log returns a copy of the decision log, oldest first.
+func (r *Recorder) Log() []Decision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Decision, len(r.log))
+	copy(out, r.log)
+	return out
+}

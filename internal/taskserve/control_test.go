@@ -1,0 +1,247 @@
+package taskserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"taskgrain/internal/policyengine"
+)
+
+// controlDecisionsDoc is the GET /control/decisions response shape.
+type controlDecisionsDoc struct {
+	Mode      string                  `json:"mode"`
+	Decisions []policyengine.Decision `json:"decisions"`
+}
+
+// postHint POSTs a grain hint and decodes the verdict map.
+func postHint(t *testing.T, base string, grains map[string]int, source string) (status int, applied map[string]int, vetoed map[string]string) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"grains": grains, "source": source})
+	resp, err := http.Post(base+"/control/hint", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Applied map[string]int    `json:"applied"`
+		Vetoed  map[string]string `json:"vetoed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil && resp.StatusCode == http.StatusOK {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, v.Applied, v.Vetoed
+}
+
+// getControlDecisions fetches and decodes the node's decision log.
+func getControlDecisions(t *testing.T, base string) controlDecisionsDoc {
+	t.Helper()
+	resp, err := http.Get(base + "/control/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /control/decisions: %d", resp.StatusCode)
+	}
+	var doc controlDecisionsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestControlHintEndToEnd drives the hint half of the control plane over
+// HTTP: a fresh node accepts an external grain, the decision log and
+// /control counters record it, and once the node's own controller has
+// walked enough observations further hints are vetoed.
+func TestControlHintEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+
+	// A fresh controller (zero observations) accepts the hint.
+	status, applied, vetoed := postHint(t, ts.URL, map[string]int{KindStencil: 4096}, "test-steer")
+	if status != http.StatusOK {
+		t.Fatalf("hint: status %d", status)
+	}
+	if applied[KindStencil] != 4096 || len(vetoed) != 0 {
+		t.Fatalf("hint verdict applied=%v vetoed=%v, want stencil1d=4096 applied", applied, vetoed)
+	}
+	if g := s.Engine().Grain(KindStencil); g != 4096 {
+		t.Fatalf("grain after hint = %d, want 4096", g)
+	}
+
+	// Unknown kinds and invalid grains are vetoed, not applied.
+	if _, _, v := postHint(t, ts.URL, map[string]int{"bogus": 10}, ""); v["bogus"] == "" {
+		t.Error("unknown kind not vetoed")
+	}
+	if _, _, v := postHint(t, ts.URL, map[string]int{KindStencil: 0}, ""); v[KindStencil] == "" {
+		t.Error("zero grain not vetoed")
+	}
+
+	// Walk the controller past the hint guardrail with real adaptive jobs.
+	for i := 0; i < 3; i++ {
+		resp, v := postJob(t, ts.URL, JobSpec{Kind: KindStencil, Size: 20_000, Steps: 2})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("job %d: status %d", i, resp.StatusCode)
+		}
+		if got := getJob(t, ts.URL, v.ID, "?wait=true&timeout=60s"); got.State != JobDone {
+			t.Fatalf("job %d: state %s, error %q", i, got.State, got.Error)
+		}
+	}
+	_, applied, vetoed = postHint(t, ts.URL, map[string]int{KindStencil: 128}, "late-steer")
+	if len(applied) != 0 || !strings.Contains(vetoed[KindStencil], "observations") {
+		t.Fatalf("late hint applied=%v vetoed=%v, want observation-guardrail veto", applied, vetoed)
+	}
+
+	// The decision log saw both the actuated hint and the veto.
+	doc := getControlDecisions(t, ts.URL)
+	if doc.Mode != string(policyengine.ModeActuate) {
+		t.Errorf("decision log mode = %q, want actuate", doc.Mode)
+	}
+	var actuated, vetoCount int
+	for _, d := range doc.Decisions {
+		if d.Policy != "hint" {
+			continue
+		}
+		switch d.Mode {
+		case policyengine.DecisionActuated:
+			actuated++
+		case policyengine.DecisionVetoed:
+			vetoCount++
+		}
+	}
+	if actuated < 1 || vetoCount < 3 {
+		t.Errorf("hint decisions actuated=%d vetoed=%d, want >=1 and >=3", actuated, vetoCount)
+	}
+
+	// The /control counters ride the same registry the rest of telemetry
+	// uses, so they show up at /debug/counters.
+	snap := s.Runtime().Counters().Snapshot()
+	if snap.Get(policyengine.ControlDecisions) < 4 {
+		t.Errorf("%s = %v, want >= 4", policyengine.ControlDecisions, snap.Get(policyengine.ControlDecisions))
+	}
+	if snap.Get(policyengine.ControlVetoes) < 3 {
+		t.Errorf("%s = %v, want >= 3", policyengine.ControlVetoes, snap.Get(policyengine.ControlVetoes))
+	}
+
+	// Malformed hints are 400s.
+	resp, err := http.Post(ts.URL+"/control/hint", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated hint: status %d, want 400", resp.StatusCode)
+	}
+	if st, _, _ := postHint(t, ts.URL, nil, ""); st != http.StatusBadRequest {
+		t.Errorf("empty hint: status %d, want 400", st)
+	}
+}
+
+// TestControlAdvisoryMode: under control_mode=advisory the engine records
+// what it would have done but actuates nothing — hints are held, the grain
+// stays put, and the stats document says so.
+func TestControlAdvisoryMode(t *testing.T) {
+	cfg := testConfig()
+	cfg.ControlMode = string(policyengine.ModeAdvisory)
+	s, ts := newTestServer(t, cfg)
+
+	before := s.Engine().Grain(KindStencil)
+	_, applied, vetoed := postHint(t, ts.URL, map[string]int{KindStencil: 4096}, "mesh-consensus")
+	if len(applied) != 0 || vetoed[KindStencil] != "control_mode=advisory" {
+		t.Fatalf("advisory hint applied=%v vetoed=%v", applied, vetoed)
+	}
+	if got := s.Engine().Grain(KindStencil); got != before {
+		t.Fatalf("advisory mode moved the grain: %d -> %d", before, got)
+	}
+
+	doc := getControlDecisions(t, ts.URL)
+	if doc.Mode != string(policyengine.ModeAdvisory) {
+		t.Errorf("decision log mode = %q, want advisory", doc.Mode)
+	}
+	found := false
+	for _, d := range doc.Decisions {
+		if d.Policy == "hint" && d.Mode == policyengine.DecisionAdvisory {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("advisory hint not recorded in the decision log")
+	}
+	if got := s.StatsSnapshot().ControlMode; got != string(policyengine.ModeAdvisory) {
+		t.Errorf("stats control_mode = %q, want advisory", got)
+	}
+}
+
+// TestControlConvergenceUnderLoad is the e2e convergence check: a live node
+// under real adaptive load walks its stencil grain with every decision
+// accounted for — the per-kind decisions{keep|grow|shrink} split matches the
+// observation count, the grain stays inside the kind's bounds, and the
+// decision log endpoint serves throughout.
+func TestControlConvergenceUnderLoad(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	const jobs = 6
+
+	for i := 0; i < jobs; i++ {
+		resp, v := postJob(t, ts.URL, JobSpec{Kind: KindStencil, Size: 40_000, Steps: 2})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("job %d: status %d", i, resp.StatusCode)
+		}
+		if got := getJob(t, ts.URL, v.ID, "?wait=true&timeout=60s"); got.State != JobDone {
+			t.Fatalf("job %d: state %s, error %q", i, got.State, got.Error)
+		}
+	}
+
+	obs, kept, grown, shrunk, ok := s.Engine().GrainStats(KindStencil)
+	if !ok || obs != jobs {
+		t.Fatalf("stencil observations = %d (ok=%v), want %d", obs, ok, jobs)
+	}
+	if kept+grown+shrunk != obs {
+		t.Errorf("decision split %d+%d+%d != %d observations", kept, grown, shrunk, obs)
+	}
+
+	// The same split is published as registry counters for the mesh and any
+	// scraper to read.
+	resp, err := http.Get(ts.URL + "/debug/counters?prefix=/server/grain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, leaf := range []string{"keep", "grow", "shrink"} {
+		sum += snap[fmt.Sprintf("/server/grain{%s}/decisions{%s}", KindStencil, leaf)]
+	}
+	if sum != float64(obs) {
+		t.Errorf("exported decision counters sum to %v, want %d", sum, obs)
+	}
+
+	// The converged grain is a legal operating point for the kind.
+	lo, hi, _ := grainBounds(KindStencil, s.Config().MaxJobSize)
+	cur := int(snap[fmt.Sprintf("/server/grain{%s}/current", KindStencil)])
+	if cur < lo || cur > hi {
+		t.Errorf("stencil grain %d outside bounds [%d, %d]", cur, lo, hi)
+	}
+
+	doc := getControlDecisions(t, ts.URL)
+	if doc.Mode != string(policyengine.ModeActuate) {
+		t.Errorf("decision log mode = %q, want actuate", doc.Mode)
+	}
+	// Any grow/shrink the walk took must have been logged as an actuated
+	// adaptive decision; keeps are deliberately not logged.
+	logged := 0
+	for _, d := range doc.Decisions {
+		if d.Policy == "adaptive" && d.Mode == policyengine.DecisionActuated {
+			logged++
+		}
+	}
+	if logged != grown+shrunk {
+		t.Errorf("logged adaptive decisions = %d, want grow+shrink = %d", logged, grown+shrunk)
+	}
+}

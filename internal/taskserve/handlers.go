@@ -48,6 +48,11 @@ const (
 //	GET    /telemetry/alerts  idle-rate watchdog verdict (JSON)
 //	GET    /telemetry/series  ring time series; ?name=/server/idle-rate
 //	                          [&n=60][&window=2s] adds a window delta/rate
+//	GET    /control/decisions control-plane decision log (mode + entries)
+//	POST   /control/hint      externally push per-kind grains
+//	                          ({"grains":{"stencil1d":4096},"source":"..."});
+//	                          each hint applies, stays advisory, or is vetoed
+//	                          per the engine's guardrails
 //	/debug/...                the introspect counter surface (live registry)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -69,6 +74,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /telemetry/alerts", s.handleAlerts)
 	mux.HandleFunc("GET /telemetry/series", s.handleSeries)
+	mux.HandleFunc("GET /control/decisions", s.handleControlDecisions)
+	mux.HandleFunc("POST /control/hint", s.handleControlHint)
 	mux.Handle("/debug/", http.StripPrefix("/debug", introspect.NewHandler(s.rt.Counters())))
 	return mux
 }
@@ -84,6 +91,53 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", telemetry.ContentType)
 	_, _ = b.WriteTo(w)
+}
+
+// handleControlDecisions serves the control plane's decision log: the mode
+// the engine runs under and every recorded actuation/advisory/veto, oldest
+// first.
+func (s *Server) handleControlDecisions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mode":      string(s.eng.Mode()),
+		"decisions": s.eng.Decisions(),
+	})
+}
+
+// handleControlHint accepts externally pushed per-kind grains — a mesh
+// gateway's cluster consensus, or an operator's manual steer. Every hint is
+// recorded; whether it actuates is the engine's call (mode, guardrails).
+func (s *Server) handleControlHint(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Grains map[string]int `json:"grains"`
+		Source string         `json:"source"`
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad hint body: "+err.Error())
+		return
+	}
+	if len(req.Grains) == 0 {
+		writeError(w, http.StatusBadRequest, "hint carries no grains")
+		return
+	}
+	source := req.Source
+	if source == "" {
+		source = "external"
+	}
+	applied := map[string]int{}
+	vetoed := map[string]string{}
+	for kind, grain := range req.Grains {
+		if ok, reason := s.eng.ApplyHint(kind, grain, source); ok {
+			applied[kind] = s.eng.Grain(kind)
+		} else {
+			vetoed[kind] = reason
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mode":    string(s.eng.Mode()),
+		"applied": applied,
+		"vetoed":  vetoed,
+	})
 }
 
 func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {

@@ -157,7 +157,7 @@ func TestAdaptiveGrainConvergesAcrossJobs(t *testing.T) {
 
 	// A stream of adaptive stencil jobs; the per-kind controller must move
 	// the grain off its start value in some direction as feedback arrives.
-	start := s.grains[KindStencil].Grain()
+	start := s.Engine().Grain(KindStencil)
 	moved := false
 	for i := 0; i < 8; i++ {
 		resp, v := postJob(t, ts.URL, JobSpec{Kind: KindStencil, Size: 40_000, Steps: 3})
@@ -168,11 +168,11 @@ func TestAdaptiveGrainConvergesAcrossJobs(t *testing.T) {
 		if got.State != JobDone {
 			t.Fatalf("job %d: %s (%s)", i, got.State, got.Error)
 		}
-		if s.grains[KindStencil].Grain() != start {
+		if s.Engine().Grain(KindStencil) != start {
 			moved = true
 		}
 	}
-	obs, _, _, _ := s.grains[KindStencil].Stats()
+	obs, _, _, _, _ := s.Engine().GrainStats(KindStencil)
 	if obs == 0 {
 		t.Fatal("no observations reached the grain controller")
 	}
@@ -460,7 +460,7 @@ func TestOverloadSheddingViaIdleRateSignal(t *testing.T) {
 
 	// Below the task floor the same idle-rate must NOT shed: high idle on an
 	// empty runtime means capacity, not overload.
-	s.eng.Stop() // freeze sampling so the verdict is ours
+	s.Telemetry().Stop() // freeze the sampling loop so the verdict is ours
 	s.adm.observe(samplePolicySample(0.9, 0))
 	if se := s.adm.check(); se != nil {
 		t.Fatalf("idle-but-empty runtime shed: %v", se)

@@ -57,7 +57,7 @@ func TestTaskbenchJobEndToEnd(t *testing.T) {
 // grain from its own controller (jobKinds wiring), within the kind's bounds.
 func TestTaskbenchAdaptiveGrain(t *testing.T) {
 	s, ts := newTestServer(t, testConfig())
-	if s.grains[KindTaskbench] == nil {
+	if s.Engine().Grain(KindTaskbench) == 0 {
 		t.Fatal("no adaptive controller for taskbench kind")
 	}
 

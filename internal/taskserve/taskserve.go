@@ -35,11 +35,10 @@ type Server struct {
 	cfg     config.Server
 	workers int
 
-	rt     *taskrt.Runtime
-	eng    *policyengine.Engine
-	adm    *admission
-	store  *jobStore
-	grains map[string]*adaptive.Controller
+	rt    *taskrt.Runtime
+	eng   *policyengine.Engine
+	adm   *admission
+	store *jobStore
 
 	queue       chan *Job
 	runnerWG    sync.WaitGroup
@@ -110,7 +109,6 @@ func New(cfg config.Server) (*Server, error) {
 		workers:    workers,
 		rt:         rt,
 		store:      newJobStore(),
-		grains:     make(map[string]*adaptive.Controller),
 		queue:      make(chan *Job, cfg.MaxQueuedJobs),
 		submitted:  counters.NewCumulative("/server/jobs/submitted"),
 		completed:  counters.NewCumulative("/server/jobs/completed"),
@@ -128,6 +126,32 @@ func New(cfg config.Server) (*Server, error) {
 		func() int { return len(s.queue) },
 		rt.Inflight,
 	)
+
+	reg := rt.Counters()
+
+	// The control-plane engine owns the per-kind grain controllers: jobs read
+	// their adaptive grain through it, per-job observations feed back through
+	// it, and watchdog verdicts and mesh hints actuate through it — one
+	// sample→decide→actuate path. Its recorder registers the
+	// /control/{decisions,actuations,vetoes} counters on this registry.
+	mode, err := cfg.ControlModeKind()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := policyengine.New(policyengine.Options{
+		Registry:   reg,
+		MaxWorkers: workers,
+		Mode:       mode,
+		Actuators: policyengine.Actuators{
+			SetActiveWorkers: rt.SetActiveWorkers,
+			ActiveWorkers:    rt.ActiveWorkers,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	ctls := make(map[string]*adaptive.Controller, len(jobKinds))
 	for _, kind := range jobKinds {
 		lo, hi, start := grainBounds(kind, cfg.MaxJobSize)
 		ctl, err := adaptive.NewController(adaptive.Config{
@@ -138,10 +162,9 @@ func New(cfg config.Server) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("taskserve: grain controller for %s: %w", kind, err)
 		}
-		s.grains[kind] = ctl
+		ctls[kind] = ctl
+		eng.RegisterGrain(kind, ctl)
 	}
-
-	reg := rt.Counters()
 	reg.MustRegister(s.submitted)
 	reg.MustRegister(s.completed)
 	reg.MustRegister(s.failed)
@@ -176,12 +199,26 @@ func New(cfg config.Server) (*Server, error) {
 	// Per-kind adaptive grain, exported as /server/grain{<kind>}/current so a
 	// mesh gateway's /mesh/metrics shows the cluster's grain distribution
 	// (taskgrain_server_grain_current{node=...,instance="<kind>"}) straight
-	// from the heartbeat snapshots.
-	for kind, ctl := range s.grains {
+	// from the heartbeat snapshots — and so the gateway can compute a grain
+	// consensus hint for joining nodes. The decisions{keep|grow|shrink}
+	// counters expose each controller's steering activity the same way.
+	for kind, ctl := range ctls {
 		ctl := ctl
 		reg.MustRegister(counters.NewDerived(
 			fmt.Sprintf("/server/grain{%s}/current", kind),
 			func() float64 { return float64(ctl.Grain()) },
+		))
+		reg.MustRegister(counters.NewDerived(
+			fmt.Sprintf("/server/grain{%s}/decisions{keep}", kind),
+			func() float64 { _, kept, _, _ := ctl.Stats(); return float64(kept) },
+		))
+		reg.MustRegister(counters.NewDerived(
+			fmt.Sprintf("/server/grain{%s}/decisions{grow}", kind),
+			func() float64 { _, _, grown, _ := ctl.Stats(); return float64(grown) },
+		))
+		reg.MustRegister(counters.NewDerived(
+			fmt.Sprintf("/server/grain{%s}/decisions{shrink}", kind),
+			func() float64 { _, _, _, shrunk := ctl.Stats(); return float64(shrunk) },
 		))
 	}
 
@@ -199,10 +236,22 @@ func New(cfg config.Server) (*Server, error) {
 		FlowFloor:   cfg.ShedMinTasks / cfg.SampleInterval.Seconds(),
 		Logf:        log.Printf,
 	})
+	// One sampling path: the telemetry sampler is the control plane's only
+	// ticker. Each sample lands in the ring (history for /metrics and
+	// /telemetry/*) and is then handed to the engine, which re-derives the
+	// interval metrics, evaluates the policies — admission, throttling, and
+	// the watchdog (whose grow/shrink verdicts become grain actions instead
+	// of dead-end alert strings) — and actuates per control_mode. The cadence
+	// is the faster of the two configured intervals so admission keeps its
+	// ShedMinTasks-per-SampleInterval semantics.
+	sampleEvery := cfg.SampleInterval
+	if cfg.TelemetryInterval < sampleEvery {
+		sampleEvery = cfg.TelemetryInterval
+	}
 	s.sampler = telemetry.NewSampler(reg, telemetry.Config{
-		Interval: cfg.TelemetryInterval,
+		Interval: sampleEvery,
 		Capacity: cfg.TelemetryRing,
-		OnSample: func(telemetry.Sample) { s.watchdog.Evaluate(s.sampler.Ring()) },
+		OnSample: func(ts telemetry.Sample) { s.eng.ObserveSample(ts) },
 	})
 	reg.MustRegister(counters.NewDerived("/telemetry/watchdog/active", func() float64 {
 		if s.watchdog.Current().Active {
@@ -210,6 +259,13 @@ func New(cfg config.Server) (*Server, error) {
 		}
 		return 0
 	}))
+	eng.AddPolicy(s.adm.policy())
+	eng.AddPolicy(&policyengine.ThrottlePolicy{})
+	eng.AddPolicy(&policyengine.WatchdogPolicy{
+		Watchdog: s.watchdog,
+		Ring:     func() *telemetry.Ring { return s.sampler.Ring() },
+		Cooldown: cfg.WatchdogWindow,
+	})
 
 	// Journal recovery runs before Start: replayed non-terminal jobs land in
 	// the queue and wait there until the runners launch.
@@ -220,19 +276,14 @@ func New(cfg config.Server) (*Server, error) {
 		}
 	}
 
-	eng, err := policyengine.New(reg, workers, policyengine.Actuators{
-		ActiveWorkers: rt.ActiveWorkers,
-	})
-	if err != nil {
-		return nil, err
-	}
-	eng.AddPolicy(s.adm.policy())
-	s.eng = eng
 	return s, nil
 }
 
 // Runtime returns the server's runtime (for tests and embedding).
 func (s *Server) Runtime() *taskrt.Runtime { return s.rt }
+
+// Engine returns the server's control-plane engine.
+func (s *Server) Engine() *policyengine.Engine { return s.eng }
 
 // Telemetry returns the server's counter sampler (for tests and embedding).
 func (s *Server) Telemetry() *telemetry.Sampler { return s.sampler }
@@ -243,14 +294,15 @@ func (s *Server) Watchdog() *telemetry.Watchdog { return s.watchdog }
 // Config returns the effective configuration.
 func (s *Server) Config() config.Server { return s.cfg }
 
-// Start launches the runtime, the sampling loop, and the job runners.
+// Start launches the runtime, the control-plane sampling loop, and the job
+// runners. The sampler's tick is the only clock: each sample feeds the
+// telemetry ring and then the policy engine.
 func (s *Server) Start() {
 	if !s.started.CompareAndSwap(false, true) {
 		return
 	}
 	s.startTime = time.Now()
 	s.rt.Start()
-	s.eng.Run(s.cfg.SampleInterval)
 	s.sampler.Start()
 	for i := 0; i < s.cfg.MaxConcurrentJobs; i++ {
 		s.runnerWG.Add(1)
@@ -389,9 +441,8 @@ func (s *Server) runJob(job *Job) {
 	spec := job.spec
 	grain := spec.Grain
 	source := "request"
-	ctl := s.grains[spec.Kind]
 	if grain == 0 {
-		grain = clampGrain(spec.Kind, ctl.Grain(), spec.Size)
+		grain = clampGrain(spec.Kind, s.eng.Grain(spec.Kind), spec.Size)
 		source = "adaptive"
 	}
 	if !job.startRunning(grain, source) {
@@ -423,7 +474,7 @@ func (s *Server) runJob(job *Job) {
 		// own spawn count is exact, so prefer it for the slack signal.
 		obs.Tasks = float64(res.Tasks) / float64(maxInt(res.generations, 1))
 		if err == nil && !job.aborted() {
-			_, dec := ctl.Observe(obs)
+			_, dec := s.eng.ObserveGrain(spec.Kind, obs)
 			job.setDecision(dec.String())
 		}
 	}
@@ -475,7 +526,6 @@ func (s *Server) Drain(ctx context.Context) (counters.Snapshot, error) {
 	case <-ctx.Done():
 		return s.rt.Counters().Snapshot(), ctx.Err()
 	}
-	s.eng.Stop()
 	s.sampler.Stop()
 	s.sweepOnce.Do(func() { close(s.stopSweep) })
 	s.sweepWG.Wait()
@@ -533,17 +583,19 @@ type Stats struct {
 	ShedByBacklog  int64             `json:"shed_by_backlog"`
 	ShedByOverload int64             `json:"shed_by_overload"`
 	IdleRate       float64           `json:"idle_rate"`
+	ControlMode    string            `json:"control_mode"`
 	AdaptiveGrains map[string]int    `json:"adaptive_grains"`
 	GrainDecisions map[string][3]int `json:"grain_decisions"` // keep/grow/shrink
 }
 
 // Stats snapshots the service state.
 func (s *Server) StatsSnapshot() Stats {
-	grains := make(map[string]int, len(s.grains))
-	decisions := make(map[string][3]int, len(s.grains))
-	for kind, ctl := range s.grains {
-		grains[kind] = ctl.Grain()
-		_, kept, grown, shrunk := ctl.Stats()
+	kinds := s.eng.GrainKinds()
+	grains := make(map[string]int, len(kinds))
+	decisions := make(map[string][3]int, len(kinds))
+	for _, kind := range kinds {
+		grains[kind] = s.eng.Grain(kind)
+		_, kept, grown, shrunk, _ := s.eng.GrainStats(kind)
 		decisions[kind] = [3]int{kept, grown, shrunk}
 	}
 	sq, sb, so := s.adm.sheds()
@@ -564,6 +616,7 @@ func (s *Server) StatsSnapshot() Stats {
 		ShedByBacklog:  sb,
 		ShedByOverload: so,
 		IdleRate:       s.adm.idleRate(),
+		ControlMode:    string(s.eng.Mode()),
 		AdaptiveGrains: grains,
 		GrainDecisions: decisions,
 	}

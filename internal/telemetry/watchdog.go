@@ -109,6 +109,10 @@ func NewWatchdog(cfg WatchdogConfig) *Watchdog {
 	return &Watchdog{cfg: cfg, alert: Alert{Subject: cfg.Subject}}
 }
 
+// Config returns the effective (defaulted) configuration, so control-plane
+// policies can inherit the watchdog's window as their hysteresis spacing.
+func (w *Watchdog) Config() WatchdogConfig { return w.cfg }
+
 // Current returns the latest verdict.
 func (w *Watchdog) Current() Alert {
 	w.mu.Lock()
